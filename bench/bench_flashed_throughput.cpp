@@ -1,0 +1,105 @@
+//===- bench/bench_flashed_throughput.cpp - Experiment E2 -----*- C++ -*-===//
+///
+/// E2: the paper's macro benchmark figure — FlashEd throughput across
+/// reply sizes, static build vs updateable build.  The paper plots
+/// connection rate / bandwidth against reply size for Flash and FlashEd
+/// and reports the updateable server within a few percent of the static
+/// one; this harness prints the same series for the loopback testbed.
+///
+/// Output: one row per reply size with requests/s and Mb/s for both
+/// pipelines and the relative overhead.
+///
+//===----------------------------------------------------------------------===//
+
+#include "flashed/App.h"
+#include "flashed/Client.h"
+#include "flashed/Server.h"
+#include "support/StringUtil.h"
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+using namespace dsu;
+using namespace dsu::flashed;
+
+namespace {
+
+struct RunResult {
+  double Rps = 0;
+  double Mbps = 0;
+};
+
+/// Serves `Requests` GETs of one synthetic document of `Bytes` and
+/// returns the measured rates.  `Static` selects the direct-call
+/// pipeline (the "Flash" baseline); otherwise every stage goes through
+/// the updateable indirection ("FlashEd").
+RunResult runOne(size_t Bytes, uint64_t Requests, bool Static) {
+  Runtime RT;
+  FlashedApp App(RT);
+  DocStore Docs;
+  Docs.put("/payload.html", syntheticBody(Bytes, Bytes));
+  cantFail(App.init(std::move(Docs)), "flashed init");
+
+  Server Srv([&App, Static](const std::string &Raw) {
+    return Static ? App.handleStatic(Raw) : App.handle(Raw);
+  });
+  Srv.setIdleHook([&RT] { RT.updatePoint(); });
+  cantFail(Srv.listenOn(0), "listen");
+
+  std::atomic<bool> Stop{false};
+  std::thread Loop([&] {
+    cantFail(Srv.runUntil([&Stop] { return Stop.load(); }, 2), "serve");
+  });
+
+  // Warmup primes the document cache and the connection path.
+  cantFail(runLoad(Srv.port(), {"/payload.html"}, 32), "warmup");
+  Expected<LoadStats> Stats =
+      runLoad(Srv.port(), {"/payload.html"}, Requests);
+  Stop.store(true);
+  Loop.join();
+  LoadStats S = cantFail(std::move(Stats), "load");
+
+  if (S.Failures)
+    std::fprintf(stderr, "warning: %llu failed requests\n",
+                 static_cast<unsigned long long>(S.Failures));
+  return RunResult{S.requestsPerSecond(), S.megabitsPerSecond()};
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  uint64_t Requests = 400;
+  if (argc > 1)
+    Requests = std::strtoull(argv[1], nullptr, 10);
+
+  const size_t Sizes[] = {512,        1 << 10,  4 << 10, 16 << 10,
+                          64 << 10,   256 << 10, 1 << 20};
+
+  std::printf("E2: FlashEd throughput vs reply size (loopback, %llu "
+              "requests/point)\n",
+              static_cast<unsigned long long>(Requests));
+  std::printf("reproduces: PLDI'01 Flash-vs-FlashEd performance figure\n\n");
+  std::printf("%10s | %12s %10s | %12s %10s | %9s\n", "reply", "static",
+              "", "updateable", "", "overhead");
+  std::printf("%10s | %12s %10s | %12s %10s | %9s\n", "bytes", "req/s",
+              "Mb/s", "req/s", "Mb/s", "%");
+  std::printf("-----------+------------------------+--------------------"
+              "----+----------\n");
+
+  for (size_t Bytes : Sizes) {
+    RunResult Static = runOne(Bytes, Requests, /*Static=*/true);
+    RunResult Upd = runOne(Bytes, Requests, /*Static=*/false);
+    double Overhead =
+        Static.Rps > 0 ? (Static.Rps - Upd.Rps) / Static.Rps * 100.0 : 0;
+    std::printf("%10zu | %12.0f %10.1f | %12.0f %10.1f | %8.2f%%\n",
+                Bytes, Static.Rps, Static.Mbps, Upd.Rps, Upd.Mbps,
+                Overhead);
+  }
+
+  std::printf("\nshape check (paper): updateable tracks static within a "
+              "few percent at\nall sizes; both curves are flat in req/s "
+              "for small replies and\nbandwidth-limited for large ones.\n");
+  return 0;
+}

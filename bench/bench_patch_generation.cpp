@@ -1,0 +1,88 @@
+//===- bench/bench_patch_generation.cpp - Experiment E6 -------*- C++ -*-===//
+///
+/// E6: patch-generator cost and output size vs diff size.  The paper's
+/// generator diffs two program versions; usability requires it to stay
+/// interactive on realistic programs.  This harness scales the number of
+/// changed definitions and reports generation time, emitted provides,
+/// and skeleton size.
+///
+//===----------------------------------------------------------------------===//
+
+#include "patch/Generator.h"
+#include "support/StringUtil.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+
+using namespace dsu;
+
+namespace {
+
+/// A synthetic program with \p Total functions and \p Types named types.
+VersionManifest makeVersion(unsigned Total, unsigned Types,
+                            unsigned Version) {
+  VersionManifest M;
+  M.Program = "bigapp";
+  M.Version = Version;
+  for (unsigned I = 0; I != Total; ++I)
+    M.Functions.push_back(VmFunction{
+        formatString("module_%u.function_%u", I / 32, I),
+        "fn(string, int) -> string", formatString("hash-%u-v1", I), ""});
+  for (unsigned T = 0; T != Types; ++T)
+    M.Types.push_back(
+        VmType{formatString("%%rec_%u@1", T),
+               "{key: string, value: int}"});
+  return M;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Total = 2048;
+  unsigned Samples = 9;
+  if (argc > 1)
+    Total = static_cast<unsigned>(std::atoi(argv[1]));
+  if (argc > 2)
+    Samples = static_cast<unsigned>(std::atoi(argv[2]));
+
+  std::printf("E6: patch generation vs diff size (program: %u functions, "
+              "16 types; %u samples)\n\n",
+              Total, Samples);
+  std::printf("%10s %12s %12s %10s %12s %12s\n", "changed", "mean ms",
+              "p95 ms", "provides", "manifest B", "stub B");
+  std::printf("------------------------------------------------------------"
+              "---------------\n");
+
+  for (unsigned Changed : {1u, 4u, 16u, 64u, 256u, 512u}) {
+    if (Changed > Total)
+      break;
+    VersionManifest Old = makeVersion(Total, 16, 1);
+    VersionManifest New = makeVersion(Total, 16, 2);
+    // Change K bodies, plus one type repr + one signature per 64 changes.
+    for (unsigned I = 0; I != Changed; ++I)
+      New.Functions[I * (Total / Changed)].BodyHash =
+          formatString("hash-%u-v2", I);
+    for (unsigned T = 0; T * 64 < Changed && T < 16; ++T)
+      New.Types[T] = VmType{formatString("%%rec_%u@2", T),
+                            "{key: string, value: int, hits: int}"};
+
+    RunningStat S;
+    size_t Provides = 0, ManifestBytes = 0, StubBytes = 0;
+    for (unsigned I = 0; I != Samples; ++I) {
+      Timer T;
+      GeneratedPatch G = cantFail(generatePatch(Old, New), "generate");
+      S.addSample(T.elapsedMs());
+      Provides = G.Manifest.Provides.size();
+      ManifestBytes = G.Manifest.print().size();
+      StubBytes = G.StubSource.size();
+    }
+    std::printf("%10u %12.3f %12.3f %10zu %12zu %12zu\n", Changed,
+                S.mean(), S.percentile(95), Provides, ManifestBytes,
+                StubBytes);
+  }
+
+  std::printf("\nshape check (paper): generation is interactive "
+              "(milliseconds) even for\nlarge diffs; output size scales "
+              "with the diff, not with the program.\n");
+  return 0;
+}

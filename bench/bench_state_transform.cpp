@@ -1,0 +1,95 @@
+//===- bench/bench_state_transform.cpp - Experiment E4 --------*- C++ -*-===//
+///
+/// E4: state-transformation cost as a function of live-state size.  The
+/// paper's transformers traverse live data at update time, so the
+/// disruption window scales with the amount of state of the changed
+/// type; this harness measures that scaling directly (eager transform,
+/// the design choice recorded in DESIGN.md §7).
+///
+//===----------------------------------------------------------------------===//
+
+#include "state/StateCell.h"
+#include "state/Transform.h"
+#include "support/Timer.h"
+#include "types/Type.h"
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace dsu;
+
+namespace {
+
+struct RecV1 {
+  std::string Key;
+  int64_t Value;
+};
+struct RecV2 {
+  std::string Key;
+  int64_t Value;
+  int64_t Hits;
+};
+
+double runOnce(size_t Records) {
+  TypeContext Ctx;
+  StateRegistry State;
+  TransformerRegistry Xforms;
+
+  auto Data = std::make_shared<std::vector<RecV1>>();
+  Data->reserve(Records);
+  for (size_t I = 0; I != Records; ++I)
+    Data->push_back(RecV1{"key-" + std::to_string(I),
+                          static_cast<int64_t>(I)});
+  cantFail(State.define("app.records",
+                        Ctx.arrayType(Ctx.namedType("rec", 1)),
+                        std::move(Data)),
+           "define");
+
+  VersionBump Bump{VersionedName{"rec", 1}, VersionedName{"rec", 2}};
+  Xforms.add(Bump, [](const std::shared_ptr<void> &Old,
+                      const StateCell &) -> Expected<std::shared_ptr<void>> {
+    auto *V1 = static_cast<std::vector<RecV1> *>(Old.get());
+    auto V2 = std::make_shared<std::vector<RecV2>>();
+    V2->reserve(V1->size());
+    for (const RecV1 &R : *V1)
+      V2->push_back(RecV2{R.Key, R.Value, 0});
+    return std::shared_ptr<void>(std::move(V2));
+  });
+
+  Timer T;
+  cantFail(runStateTransform(Ctx, State, Xforms, {Bump}), "transform");
+  return T.elapsedMs();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Samples = 7;
+  if (argc > 1)
+    Samples = static_cast<unsigned>(std::atoi(argv[1]));
+
+  std::printf("E4: eager state-transform time vs live records "
+              "(%u samples/point)\n",
+              Samples);
+  std::printf("reproduces: PLDI'01 transformer-cost discussion (update "
+              "disruption scales\nwith live state of the changed type)\n\n");
+  std::printf("%10s %12s %12s %14s\n", "records", "mean ms", "p95 ms",
+              "ns/record");
+  std::printf("---------------------------------------------------\n");
+
+  for (size_t Records : {100ul, 1000ul, 10000ul, 100000ul, 1000000ul}) {
+    RunningStat S;
+    for (unsigned I = 0; I != Samples; ++I)
+      S.addSample(runOnce(Records));
+    std::printf("%10zu %12.3f %12.3f %14.1f\n", Records, S.mean(),
+                S.percentile(95), S.mean() * 1e6 / Records);
+  }
+
+  std::printf("\nshape check (paper): time is linear in live records "
+              "(constant ns/record\nonce past cache effects); the update "
+              "window for a 10^6-record cache stays\nwithin tens to "
+              "hundreds of milliseconds.\n");
+  return 0;
+}

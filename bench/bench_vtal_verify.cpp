@@ -1,0 +1,102 @@
+//===- bench/bench_vtal_verify.cpp - Experiment E7 ------------*- C++ -*-===//
+///
+/// E7: verification throughput vs patch code size.  In the PLDI 2001
+/// measurements, verifying the patch's TAL code is a principal component
+/// of update time; the analogous cost here is VTAL verification.  The
+/// harness generates well-typed modules of increasing size and measures
+/// verify time, decode time, and instructions/second.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtil.h"
+#include "vtal/Assembler.h"
+#include "vtal/Bytecode.h"
+#include "vtal/Verifier.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace dsu;
+using namespace dsu::vtal;
+
+namespace {
+
+/// A module with \p Funcs functions, each a ~26-instruction loop with
+/// joins (exercising the dataflow part of the verifier, not just the
+/// straight-line fast path).
+Module synthesize(unsigned Funcs) {
+  std::string Src = "module verify_bench\n";
+  for (unsigned F = 0; F != Funcs; ++F) {
+    Src += formatString("func fn_%u (n: int, flag: bool) -> int {\n", F);
+    Src += "  locals (acc: int, i: int)\n";
+    Src += "  push.i 0\n  store acc\n  push.i 0\n  store i\n";
+    Src += "  load flag\n  brif fast\n";
+    Src += "head:\n  load i\n  load n\n  ge\n  brif out\n";
+    Src += "  load acc\n  load i\n  add\n  store acc\n";
+    Src += "  load i\n  push.i 1\n  add\n  store i\n  br head\n";
+    Src += "fast:\n  load n\n  push.i 2\n  mul\n  store acc\n  br join\n";
+    Src += "out:\njoin:\n  load acc\n  ret\n}\n";
+  }
+  return cantFail(assemble(Src), "synthesize");
+}
+
+void BM_Verify(benchmark::State &State) {
+  Module M = synthesize(static_cast<unsigned>(State.range(0)));
+  size_t Insts = M.totalInstructions();
+  for (auto _ : State) {
+    VerifyStats Stats;
+    Error E = verifyModule(M, &Stats);
+    if (E)
+      State.SkipWithError(E.str().c_str());
+    benchmark::DoNotOptimize(Stats.InstructionsChecked);
+  }
+  State.counters["instructions"] =
+      benchmark::Counter(static_cast<double>(Insts));
+  State.counters["inst/s"] = benchmark::Counter(
+      static_cast<double>(Insts), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_Verify)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_DecodeAndVerify(benchmark::State &State) {
+  // The full patch-acceptance path: bytes -> decode -> verify.
+  Module M = synthesize(static_cast<unsigned>(State.range(0)));
+  std::string Bytes = encodeModule(M);
+  for (auto _ : State) {
+    Expected<Module> Decoded = decodeModule(Bytes);
+    if (!Decoded)
+      State.SkipWithError("decode failed");
+    Error E = verifyModule(*Decoded);
+    if (E)
+      State.SkipWithError(E.str().c_str());
+  }
+  State.counters["bytes/s"] = benchmark::Counter(
+      static_cast<double>(Bytes.size()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_DecodeAndVerify)->Arg(4)->Arg(64)->Arg(256);
+
+void BM_Assemble(benchmark::State &State) {
+  // Patch build-side cost, for comparison.
+  unsigned Funcs = static_cast<unsigned>(State.range(0));
+  std::string Src;
+  {
+    Module M = synthesize(Funcs);
+    (void)M;
+  }
+  // Rebuild the source text once (synthesize assembles internally).
+  Src = "module verify_bench\n";
+  for (unsigned F = 0; F != Funcs; ++F) {
+    Src += formatString("func fn_%u (n: int) -> int {\n", F);
+    Src += "  load n\n  push.i 3\n  mul\n  ret\n}\n";
+  }
+  for (auto _ : State) {
+    Expected<Module> M = assemble(Src);
+    if (!M)
+      State.SkipWithError("assemble failed");
+    benchmark::DoNotOptimize(M->Functions.size());
+  }
+}
+BENCHMARK(BM_Assemble)->Arg(4)->Arg(64);
+
+} // namespace
+
+BENCHMARK_MAIN();

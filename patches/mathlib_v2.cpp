@@ -1,0 +1,70 @@
+//===- patches/mathlib_v2.cpp - Native patch with a transformer -*- C++ -*-//
+///
+/// \file
+/// A self-contained native patch used by the dlopen-path tests and the
+/// update-duration bench: replaces two numeric functions, adds one, and
+/// migrates the "math.counter" state cell from %counter@1 (a plain int
+/// accumulator) to %counter@2 (accumulated in micro-units), shipping the
+/// native state transformer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "patch/NativeAbi.h"
+
+#include <cstdint>
+#include <string>
+
+namespace {
+
+const char *Manifest = R"dsu(
+(patch
+  (id "mathlib-v2-native")
+  (description "fib gets the iterative algorithm; scale moves to
+ micro-units; new cube; %counter@1 -> %counter@2 in micro-units")
+  (provides
+    (fn (name "math.fib")
+        (type "fn(int) -> int")
+        (native-symbol "dsu_mathv2_fib"))
+    (fn (name "math.scale")
+        (type "fn(int) -> int")
+        (native-symbol "dsu_mathv2_scale"))
+    (fn (name "math.cube")
+        (type "fn(int) -> int")
+        (native-symbol "dsu_mathv2_cube")))
+  (new-types
+    (type (name "%counter@2") (repr "int")))
+  (transformers
+    (transform (from "%counter@1") (to "%counter@2")
+               (impl "dsu_mathv2_xform_counter"))))
+)dsu";
+
+} // namespace
+
+extern "C" const char *dsu_patch_manifest() { return Manifest; }
+
+extern "C" int64_t dsu_mathv2_fib(void *, int64_t N) {
+  if (N < 2)
+    return N < 0 ? 0 : N;
+  int64_t A = 0, B = 1;
+  for (int64_t I = 2; I <= N; ++I) {
+    int64_t C = A + B;
+    A = B;
+    B = C;
+  }
+  return B;
+}
+
+extern "C" int64_t dsu_mathv2_scale(void *, int64_t X) {
+  // v2 semantics: scale into micro-units (v1 scaled into milli-units).
+  return X * 1000000;
+}
+
+extern "C" int64_t dsu_mathv2_cube(void *, int64_t X) { return X * X * X; }
+
+/// %counter@1 (milli-units) -> %counter@2 (micro-units).
+extern "C" DsuNativeTransformOut dsu_mathv2_xform_counter(void *OldData) {
+  const int64_t Old = *static_cast<int64_t *>(OldData);
+  auto *New = new int64_t(Old * 1000);
+  return DsuNativeTransformOut{
+      New, [](void *P) { delete static_cast<int64_t *>(P); }, nullptr};
+}

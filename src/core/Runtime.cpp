@@ -1,0 +1,181 @@
+//===- core/Runtime.cpp ---------------------------------------*- C++ -*-===//
+
+#include "core/Runtime.h"
+
+#include "support/Logging.h"
+#include "support/Timer.h"
+#include "vtal/Verifier.h"
+
+using namespace dsu;
+
+Error Runtime::exportHost(const std::string &Name, const Type *Ty,
+                          vtal::HostFn Host, void *Addr) {
+  SymbolDef Def;
+  Def.Name = Name;
+  Def.Ty = Ty;
+  Def.Host = std::move(Host);
+  Def.Addr = Addr;
+  return Exports.addExport(std::move(Def));
+}
+
+void Runtime::requestUpdate(Patch P) {
+  auto Shared = std::make_shared<Patch>(std::move(P));
+  std::string Name = "patch:" + Shared->Id;
+  Queue.enqueue(Name, [this, Shared]() -> Error {
+    UpdateRecord Rec;
+    Error E = applyPatch(*Shared, Rec);
+    {
+      std::lock_guard<std::mutex> G(LogLock);
+      Log.push_back(Rec);
+    }
+    if (!E)
+      Applied.fetch_add(1);
+    return E;
+  });
+}
+
+Error Runtime::requestUpdateFromFile(const std::string &Path) {
+  Expected<Patch> P = loadPatchFile(Types, Exports, Path);
+  if (!P)
+    return P.takeError();
+  requestUpdate(std::move(*P));
+  return Error::success();
+}
+
+unsigned Runtime::updatePoint() {
+  if (!Queue.pending())
+    return 0;
+  if (ActivationTracker::currentDepth() != 0) {
+    // Updateable code is active on this thread: not a safe point.  The
+    // update stays queued for the next (quiescent) update point, the
+    // paper's "delay until inactive" behaviour.
+    DSU_LOG_DEBUG("update point skipped: %u active updateable frame(s)",
+                  ActivationTracker::currentDepth());
+    return 0;
+  }
+  UpdatePointOutcome Outcome = Queue.drain();
+  return Outcome.Applied;
+}
+
+Error Runtime::applyNow(Patch P) {
+  if (ActivationTracker::currentDepth() != 0)
+    return Error::make(ErrorCode::EC_Invalid,
+                       "applyNow called with %u active updateable frame(s) "
+                       "on this thread",
+                       ActivationTracker::currentDepth());
+  UpdateRecord Rec;
+  Error E = applyPatch(P, Rec);
+  {
+    std::lock_guard<std::mutex> G(LogLock);
+    Log.push_back(Rec);
+  }
+  if (!E)
+    Applied.fetch_add(1);
+  return E;
+}
+
+Error Runtime::applyPatch(Patch &P, UpdateRecord &Rec) {
+  Timer Total;
+  Rec.PatchId = P.Id;
+  Rec.CodeBytes = P.CodeBytes;
+
+  auto Fail = [&](Error E) {
+    Rec.Succeeded = false;
+    Rec.FailureReason = E.str();
+    Rec.TotalMs = Total.elapsedMs();
+    return E;
+  };
+
+  // Stage 1: verification.  VTAL-backed patches are machine-checked;
+  // native patches arrive as trusted-compiler output (the paper's TAL
+  // verification corresponds to the VTAL path).
+  {
+    Timer T;
+    if (P.VtalMod) {
+      vtal::VerifyStats VS;
+      if (Error E = vtal::verifyModule(*P.VtalMod, &VS))
+        return Fail(E.withContext("patch " + P.Id));
+      Rec.InstructionsVerified = VS.InstructionsChecked;
+    }
+    Rec.VerifyMs = T.elapsedMs();
+  }
+
+  // Stage 2: introduce the patch's new named types and transformers.
+  // Computing the declared bumps needs the pre-patch latest versions.
+  std::vector<VersionBump> DeclaredBumps;
+  for (const PatchTypeDef &TD : P.NewTypes) {
+    uint32_t Prev = Types.latestVersion(TD.Name.Name);
+    if (Prev > 0 && Prev < TD.Name.Version)
+      DeclaredBumps.push_back(
+          VersionBump{VersionedName{TD.Name.Name, Prev}, TD.Name});
+    if (Error E = Types.defineNamed(TD.Name, TD.Repr))
+      return Fail(E.withContext("patch " + P.Id));
+  }
+  for (PatchTransformer &X : P.Transformers)
+    Transformers.add(X.Bump, X.Fn);
+
+  // Stage 3: link preparation (typed import resolution + replacement
+  // compatibility).  No program mutation yet.
+  LinkPlan Plan;
+  {
+    Timer T;
+    Expected<LinkPlan> PlanOrErr = TheLinker.prepare(std::move(P.Unit));
+    if (!PlanOrErr) {
+      Rec.LinkMs = T.elapsedMs();
+      return Fail(PlanOrErr.takeError());
+    }
+    Plan = std::move(*PlanOrErr);
+    Rec.LinkMs = T.elapsedMs();
+  }
+
+  // Union of bumps demanded by signature changes and bumps declared via
+  // new type versions.
+  std::vector<VersionBump> AllBumps = Plan.RequiredBumps;
+  for (const VersionBump &B : DeclaredBumps) {
+    bool Known = false;
+    for (const VersionBump &K : AllBumps)
+      Known |= K == B;
+    if (!Known)
+      AllBumps.push_back(B);
+  }
+
+  // Stage 4: state transformation (two-phase inside; rejects the update
+  // with state untouched when a transformer is missing or fails).
+  {
+    Timer T;
+    TransformStats TS;
+    if (Error E =
+            runStateTransform(Types, State, Transformers, AllBumps, &TS)) {
+      Rec.TransformMs = T.elapsedMs();
+      return Fail(E.withContext("patch " + P.Id));
+    }
+    Rec.CellsMigrated = TS.CellsMigrated;
+    Rec.TransformMs = T.elapsedMs();
+  }
+
+  // Stage 5: commit the bindings.
+  {
+    Timer T;
+    Rec.ProvidesLinked = Plan.Unit.Provides.size();
+    if (Error E = TheLinker.commit(std::move(Plan))) {
+      Rec.LinkMs += T.elapsedMs();
+      return Fail(std::move(E));
+    }
+    Rec.LinkMs += T.elapsedMs();
+  }
+
+  Rec.Succeeded = true;
+  Rec.TotalMs = Total.elapsedMs();
+  DSU_LOG_INFO("patch %s applied: verify %.3fms link %.3fms transform "
+               "%.3fms total %.3fms",
+               P.Id.c_str(), Rec.VerifyMs, Rec.LinkMs, Rec.TransformMs,
+               Rec.TotalMs);
+  return Error::success();
+}
+
+std::vector<UpdateRecord> Runtime::updateLog() const {
+  std::lock_guard<std::mutex> G(LogLock);
+  return Log;
+}
+
+unsigned Runtime::updatesApplied() const { return Applied.load(); }

@@ -1,0 +1,225 @@
+//===- flashed/App.cpp ----------------------------------------*- C++ -*-===//
+
+#include "flashed/App.h"
+
+#include "flashed/Http.h"
+#include "support/StringUtil.h"
+#include "types/TypeParser.h"
+
+#include <chrono>
+#include <cstdlib>
+
+using namespace dsu;
+using namespace dsu::flashed;
+
+// --- Version-1 pipeline implementations ----------------------------------
+
+std::string FlashedApp::parseTargetV1(std::string Raw) {
+  Expected<HttpRequest> Req = parseHttpRequest(Raw);
+  if (!Req)
+    return "!400 malformed request";
+  if (Req->Method != "GET" && Req->Method != "HEAD")
+    return "!405 method not allowed";
+  // Known v1 defect (fixed by patch P1): the query string is not
+  // stripped, so "/doc.html?x=1" is treated as a literal document name.
+  return Req->Method + " " + Req->Target;
+}
+
+std::string FlashedApp::mapUrlV1(std::string Target) {
+  if (DocStore::isUnsafePath(Target))
+    return "!403 forbidden";
+  if (Target == "/")
+    return "/index.html";
+  return Target;
+}
+
+std::string FlashedApp::mimeTypeV1(std::string Path) {
+  size_t Dot = Path.rfind('.');
+  std::string Ext = Dot == std::string::npos ? "" : Path.substr(Dot + 1);
+  // v1 ships a deliberately small table (patch P2 extends it).
+  if (Ext == "html" || Ext == "htm")
+    return "text/html";
+  if (Ext == "txt")
+    return "text/plain";
+  return "application/octet-stream";
+}
+
+std::string FlashedApp::cacheGetV1(std::string Path) {
+  auto *C = Cache->get<CacheV1>();
+  auto It = C->Entries.find(Path);
+  return It == C->Entries.end() ? std::string() : It->second;
+}
+
+void FlashedApp::cachePutV1(std::string Path,
+                            std::string Body) {
+  Cache->get<CacheV1>()->Entries[Path] = Body;
+}
+
+void FlashedApp::logAccessV1(std::string Path, int64_t Status) {
+  // v1 does not log (patch P5 introduces the logging subsystem).
+  (void)Path;
+  (void)Status;
+}
+
+// --- Wiring ----------------------------------------------------------------
+
+static int64_t nowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Error FlashedApp::init(DocStore InitialDocs) {
+  Docs = std::move(InitialDocs);
+  TypeContext &Ctx = RT.types();
+
+  // The cache's named type and its state cell.
+  Expected<const Type *> ReprV1 = parseType(Ctx, cacheReprV1());
+  if (!ReprV1)
+    return ReprV1.takeError();
+  VersionedName CacheName{"flashed_cache", 1};
+  if (Error E = RT.defineNamedType(CacheName, *ReprV1))
+    return E;
+  Expected<StateCell *> Cell = RT.defineState(
+      "flashed.cache", Ctx.namedType(CacheName), std::make_shared<CacheV1>());
+  if (!Cell)
+    return Cell.takeError();
+  Cache = *Cell;
+
+  // The updateable pipeline.
+  {
+    Expected<Updateable<std::string(std::string)>> H =
+        RT.defineUpdateable("flashed.parse_target", &parseTargetV1);
+    if (!H)
+      return H.takeError();
+    ParseTarget = *H;
+  }
+  {
+    Expected<Updateable<std::string(std::string)>> H =
+        RT.defineUpdateable("flashed.map_url", &mapUrlV1);
+    if (!H)
+      return H.takeError();
+    MapUrl = *H;
+  }
+  {
+    Expected<Updateable<std::string(std::string)>> H =
+        RT.defineUpdateable("flashed.mime_type", &mimeTypeV1);
+    if (!H)
+      return H.takeError();
+    MimeType = *H;
+  }
+  {
+    Expected<Updateable<std::string(std::string)>> H =
+        RT.defineUpdateableFn<std::string, std::string>(
+            "flashed.cache_get",
+            [this](std::string Path) { return cacheGetV1(Path); });
+    if (!H)
+      return H.takeError();
+    CacheGet = *H;
+  }
+  {
+    Expected<Updateable<void(std::string, std::string)>> H =
+        RT.defineUpdateableFn<void, std::string, std::string>(
+            "flashed.cache_put", [this](std::string Path, std::string Body) {
+              cachePutV1(Path, Body);
+            });
+    if (!H)
+      return H.takeError();
+    CachePut = *H;
+  }
+  {
+    Expected<Updateable<void(std::string, int64_t)>> H =
+        RT.defineUpdateable("flashed.log_access", &logAccessV1);
+    if (!H)
+      return H.takeError();
+    LogAccess = *H;
+  }
+
+  // Host exports for patch code.
+  if (Error E = RT.exportHost(
+          "flashed.docs_get",
+          Ctx.fnType({Ctx.stringType()}, Ctx.stringType()),
+          [this](const std::vector<vtal::Value> &Args)
+              -> Expected<vtal::Value> {
+            const std::string *Body = Docs.get(Args[0].asStr());
+            return vtal::Value::makeStr(Body ? *Body : "");
+          }))
+    return E;
+  if (Error E = RT.exportHost(
+          "flashed.now_ms", Ctx.fnType({}, Ctx.intType()),
+          [](const std::vector<vtal::Value> &) -> Expected<vtal::Value> {
+            return vtal::Value::makeInt(nowMs());
+          },
+          reinterpret_cast<void *>(&nowMs)))
+    return E;
+  return Error::success();
+}
+
+// --- Request handling --------------------------------------------------
+
+template <typename HParse, typename HMap, typename HMime, typename HGet,
+          typename HPut, typename HLog>
+std::string FlashedApp::handleWith(const std::string &RawRequest,
+                                   HParse &&Parse, HMap &&Map, HMime &&Mime,
+                                   HGet &&Get, HPut &&Put, HLog &&Log) {
+  ++Requests;
+
+  auto ErrorResponse = [&](const std::string &Tagged) {
+    // "!404 not found" -> status 404.
+    int Code = std::atoi(Tagged.c_str() + 1);
+    if (Code < 100 || Code > 599)
+      Code = 500;
+    std::string Body = "<html><body><h1>" + std::to_string(Code) + " " +
+                       statusText(Code) + "</h1></body></html>\n";
+    Log(Tagged, Code);
+    return buildHttpResponse(Code, "text/html", Body);
+  };
+
+  std::string Parsed = Parse(RawRequest);
+  if (!Parsed.empty() && Parsed[0] == '!')
+    return ErrorResponse(Parsed);
+
+  size_t Sp = Parsed.find(' ');
+  assert(Sp != std::string::npos && "parse stage emitted no separator");
+  std::string Method = Parsed.substr(0, Sp);
+  std::string Target = Parsed.substr(Sp + 1);
+
+  std::string Path = Map(Target);
+  if (!Path.empty() && Path[0] == '!')
+    return ErrorResponse(Path);
+
+  std::string Body = Get(Path);
+  if (Body.empty()) {
+    const std::string *Doc = Docs.get(Path);
+    if (!Doc)
+      return ErrorResponse("!404 not found");
+    Body = *Doc;
+    Put(Path, Body);
+  }
+
+  std::string ContentType = Mime(Path);
+  if (Method == "HEAD")
+    Body.clear();
+  Log(Path, 200);
+  return buildHttpResponse(200, ContentType, Body);
+}
+
+std::string FlashedApp::handle(const std::string &RawRequest) {
+  return handleWith(
+      RawRequest, [&](const std::string &S) { return ParseTarget(S); },
+      [&](const std::string &S) { return MapUrl(S); },
+      [&](const std::string &S) { return MimeType(S); },
+      [&](const std::string &S) { return CacheGet(S); },
+      [&](const std::string &P, const std::string &B) { CachePut(P, B); },
+      [&](const std::string &P, int64_t C) { LogAccess(P, C); });
+}
+
+std::string FlashedApp::handleStatic(const std::string &RawRequest) {
+  return handleWith(
+      RawRequest, [&](const std::string &S) { return parseTargetV1(S); },
+      [&](const std::string &S) { return mapUrlV1(S); },
+      [&](const std::string &S) { return mimeTypeV1(S); },
+      [&](const std::string &S) { return cacheGetV1(S); },
+      [&](const std::string &P, const std::string &B) { cachePutV1(P, B); },
+      [&](const std::string &P, int64_t C) { logAccessV1(P, C); });
+}

@@ -1,0 +1,98 @@
+//===- flashed/App.h - The updateable FlashEd application -----*- C++ -*-===//
+///
+/// \file
+/// FlashEd: the updateable web server used as the macro benchmark, the
+/// reproduction of the retrofit the PLDI 2001 authors performed on the
+/// Flash web server.
+///
+/// The request pipeline is decomposed into updateable functions — the
+/// same decomposition the paper's updateable compilation performs on
+/// Flash's handler chain:
+///
+///   flashed.parse_target : fn(string) -> string   raw head -> "GET /p"
+///   flashed.map_url      : fn(string) -> string   target -> document path
+///   flashed.mime_type    : fn(string) -> string   path -> content type
+///   flashed.cache_get    : fn(string) -> string   path -> body ("" miss)
+///   flashed.cache_put    : fn(string, string) -> unit
+///   flashed.log_access   : fn(string, int) -> unit
+///
+/// The response cache lives in the dsu state cell "flashed.cache" typed
+/// %flashed_cache@1, so the P3 patch can migrate it.  handle() routes
+/// every stage through the updateable handles; handleStatic() calls the
+/// same version-1 implementations directly, giving the static baseline
+/// of the throughput experiment (E2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_FLASHED_APP_H
+#define DSU_FLASHED_APP_H
+
+#include "core/Runtime.h"
+#include "flashed/Cache.h"
+#include "flashed/DocStore.h"
+
+#include <string>
+
+namespace dsu {
+namespace flashed {
+
+/// One FlashEd instance wired into a dsu runtime.
+class FlashedApp {
+public:
+  explicit FlashedApp(Runtime &RT) : RT(RT) {}
+  FlashedApp(const FlashedApp &) = delete;
+  FlashedApp &operator=(const FlashedApp &) = delete;
+
+  /// Defines named types, the cache state cell, the updateable pipeline
+  /// and host exports.  Call once before serving.
+  Error init(DocStore InitialDocs);
+
+  /// Serves one request through the updateable pipeline.
+  std::string handle(const std::string &RawRequest);
+
+  /// Serves one request through direct calls to the version-1
+  /// implementations (no updateable indirection) — the "static Flash"
+  /// baseline of E2.
+  std::string handleStatic(const std::string &RawRequest);
+
+  Runtime &runtime() { return RT; }
+  DocStore &docs() { return Docs; }
+  StateCell *cacheCell() { return Cache; }
+
+  uint64_t requestsHandled() const { return Requests; }
+
+  // Typed pipeline handles (valid after init()).
+  Updateable<std::string(std::string)> ParseTarget;
+  Updateable<std::string(std::string)> MapUrl;
+  Updateable<std::string(std::string)> MimeType;
+  Updateable<std::string(std::string)> CacheGet;
+  Updateable<void(std::string, std::string)> CachePut;
+  Updateable<void(std::string, int64_t)> LogAccess;
+
+  // Version-1 pipeline implementations, shared by the updateable initial
+  // bindings, the static baseline, and the patch definitions (which know
+  // exactly which v1 behaviours they replace).
+  static std::string parseTargetV1(std::string Raw);
+  static std::string mapUrlV1(std::string Target);
+  static std::string mimeTypeV1(std::string Path);
+  std::string cacheGetV1(std::string Path);
+  void cachePutV1(std::string Path, std::string Body);
+  static void logAccessV1(std::string Path, int64_t Status);
+
+private:
+  template <typename HParse, typename HMap, typename HMime, typename HGet,
+            typename HPut, typename HLog>
+  std::string handleWith(const std::string &RawRequest, HParse &&Parse,
+                         HMap &&Map, HMime &&Mime, HGet &&Get, HPut &&Put,
+                         HLog &&Log);
+
+  Runtime &RT;
+  DocStore Docs;
+  StateCell *Cache = nullptr;
+  uint64_t Requests = 0;
+};
+
+} // namespace flashed
+} // namespace dsu
+
+#endif // DSU_FLASHED_APP_H

@@ -1,0 +1,52 @@
+//===- flashed/Cache.h - FlashEd response cache representations -*- C++ -*-//
+///
+/// \file
+/// The cache payload types FlashEd keeps in a dsu state cell.  Version 1
+/// caches bodies only; version 2 (introduced by patch P3, the paper-style
+/// "type change with state transformer") adds per-entry hit counters and
+/// last-access stamps.  The dsu named type `%flashed_cache@N` describes
+/// the cell; these structs are the C++ representations at each version.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_FLASHED_CACHE_H
+#define DSU_FLASHED_CACHE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace dsu {
+namespace flashed {
+
+/// %flashed_cache@1 : array<{path: string, body: string}>
+struct CacheV1 {
+  std::map<std::string, std::string> Entries;
+};
+
+/// One entry of %flashed_cache@2.
+struct CacheEntryV2 {
+  std::string Body;
+  int64_t Hits = 0;
+  int64_t LastAccessMs = 0;
+};
+
+/// %flashed_cache@2 :
+///   array<{path: string, body: string, hits: int, last_ms: int}>
+struct CacheV2 {
+  std::map<std::string, CacheEntryV2> Entries;
+};
+
+/// Type text of each representation (kept beside the structs so the
+/// descriptor and the C++ type evolve together).
+inline const char *cacheReprV1() {
+  return "array<{path: string, body: string}>";
+}
+inline const char *cacheReprV2() {
+  return "array<{path: string, body: string, hits: int, last_ms: int}>";
+}
+
+} // namespace flashed
+} // namespace dsu
+
+#endif // DSU_FLASHED_CACHE_H

@@ -1,0 +1,102 @@
+//===- flashed/Client.cpp -------------------------------------*- C++ -*-===//
+
+#include "flashed/Client.h"
+
+#include "support/StringUtil.h"
+#include "support/Timer.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace dsu;
+using namespace dsu::flashed;
+
+Expected<FetchResult> dsu::flashed::httpGet(uint16_t Port,
+                                            const std::string &Target) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Error::make(ErrorCode::EC_IO, "socket: %s",
+                       std::strerror(errno));
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    int E = errno;
+    ::close(Fd);
+    return Error::make(ErrorCode::EC_IO, "connect: %s", std::strerror(E));
+  }
+
+  std::string Request = "GET " + Target + " HTTP/1.0\r\nHost: localhost\r\n"
+                        "User-Agent: dsu-loadgen\r\n\r\n";
+  size_t Off = 0;
+  while (Off < Request.size()) {
+    ssize_t N = ::write(Fd, Request.data() + Off, Request.size() - Off);
+    if (N <= 0) {
+      int E = errno;
+      ::close(Fd);
+      return Error::make(ErrorCode::EC_IO, "write: %s", std::strerror(E));
+    }
+    Off += static_cast<size_t>(N);
+  }
+
+  std::string Raw;
+  char Buf[1 << 16];
+  while (true) {
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N > 0) {
+      Raw.append(Buf, static_cast<size_t>(N));
+      continue;
+    }
+    if (N == 0)
+      break;
+    if (errno == EINTR)
+      continue;
+    int E = errno;
+    ::close(Fd);
+    return Error::make(ErrorCode::EC_IO, "read: %s", std::strerror(E));
+  }
+  ::close(Fd);
+
+  FetchResult Out;
+  size_t HeadEnd = Raw.find("\r\n\r\n");
+  if (HeadEnd == std::string::npos)
+    return Error::make(ErrorCode::EC_Parse, "response without header end");
+  Out.Headers = Raw.substr(0, HeadEnd);
+  Out.Body = Raw.substr(HeadEnd + 4);
+
+  // "HTTP/1.0 200 OK"
+  size_t Sp = Out.Headers.find(' ');
+  if (Sp == std::string::npos)
+    return Error::make(ErrorCode::EC_Parse, "malformed status line");
+  Out.Status = std::atoi(Out.Headers.c_str() + Sp + 1);
+  return Out;
+}
+
+Expected<LoadStats> dsu::flashed::runLoad(
+    uint16_t Port, const std::vector<std::string> &Targets, uint64_t Count) {
+  if (Targets.empty())
+    return Error::make(ErrorCode::EC_Invalid, "no targets to load");
+  LoadStats Stats;
+  Timer T;
+  for (uint64_t I = 0; I != Count; ++I) {
+    Expected<FetchResult> R = httpGet(Port, Targets[I % Targets.size()]);
+    ++Stats.Requests;
+    if (!R || R->Status != 200) {
+      ++Stats.Failures;
+      continue;
+    }
+    Stats.BytesReceived += R->Body.size() + R->Headers.size();
+  }
+  Stats.Seconds = T.elapsedNs() / 1e9;
+  return Stats;
+}

@@ -1,0 +1,57 @@
+//===- flashed/Client.h - Loopback HTTP client and load generator -*- C++ -*-//
+///
+/// \file
+/// A blocking HTTP/1.0 client plus the load generator driving the
+/// throughput experiment (E2) — the role httperf and the client machines
+/// play in the PLDI 2001 testbed, collapsed onto the loopback interface
+/// so the benchmark is self-contained.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_FLASHED_CLIENT_H
+#define DSU_FLASHED_CLIENT_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dsu {
+namespace flashed {
+
+/// A fetched response.
+struct FetchResult {
+  int Status = 0;
+  std::string Headers; ///< raw head
+  std::string Body;
+};
+
+/// Performs one blocking GET against 127.0.0.1:\p Port.
+Expected<FetchResult> httpGet(uint16_t Port, const std::string &Target);
+
+/// Load-generation outcome.
+struct LoadStats {
+  uint64_t Requests = 0;
+  uint64_t Failures = 0;
+  uint64_t BytesReceived = 0;
+  double Seconds = 0;
+
+  double requestsPerSecond() const {
+    return Seconds > 0 ? Requests / Seconds : 0;
+  }
+  double megabitsPerSecond() const {
+    return Seconds > 0 ? (BytesReceived * 8.0 / 1e6) / Seconds : 0;
+  }
+};
+
+/// Issues \p Count sequential GETs cycling through \p Targets.  The
+/// caller runs the server on another thread (or interleaves pollOnce).
+Expected<LoadStats> runLoad(uint16_t Port,
+                            const std::vector<std::string> &Targets,
+                            uint64_t Count);
+
+} // namespace flashed
+} // namespace dsu
+
+#endif // DSU_FLASHED_CLIENT_H

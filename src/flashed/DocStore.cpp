@@ -1,0 +1,51 @@
+//===- flashed/DocStore.cpp -----------------------------------*- C++ -*-===//
+
+#include "flashed/DocStore.h"
+
+#include "support/StringUtil.h"
+
+using namespace dsu;
+using namespace dsu::flashed;
+
+void DocStore::put(const std::string &Path, std::string Body) {
+  Docs[Path] = std::move(Body);
+}
+
+const std::string *DocStore::get(const std::string &Path) const {
+  auto It = Docs.find(Path);
+  return It == Docs.end() ? nullptr : &It->second;
+}
+
+bool DocStore::isUnsafePath(const std::string &Path) {
+  return Path.find("..") != std::string::npos;
+}
+
+std::vector<std::string> DocStore::paths() const {
+  std::vector<std::string> Out;
+  Out.reserve(Docs.size());
+  for (const auto &[Path, Body] : Docs) {
+    (void)Body;
+    Out.push_back(Path);
+  }
+  return Out;
+}
+
+void DocStore::fillSynthetic(unsigned Count, size_t Bytes) {
+  for (unsigned I = 0; I != Count; ++I)
+    put(formatString("/doc%u.html", I), syntheticBody(Bytes, I));
+}
+
+std::string dsu::flashed::syntheticBody(size_t Bytes, uint64_t Seed) {
+  static const char Words[] =
+      "the quick brown fox jumps over the lazy dog and keeps running ";
+  std::string Out;
+  Out.reserve(Bytes);
+  uint64_t X = Seed * 6364136223846793005ull + 1442695040888963407ull;
+  while (Out.size() < Bytes) {
+    size_t Off = X % (sizeof(Words) - 1);
+    Out.append(Words + Off, std::min(sizeof(Words) - 1 - Off,
+                                     Bytes - Out.size()));
+    X = X * 6364136223846793005ull + 1442695040888963407ull;
+  }
+  return Out;
+}

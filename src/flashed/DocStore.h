@@ -1,0 +1,54 @@
+//===- flashed/DocStore.h - In-memory document tree -----------*- C++ -*-===//
+///
+/// \file
+/// The document tree FlashEd serves.  The paper's testbed serves files
+/// from disk through Flash's caches; the reproduction serves an in-memory
+/// tree so benchmark numbers measure the server and updating machinery,
+/// not the benchmark host's filesystem.  Synthetic workloads (fixed-size
+/// documents across a range of reply sizes) are generated here for the
+/// throughput experiment (E2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_FLASHED_DOCSTORE_H
+#define DSU_FLASHED_DOCSTORE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dsu {
+namespace flashed {
+
+/// Path -> document body map with simple traversal protection.
+class DocStore {
+public:
+  /// Adds or replaces a document at \p Path (must start with '/').
+  void put(const std::string &Path, std::string Body);
+
+  /// Returns the body at \p Path, or nullptr.
+  const std::string *get(const std::string &Path) const;
+
+  /// True for paths attempting directory traversal ("..").
+  static bool isUnsafePath(const std::string &Path);
+
+  size_t size() const { return Docs.size(); }
+  std::vector<std::string> paths() const;
+
+  /// Fills the store with deterministic synthetic documents named
+  /// "/doc<i>.html" of \p Bytes each.
+  void fillSynthetic(unsigned Count, size_t Bytes);
+
+private:
+  std::map<std::string, std::string> Docs;
+};
+
+/// Deterministic pseudo-text content of \p Bytes (used by benches and
+/// tests so bodies are verifiable).
+std::string syntheticBody(size_t Bytes, uint64_t Seed = 0);
+
+} // namespace flashed
+} // namespace dsu
+
+#endif // DSU_FLASHED_DOCSTORE_H

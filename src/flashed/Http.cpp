@@ -1,0 +1,128 @@
+//===- flashed/Http.cpp ---------------------------------------*- C++ -*-===//
+
+#include "flashed/Http.h"
+
+#include "support/StringUtil.h"
+
+#include <algorithm>
+#include <cctype>
+
+using namespace dsu;
+using namespace dsu::flashed;
+
+bool dsu::flashed::requestComplete(std::string_view Buffer) {
+  return Buffer.find("\r\n\r\n") != std::string_view::npos ||
+         Buffer.find("\n\n") != std::string_view::npos;
+}
+
+Expected<HttpRequest> dsu::flashed::parseHttpRequest(std::string_view Raw) {
+  size_t HeadEnd = Raw.find("\r\n\r\n");
+  size_t Sep = 4;
+  if (HeadEnd == std::string_view::npos) {
+    HeadEnd = Raw.find("\n\n");
+    Sep = 2;
+  }
+  if (HeadEnd == std::string_view::npos)
+    return Error::make(ErrorCode::EC_Parse, "incomplete request head");
+  (void)Sep;
+
+  std::string_view Head = Raw.substr(0, HeadEnd);
+  size_t LineEnd = Head.find('\n');
+  std::string_view StartLine =
+      LineEnd == std::string_view::npos ? Head : Head.substr(0, LineEnd);
+  if (!StartLine.empty() && StartLine.back() == '\r')
+    StartLine.remove_suffix(1);
+
+  HttpRequest Req;
+  size_t Sp1 = StartLine.find(' ');
+  if (Sp1 == std::string_view::npos)
+    return Error::make(ErrorCode::EC_Parse, "malformed request line");
+  size_t Sp2 = StartLine.find(' ', Sp1 + 1);
+  Req.Method = std::string(StartLine.substr(0, Sp1));
+  if (Sp2 == std::string_view::npos) {
+    Req.Target = std::string(StartLine.substr(Sp1 + 1));
+    Req.Version = "HTTP/0.9";
+  } else {
+    Req.Target = std::string(StartLine.substr(Sp1 + 1, Sp2 - Sp1 - 1));
+    Req.Version = std::string(StartLine.substr(Sp2 + 1));
+  }
+  if (Req.Method.empty() || Req.Target.empty())
+    return Error::make(ErrorCode::EC_Parse, "empty method or target");
+
+  // Header lines.
+  std::string_view Rest =
+      LineEnd == std::string_view::npos ? "" : Head.substr(LineEnd + 1);
+  while (!Rest.empty()) {
+    size_t NL = Rest.find('\n');
+    std::string_view Line =
+        NL == std::string_view::npos ? Rest : Rest.substr(0, NL);
+    Rest = NL == std::string_view::npos ? "" : Rest.substr(NL + 1);
+    if (!Line.empty() && Line.back() == '\r')
+      Line.remove_suffix(1);
+    if (Line.empty())
+      continue;
+    size_t Colon = Line.find(':');
+    if (Colon == std::string_view::npos)
+      return Error::make(ErrorCode::EC_Parse, "malformed header line");
+    std::string Key(trim(Line.substr(0, Colon)));
+    std::transform(Key.begin(), Key.end(), Key.begin(), [](unsigned char C) {
+      return static_cast<char>(std::tolower(C));
+    });
+    Req.Headers[Key] = std::string(trim(Line.substr(Colon + 1)));
+  }
+  return Req;
+}
+
+const char *dsu::flashed::statusText(int Code) {
+  switch (Code) {
+  case 200:
+    return "OK";
+  case 400:
+    return "Bad Request";
+  case 403:
+    return "Forbidden";
+  case 404:
+    return "Not Found";
+  case 405:
+    return "Method Not Allowed";
+  case 500:
+    return "Internal Server Error";
+  case 501:
+    return "Not Implemented";
+  default:
+    return "Unknown";
+  }
+}
+
+std::string dsu::flashed::buildHttpResponse(int Code,
+                                            const std::string &ContentType,
+                                            const std::string &Body) {
+  std::string Out = formatString("HTTP/1.0 %d %s\r\n", Code,
+                                 statusText(Code));
+  Out += "Server: FlashEd/1.0 (dsu)\r\n";
+  Out += "Content-Type: " + ContentType + "\r\n";
+  Out += formatString("Content-Length: %zu\r\n", Body.size());
+  Out += "Connection: close\r\n\r\n";
+  Out += Body;
+  return Out;
+}
+
+const char *dsu::flashed::mimeForExtension(std::string_view Ext) {
+  if (Ext == "html" || Ext == "htm")
+    return "text/html";
+  if (Ext == "txt")
+    return "text/plain";
+  if (Ext == "css")
+    return "text/css";
+  if (Ext == "js")
+    return "application/javascript";
+  if (Ext == "json")
+    return "application/json";
+  if (Ext == "png")
+    return "image/png";
+  if (Ext == "jpg" || Ext == "jpeg")
+    return "image/jpeg";
+  if (Ext == "gif")
+    return "image/gif";
+  return "application/octet-stream";
+}

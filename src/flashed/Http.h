@@ -1,0 +1,52 @@
+//===- flashed/Http.h - Minimal HTTP/1.0 message handling -----*- C++ -*-===//
+///
+/// \file
+/// Request parsing and response serialization for FlashEd, the updateable
+/// web server used as the macro-benchmark — the role the Flash web server
+/// plays in the PLDI 2001 evaluation.  The subset implemented matches
+/// what the experiments exercise: GET/HEAD over HTTP/1.0-style
+/// one-request-per-connection exchanges with Content-Length framing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_FLASHED_HTTP_H
+#define DSU_FLASHED_HTTP_H
+
+#include "support/Error.h"
+
+#include <map>
+#include <string>
+
+namespace dsu {
+namespace flashed {
+
+/// A parsed HTTP request.
+struct HttpRequest {
+  std::string Method;
+  std::string Target; ///< request path, percent-decoding not applied
+  std::string Version;
+  std::map<std::string, std::string> Headers; ///< lower-cased keys
+};
+
+/// Parses a full request (start line + headers, terminated by CRLFCRLF
+/// or LFLF).
+Expected<HttpRequest> parseHttpRequest(std::string_view Raw);
+
+/// Standard reason phrase for a status code ("OK", "Not Found", ...).
+const char *statusText(int Code);
+
+/// Serializes a response with Content-Length and Content-Type headers.
+std::string buildHttpResponse(int Code, const std::string &ContentType,
+                              const std::string &Body);
+
+/// True when \p Buffer holds at least one complete request head.
+bool requestComplete(std::string_view Buffer);
+
+/// Maps a file extension ("html", "png", ...) to a MIME type;
+/// "application/octet-stream" when unknown.
+const char *mimeForExtension(std::string_view Ext);
+
+} // namespace flashed
+} // namespace dsu
+
+#endif // DSU_FLASHED_HTTP_H

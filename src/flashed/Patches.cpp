@@ -1,0 +1,276 @@
+//===- flashed/Patches.cpp ------------------------------------*- C++ -*-===//
+
+#include "flashed/Patches.h"
+
+#include "flashed/Cache.h"
+#include "flashed/Http.h"
+#include "patch/PatchBuilder.h"
+#include "support/StringUtil.h"
+#include "types/TypeParser.h"
+
+#include <chrono>
+#include <deque>
+
+using namespace dsu;
+using namespace dsu::flashed;
+
+namespace {
+
+int64_t nowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// --- P1: parse_target v2 — strip query strings and fragments. ----------
+
+std::string parseTargetV2(std::string Raw) {
+  std::string Parsed = FlashedApp::parseTargetV1(Raw);
+  if (!Parsed.empty() && Parsed[0] == '!')
+    return Parsed;
+  size_t Q = Parsed.find_first_of("?#");
+  return Q == std::string::npos ? Parsed : Parsed.substr(0, Q);
+}
+
+// --- P2: mime_type v2, map_url v2, new default_doc. ----------------------
+
+std::string defaultDocV1() { return "/index.html"; }
+
+std::string mimeTypeV2(std::string Path) {
+  size_t Dot = Path.rfind('.');
+  std::string Ext = Dot == std::string::npos ? "" : Path.substr(Dot + 1);
+  std::string Mime = mimeForExtension(Ext);
+  if (startsWith(Mime, "text/"))
+    Mime += "; charset=utf-8";
+  return Mime;
+}
+
+std::string mapUrlV2(std::string Target) {
+  if (DocStore::isUnsafePath(Target))
+    return "!403 forbidden";
+  if (Target.empty() || Target == "/")
+    return defaultDocV1();
+  if (Target.back() == '/')
+    return Target.substr(0, Target.size() - 1);
+  return Target;
+}
+
+// --- P5: the access-log subsystem (patch-owned state). -------------------
+
+struct AccessLog {
+  std::deque<std::string> Recent;
+  int64_t Total = 0;
+  static constexpr size_t MaxRecent = 64;
+};
+
+} // namespace
+
+Expected<Patch> dsu::flashed::makePatchP1(FlashedApp &App) {
+  return PatchBuilder(App.runtime().types(), "P1-parse-query-fix")
+      .describe("bugfix: strip query strings in parse_target so cached "
+                "documents resolve")
+      .provide("flashed.parse_target", &parseTargetV2)
+      .build();
+}
+
+Expected<Patch> dsu::flashed::makePatchP2(FlashedApp &App) {
+  return PatchBuilder(App.runtime().types(), "P2-mime-and-default-doc")
+      .describe("feature: full MIME table with charsets, trailing-slash "
+                "normalization, new flashed.default_doc")
+      .provide("flashed.mime_type", &mimeTypeV2)
+      .provide("flashed.map_url", &mapUrlV2)
+      .provide("flashed.default_doc", &defaultDocV1)
+      .build();
+}
+
+Expected<Patch> dsu::flashed::makePatchP3(FlashedApp &App) {
+  TypeContext &Ctx = App.runtime().types();
+  Expected<const Type *> ReprV2 = parseType(Ctx, cacheReprV2());
+  if (!ReprV2)
+    return ReprV2.takeError();
+
+  VersionBump Bump{VersionedName{"flashed_cache", 1},
+                   VersionedName{"flashed_cache", 2}};
+
+  // The state transformer: carry every cached body over, zeroing the new
+  // statistics fields — the canonical "add a field" transformer of the
+  // paper.
+  TransformFn Migrate =
+      [](const std::shared_ptr<void> &Old,
+         const StateCell &) -> Expected<std::shared_ptr<void>> {
+    auto *V1 = static_cast<CacheV1 *>(Old.get());
+    auto V2 = std::make_shared<CacheV2>();
+    for (const auto &[Path, Body] : V1->Entries) {
+      CacheEntryV2 E;
+      E.Body = Body;
+      E.Hits = 0;
+      E.LastAccessMs = nowMs();
+      V2->Entries.emplace(Path, std::move(E));
+    }
+    return std::shared_ptr<void>(std::move(V2));
+  };
+
+  FlashedApp *AppPtr = &App;
+  auto CacheGetV2 = [AppPtr](std::string Path) -> std::string {
+    auto *C = AppPtr->cacheCell()->get<CacheV2>();
+    auto It = C->Entries.find(Path);
+    if (It == C->Entries.end())
+      return "";
+    ++It->second.Hits;
+    It->second.LastAccessMs = nowMs();
+    return It->second.Body;
+  };
+  auto CachePutV2 = [AppPtr](std::string Path, std::string Body) {
+    CacheEntryV2 E;
+    E.Body = std::move(Body);
+    E.Hits = 0;
+    E.LastAccessMs = nowMs();
+    AppPtr->cacheCell()->get<CacheV2>()->Entries[Path] = std::move(E);
+  };
+  auto CacheStats = [AppPtr]() -> std::string {
+    auto *C = AppPtr->cacheCell()->get<CacheV2>();
+    int64_t Hits = 0;
+    for (const auto &[Path, E] : C->Entries) {
+      (void)Path;
+      Hits += E.Hits;
+    }
+    return formatString("entries=%zu hits=%lld", C->Entries.size(),
+                        static_cast<long long>(Hits));
+  };
+
+  return PatchBuilder(Ctx, "P3-cache-hit-counters")
+      .describe("type change: cache entries gain hit counters and access "
+                "stamps; live cache migrated by transformer")
+      .defineType(Bump.To, *ReprV2)
+      .transformer(Bump, std::move(Migrate))
+      .provideBinding("flashed.cache_get",
+                      Ctx.fnType({Ctx.stringType()}, Ctx.stringType()),
+                      makeClosureBinding<std::string, std::string>(
+                          CacheGetV2, 0, "patch:P3"))
+      .provideBinding("flashed.cache_put",
+                      Ctx.fnType({Ctx.stringType(), Ctx.stringType()},
+                                 Ctx.unitType()),
+                      makeClosureBinding<void, std::string, std::string>(
+                          CachePutV2, 0, "patch:P3"))
+      .provideBinding("flashed.cache_stats",
+                      Ctx.fnType({}, Ctx.stringType()),
+                      makeClosureBinding<std::string>(CacheStats, 0,
+                                                      "patch:P3"))
+      .build();
+}
+
+Expected<Patch> dsu::flashed::makePatchP4(FlashedApp &App) {
+  TypeContext &Ctx = App.runtime().types();
+  UpdateableRegistry &Reg = App.runtime().updateables();
+
+  // The richer interface: log_access2(path, status, micros).
+  auto LogAccess2 = [](std::string Path, int64_t Status, int64_t Micros) {
+    (void)Path;
+    (void)Status;
+    (void)Micros;
+  };
+  // Old callers keep calling flashed.log_access(path, status); the shim
+  // forwards with a default detail argument — the paper's answer to
+  // signature changes, which are not type-compatible replacements.
+  UpdateableRegistry *RegPtr = &Reg;
+  auto Shim = [RegPtr](std::string Path, int64_t Status) {
+    UpdateableSlot *Slot = RegPtr->lookup("flashed.log_access2");
+    assert(Slot && "P4 installs log_access2 before the shim runs");
+    Updateable<void(std::string, int64_t, int64_t)> Target(Slot);
+    Target(std::move(Path), Status, /*Micros=*/0);
+  };
+
+  return PatchBuilder(Ctx, "P4-log-signature-change")
+      .describe("signature change via shim: flashed.log_access2 gains a "
+                "timing argument; old name forwards")
+      .provideBinding(
+          "flashed.log_access2",
+          Ctx.fnType({Ctx.stringType(), Ctx.intType(), Ctx.intType()},
+                     Ctx.unitType()),
+          makeClosureBinding<void, std::string, int64_t, int64_t>(
+              LogAccess2, 0, "patch:P4"))
+      .provideBinding(
+          "flashed.log_access",
+          Ctx.fnType({Ctx.stringType(), Ctx.intType()}, Ctx.unitType()),
+          makeClosureBinding<void, std::string, int64_t>(Shim, 0,
+                                                         "patch:P4"))
+      .build();
+}
+
+Expected<Patch> dsu::flashed::makePatchP5(FlashedApp &App) {
+  TypeContext &Ctx = App.runtime().types();
+  UpdateableRegistry &Reg = App.runtime().updateables();
+
+  // Patch-owned state: the log lives in the patch's closure environment,
+  // the idiom for *new* state introduced by an update (existing state
+  // migrates via transformers; new state ships with the patch).
+  auto Log = std::make_shared<AccessLog>();
+
+  auto LogAccessV3 = [Log](std::string Path, int64_t Status) {
+    ++Log->Total;
+    Log->Recent.push_back(formatString("%lld %s",
+                                       static_cast<long long>(Status),
+                                       Path.c_str()));
+    if (Log->Recent.size() > AccessLog::MaxRecent)
+      Log->Recent.pop_front();
+  };
+  auto LogCount = [Log]() -> int64_t { return Log->Total; };
+  auto LogRecent = [Log]() -> std::string {
+    std::string Out;
+    for (const std::string &Line : Log->Recent) {
+      Out += Line;
+      Out += '\n';
+    }
+    return Out;
+  };
+
+  // Also forward from the P4 interface if it is installed, so both entry
+  // points feed the same log.
+  UpdateableRegistry *RegPtr = &Reg;
+  auto LogAccess2V2 = [Log, RegPtr](std::string Path, int64_t Status,
+                                    int64_t Micros) {
+    (void)RegPtr;
+    ++Log->Total;
+    Log->Recent.push_back(formatString(
+        "%lld %s %lldus", static_cast<long long>(Status), Path.c_str(),
+        static_cast<long long>(Micros)));
+    if (Log->Recent.size() > AccessLog::MaxRecent)
+      Log->Recent.pop_front();
+  };
+
+  return PatchBuilder(Ctx, "P5-access-log-subsystem")
+      .describe("compound: in-memory access log; changed log_access and "
+                "log_access2, new log_count / log_recent")
+      .provideBinding(
+          "flashed.log_access",
+          Ctx.fnType({Ctx.stringType(), Ctx.intType()}, Ctx.unitType()),
+          makeClosureBinding<void, std::string, int64_t>(LogAccessV3, 0,
+                                                         "patch:P5"))
+      .provideBinding(
+          "flashed.log_access2",
+          Ctx.fnType({Ctx.stringType(), Ctx.intType(), Ctx.intType()},
+                     Ctx.unitType()),
+          makeClosureBinding<void, std::string, int64_t, int64_t>(
+              LogAccess2V2, 0, "patch:P5"))
+      .provideBinding("flashed.log_count", Ctx.fnType({}, Ctx.intType()),
+                      makeClosureBinding<int64_t>(LogCount, 0, "patch:P5"))
+      .provideBinding("flashed.log_recent",
+                      Ctx.fnType({}, Ctx.stringType()),
+                      makeClosureBinding<std::string>(LogRecent, 0,
+                                                      "patch:P5"))
+      .build();
+}
+
+Expected<std::vector<Patch>>
+dsu::flashed::makePatchSeries(FlashedApp &App) {
+  std::vector<Patch> Series;
+  using Factory = Expected<Patch> (*)(FlashedApp &);
+  for (Factory F : {&makePatchP1, &makePatchP2, &makePatchP3, &makePatchP4,
+                    &makePatchP5}) {
+    Expected<Patch> P = F(App);
+    if (!P)
+      return P.takeError();
+    Series.push_back(std::move(*P));
+  }
+  return Series;
+}

@@ -1,0 +1,46 @@
+//===- flashed/Patches.h - The FlashEd patch series P1..P5 ----*- C++ -*-===//
+///
+/// \file
+/// The scripted evolution of FlashEd: five dynamic patches mirroring the
+/// kinds of change the PLDI 2001 evaluation applied to FlashEd from the
+/// Flash server's real history.  Each factory returns a ready-to-apply
+/// in-process Patch (the native `.so` variants under patches/ ship the
+/// same changes through the dlopen path).
+///
+///  P1  code-only bugfix         parse_target strips query strings
+///  P2  feature addition         richer MIME table + default-document
+///                               mapping + new fn flashed.default_doc
+///  P3  type change + transform  cache entries gain hit counters
+///                               (%flashed_cache@1 -> @2) + new fn
+///                               flashed.cache_stats
+///  P4  signature change         log_access gains a detail argument via
+///                               the shim pattern (new fn log_access2,
+///                               old name rebound to a shim)
+///  P5  compound change          in-memory access-log subsystem: new
+///                               patch-owned state + two new fns +
+///                               changed log_access
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_FLASHED_PATCHES_H
+#define DSU_FLASHED_PATCHES_H
+
+#include "flashed/App.h"
+#include "patch/Patch.h"
+
+namespace dsu {
+namespace flashed {
+
+Expected<Patch> makePatchP1(FlashedApp &App);
+Expected<Patch> makePatchP2(FlashedApp &App);
+Expected<Patch> makePatchP3(FlashedApp &App);
+Expected<Patch> makePatchP4(FlashedApp &App);
+Expected<Patch> makePatchP5(FlashedApp &App);
+
+/// All five in order.
+Expected<std::vector<Patch>> makePatchSeries(FlashedApp &App);
+
+} // namespace flashed
+} // namespace dsu
+
+#endif // DSU_FLASHED_PATCHES_H

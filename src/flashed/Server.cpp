@@ -1,0 +1,225 @@
+//===- flashed/Server.cpp -------------------------------------*- C++ -*-===//
+
+#include "flashed/Server.h"
+
+#include "flashed/Http.h"
+#include "support/Logging.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace dsu;
+using namespace dsu::flashed;
+
+namespace {
+
+Error sysError(const char *What) {
+  return Error::make(ErrorCode::EC_IO, "%s: %s", What,
+                     std::strerror(errno));
+}
+
+Error setNonBlocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags < 0 || ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) < 0)
+    return sysError("fcntl(O_NONBLOCK)");
+  return Error::success();
+}
+
+} // namespace
+
+Server::~Server() { shutdown(); }
+
+void Server::shutdown() {
+  for (const auto &[Fd, C] : Conns) {
+    (void)C;
+    ::close(Fd);
+  }
+  Conns.clear();
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  if (EpollFd >= 0) {
+    ::close(EpollFd);
+    EpollFd = -1;
+  }
+}
+
+Error Server::listenOn(uint16_t Port) {
+  assert(ListenFd < 0 && "server is already listening");
+  ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (ListenFd < 0)
+    return sysError("socket");
+  int One = 1;
+  ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0)
+    return sysError("bind");
+  if (::listen(ListenFd, 256) < 0)
+    return sysError("listen");
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Addr), &Len) < 0)
+    return sysError("getsockname");
+  BoundPort = ntohs(Addr.sin_port);
+
+  if (Error E = setNonBlocking(ListenFd))
+    return E;
+
+  EpollFd = ::epoll_create1(0);
+  if (EpollFd < 0)
+    return sysError("epoll_create1");
+  epoll_event Ev{};
+  Ev.events = EPOLLIN;
+  Ev.data.fd = ListenFd;
+  if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, ListenFd, &Ev) < 0)
+    return sysError("epoll_ctl(listen)");
+
+  DSU_LOG_INFO("flashed listening on 127.0.0.1:%u", BoundPort);
+  return Error::success();
+}
+
+void Server::acceptPending() {
+  while (true) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      return; // EAGAIN or transient error: try again next round
+    if (setNonBlocking(Fd)) {
+      ::close(Fd);
+      continue;
+    }
+    int One = 1;
+    ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    epoll_event Ev{};
+    Ev.events = EPOLLIN;
+    Ev.data.fd = Fd;
+    if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, Fd, &Ev) < 0) {
+      ::close(Fd);
+      continue;
+    }
+    Conns.emplace(Fd, Conn());
+  }
+}
+
+void Server::armWrite(int Fd, bool Enable) {
+  epoll_event Ev{};
+  Ev.events = Enable ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
+  Ev.data.fd = Fd;
+  ::epoll_ctl(EpollFd, EPOLL_CTL_MOD, Fd, &Ev);
+}
+
+void Server::closeConn(int Fd) {
+  ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, Fd, nullptr);
+  ::close(Fd);
+  Conns.erase(Fd);
+}
+
+void Server::handleReadable(int Fd) {
+  auto It = Conns.find(Fd);
+  if (It == Conns.end())
+    return;
+  Conn &C = It->second;
+
+  char Buf[1 << 16];
+  while (true) {
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N > 0) {
+      C.In.append(Buf, static_cast<size_t>(N));
+      continue;
+    }
+    if (N == 0) {
+      closeConn(Fd);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      break;
+    closeConn(Fd);
+    return;
+  }
+
+  if (C.Responding || !requestComplete(C.In))
+    return;
+
+  C.Out = Handle(C.In);
+  C.OutPos = 0;
+  C.Responding = true;
+  ++Served;
+  handleWritable(Fd);
+}
+
+void Server::handleWritable(int Fd) {
+  auto It = Conns.find(Fd);
+  if (It == Conns.end())
+    return;
+  Conn &C = It->second;
+  if (!C.Responding)
+    return;
+
+  while (C.OutPos < C.Out.size()) {
+    ssize_t N =
+        ::write(Fd, C.Out.data() + C.OutPos, C.Out.size() - C.OutPos);
+    if (N > 0) {
+      C.OutPos += static_cast<size_t>(N);
+      Sent += static_cast<uint64_t>(N);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      armWrite(Fd, true);
+      return;
+    }
+    closeConn(Fd);
+    return;
+  }
+  // Response fully written; HTTP/1.0 one-shot connection.
+  closeConn(Fd);
+}
+
+Expected<int> Server::pollOnce(int TimeoutMs) {
+  assert(EpollFd >= 0 && "pollOnce before listenOn");
+  epoll_event Events[128];
+  int N = ::epoll_wait(EpollFd, Events, 128, TimeoutMs);
+  if (N < 0) {
+    if (errno == EINTR)
+      N = 0;
+    else
+      return sysError("epoll_wait");
+  }
+  for (int I = 0; I != N; ++I) {
+    int Fd = Events[I].data.fd;
+    if (Fd == ListenFd) {
+      acceptPending();
+      continue;
+    }
+    if (Events[I].events & (EPOLLHUP | EPOLLERR)) {
+      closeConn(Fd);
+      continue;
+    }
+    if (Events[I].events & EPOLLIN)
+      handleReadable(Fd);
+    if (Events[I].events & EPOLLOUT)
+      handleWritable(Fd);
+  }
+  if (Idle)
+    Idle();
+  return N;
+}
+
+Error Server::runUntil(const std::function<bool()> &Stop, int TimeoutMs) {
+  while (!Stop()) {
+    Expected<int> N = pollOnce(TimeoutMs);
+    if (!N)
+      return N.takeError();
+  }
+  return Error::success();
+}

@@ -1,0 +1,88 @@
+//===- flashed/Server.h - Event-driven HTTP server ------------*- C++ -*-===//
+///
+/// \file
+/// FlashEd's event loop: a single-threaded, epoll-based, nonblocking
+/// server in the architectural style of the Flash web server the PLDI
+/// 2001 evaluation retrofits.  The loop invokes an injected handler per
+/// complete request and an idle hook once per iteration — the natural
+/// update point, exactly where FlashEd places its `update` call.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_FLASHED_SERVER_H
+#define DSU_FLASHED_SERVER_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+namespace dsu {
+namespace flashed {
+
+/// Single-threaded epoll HTTP server.
+class Server {
+public:
+  /// Maps one complete raw request to raw response bytes.
+  using Handler = std::function<std::string(const std::string &)>;
+
+  /// Called once per event-loop iteration (FlashEd installs the dsu
+  /// update point here).
+  using IdleHook = std::function<void()>;
+
+  explicit Server(Handler H) : Handle(std::move(H)) {}
+  ~Server();
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds and listens on 127.0.0.1:\p Port (0 picks an ephemeral port).
+  Error listenOn(uint16_t Port = 0);
+
+  /// The bound port (valid after listenOn()).
+  uint16_t port() const { return BoundPort; }
+
+  void setIdleHook(IdleHook Hook) { Idle = std::move(Hook); }
+
+  /// Runs one event-loop iteration with the given poll timeout.
+  /// Returns the number of events processed.
+  Expected<int> pollOnce(int TimeoutMs);
+
+  /// Loops until \p Stop returns true.
+  Error runUntil(const std::function<bool()> &Stop, int TimeoutMs = 10);
+
+  uint64_t requestsServed() const { return Served; }
+  uint64_t bytesSent() const { return Sent; }
+
+  /// Closes all sockets; listenOn() may be called again afterwards.
+  void shutdown();
+
+private:
+  struct Conn {
+    std::string In;
+    std::string Out;
+    size_t OutPos = 0;
+    bool Responding = false;
+  };
+
+  void acceptPending();
+  void handleReadable(int Fd);
+  void handleWritable(int Fd);
+  void closeConn(int Fd);
+  void armWrite(int Fd, bool Enable);
+
+  Handler Handle;
+  IdleHook Idle;
+  int EpollFd = -1;
+  int ListenFd = -1;
+  uint16_t BoundPort = 0;
+  std::map<int, Conn> Conns;
+  uint64_t Served = 0;
+  uint64_t Sent = 0;
+};
+
+} // namespace flashed
+} // namespace dsu
+
+#endif // DSU_FLASHED_SERVER_H

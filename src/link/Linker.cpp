@@ -1,0 +1,86 @@
+//===- link/Linker.cpp ----------------------------------------*- C++ -*-===//
+
+#include "link/Linker.h"
+
+#include "support/Logging.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace dsu;
+
+Expected<LinkPlan> Linker::prepare(LinkUnit Unit) const {
+  LinkPlan Plan;
+
+  // Every import must resolve, with an identical type, before we look at
+  // provides at all.
+  for (const ImportRequest &Imp : Unit.Imports) {
+    if (!Imp.Ty)
+      return Error::make(ErrorCode::EC_Invalid,
+                         "%s: import '%s' carries no type",
+                         Unit.Name.c_str(), Imp.Name.c_str());
+    Expected<const SymbolDef *> Def = Symbols.resolve(Imp.Name, Imp.Ty);
+    if (!Def)
+      return Def.takeError().withContext(Unit.Name);
+    Plan.ResolvedImports.push_back(*Def);
+  }
+
+  // Provides must be well-formed, unique within the unit, and each
+  // replacement must pass the compatibility judgement.
+  std::set<std::string> Seen;
+  for (const ProvideRequest &Prov : Unit.Provides) {
+    if (!Prov.Ty || !Prov.Ty->isFunction())
+      return Error::make(ErrorCode::EC_Invalid,
+                         "%s: provide '%s' needs a function type",
+                         Unit.Name.c_str(), Prov.Name.c_str());
+    if (!Prov.Code.Invoker || !Prov.Code.Ctx)
+      return Error::make(ErrorCode::EC_Invalid,
+                         "%s: provide '%s' carries no code",
+                         Unit.Name.c_str(), Prov.Name.c_str());
+    if (!Seen.insert(Prov.Name).second)
+      return Error::make(ErrorCode::EC_Invalid,
+                         "%s: duplicate provide '%s'", Unit.Name.c_str(),
+                         Prov.Name.c_str());
+
+    const UpdateableSlot *Slot = Registry.lookup(Prov.Name);
+    Plan.IsReplacement.push_back(Slot != nullptr);
+    if (!Slot)
+      continue;
+
+    ReplaceCheck Check = checkReplacement(Slot->type(), Prov.Ty);
+    if (!Check.ok())
+      return Error::make(ErrorCode::EC_TypeMismatch,
+                         "%s: provide '%s' rejected: %s",
+                         Unit.Name.c_str(), Prov.Name.c_str(),
+                         Check.Reason.c_str());
+    for (const VersionBump &B : Check.Bumps)
+      if (std::find(Plan.RequiredBumps.begin(), Plan.RequiredBumps.end(),
+                    B) == Plan.RequiredBumps.end())
+        Plan.RequiredBumps.push_back(B);
+  }
+
+  Plan.Unit = std::move(Unit);
+  return Plan;
+}
+
+Error Linker::commit(LinkPlan Plan) {
+  for (size_t I = 0; I != Plan.Unit.Provides.size(); ++I) {
+    ProvideRequest &Prov = Plan.Unit.Provides[I];
+    if (Plan.IsReplacement[I]) {
+      if (Error E = Registry.rebind(Prov.Name, Prov.Ty,
+                                    std::move(Prov.Code), nullptr))
+        return E.withContext(Plan.Unit.Name +
+                             ": commit failed mid-way (plan raced?)");
+      continue;
+    }
+    Expected<UpdateableSlot *> Slot =
+        Registry.define(Prov.Name, Prov.Ty, std::move(Prov.Code));
+    if (!Slot)
+      return Slot.takeError().withContext(
+          Plan.Unit.Name + ": commit failed mid-way (plan raced?)");
+  }
+  DSU_LOG_INFO("%s: linked %zu provide(s), %zu import(s)",
+               Plan.Unit.Name.c_str(), Plan.Unit.Provides.size(),
+               Plan.Unit.Imports.size());
+  return Error::success();
+}

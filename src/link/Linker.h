@@ -1,0 +1,80 @@
+//===- link/Linker.h - Two-phase type-directed linking --------*- C++ -*-===//
+///
+/// \file
+/// The dynamic linker proper: takes a LinkUnit (what a patch provides and
+/// imports), checks everything against the running program, and only then
+/// mutates the updateable registry.
+///
+/// The two phases reproduce the atomicity property of the PLDI 2001
+/// system: a patch that fails any check (unresolved import, type
+/// mismatch, missing transformer) is rejected *before* any binding
+/// changes, so the program is never left half-updated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_LINK_LINKER_H
+#define DSU_LINK_LINKER_H
+
+#include "link/SymbolTable.h"
+#include "runtime/UpdateableRegistry.h"
+#include "types/Compat.h"
+
+#include <string>
+#include <vector>
+
+namespace dsu {
+
+/// One definition a patch supplies.
+struct ProvideRequest {
+  std::string Name;
+  const Type *Ty = nullptr;
+  Binding Code;
+};
+
+/// One symbol a patch needs from the running program.
+struct ImportRequest {
+  std::string Name;
+  const Type *Ty = nullptr;
+};
+
+/// Everything a patch asks of the linker.
+struct LinkUnit {
+  std::string Name; ///< diagnostic label (usually the patch id)
+  std::vector<ProvideRequest> Provides;
+  std::vector<ImportRequest> Imports;
+};
+
+/// The validated plan produced by Linker::prepare().
+struct LinkPlan {
+  LinkUnit Unit;
+  /// Resolved import definitions, parallel to Unit.Imports.
+  std::vector<const SymbolDef *> ResolvedImports;
+  /// Provides that replace an existing slot (vs. define a new one).
+  std::vector<bool> IsReplacement;
+  /// Named-type version bumps across all replacements; the update engine
+  /// must hold a transformer for each before committing.
+  std::vector<VersionBump> RequiredBumps;
+};
+
+/// Stateless two-phase linker over a registry and export table.
+class Linker {
+public:
+  Linker(UpdateableRegistry &Reg, SymbolTable &Syms)
+      : Registry(Reg), Symbols(Syms) {}
+
+  /// Phase 1: checks the whole unit.  No program state changes.
+  Expected<LinkPlan> prepare(LinkUnit Unit) const;
+
+  /// Phase 2: installs every provide.  Must be called with the plan from
+  /// prepare(); by the single-updater discipline (updates apply at update
+  /// points), nothing can invalidate the plan in between.
+  Error commit(LinkPlan Plan);
+
+private:
+  UpdateableRegistry &Registry;
+  SymbolTable &Symbols;
+};
+
+} // namespace dsu
+
+#endif // DSU_LINK_LINKER_H

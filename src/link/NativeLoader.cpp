@@ -1,0 +1,55 @@
+//===- link/NativeLoader.cpp ----------------------------------*- C++ -*-===//
+
+#include "link/NativeLoader.h"
+
+#include "support/Logging.h"
+
+#include <dlfcn.h>
+
+using namespace dsu;
+
+Expected<std::shared_ptr<LoadedLibrary>>
+LoadedLibrary::open(const std::string &Path) {
+  ::dlerror(); // clear stale state
+  void *Handle = ::dlopen(Path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!Handle) {
+    const char *Why = ::dlerror();
+    return Error::make(ErrorCode::EC_Link, "dlopen('%s') failed: %s",
+                       Path.c_str(), Why ? Why : "unknown error");
+  }
+  DSU_LOG_DEBUG("dlopen '%s' -> %p", Path.c_str(), Handle);
+  return std::shared_ptr<LoadedLibrary>(new LoadedLibrary(Handle, Path));
+}
+
+LoadedLibrary::~LoadedLibrary() {
+  // Deliberately no dlclose: bindings referencing this code may outlive
+  // any bookkeeping we could do cheaply, and the PLDI 2001 system likewise
+  // keeps superseded code mapped.  The handle leak is bounded by the
+  // number of updates ever applied.
+}
+
+Expected<void *> LoadedLibrary::symbol(const std::string &Name) const {
+  ::dlerror();
+  void *Addr = ::dlsym(Handle, Name.c_str());
+  if (const char *Why = ::dlerror())
+    return Error::make(ErrorCode::EC_Link, "dlsym('%s') in '%s' failed: %s",
+                       Name.c_str(), Path.c_str(), Why);
+  if (!Addr)
+    return Error::make(ErrorCode::EC_Link, "symbol '%s' in '%s' is null",
+                       Name.c_str(), Path.c_str());
+  return Addr;
+}
+
+Expected<std::string> dsu::readPatchManifest(const LoadedLibrary &Lib) {
+  Expected<void *> Entry = Lib.symbol("dsu_patch_manifest");
+  if (!Entry)
+    return Entry.takeError().withContext(
+        "patch object lacks the dsu_patch_manifest entry point");
+  auto Fn = reinterpret_cast<const char *(*)()>(*Entry);
+  const char *Text = Fn();
+  if (!Text)
+    return Error::make(ErrorCode::EC_Link,
+                       "dsu_patch_manifest() in '%s' returned null",
+                       Lib.path().c_str());
+  return std::string(Text);
+}

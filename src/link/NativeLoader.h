@@ -1,0 +1,62 @@
+//===- link/NativeLoader.h - dlopen-based code loading --------*- C++ -*-===//
+///
+/// \file
+/// Loads native patch code with dlopen/dlsym — the same mechanism the
+/// PLDI 2001 system's TAL/Load dynamic linker plays for verifiable
+/// native objects.
+///
+/// Name mangling (the friction point called out for C++ reproductions):
+/// patch shared objects export their entry points with C linkage.  By
+/// convention a dsu native patch exposes
+/// \code
+///   extern "C" const char *dsu_patch_manifest(void);
+/// \endcode
+/// returning the s-expression patch manifest, and one `extern "C"` stub
+/// per provided function whose C symbol name is recorded in the manifest
+/// (`native-symbol` property).  The loader never guesses mangled names.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_LINK_NATIVELOADER_H
+#define DSU_LINK_NATIVELOADER_H
+
+#include "support/Error.h"
+
+#include <memory>
+#include <string>
+
+namespace dsu {
+
+/// RAII wrapper over a dlopen handle.  The handle is intentionally never
+/// dlclose'd on destruction when code from it may still be referenced;
+/// instances are shared into Binding::KeepAlive so unloading cannot
+/// invalidate in-flight calls (the paper keeps old code resident forever).
+class LoadedLibrary {
+public:
+  /// Opens \p Path with RTLD_NOW | RTLD_LOCAL.
+  static Expected<std::shared_ptr<LoadedLibrary>>
+  open(const std::string &Path);
+
+  ~LoadedLibrary();
+  LoadedLibrary(const LoadedLibrary &) = delete;
+  LoadedLibrary &operator=(const LoadedLibrary &) = delete;
+
+  /// Resolves a symbol; fails with the dlerror() text when absent.
+  Expected<void *> symbol(const std::string &Name) const;
+
+  const std::string &path() const { return Path; }
+
+private:
+  LoadedLibrary(void *Handle, std::string Path)
+      : Handle(Handle), Path(std::move(Path)) {}
+
+  void *Handle;
+  std::string Path;
+};
+
+/// Reads the `dsu_patch_manifest` entry point of a loaded patch object.
+Expected<std::string> readPatchManifest(const LoadedLibrary &Lib);
+
+} // namespace dsu
+
+#endif // DSU_LINK_NATIVELOADER_H

@@ -1,0 +1,64 @@
+//===- link/SymbolTable.cpp -----------------------------------*- C++ -*-===//
+
+#include "link/SymbolTable.h"
+
+#include "types/Compat.h"
+
+using namespace dsu;
+
+Error SymbolTable::addExport(SymbolDef Def) {
+  if (Def.Name.empty())
+    return Error::make(ErrorCode::EC_Invalid, "export needs a name");
+  if (!Def.Ty)
+    return Error::make(ErrorCode::EC_Invalid, "export '%s' needs a type",
+                       Def.Name.c_str());
+  std::lock_guard<std::mutex> G(Lock);
+  // Take the key first: evaluation order of emplace arguments is
+  // unspecified, so `Def.Name` must not be read in the same call that
+  // moves Def.
+  std::string Key = Def.Name;
+  auto [It, Inserted] =
+      Defs.emplace(std::move(Key), std::make_unique<SymbolDef>(std::move(Def)));
+  if (!Inserted)
+    return Error::make(ErrorCode::EC_Invalid,
+                       "export '%s' is already registered",
+                       It->first.c_str());
+  return Error::success();
+}
+
+const SymbolDef *SymbolTable::lookup(const std::string &Name) const {
+  std::lock_guard<std::mutex> G(Lock);
+  auto It = Defs.find(Name);
+  return It == Defs.end() ? nullptr : It->second.get();
+}
+
+Expected<const SymbolDef *>
+SymbolTable::resolve(const std::string &Name, const Type *WantTy) const {
+  const SymbolDef *Def = lookup(Name);
+  if (!Def)
+    return Error::make(ErrorCode::EC_Link,
+                       "unresolved import '%s': no such export",
+                       Name.c_str());
+  if (!typesEqual(Def->Ty, WantTy))
+    return Error::make(
+        ErrorCode::EC_TypeMismatch,
+        "import '%s' wants type '%s' but the export has type '%s'",
+        Name.c_str(), WantTy->str().c_str(), Def->Ty->str().c_str());
+  return Def;
+}
+
+std::vector<std::string> SymbolTable::names() const {
+  std::lock_guard<std::mutex> G(Lock);
+  std::vector<std::string> Out;
+  Out.reserve(Defs.size());
+  for (const auto &[Name, Def] : Defs) {
+    (void)Def;
+    Out.push_back(Name);
+  }
+  return Out;
+}
+
+size_t SymbolTable::size() const {
+  std::lock_guard<std::mutex> G(Lock);
+  return Defs.size();
+}

@@ -1,0 +1,69 @@
+//===- link/SymbolTable.h - Typed export table ----------------*- C++ -*-===//
+///
+/// \file
+/// The running program's typed export table: the symbols a dynamic patch
+/// may import, each carrying a dsu type descriptor.  Resolution is
+/// type-directed exactly as in the PLDI 2001 system: an import binds only
+/// when the exported definition's type matches the imported type.
+///
+/// Host exports are the bridge by which VTAL patch code calls back into
+/// the running C++ program (and by which native patches obtain helper
+/// entry points without visibility into C++ mangled names).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_LINK_SYMBOLTABLE_H
+#define DSU_LINK_SYMBOLTABLE_H
+
+#include "support/Error.h"
+#include "types/Type.h"
+#include "vtal/Interp.h"
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dsu {
+
+/// One exported definition.
+struct SymbolDef {
+  std::string Name;
+  const Type *Ty = nullptr;
+
+  /// Address for native importers (may be null for interpreter-only
+  /// exports).
+  void *Addr = nullptr;
+
+  /// Callable for VTAL importers (may be empty for native-only exports).
+  vtal::HostFn Host;
+};
+
+/// Thread-safe name -> typed definition map.
+class SymbolTable {
+public:
+  /// Registers an export; fails on duplicate names.
+  Error addExport(SymbolDef Def);
+
+  /// Looks up by name only; nullptr when absent.  The returned pointer
+  /// stays valid for the table's lifetime (exports are never removed —
+  /// the program cannot retract capabilities patches already linked
+  /// against).
+  const SymbolDef *lookup(const std::string &Name) const;
+
+  /// Type-directed resolution: finds \p Name and checks that its type
+  /// equals \p WantTy.
+  Expected<const SymbolDef *> resolve(const std::string &Name,
+                                      const Type *WantTy) const;
+
+  std::vector<std::string> names() const;
+  size_t size() const;
+
+private:
+  mutable std::mutex Lock;
+  std::map<std::string, std::unique_ptr<SymbolDef>> Defs;
+};
+
+} // namespace dsu
+
+#endif // DSU_LINK_SYMBOLTABLE_H

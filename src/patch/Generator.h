@@ -1,0 +1,94 @@
+//===- patch/Generator.h - Semi-automatic patch generation ----*- C++ -*-===//
+///
+/// \file
+/// The patch generator: given machine-readable descriptions of two
+/// program versions, computes the dynamic patch skeleton — the
+/// reproduction of the PLDI 2001 system's semi-automatic patch generator
+/// that diffs two Popcorn programs.
+///
+/// A *version manifest* describes one program version:
+/// \code
+/// (version-manifest
+///   (program "flashed") (version 2)
+///   (functions
+///     (fn (name "parse_request") (type "fn(string) -> string")
+///         (body-hash "9f3a...") (impl "dsu_v2_parse_request")))
+///   (types
+///     (type (name "%cache_entry@1") (repr "{path: string, body: string}"))))
+/// \endcode
+///
+/// The generator classifies each definition as unchanged / body-changed /
+/// signature-changed / added / removed, bumps versioned types whose
+/// representation changed, emits the patch manifest, and writes stub C++
+/// source for the parts a human must finish (state transformers and
+/// incompatible signature changes), exactly the division of labour the
+/// paper describes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_PATCH_GENERATOR_H
+#define DSU_PATCH_GENERATOR_H
+
+#include "patch/Manifest.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dsu {
+
+/// One function in a version manifest.
+struct VmFunction {
+  std::string Name;
+  std::string TypeText;
+  std::string BodyHash; ///< content hash of the implementation
+  std::string Impl;     ///< native symbol / vtal function carrying the code
+};
+
+/// One named-type definition in a version manifest.
+struct VmType {
+  std::string Name; ///< "%name@version"
+  std::string Repr;
+};
+
+/// Machine-readable description of one program version.
+struct VersionManifest {
+  std::string Program;
+  uint32_t Version = 1;
+  std::vector<VmFunction> Functions;
+  std::vector<VmType> Types;
+
+  static Expected<VersionManifest> parse(std::string_view Text);
+  std::string print() const;
+
+  const VmFunction *findFunction(std::string_view Name) const;
+};
+
+/// Classification counts of one generation run (reported by E6).
+struct GenStats {
+  unsigned Unchanged = 0;
+  unsigned BodyChanged = 0;
+  unsigned SigChanged = 0;
+  unsigned Added = 0;
+  unsigned Removed = 0;
+  unsigned TypesBumped = 0;
+};
+
+/// Output of the generator.
+struct GeneratedPatch {
+  PatchManifest Manifest;
+  GenStats Stats;
+  /// C++ source skeleton for the native patch object: the manifest
+  /// constant, uniform-ABI stubs delegating to the new implementations,
+  /// and TODO-marked transformer stubs.
+  std::string StubSource;
+};
+
+/// Diffs \p OldV against \p NewV and produces the patch skeleton.
+Expected<GeneratedPatch> generatePatch(const VersionManifest &OldV,
+                                       const VersionManifest &NewV);
+
+} // namespace dsu
+
+#endif // DSU_PATCH_GENERATOR_H

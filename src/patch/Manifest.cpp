@@ -1,0 +1,168 @@
+//===- patch/Manifest.cpp -------------------------------------*- C++ -*-===//
+
+#include "patch/Manifest.h"
+
+#include "support/SExpr.h"
+
+using namespace dsu;
+
+namespace {
+
+/// Pulls the string payload of a (key "value") property; empty when
+/// absent.
+std::string propText(const SExpr &Form, std::string_view Key) {
+  const SExpr *P = Form.property(Key);
+  if (!P)
+    return "";
+  if (P->isString() || P->isSymbol())
+    return P->text();
+  return "";
+}
+
+Error malformed(const char *What) {
+  return Error::make(ErrorCode::EC_Parse, "patch manifest: %s", What);
+}
+
+} // namespace
+
+Expected<PatchManifest> PatchManifest::parse(std::string_view Text) {
+  Expected<SExpr> Root = parseSExpr(Text);
+  if (!Root)
+    return Root.takeError().withContext("patch manifest");
+  if (!Root->isForm("patch"))
+    return malformed("top-level form must be (patch ...)");
+
+  PatchManifest M;
+  M.Id = propText(*Root, "id");
+  if (M.Id.empty())
+    return malformed("missing (id \"...\")");
+  M.Description = propText(*Root, "description");
+
+  if (const SExpr *Reqs = Root->findForm("requires")) {
+    for (const SExpr *Sym : Reqs->findForms("symbol")) {
+      if (Sym->size() != 3 || !(*Sym)[1].isString() || !(*Sym)[2].isString())
+        return malformed("(symbol ...) needs a name and a type string");
+      M.Requires.push_back(
+          ManifestRequire{(*Sym)[1].text(), (*Sym)[2].text()});
+    }
+  }
+
+  if (const SExpr *Provs = Root->findForm("provides")) {
+    for (const SExpr *Fn : Provs->findForms("fn")) {
+      ManifestProvide P;
+      P.Name = propText(*Fn, "name");
+      P.TypeText = propText(*Fn, "type");
+      P.NativeSymbol = propText(*Fn, "native-symbol");
+      P.VtalFn = propText(*Fn, "vtal-fn");
+      if (P.Name.empty() || P.TypeText.empty())
+        return malformed("(fn ...) needs (name ...) and (type ...)");
+      if (P.NativeSymbol.empty() && P.VtalFn.empty())
+        return malformed("(fn ...) needs native-symbol or vtal-fn");
+      M.Provides.push_back(std::move(P));
+    }
+  }
+
+  if (const SExpr *Types = Root->findForm("new-types")) {
+    for (const SExpr *Ty : Types->findForms("type")) {
+      ManifestNewType T;
+      T.Name = propText(*Ty, "name");
+      T.Repr = propText(*Ty, "repr");
+      if (T.Name.empty() || T.Repr.empty())
+        return malformed("(type ...) needs (name ...) and (repr ...)");
+      M.NewTypes.push_back(std::move(T));
+    }
+  }
+
+  if (const SExpr *Xfs = Root->findForm("transformers")) {
+    for (const SExpr *X : Xfs->findForms("transform")) {
+      ManifestTransformer T;
+      T.From = propText(*X, "from");
+      T.To = propText(*X, "to");
+      T.Impl = propText(*X, "impl");
+      if (T.From.empty() || T.To.empty() || T.Impl.empty())
+        return malformed("(transform ...) needs from, to and impl");
+      M.Transformers.push_back(std::move(T));
+    }
+  }
+
+  M.VtalText = propText(*Root, "vtal-module");
+
+  if (const SExpr *Warns = Root->findForm("warnings")) {
+    for (size_t I = 1; I < Warns->size(); ++I)
+      if ((*Warns)[I].isString())
+        M.Warnings.push_back((*Warns)[I].text());
+  }
+
+  return M;
+}
+
+std::string PatchManifest::print() const {
+  auto Prop = [](const char *Key, const std::string &Value) {
+    return SExpr::makeList(
+        {SExpr::makeSymbol(Key), SExpr::makeString(Value)});
+  };
+
+  SExpr Root = SExpr::makeList({SExpr::makeSymbol("patch")});
+  Root.appendChild(Prop("id", Id));
+  if (!Description.empty())
+    Root.appendChild(Prop("description", Description));
+
+  if (!Requires.empty()) {
+    SExpr Reqs = SExpr::makeList({SExpr::makeSymbol("requires")});
+    for (const ManifestRequire &R : Requires)
+      Reqs.appendChild(SExpr::makeList({SExpr::makeSymbol("symbol"),
+                                        SExpr::makeString(R.Name),
+                                        SExpr::makeString(R.TypeText)}));
+    Root.appendChild(std::move(Reqs));
+  }
+
+  if (!Provides.empty()) {
+    SExpr Provs = SExpr::makeList({SExpr::makeSymbol("provides")});
+    for (const ManifestProvide &P : Provides) {
+      SExpr Fn = SExpr::makeList({SExpr::makeSymbol("fn")});
+      Fn.appendChild(Prop("name", P.Name));
+      Fn.appendChild(Prop("type", P.TypeText));
+      if (!P.NativeSymbol.empty())
+        Fn.appendChild(Prop("native-symbol", P.NativeSymbol));
+      if (!P.VtalFn.empty())
+        Fn.appendChild(Prop("vtal-fn", P.VtalFn));
+      Provs.appendChild(std::move(Fn));
+    }
+    Root.appendChild(std::move(Provs));
+  }
+
+  if (!NewTypes.empty()) {
+    SExpr Types = SExpr::makeList({SExpr::makeSymbol("new-types")});
+    for (const ManifestNewType &T : NewTypes) {
+      SExpr Ty = SExpr::makeList({SExpr::makeSymbol("type")});
+      Ty.appendChild(Prop("name", T.Name));
+      Ty.appendChild(Prop("repr", T.Repr));
+      Types.appendChild(std::move(Ty));
+    }
+    Root.appendChild(std::move(Types));
+  }
+
+  if (!Transformers.empty()) {
+    SExpr Xfs = SExpr::makeList({SExpr::makeSymbol("transformers")});
+    for (const ManifestTransformer &T : Transformers) {
+      SExpr X = SExpr::makeList({SExpr::makeSymbol("transform")});
+      X.appendChild(Prop("from", T.From));
+      X.appendChild(Prop("to", T.To));
+      X.appendChild(Prop("impl", T.Impl));
+      Xfs.appendChild(std::move(X));
+    }
+    Root.appendChild(std::move(Xfs));
+  }
+
+  if (!VtalText.empty())
+    Root.appendChild(Prop("vtal-module", VtalText));
+
+  if (!Warnings.empty()) {
+    SExpr Warns = SExpr::makeList({SExpr::makeSymbol("warnings")});
+    for (const std::string &W : Warnings)
+      Warns.appendChild(SExpr::makeString(W));
+    Root.appendChild(std::move(Warns));
+  }
+
+  return Root.print(/*Pretty=*/true);
+}

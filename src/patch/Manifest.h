@@ -1,0 +1,94 @@
+//===- patch/Manifest.h - Patch manifest format ---------------*- C++ -*-===//
+///
+/// \file
+/// The textual patch description carried by every dynamic patch — the
+/// reproduction of the PLDI 2001 patch file's interface section.  The
+/// concrete syntax is an s-expression:
+///
+/// \code
+/// (patch
+///   (id "P3-cache-entry-v2")
+///   (description "cache entries gain hit counters")
+///   (requires
+///     (symbol "now_ms" "fn() -> int"))
+///   (provides
+///     (fn (name "cache_lookup")
+///         (type "fn(string) -> string")
+///         (native-symbol "dsu_p3_cache_lookup")   ; native backend
+///         (vtal-fn "cache_lookup")))               ; or VTAL backend
+///   (new-types
+///     (type (name "%cache_entry@2")
+///           (repr "{path: string, body: string, hits: int}")))
+///   (transformers
+///     (transform (from "%cache_entry@1") (to "%cache_entry@2")
+///                (impl "xform_cache_entry_1_2")))
+///   (vtal-module "...assembly text...")            ; optional
+/// )
+/// \endcode
+///
+/// A provide may name a native symbol (resolved with dlsym from the patch
+/// shared object, uniform-ABI, C linkage) and/or a VTAL function in the
+/// embedded module; the loader picks whichever the artifact supplies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_PATCH_MANIFEST_H
+#define DSU_PATCH_MANIFEST_H
+
+#include "support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace dsu {
+
+/// An import declaration: symbol name plus type text.
+struct ManifestRequire {
+  std::string Name;
+  std::string TypeText;
+};
+
+/// One provided function.
+struct ManifestProvide {
+  std::string Name;
+  std::string TypeText;
+  std::string NativeSymbol; ///< C symbol in the patch .so ("" if none)
+  std::string VtalFn;       ///< function in the embedded module ("" if none)
+};
+
+/// A new named-type definition introduced by the patch.
+struct ManifestNewType {
+  std::string Name; ///< "%name@version"
+  std::string Repr; ///< representation type text
+};
+
+/// A state transformer declaration.
+struct ManifestTransformer {
+  std::string From; ///< "%name@v"
+  std::string To;   ///< "%name@v+1"
+  std::string Impl; ///< native symbol / vtal function / builtin name
+};
+
+/// Parsed patch manifest.
+struct PatchManifest {
+  std::string Id;
+  std::string Description;
+  std::vector<ManifestRequire> Requires;
+  std::vector<ManifestProvide> Provides;
+  std::vector<ManifestNewType> NewTypes;
+  std::vector<ManifestTransformer> Transformers;
+  std::string VtalText; ///< embedded VTAL assembly ("" if none)
+  std::vector<std::string> Warnings; ///< generator notes, not machine-read
+
+  /// Parses manifest text; checks structural well-formedness (ids and
+  /// names present, forms correctly shaped) but does not parse types —
+  /// that needs a TypeContext and happens in the loader.
+  static Expected<PatchManifest> parse(std::string_view Text);
+
+  /// Renders back to canonical manifest text (round-trips with parse).
+  std::string print() const;
+};
+
+} // namespace dsu
+
+#endif // DSU_PATCH_MANIFEST_H

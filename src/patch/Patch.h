@@ -1,0 +1,64 @@
+//===- patch/Patch.h - In-memory dynamic patch ----------------*- C++ -*-===//
+///
+/// \file
+/// The fully resolved, code-bearing form of a dynamic patch: what the
+/// update engine consumes.  Produced either by the PatchLoader (from a
+/// native shared object or a VTAL patch file) or by the PatchBuilder
+/// (in-process construction, used by tests and by programs shipping
+/// their own updates).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_PATCH_PATCH_H
+#define DSU_PATCH_PATCH_H
+
+#include "link/Linker.h"
+#include "state/Transform.h"
+#include "types/Compat.h"
+#include "vtal/Module.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dsu {
+
+/// A new named-type definition the patch introduces.
+struct PatchTypeDef {
+  VersionedName Name;
+  const Type *Repr = nullptr;
+};
+
+/// A state transformer the patch ships.
+struct PatchTransformer {
+  VersionBump Bump;
+  TransformFn Fn;
+};
+
+/// A ready-to-apply dynamic patch.
+struct Patch {
+  std::string Id;
+  std::string Description;
+
+  /// What the patch provides and imports, with live code bindings.
+  LinkUnit Unit;
+
+  std::vector<PatchTypeDef> NewTypes;
+  std::vector<PatchTransformer> Transformers;
+
+  /// Provenance: artifact path or "<in-process>".
+  std::string SourcePath = "<in-process>";
+
+  /// Size in bytes of the shipped artifact (shared object, or manifest
+  /// plus encoded VTAL).  Reported by the code-size experiment (E5).
+  size_t CodeBytes = 0;
+
+  /// The embedded VTAL module, when this patch is VTAL-backed.  The
+  /// update engine verifies it (timed) before linking; bindings close
+  /// over the shared instance.
+  std::shared_ptr<vtal::Module> VtalMod;
+};
+
+} // namespace dsu
+
+#endif // DSU_PATCH_PATCH_H

@@ -1,0 +1,52 @@
+//===- patch/PatchBuilder.cpp ---------------------------------*- C++ -*-===//
+
+#include "patch/PatchBuilder.h"
+
+#include <set>
+
+using namespace dsu;
+
+Expected<Patch> PatchBuilder::build() {
+  if (P.Unit.Provides.empty() && P.NewTypes.empty() &&
+      P.Transformers.empty())
+    return Error::make(ErrorCode::EC_Invalid, "patch '%s' is empty",
+                       P.Id.c_str());
+
+  std::set<std::string> Names;
+  for (const ProvideRequest &Prov : P.Unit.Provides)
+    if (!Names.insert(Prov.Name).second)
+      return Error::make(ErrorCode::EC_Invalid,
+                         "patch '%s' provides '%s' twice", P.Id.c_str(),
+                         Prov.Name.c_str());
+
+  for (const PatchTransformer &X : P.Transformers) {
+    if (X.Bump.From.Name != X.Bump.To.Name)
+      return Error::make(ErrorCode::EC_Invalid,
+                         "patch '%s': transformer %s -> %s crosses type "
+                         "names",
+                         P.Id.c_str(), X.Bump.From.str().c_str(),
+                         X.Bump.To.str().c_str());
+    if (X.Bump.To.Version <= X.Bump.From.Version)
+      return Error::make(ErrorCode::EC_Invalid,
+                         "patch '%s': transformer %s -> %s does not "
+                         "increase the version",
+                         P.Id.c_str(), X.Bump.From.str().c_str(),
+                         X.Bump.To.str().c_str());
+    bool Defined = Ctx.lookupDefinition(X.Bump.To) != nullptr;
+    for (const PatchTypeDef &T : P.NewTypes)
+      Defined |= T.Name == X.Bump.To;
+    if (!Defined)
+      return Error::make(ErrorCode::EC_Invalid,
+                         "patch '%s': transformer targets %s but no "
+                         "definition for it exists or is introduced",
+                         P.Id.c_str(), X.Bump.To.str().c_str());
+    if (!X.Fn)
+      return Error::make(ErrorCode::EC_Invalid,
+                         "patch '%s': transformer %s -> %s has no code",
+                         P.Id.c_str(), X.Bump.From.str().c_str(),
+                         X.Bump.To.str().c_str());
+  }
+
+  P.Unit.Name = "patch:" + P.Id;
+  return std::move(P);
+}

@@ -1,0 +1,41 @@
+//===- runtime/UpdateQueue.cpp --------------------------------*- C++ -*-===//
+
+#include "runtime/UpdateQueue.h"
+
+#include "support/Logging.h"
+
+using namespace dsu;
+
+void UpdateQueue::enqueue(std::string Name, Applier Apply) {
+  std::lock_guard<std::mutex> G(Lock);
+  Items.push_back(Item{std::move(Name), std::move(Apply)});
+  Pending.store(true, std::memory_order_release);
+}
+
+UpdatePointOutcome UpdateQueue::drain() {
+  std::vector<Item> Work;
+  {
+    std::lock_guard<std::mutex> G(Lock);
+    Work.swap(Items);
+    Pending.store(false, std::memory_order_release);
+  }
+
+  UpdatePointOutcome Outcome;
+  for (Item &I : Work) {
+    if (Error E = I.Apply()) {
+      ++Outcome.Failed;
+      std::string Diag = I.Name + ": " + E.str();
+      DSU_LOG_WARN("update rejected: %s", Diag.c_str());
+      Outcome.Diagnostics.push_back(std::move(Diag));
+      continue;
+    }
+    ++Outcome.Applied;
+    DSU_LOG_INFO("update applied: %s", I.Name.c_str());
+  }
+  return Outcome;
+}
+
+size_t UpdateQueue::depth() const {
+  std::lock_guard<std::mutex> G(Lock);
+  return Items.size();
+}

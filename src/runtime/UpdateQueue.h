@@ -1,0 +1,69 @@
+//===- runtime/UpdateQueue.h - Pending updates and update points -*- C++ -*-//
+///
+/// \file
+/// The update-point mechanism.  Programs call updatePoint() at places
+/// they deem safe (the top of an event loop, between requests); the call
+/// is a single relaxed atomic flag test when no update is pending, so it
+/// can sit on hot paths — the same contract as the PLDI 2001 `update`
+/// primitive.
+///
+/// Updates are requested asynchronously (by an operator thread, a signal
+/// handler's deferred work, or the program itself) as closures queued on
+/// the UpdateQueue; the next updatePoint() drains the queue.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_RUNTIME_UPDATEQUEUE_H
+#define DSU_RUNTIME_UPDATEQUEUE_H
+
+#include "support/Error.h"
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dsu {
+
+/// Result of draining one update point.
+struct UpdatePointOutcome {
+  unsigned Applied = 0;  ///< updates applied successfully
+  unsigned Failed = 0;   ///< updates rejected (verify/link/transform)
+  std::vector<std::string> Diagnostics; ///< one entry per failure
+};
+
+/// A queue of pending update actions plus the hot-path pending flag.
+class UpdateQueue {
+public:
+  using Applier = std::function<Error()>;
+
+  /// True when at least one update awaits the next update point.  Hot
+  /// path: relaxed load, no fence, no branch beyond the test itself.
+  bool pending() const { return Pending.load(std::memory_order_relaxed); }
+
+  /// Enqueues an update action described by \p Name.
+  void enqueue(std::string Name, Applier Apply);
+
+  /// Runs every queued update in FIFO order.  Failures are collected,
+  /// not thrown; a failed update is discarded (its Applier is
+  /// responsible for leaving the program unchanged on failure).
+  UpdatePointOutcome drain();
+
+  /// Number of updates waiting.
+  size_t depth() const;
+
+private:
+  struct Item {
+    std::string Name;
+    Applier Apply;
+  };
+
+  std::atomic<bool> Pending{false};
+  mutable std::mutex Lock;
+  std::vector<Item> Items;
+};
+
+} // namespace dsu
+
+#endif // DSU_RUNTIME_UPDATEQUEUE_H

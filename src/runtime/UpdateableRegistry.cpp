@@ -1,0 +1,137 @@
+//===- runtime/UpdateableRegistry.cpp -------------------------*- C++ -*-===//
+
+#include "runtime/UpdateableRegistry.h"
+
+#include "support/Logging.h"
+
+using namespace dsu;
+
+size_t UpdateableSlot::historySize() const {
+  // History is only appended under the registry lock; size() is a benign
+  // race used for reporting only.
+  return History.size();
+}
+
+Expected<UpdateableSlot *>
+UpdateableRegistry::define(const std::string &Name, const Type *FnTy,
+                           Binding Initial) {
+  if (!FnTy || !FnTy->isFunction())
+    return Error::make(ErrorCode::EC_Invalid,
+                       "updateable '%s' requires a function type",
+                       Name.c_str());
+  if (!Initial.Invoker || !Initial.Ctx)
+    return Error::make(ErrorCode::EC_Invalid,
+                       "updateable '%s' requires an initial implementation",
+                       Name.c_str());
+
+  std::lock_guard<std::mutex> G(Lock);
+  if (Slots.count(Name))
+    return Error::make(ErrorCode::EC_Invalid,
+                       "updateable '%s' is already defined", Name.c_str());
+  auto Slot = std::make_unique<UpdateableSlot>(
+      Name, FnTy, std::make_unique<Binding>(std::move(Initial)));
+  UpdateableSlot *Raw = Slot.get();
+  Slots.emplace(Name, std::move(Slot));
+  return Raw;
+}
+
+UpdateableSlot *UpdateableRegistry::lookup(const std::string &Name) {
+  std::lock_guard<std::mutex> G(Lock);
+  auto It = Slots.find(Name);
+  return It == Slots.end() ? nullptr : It->second.get();
+}
+
+const UpdateableSlot *
+UpdateableRegistry::lookup(const std::string &Name) const {
+  std::lock_guard<std::mutex> G(Lock);
+  auto It = Slots.find(Name);
+  return It == Slots.end() ? nullptr : It->second.get();
+}
+
+Error UpdateableRegistry::rebind(const std::string &Name, const Type *NewTy,
+                                 Binding NewBinding,
+                                 std::vector<VersionBump> *BumpsOut) {
+  if (!NewTy || !NewTy->isFunction())
+    return Error::make(ErrorCode::EC_TypeMismatch,
+                       "new binding for '%s' must have a function type",
+                       Name.c_str());
+
+  std::lock_guard<std::mutex> G(Lock);
+  auto It = Slots.find(Name);
+  if (It == Slots.end())
+    return Error::make(ErrorCode::EC_Link,
+                       "cannot rebind unknown updateable '%s'",
+                       Name.c_str());
+  UpdateableSlot &Slot = *It->second;
+
+  ReplaceCheck Check = checkReplacement(Slot.FnTy, NewTy);
+  if (!Check.ok())
+    return Error::make(ErrorCode::EC_TypeMismatch,
+                       "rebinding '%s' rejected: %s", Name.c_str(),
+                       Check.Reason.c_str());
+  if (BumpsOut)
+    *BumpsOut = Check.Bumps;
+
+  auto Owned = std::make_unique<Binding>(std::move(NewBinding));
+  if (Owned->Version <= Slot.current()->Version)
+    Owned->Version = Slot.current()->Version + 1;
+
+  DSU_LOG_INFO("rebind '%s' v%u -> v%u (%s)", Name.c_str(),
+               Slot.current()->Version, Owned->Version,
+               Owned->Origin.c_str());
+
+  const Binding *Raw = Owned.get();
+  Slot.History.push_back(std::move(Owned));
+  Slot.TypeHistory.push_back(NewTy);
+  Slot.FnTy = NewTy;
+  Slot.Current.store(Raw, std::memory_order_release);
+  return Error::success();
+}
+
+Error UpdateableRegistry::rollback(const std::string &Name) {
+  std::lock_guard<std::mutex> G(Lock);
+  auto It = Slots.find(Name);
+  if (It == Slots.end())
+    return Error::make(ErrorCode::EC_Link,
+                       "cannot roll back unknown updateable '%s'",
+                       Name.c_str());
+  UpdateableSlot &Slot = *It->second;
+  size_t N = Slot.History.size();
+  if (N < 2)
+    return Error::make(ErrorCode::EC_Invalid,
+                       "'%s' has no prior version to roll back to",
+                       Name.c_str());
+
+  // Reinstall the previous implementation as a *new* version.
+  const Binding &Prev = *Slot.History[N - 2];
+  auto Owned = std::make_unique<Binding>(Prev);
+  Owned->Version = Slot.current()->Version + 1;
+  Owned->Origin = "rollback-of:" + Slot.History[N - 1]->Origin;
+
+  DSU_LOG_INFO("rollback '%s' to the v%u implementation (as v%u)",
+               Name.c_str(), Prev.Version, Owned->Version);
+
+  const Binding *Raw = Owned.get();
+  const Type *PrevTy = Slot.TypeHistory[N - 2];
+  Slot.History.push_back(std::move(Owned));
+  Slot.TypeHistory.push_back(PrevTy);
+  Slot.FnTy = PrevTy;
+  Slot.Current.store(Raw, std::memory_order_release);
+  return Error::success();
+}
+
+std::vector<std::string> UpdateableRegistry::slotNames() const {
+  std::lock_guard<std::mutex> G(Lock);
+  std::vector<std::string> Names;
+  Names.reserve(Slots.size());
+  for (const auto &[Name, Slot] : Slots) {
+    (void)Slot;
+    Names.push_back(Name);
+  }
+  return Names;
+}
+
+size_t UpdateableRegistry::size() const {
+  std::lock_guard<std::mutex> G(Lock);
+  return Slots.size();
+}

@@ -1,0 +1,139 @@
+//===- runtime/UpdateableRegistry.h - Indirection slots -------*- C++ -*-===//
+///
+/// \file
+/// The updateable-symbol table: named, typed slots each holding the
+/// current Binding of one updateable function.
+///
+/// This is the reproduction of the PLDI 2001 compilation strategy in
+/// which references to updateable definitions are indirected through a
+/// table the dynamic linker may rebind.  Readers (calls) take one atomic
+/// acquire load; writers (updates) take the registry mutex, re-run the
+/// type-compatibility judgement, and swing the pointer.  Superseded
+/// bindings are retired into the slot's history and kept alive forever
+/// (old code stays resident, as in the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_RUNTIME_UPDATEABLEREGISTRY_H
+#define DSU_RUNTIME_UPDATEABLEREGISTRY_H
+
+#include "runtime/Binding.h"
+#include "support/Error.h"
+#include "types/Compat.h"
+#include "types/Type.h"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace dsu {
+
+/// One updateable function's slot.  Created by UpdateableRegistry and
+/// never destroyed before the registry, so raw Slot pointers handed to
+/// Updateable<Sig> handles stay valid for the program's life.
+class UpdateableSlot {
+public:
+  UpdateableSlot(std::string Name, const Type *FnTy,
+                 std::unique_ptr<Binding> Initial)
+      : Name(std::move(Name)), FnTy(FnTy), Current(Initial.get()) {
+    History.push_back(std::move(Initial));
+    TypeHistory.push_back(FnTy);
+  }
+
+  const std::string &name() const { return Name; }
+  const Type *type() const { return FnTy; }
+
+  /// The hot path: acquire-load of the current binding.
+  const Binding *current() const {
+    return Current.load(std::memory_order_acquire);
+  }
+
+  uint32_t currentVersion() const { return current()->Version; }
+
+  /// Number of bindings ever installed (including the initial one).
+  size_t historySize() const;
+
+private:
+  friend class UpdateableRegistry;
+
+  std::string Name;
+  const Type *FnTy; // may be rebound on version-bumped updates
+  std::atomic<const Binding *> Current;
+  std::vector<std::unique_ptr<Binding>> History; // guarded by registry lock
+  std::vector<const Type *> TypeHistory;         // parallel to History
+};
+
+/// Registry of all updateable slots of one runtime.
+class UpdateableRegistry {
+public:
+  UpdateableRegistry() = default;
+  UpdateableRegistry(const UpdateableRegistry &) = delete;
+  UpdateableRegistry &operator=(const UpdateableRegistry &) = delete;
+
+  /// Creates slot \p Name of function type \p FnTy with its version-1
+  /// implementation.  Fails if the name exists or \p FnTy is not a
+  /// function type.
+  Expected<UpdateableSlot *> define(const std::string &Name,
+                                    const Type *FnTy, Binding Initial);
+
+  /// Looks up a slot; nullptr when absent.
+  UpdateableSlot *lookup(const std::string &Name);
+  const UpdateableSlot *lookup(const std::string &Name) const;
+
+  /// Rebinds \p Name to \p NewBinding whose type is \p NewTy.  Runs the
+  /// checkReplacement() judgement; on a version-bumped replacement the
+  /// slot's recorded type advances to \p NewTy.  \p BumpsOut, when
+  /// non-null, receives the named-type version bumps the caller (the
+  /// update engine) must have transformers for.
+  Error rebind(const std::string &Name, const Type *NewTy,
+               Binding NewBinding, std::vector<VersionBump> *BumpsOut);
+
+  /// Reverts \p Name to the implementation (and recorded type) it had
+  /// before its most recent rebind.  The rollback is itself an update:
+  /// it appends a fresh binding rather than erasing history, so a
+  /// rollback can be rolled back.  Code-only — state transformers are
+  /// one-way, so callers must not roll past a type-changing update
+  /// unless they also ship a reverse transformer as a regular patch.
+  /// (Listed as future work in the PLDI 2001 paper.)
+  Error rollback(const std::string &Name);
+
+  /// Snapshot of all slot names (sorted; for the linker's export table
+  /// and for diagnostics).
+  std::vector<std::string> slotNames() const;
+
+  size_t size() const;
+
+private:
+  mutable std::mutex Lock;
+  std::map<std::string, std::unique_ptr<UpdateableSlot>> Slots;
+};
+
+/// Thread-local count of updateable activations on the current thread's
+/// stack.  updatePoint() consults this to refuse updates requested while
+/// old code is still active on this thread — the paper's "activeness"
+/// check for update timing safety.
+class ActivationTracker {
+public:
+  /// RAII frame marker; cheap (one thread-local increment/decrement).
+  class Frame {
+  public:
+    Frame() { ++depth(); }
+    ~Frame() { --depth(); }
+    Frame(const Frame &) = delete;
+    Frame &operator=(const Frame &) = delete;
+  };
+
+  /// Number of updateable frames live on this thread.
+  static unsigned currentDepth() { return depth(); }
+
+private:
+  static unsigned &depth() {
+    thread_local unsigned Depth = 0;
+    return Depth;
+  }
+};
+
+} // namespace dsu
+
+#endif // DSU_RUNTIME_UPDATEABLEREGISTRY_H

@@ -1,0 +1,67 @@
+//===- state/StateCell.cpp ------------------------------------*- C++ -*-===//
+
+#include "state/StateCell.h"
+
+using namespace dsu;
+
+Expected<StateCell *> StateRegistry::define(const std::string &Name,
+                                            const Type *Ty,
+                                            std::shared_ptr<void> Data) {
+  if (!Ty)
+    return Error::make(ErrorCode::EC_Invalid, "state cell '%s' needs a type",
+                       Name.c_str());
+  std::lock_guard<std::mutex> G(Lock);
+  if (Cells.count(Name))
+    return Error::make(ErrorCode::EC_Invalid,
+                       "state cell '%s' is already defined", Name.c_str());
+  auto Cell = std::make_unique<StateCell>(Name, Ty, std::move(Data));
+  StateCell *Raw = Cell.get();
+  Cells.emplace(Name, std::move(Cell));
+  return Raw;
+}
+
+StateCell *StateRegistry::lookup(const std::string &Name) {
+  std::lock_guard<std::mutex> G(Lock);
+  auto It = Cells.find(Name);
+  return It == Cells.end() ? nullptr : It->second.get();
+}
+
+const StateCell *StateRegistry::lookup(const std::string &Name) const {
+  std::lock_guard<std::mutex> G(Lock);
+  auto It = Cells.find(Name);
+  return It == Cells.end() ? nullptr : It->second.get();
+}
+
+Error StateRegistry::migrate(const std::string &Name, const Type *NewTy,
+                             std::shared_ptr<void> NewData) {
+  if (!NewTy)
+    return Error::make(ErrorCode::EC_Invalid,
+                       "migration of '%s' needs a type", Name.c_str());
+  std::lock_guard<std::mutex> G(Lock);
+  auto It = Cells.find(Name);
+  if (It == Cells.end())
+    return Error::make(ErrorCode::EC_Transform,
+                       "cannot migrate unknown state cell '%s'",
+                       Name.c_str());
+  StateCell &Cell = *It->second;
+  Cell.Ty = NewTy;
+  Cell.Data = std::move(NewData);
+  ++Cell.Generation;
+  return Error::success();
+}
+
+std::vector<StateCell *> StateRegistry::cells() {
+  std::lock_guard<std::mutex> G(Lock);
+  std::vector<StateCell *> Out;
+  Out.reserve(Cells.size());
+  for (auto &[Name, Cell] : Cells) {
+    (void)Name;
+    Out.push_back(Cell.get());
+  }
+  return Out;
+}
+
+size_t StateRegistry::size() const {
+  std::lock_guard<std::mutex> G(Lock);
+  return Cells.size();
+}

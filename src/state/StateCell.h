@@ -1,0 +1,91 @@
+//===- state/StateCell.h - Typed updateable program state -----*- C++ -*-===//
+///
+/// \file
+/// The typed state registry: named cells holding the long-lived data that
+/// must survive dynamic updates.  When a patch bumps a named type's
+/// version, every cell whose type mentions it is migrated by a state
+/// transformer — the reproduction of the PLDI 2001 state-transformer
+/// mechanism.
+///
+/// Payloads are type-erased (std::shared_ptr<void>); the cell's dsu type
+/// descriptor is the authoritative description of the representation, and
+/// the typed accessors are the single checked boundary between C++ values
+/// and descriptor-typed state.  (In the paper, Popcorn's type system
+/// enforces this statically; in the C++ embedding it is a checked
+/// convention at cell definition/access sites.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_STATE_STATECELL_H
+#define DSU_STATE_STATECELL_H
+
+#include "support/Error.h"
+#include "types/Type.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dsu {
+
+/// One named, typed piece of program state.
+class StateCell {
+public:
+  StateCell(std::string Name, const Type *Ty, std::shared_ptr<void> Data)
+      : Name(std::move(Name)), Ty(Ty), Data(std::move(Data)) {}
+
+  const std::string &name() const { return Name; }
+  const Type *type() const { return Ty; }
+  uint32_t generation() const { return Generation; }
+
+  /// Raw payload access (type-erased).
+  const std::shared_ptr<void> &raw() const { return Data; }
+
+  /// Typed payload access; T must be the C++ representation this cell's
+  /// descriptor denotes at its current version.
+  template <typename T> T *get() const { return static_cast<T *>(Data.get()); }
+
+private:
+  friend class StateRegistry;
+
+  std::string Name;
+  const Type *Ty;
+  std::shared_ptr<void> Data;
+  uint32_t Generation = 1; ///< bumped on every migration
+};
+
+/// Registry of all state cells of one runtime.
+class StateRegistry {
+public:
+  StateRegistry() = default;
+  StateRegistry(const StateRegistry &) = delete;
+  StateRegistry &operator=(const StateRegistry &) = delete;
+
+  /// Defines cell \p Name of type \p Ty holding \p Data.
+  Expected<StateCell *> define(const std::string &Name, const Type *Ty,
+                               std::shared_ptr<void> Data);
+
+  /// Looks up a cell; nullptr when absent.
+  StateCell *lookup(const std::string &Name);
+  const StateCell *lookup(const std::string &Name) const;
+
+  /// Atomically replaces a cell's payload and type (migration commit).
+  /// Only the transform engine calls this.
+  Error migrate(const std::string &Name, const Type *NewTy,
+                std::shared_ptr<void> NewData);
+
+  /// All cells, for migration planning.
+  std::vector<StateCell *> cells();
+
+  size_t size() const;
+
+private:
+  mutable std::mutex Lock;
+  std::map<std::string, std::unique_ptr<StateCell>> Cells;
+};
+
+} // namespace dsu
+
+#endif // DSU_STATE_STATECELL_H

@@ -1,0 +1,110 @@
+//===- state/Transform.cpp ------------------------------------*- C++ -*-===//
+
+#include "state/Transform.h"
+
+#include "support/Logging.h"
+#include "types/Substitute.h"
+
+using namespace dsu;
+
+void TransformerRegistry::add(const VersionBump &Bump, TransformFn Fn) {
+  Fns[Key{Bump.From, Bump.To}] = std::move(Fn);
+}
+
+const TransformFn *TransformerRegistry::find(const VersionBump &Bump) const {
+  auto It = Fns.find(Key{Bump.From, Bump.To});
+  return It == Fns.end() ? nullptr : &It->second;
+}
+
+namespace {
+
+/// Expands a (possibly multi-version) bump into the sequence of
+/// transformer applications to perform.  A direct transformer wins;
+/// otherwise the chain of single-version steps is required.
+Expected<std::vector<VersionBump>>
+expandBump(const TransformerRegistry &Xforms, const VersionBump &Bump) {
+  std::vector<VersionBump> Steps;
+  if (Xforms.find(Bump)) {
+    Steps.push_back(Bump);
+    return Steps;
+  }
+  for (uint32_t V = Bump.From.Version; V != Bump.To.Version; ++V) {
+    VersionBump Step{VersionedName{Bump.From.Name, V},
+                     VersionedName{Bump.From.Name, V + 1}};
+    if (!Xforms.find(Step))
+      return Error::make(
+          ErrorCode::EC_Transform,
+          "no state transformer for %s -> %s (needed for bump %s -> %s)",
+          Step.From.str().c_str(), Step.To.str().c_str(),
+          Bump.From.str().c_str(), Bump.To.str().c_str());
+    Steps.push_back(Step);
+  }
+  return Steps;
+}
+
+} // namespace
+
+Error dsu::runStateTransform(TypeContext &Ctx, StateRegistry &State,
+                             const TransformerRegistry &Xforms,
+                             const std::vector<VersionBump> &Bumps,
+                             TransformStats *Stats) {
+  TransformStats Local;
+  TransformStats &S = Stats ? *Stats : Local;
+
+  // Expand every bump into executable steps up front, so a missing
+  // transformer rejects the update before any work happens.
+  std::vector<VersionBump> Steps;
+  for (const VersionBump &B : Bumps) {
+    Expected<std::vector<VersionBump>> Expanded = expandBump(Xforms, B);
+    if (!Expanded)
+      return Expanded.takeError();
+    for (VersionBump &Step : *Expanded)
+      Steps.push_back(std::move(Step));
+  }
+  if (Steps.empty())
+    return Error::success();
+
+  // Build phase: compute each affected cell's new payload and type on the
+  // side.  Nothing in the program observes these until commit.
+  struct PendingMigration {
+    StateCell *Cell;
+    const Type *NewTy;
+    std::shared_ptr<void> NewData;
+  };
+  std::vector<PendingMigration> PendingList;
+
+  for (StateCell *Cell : State.cells()) {
+    ++S.CellsExamined;
+    const Type *Ty = Cell->type();
+    std::shared_ptr<void> Data = Cell->raw();
+    bool Touched = false;
+
+    for (const VersionBump &Step : Steps) {
+      if (!typeMentions(Ty, Step.From))
+        continue;
+      const TransformFn *Fn = Xforms.find(Step);
+      assert(Fn && "expandBump guaranteed a transformer");
+      Expected<std::shared_ptr<void>> NewData = (*Fn)(Data, *Cell);
+      if (!NewData)
+        return NewData.takeError().withContext(
+            "transforming state cell '" + Cell->name() + "' for " +
+            Step.From.str() + " -> " + Step.To.str());
+      Data = std::move(*NewData);
+      Ty = substituteNamedVersion(Ctx, Ty, Step);
+      Touched = true;
+    }
+
+    if (Touched)
+      PendingList.push_back(PendingMigration{Cell, Ty, std::move(Data)});
+  }
+
+  // Commit phase: swap everything.
+  for (PendingMigration &P : PendingList) {
+    if (Error E = State.migrate(P.Cell->name(), P.NewTy, std::move(P.NewData)))
+      return E.withContext("state migration commit");
+    ++S.CellsMigrated;
+    DSU_LOG_INFO("migrated state cell '%s' to type '%s'",
+                 P.Cell->name().c_str(), P.NewTy->str().c_str());
+  }
+  return Error::success();
+}

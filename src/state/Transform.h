@@ -1,0 +1,82 @@
+//===- state/Transform.h - State transformers and migration ---*- C++ -*-===//
+///
+/// \file
+/// State transformers and the two-phase migration engine.
+///
+/// A transformer is registered against a named-type version bump
+/// (%rec@1 -> %rec@2) and converts the payload of one state cell whose
+/// type mentions the old version into the new representation.  The engine
+/// reproduces the PLDI 2001 update-time discipline:
+///
+///  1. *Plan*: find every cell affected by the patch's bumps; refuse the
+///     whole update if any affected cell lacks a transformer.
+///  2. *Build*: run transformers, producing new payloads on the side; a
+///     failure abandons the update with the old state untouched.
+///  3. *Commit*: swap every affected cell's payload and type.
+///
+/// Failures therefore never leave state half-migrated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_STATE_TRANSFORM_H
+#define DSU_STATE_TRANSFORM_H
+
+#include "state/StateCell.h"
+#include "types/Compat.h"
+
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace dsu {
+
+/// Converts one cell payload from the old to the new representation.
+/// Receives the old payload and the cell (for diagnostics); returns the
+/// new payload.
+using TransformFn = std::function<Expected<std::shared_ptr<void>>(
+    const std::shared_ptr<void> &Old, const StateCell &Cell)>;
+
+/// Transformers keyed by version bump.
+class TransformerRegistry {
+public:
+  /// Registers the transformer for \p Bump; replaces any previous one
+  /// (a later patch may ship a corrected transformer).
+  void add(const VersionBump &Bump, TransformFn Fn);
+
+  /// Finds the transformer for \p Bump, or nullptr.
+  const TransformFn *find(const VersionBump &Bump) const;
+
+  size_t size() const { return Fns.size(); }
+
+private:
+  struct Key {
+    VersionedName From, To;
+    friend bool operator<(const Key &A, const Key &B) {
+      if (!(A.From == B.From))
+        return A.From < B.From;
+      return A.To < B.To;
+    }
+  };
+  std::map<Key, TransformFn> Fns;
+};
+
+/// Statistics of one migration run (feeds the update-duration breakdown,
+/// experiment E3/E4).
+struct TransformStats {
+  size_t CellsExamined = 0;
+  size_t CellsMigrated = 0;
+};
+
+/// Applies \p Bumps to every affected cell in \p State using \p Xforms.
+/// Two-phase: either all affected cells migrate or none do.
+///
+/// Multi-step bumps (e.g. %rec@1 -> %rec@3) are decomposed into the chain
+/// of single-version transformers when no direct transformer exists.
+Error runStateTransform(TypeContext &Ctx, StateRegistry &State,
+                        const TransformerRegistry &Xforms,
+                        const std::vector<VersionBump> &Bumps,
+                        TransformStats *Stats = nullptr);
+
+} // namespace dsu
+
+#endif // DSU_STATE_TRANSFORM_H

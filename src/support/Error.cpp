@@ -1,0 +1,73 @@
+//===- support/Error.cpp --------------------------------------*- C++ -*-===//
+///
+/// \file
+/// Implementation of Error formatting helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdarg>
+#include <vector>
+
+using namespace dsu;
+
+const char *dsu::errorCodeName(ErrorCode EC) {
+  switch (EC) {
+  case ErrorCode::EC_None:
+    return "success";
+  case ErrorCode::EC_IO:
+    return "io";
+  case ErrorCode::EC_Parse:
+    return "parse";
+  case ErrorCode::EC_Verify:
+    return "verify";
+  case ErrorCode::EC_TypeMismatch:
+    return "type-mismatch";
+  case ErrorCode::EC_Link:
+    return "link";
+  case ErrorCode::EC_Transform:
+    return "transform";
+  case ErrorCode::EC_Invalid:
+    return "invalid";
+  case ErrorCode::EC_Unsupported:
+    return "unsupported";
+  }
+  return "unknown";
+}
+
+Error Error::make(ErrorCode Code, const char *Fmt, ...) {
+  assert(Code != ErrorCode::EC_None && "failure must have a category");
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Len = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  std::vector<char> Buf(static_cast<size_t>(Len) + 1);
+  std::vsnprintf(Buf.data(), Buf.size(), Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+
+  Error E;
+  E.Code = Code;
+  E.Msg.assign(Buf.data(), static_cast<size_t>(Len));
+  return E;
+}
+
+std::string Error::str() const {
+  if (!*this)
+    return "success";
+  std::string S = errorCodeName(Code);
+  S += ": ";
+  S += Msg;
+  return S;
+}
+
+Error Error::withContext(const std::string &Context) const {
+  if (!*this)
+    return Error::success();
+  Error E;
+  E.Code = Code;
+  E.Msg = Context + ": " + Msg;
+  return E;
+}

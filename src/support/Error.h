@@ -1,0 +1,181 @@
+//===- support/Error.h - Recoverable error handling -----------*- C++ -*-===//
+//
+// Part of the dsu project: a C++ reproduction of "Dynamic Software
+// Updating" (Hicks, Moore, Nettles; PLDI 2001).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight recoverable-error types in the spirit of llvm::Error and
+/// llvm::Expected.  The library is built without exceptions: fallible
+/// operations return Error (for actions) or Expected<T> (for values).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_SUPPORT_ERROR_H
+#define DSU_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace dsu {
+
+/// Classifies errors so callers can branch on broad categories without
+/// string matching.  Categories mirror the update pipeline stages of the
+/// PLDI 2001 system: a patch can fail to parse, fail verification, fail
+/// type checking during dynamic linking, or fail state transformation.
+enum class ErrorCode {
+  EC_None = 0,
+  EC_IO,             ///< file system / OS level failure
+  EC_Parse,          ///< malformed manifest, type syntax, or VTAL text
+  EC_Verify,         ///< VTAL bytecode failed verification
+  EC_TypeMismatch,   ///< dynamic-link type check failed
+  EC_Link,           ///< unresolved symbol or loader failure
+  EC_Transform,      ///< state transformer failed or missing
+  EC_Invalid,        ///< API misuse that is recoverable (bad argument)
+  EC_Unsupported,    ///< feature intentionally not supported
+};
+
+/// Returns a stable human-readable name for \p EC ("verify", "link", ...).
+const char *errorCodeName(ErrorCode EC);
+
+/// A success-or-failure result carrying a category and a message.
+///
+/// Unlike llvm::Error this class does not abort on unchecked drop; it is a
+/// plain value type.  Test with operator bool(): true means failure, so the
+/// idiom matches LLVM:
+/// \code
+///   if (Error E = doThing())
+///     return E;
+/// \endcode
+class Error {
+public:
+  Error() = default;
+
+  static Error success() { return Error(); }
+
+  /// Creates a failure value with printf-style formatting.
+  static Error make(ErrorCode Code, const char *Fmt, ...)
+      __attribute__((format(printf, 2, 3)));
+
+  /// True when this holds a failure.
+  explicit operator bool() const { return Code != ErrorCode::EC_None; }
+
+  ErrorCode code() const { return Code; }
+  const std::string &message() const { return Msg; }
+
+  /// Renders "category: message" for diagnostics.
+  std::string str() const;
+
+  /// Returns a new error that prefixes \p Context to this error's message,
+  /// preserving the category.  No-op on success values.
+  Error withContext(const std::string &Context) const;
+
+private:
+  ErrorCode Code = ErrorCode::EC_None;
+  std::string Msg;
+};
+
+/// Either a T or an Error.  Test with operator bool(): true means a value
+/// is present (note: opposite sense to Error, matching llvm::Expected).
+template <typename T> class Expected {
+public:
+  Expected(T Value) : HasValue(true) { new (&Storage.Value) T(std::move(Value)); }
+
+  Expected(Error E) : HasValue(false) {
+    assert(E && "cannot construct Expected from a success Error");
+    new (&Storage.Err) Error(std::move(E));
+  }
+
+  Expected(Expected &&Other) noexcept : HasValue(Other.HasValue) {
+    if (HasValue)
+      new (&Storage.Value) T(std::move(Other.Storage.Value));
+    else
+      new (&Storage.Err) Error(std::move(Other.Storage.Err));
+  }
+
+  Expected(const Expected &Other) : HasValue(Other.HasValue) {
+    if (HasValue)
+      new (&Storage.Value) T(Other.Storage.Value);
+    else
+      new (&Storage.Err) Error(Other.Storage.Err);
+  }
+
+  Expected &operator=(Expected Other) {
+    this->~Expected();
+    new (this) Expected(std::move(Other));
+    return *this;
+  }
+
+  ~Expected() {
+    if (HasValue)
+      Storage.Value.~T();
+    else
+      Storage.Err.~Error();
+  }
+
+  explicit operator bool() const { return HasValue; }
+
+  T &get() {
+    assert(HasValue && "accessing value of failed Expected");
+    return Storage.Value;
+  }
+  const T &get() const {
+    assert(HasValue && "accessing value of failed Expected");
+    return Storage.Value;
+  }
+
+  T &operator*() { return get(); }
+  const T &operator*() const { return get(); }
+  T *operator->() { return &get(); }
+  const T *operator->() const { return &get(); }
+
+  /// Moves the error out.  Returns a success value if a value is present
+  /// (mirrors llvm::Expected::takeError()).
+  Error takeError() {
+    if (HasValue)
+      return Error::success();
+    return std::move(Storage.Err);
+  }
+
+  const Error &error() const {
+    assert(!HasValue && "accessing error of successful Expected");
+    return Storage.Err;
+  }
+
+private:
+  union StorageT {
+    StorageT() {}
+    ~StorageT() {}
+    T Value;
+    Error Err;
+  } Storage;
+  bool HasValue;
+};
+
+/// Unwraps an Expected that the caller knows cannot fail; aborts with the
+/// error message otherwise (mirrors llvm::cantFail).
+template <typename T> T cantFail(Expected<T> ValOrErr, const char *What = "") {
+  if (!ValOrErr) {
+    std::fprintf(stderr, "cantFail(%s): %s\n", What,
+                 ValOrErr.error().str().c_str());
+    std::abort();
+  }
+  return std::move(ValOrErr.get());
+}
+
+/// Asserts that \p E is a success value; aborts with the message otherwise.
+inline void cantFail(Error E, const char *What = "") {
+  if (E) {
+    std::fprintf(stderr, "cantFail(%s): %s\n", What, E.str().c_str());
+    std::abort();
+  }
+}
+
+} // namespace dsu
+
+#endif // DSU_SUPPORT_ERROR_H

@@ -1,0 +1,14 @@
+//===- support/Hashing.cpp ------------------------------------*- C++ -*-===//
+
+#include "support/Hashing.h"
+
+#include <cstdio>
+
+using namespace dsu;
+
+std::string Fingerprint::hex() const {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(State));
+  return std::string(Buf, 16);
+}

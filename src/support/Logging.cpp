@@ -1,0 +1,54 @@
+//===- support/Logging.cpp ------------------------------------*- C++ -*-===//
+
+#include "support/Logging.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace dsu;
+
+namespace {
+
+LogLevel initialLevel() {
+  if (const char *Env = std::getenv("DSU_LOG_LEVEL")) {
+    int V = std::atoi(Env);
+    if (V >= LL_Error && V <= LL_Debug)
+      return static_cast<LogLevel>(V);
+  }
+  return LL_Warning;
+}
+
+std::atomic<int> GLevel{initialLevel()};
+
+const char *levelName(LogLevel L) {
+  switch (L) {
+  case LL_Error:
+    return "error";
+  case LL_Warning:
+    return "warn";
+  case LL_Info:
+    return "info";
+  case LL_Debug:
+    return "debug";
+  }
+  return "?";
+}
+
+} // namespace
+
+void dsu::setLogLevel(LogLevel Level) { GLevel.store(Level); }
+
+LogLevel dsu::logLevel() { return static_cast<LogLevel>(GLevel.load()); }
+
+void dsu::logMessage(LogLevel Level, const char *Fmt, ...) {
+  if (Level > GLevel.load(std::memory_order_relaxed))
+    return;
+  std::fprintf(stderr, "[dsu:%s] ", levelName(Level));
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vfprintf(stderr, Fmt, Args);
+  va_end(Args);
+  std::fputc('\n', stderr);
+}

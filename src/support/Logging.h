@@ -1,0 +1,38 @@
+//===- support/Logging.h - Leveled diagnostics ----------------*- C++ -*-===//
+///
+/// \file
+/// Tiny leveled logger.  Quiet by default; the DSU_LOG_LEVEL environment
+/// variable or setLogLevel() raises verbosity.  The update engine logs the
+/// stages of each dynamic update (verify, link, transform, commit) at
+/// LL_Info, matching the narrative trace in the PLDI 2001 paper's examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_SUPPORT_LOGGING_H
+#define DSU_SUPPORT_LOGGING_H
+
+namespace dsu {
+
+enum LogLevel {
+  LL_Error = 0,
+  LL_Warning = 1,
+  LL_Info = 2,
+  LL_Debug = 3,
+};
+
+/// Sets the global log threshold; messages above it are dropped.
+void setLogLevel(LogLevel Level);
+LogLevel logLevel();
+
+/// printf-style log statement to stderr with a level prefix.
+void logMessage(LogLevel Level, const char *Fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+} // namespace dsu
+
+#define DSU_LOG_INFO(...) ::dsu::logMessage(::dsu::LL_Info, __VA_ARGS__)
+#define DSU_LOG_DEBUG(...) ::dsu::logMessage(::dsu::LL_Debug, __VA_ARGS__)
+#define DSU_LOG_WARN(...) ::dsu::logMessage(::dsu::LL_Warning, __VA_ARGS__)
+#define DSU_LOG_ERROR(...) ::dsu::logMessage(::dsu::LL_Error, __VA_ARGS__)
+
+#endif // DSU_SUPPORT_LOGGING_H

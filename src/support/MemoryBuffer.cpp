@@ -1,0 +1,54 @@
+//===- support/MemoryBuffer.cpp -------------------------------*- C++ -*-===//
+
+#include "support/MemoryBuffer.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sys/stat.h>
+
+using namespace dsu;
+
+Expected<std::string> dsu::readFile(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return Error::make(ErrorCode::EC_IO, "cannot open '%s': %s", Path.c_str(),
+                       std::strerror(errno));
+  std::string Out;
+  char Buf[1 << 16];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  bool Bad = std::ferror(F);
+  std::fclose(F);
+  if (Bad)
+    return Error::make(ErrorCode::EC_IO, "read error on '%s'", Path.c_str());
+  return Out;
+}
+
+Error dsu::writeFile(const std::string &Path, const std::string &Contents) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return Error::make(ErrorCode::EC_IO, "cannot create '%s': %s",
+                       Path.c_str(), std::strerror(errno));
+  size_t N = std::fwrite(Contents.data(), 1, Contents.size(), F);
+  bool Bad = N != Contents.size();
+  if (std::fclose(F) != 0)
+    Bad = true;
+  if (Bad)
+    return Error::make(ErrorCode::EC_IO, "write error on '%s'", Path.c_str());
+  return Error::success();
+}
+
+Expected<uint64_t> dsu::fileSize(const std::string &Path) {
+  struct stat St;
+  if (::stat(Path.c_str(), &St) != 0)
+    return Error::make(ErrorCode::EC_IO, "cannot stat '%s': %s", Path.c_str(),
+                       std::strerror(errno));
+  return static_cast<uint64_t>(St.st_size);
+}
+
+bool dsu::fileExists(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0 && S_ISREG(St.st_mode);
+}

@@ -1,0 +1,32 @@
+//===- support/MemoryBuffer.h - Whole-file IO -----------------*- C++ -*-===//
+///
+/// \file
+/// Whole-file read/write helpers used by patch files, manifests and the
+/// FlashEd document cache.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_SUPPORT_MEMORYBUFFER_H
+#define DSU_SUPPORT_MEMORYBUFFER_H
+
+#include "support/Error.h"
+
+#include <string>
+
+namespace dsu {
+
+/// Reads the entire file at \p Path.
+Expected<std::string> readFile(const std::string &Path);
+
+/// Writes \p Contents to \p Path, replacing any existing file.
+Error writeFile(const std::string &Path, const std::string &Contents);
+
+/// Returns the size in bytes of the file at \p Path.
+Expected<uint64_t> fileSize(const std::string &Path);
+
+/// True if a regular file exists at \p Path.
+bool fileExists(const std::string &Path);
+
+} // namespace dsu
+
+#endif // DSU_SUPPORT_MEMORYBUFFER_H

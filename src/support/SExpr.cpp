@@ -1,0 +1,275 @@
+//===- support/SExpr.cpp --------------------------------------*- C++ -*-===//
+
+#include "support/SExpr.h"
+
+#include "support/StringUtil.h"
+
+#include <cctype>
+
+using namespace dsu;
+
+SExpr SExpr::makeSymbol(std::string Name) {
+  SExpr S;
+  S.Kind = SK_Symbol;
+  S.Text = std::move(Name);
+  return S;
+}
+
+SExpr SExpr::makeString(std::string Value) {
+  SExpr S;
+  S.Kind = SK_String;
+  S.Text = std::move(Value);
+  return S;
+}
+
+SExpr SExpr::makeInt(int64_t Value) {
+  SExpr S;
+  S.Kind = SK_Int;
+  S.Int = Value;
+  return S;
+}
+
+SExpr SExpr::makeList(std::vector<SExpr> Elems) {
+  SExpr S;
+  S.Kind = SK_List;
+  S.Elems = std::move(Elems);
+  return S;
+}
+
+bool SExpr::isForm(std::string_view Head) const {
+  return isList() && !Elems.empty() && Elems[0].isSymbol() &&
+         Elems[0].Text == Head;
+}
+
+const SExpr *SExpr::findForm(std::string_view Head) const {
+  if (!isList())
+    return nullptr;
+  for (const SExpr &E : Elems)
+    if (E.isForm(Head))
+      return &E;
+  return nullptr;
+}
+
+std::vector<const SExpr *> SExpr::findForms(std::string_view Head) const {
+  std::vector<const SExpr *> Out;
+  if (!isList())
+    return Out;
+  for (const SExpr &E : Elems)
+    if (E.isForm(Head))
+      Out.push_back(&E);
+  return Out;
+}
+
+const SExpr *SExpr::property(std::string_view Head) const {
+  const SExpr *Form = findForm(Head);
+  if (!Form || Form->size() < 2)
+    return nullptr;
+  return &(*Form)[1];
+}
+
+void SExpr::printImpl(std::string &Out, bool Pretty, unsigned Indent) const {
+  switch (Kind) {
+  case SK_Symbol:
+    Out += Text;
+    return;
+  case SK_String:
+    Out += '"';
+    Out += escapeString(Text);
+    Out += '"';
+    return;
+  case SK_Int:
+    Out += std::to_string(Int);
+    return;
+  case SK_List:
+    break;
+  }
+
+  // Short lists of scalars render on one line; otherwise each element is
+  // placed on its own indented line so manifests stay diff-friendly.
+  bool AllScalar = true;
+  for (const SExpr &E : Elems)
+    if (E.isList())
+      AllScalar = false;
+
+  Out += '(';
+  if (!Pretty || AllScalar) {
+    for (size_t I = 0; I != Elems.size(); ++I) {
+      if (I)
+        Out += ' ';
+      Elems[I].printImpl(Out, Pretty, Indent + 1);
+    }
+    Out += ')';
+    return;
+  }
+  for (size_t I = 0; I != Elems.size(); ++I) {
+    if (I) {
+      Out += '\n';
+      Out.append((Indent + 1) * 2, ' ');
+    }
+    Elems[I].printImpl(Out, Pretty, Indent + 1);
+  }
+  Out += ')';
+}
+
+std::string SExpr::print(bool Pretty) const {
+  std::string Out;
+  printImpl(Out, Pretty, 0);
+  return Out;
+}
+
+namespace {
+
+/// Recursive-descent reader over a byte buffer with ';' line comments.
+class Reader {
+public:
+  explicit Reader(std::string_view Input) : In(Input) {}
+
+  Expected<SExpr> readOne() {
+    skipTrivia();
+    if (atEnd())
+      return Error::make(ErrorCode::EC_Parse,
+                         "line %u: unexpected end of input", Line);
+    return readNode();
+  }
+
+  void skipTrivia() {
+    while (!atEnd()) {
+      char C = In[Pos];
+      if (C == '\n') {
+        ++Line;
+        ++Pos;
+      } else if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Pos;
+      } else if (C == ';') {
+        while (!atEnd() && In[Pos] != '\n')
+          ++Pos;
+      } else {
+        return;
+      }
+    }
+  }
+
+  bool atEnd() const { return Pos >= In.size(); }
+  unsigned line() const { return Line; }
+
+private:
+  Expected<SExpr> readNode() {
+    char C = In[Pos];
+    if (C == '(')
+      return readList();
+    if (C == ')')
+      return Error::make(ErrorCode::EC_Parse, "line %u: unmatched ')'", Line);
+    if (C == '"')
+      return readString();
+    return readAtom();
+  }
+
+  Expected<SExpr> readList() {
+    ++Pos; // consume '('
+    SExpr List = SExpr::makeList();
+    while (true) {
+      skipTrivia();
+      if (atEnd())
+        return Error::make(ErrorCode::EC_Parse, "line %u: unterminated list",
+                           Line);
+      if (In[Pos] == ')') {
+        ++Pos;
+        return List;
+      }
+      Expected<SExpr> Child = readNode();
+      if (!Child)
+        return Child.takeError();
+      List.appendChild(std::move(*Child));
+    }
+  }
+
+  Expected<SExpr> readString() {
+    unsigned StartLine = Line;
+    ++Pos; // consume opening quote
+    std::string Raw;
+    while (true) {
+      if (atEnd())
+        return Error::make(ErrorCode::EC_Parse,
+                           "line %u: unterminated string", StartLine);
+      char C = In[Pos];
+      if (C == '"') {
+        ++Pos;
+        break;
+      }
+      if (C == '\\') {
+        if (Pos + 1 >= In.size())
+          return Error::make(ErrorCode::EC_Parse,
+                             "line %u: dangling escape", Line);
+        Raw += C;
+        Raw += In[Pos + 1];
+        Pos += 2;
+        continue;
+      }
+      if (C == '\n')
+        ++Line;
+      Raw += C;
+      ++Pos;
+    }
+    std::string Value;
+    if (!unescapeString(Raw, Value))
+      return Error::make(ErrorCode::EC_Parse, "line %u: bad string escape",
+                         StartLine);
+    return SExpr::makeString(std::move(Value));
+  }
+
+  Expected<SExpr> readAtom() {
+    size_t Start = Pos;
+    while (!atEnd()) {
+      char C = In[Pos];
+      if (std::isspace(static_cast<unsigned char>(C)) || C == '(' ||
+          C == ')' || C == '"' || C == ';')
+        break;
+      ++Pos;
+    }
+    std::string_view Tok = In.substr(Start, Pos - Start);
+    assert(!Tok.empty() && "atom reader called on delimiter");
+
+    // Integers: optional minus followed by digits only.
+    bool Neg = Tok[0] == '-';
+    std::string_view Digits = Neg ? Tok.substr(1) : Tok;
+    uint64_t Mag;
+    if (!Digits.empty() && parseUInt(Digits, Mag)) {
+      int64_t V = static_cast<int64_t>(Mag);
+      return SExpr::makeInt(Neg ? -V : V);
+    }
+    return SExpr::makeSymbol(std::string(Tok));
+  }
+
+  std::string_view In;
+  size_t Pos = 0;
+  unsigned Line = 1;
+};
+
+} // namespace
+
+Expected<SExpr> dsu::parseSExpr(std::string_view Input) {
+  Reader R(Input);
+  Expected<SExpr> Node = R.readOne();
+  if (!Node)
+    return Node;
+  R.skipTrivia();
+  if (!R.atEnd())
+    return Error::make(ErrorCode::EC_Parse,
+                       "line %u: trailing content after expression",
+                       R.line());
+  return Node;
+}
+
+Expected<std::vector<SExpr>> dsu::parseSExprs(std::string_view Input) {
+  Reader R(Input);
+  std::vector<SExpr> Out;
+  while (true) {
+    R.skipTrivia();
+    if (R.atEnd())
+      return Out;
+    Expected<SExpr> Node = R.readOne();
+    if (!Node)
+      return Node.takeError();
+    Out.push_back(std::move(*Node));
+  }
+}

@@ -1,0 +1,106 @@
+//===- support/SExpr.h - S-expression reader/printer ----------*- C++ -*-===//
+///
+/// \file
+/// A small s-expression data model with a parser and printer.  Patch
+/// manifests, version manifests and VTAL module containers are all stored
+/// in this syntax — the reproduction's analogue of the PLDI 2001 patch
+/// file format.  Four node kinds: symbol atoms, quoted strings, signed
+/// integers, and lists.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_SUPPORT_SEXPR_H
+#define DSU_SUPPORT_SEXPR_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dsu {
+
+/// One node of an s-expression tree.
+class SExpr {
+public:
+  enum KindTy { SK_Symbol, SK_String, SK_Int, SK_List };
+
+  static SExpr makeSymbol(std::string Name);
+  static SExpr makeString(std::string Value);
+  static SExpr makeInt(int64_t Value);
+  static SExpr makeList(std::vector<SExpr> Elems = {});
+
+  KindTy kind() const { return Kind; }
+  bool isSymbol() const { return Kind == SK_Symbol; }
+  bool isString() const { return Kind == SK_String; }
+  bool isInt() const { return Kind == SK_Int; }
+  bool isList() const { return Kind == SK_List; }
+
+  /// Symbol or string payload (assert on other kinds).
+  const std::string &text() const {
+    assert((isSymbol() || isString()) && "not a textual node");
+    return Text;
+  }
+
+  int64_t intValue() const {
+    assert(isInt() && "not an integer node");
+    return Int;
+  }
+
+  const std::vector<SExpr> &elems() const {
+    assert(isList() && "not a list node");
+    return Elems;
+  }
+  std::vector<SExpr> &elems() {
+    assert(isList() && "not a list node");
+    return Elems;
+  }
+
+  size_t size() const { return elems().size(); }
+  const SExpr &operator[](size_t I) const {
+    assert(I < elems().size() && "s-expression index out of range");
+    return elems()[I];
+  }
+
+  /// True for a list whose first element is the symbol \p Head.
+  bool isForm(std::string_view Head) const;
+
+  /// For a list of forms, finds the first child form headed by \p Head.
+  /// Returns nullptr when absent.
+  const SExpr *findForm(std::string_view Head) const;
+
+  /// Collects every child form headed by \p Head.
+  std::vector<const SExpr *> findForms(std::string_view Head) const;
+
+  /// Convenience accessor for (key value) property forms: returns the
+  /// second element of the child form headed by \p Head, or nullptr.
+  const SExpr *property(std::string_view Head) const;
+
+  /// Renders the tree.  With \p Pretty, nested lists get indentation.
+  std::string print(bool Pretty = false) const;
+
+  void appendChild(SExpr Child) {
+    assert(isList() && "appendChild on non-list");
+    Elems.push_back(std::move(Child));
+  }
+
+private:
+  void printImpl(std::string &Out, bool Pretty, unsigned Indent) const;
+
+  KindTy Kind = SK_List;
+  std::string Text;
+  int64_t Int = 0;
+  std::vector<SExpr> Elems;
+};
+
+/// Parses one s-expression from \p Input.  Trailing content (other than
+/// whitespace and comments) is an error.
+Expected<SExpr> parseSExpr(std::string_view Input);
+
+/// Parses a sequence of top-level s-expressions.
+Expected<std::vector<SExpr>> parseSExprs(std::string_view Input);
+
+} // namespace dsu
+
+#endif // DSU_SUPPORT_SEXPR_H

@@ -1,0 +1,19 @@
+//===- support/Timer.cpp --------------------------------------*- C++ -*-===//
+
+#include "support/Timer.h"
+
+#include <algorithm>
+
+using namespace dsu;
+
+double RunningStat::percentile(double P) const {
+  if (Samples.empty())
+    return 0.0;
+  std::vector<double> Sorted = Samples;
+  std::sort(Sorted.begin(), Sorted.end());
+  double Rank = (P / 100.0) * (Sorted.size() - 1);
+  size_t Lo = static_cast<size_t>(Rank);
+  size_t Hi = std::min(Lo + 1, Sorted.size() - 1);
+  double Frac = Rank - static_cast<double>(Lo);
+  return Sorted[Lo] * (1.0 - Frac) + Sorted[Hi] * Frac;
+}

@@ -1,0 +1,80 @@
+//===- support/Timer.h - Monotonic timing and statistics ------*- C++ -*-===//
+///
+/// \file
+/// Monotonic wall-clock timing plus simple running statistics.  Used by the
+/// update pipeline to produce the verify/link/transform breakdown that the
+/// PLDI 2001 evaluation reports per patch, and by the benchmark harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_SUPPORT_TIMER_H
+#define DSU_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace dsu {
+
+/// Monotonic stopwatch measuring nanoseconds.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  /// Nanoseconds elapsed since construction or last reset().
+  uint64_t elapsedNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             Start)
+            .count());
+  }
+
+  double elapsedMs() const { return static_cast<double>(elapsedNs()) / 1e6; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Accumulates samples and exposes mean / min / max / stddev.
+class RunningStat {
+public:
+  void addSample(double X) {
+    Samples.push_back(X);
+    Sum += X;
+    SumSq += X * X;
+    if (Samples.size() == 1 || X < MinV)
+      MinV = X;
+    if (Samples.size() == 1 || X > MaxV)
+      MaxV = X;
+  }
+
+  size_t count() const { return Samples.size(); }
+  double mean() const { return Samples.empty() ? 0.0 : Sum / count(); }
+  double min() const { return Samples.empty() ? 0.0 : MinV; }
+  double max() const { return Samples.empty() ? 0.0 : MaxV; }
+
+  double stddev() const {
+    if (Samples.size() < 2)
+      return 0.0;
+    double M = mean();
+    double Var = (SumSq - Sum * M) / (count() - 1);
+    return Var > 0 ? std::sqrt(Var) : 0.0;
+  }
+
+  /// p in [0,100].  Sorts a copy; intended for reporting, not hot paths.
+  double percentile(double P) const;
+
+  const std::vector<double> &samples() const { return Samples; }
+
+private:
+  std::vector<double> Samples;
+  double Sum = 0.0, SumSq = 0.0, MinV = 0.0, MaxV = 0.0;
+};
+
+} // namespace dsu
+
+#endif // DSU_SUPPORT_TIMER_H

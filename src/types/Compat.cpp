@@ -1,0 +1,119 @@
+//===- types/Compat.cpp ---------------------------------------*- C++ -*-===//
+
+#include "types/Compat.h"
+
+#include "support/StringUtil.h"
+
+#include <algorithm>
+
+using namespace dsu;
+
+bool dsu::typesEqual(const Type *A, const Type *B) {
+  assert(A && B && "null type in comparison");
+  // Types are interned per context, so canonical-string equality is the
+  // context-independent ground truth (and pointer equality the fast path).
+  return A == B || A->str() == B->str();
+}
+
+namespace {
+
+/// Walks two types in lockstep, collecting version bumps; fails fast on
+/// any structural divergence.
+class Comparer {
+public:
+  ReplaceCheck run(const Type *OldTy, const Type *NewTy) {
+    ReplaceCheck Out;
+    std::string Why;
+    if (!compare(OldTy, NewTy, Why)) {
+      Out.Verdict = ReplaceVerdict::RV_Incompatible;
+      Out.Reason = Why;
+      return Out;
+    }
+    Out.Bumps = std::move(Bumps);
+    Out.Verdict = Out.Bumps.empty() ? ReplaceVerdict::RV_Identical
+                                    : ReplaceVerdict::RV_VersionBumped;
+    return Out;
+  }
+
+private:
+  bool fail(std::string &Why, const Type *OldTy, const Type *NewTy,
+            const char *Detail) {
+    Why = formatString("%s (old '%s' vs new '%s')", Detail,
+                       OldTy->str().c_str(), NewTy->str().c_str());
+    return false;
+  }
+
+  bool compare(const Type *OldTy, const Type *NewTy, std::string &Why) {
+    if (typesEqual(OldTy, NewTy))
+      return true;
+    if (OldTy->kind() != NewTy->kind())
+      return fail(Why, OldTy, NewTy, "type shapes differ");
+
+    switch (OldTy->kind()) {
+    case Type::TK_Int:
+    case Type::TK_Bool:
+    case Type::TK_Float:
+    case Type::TK_String:
+    case Type::TK_Unit:
+      // Identical primitives were handled by typesEqual above.
+      return fail(Why, OldTy, NewTy, "primitive types differ");
+
+    case Type::TK_Ptr:
+    case Type::TK_Array:
+      return compare(OldTy->element(), NewTy->element(), Why);
+
+    case Type::TK_Struct: {
+      const auto &OF = OldTy->fields();
+      const auto &NF = NewTy->fields();
+      if (OF.size() != NF.size())
+        return fail(Why, OldTy, NewTy, "struct field counts differ");
+      for (size_t I = 0; I != OF.size(); ++I) {
+        if (OF[I].Name != NF[I].Name)
+          return fail(Why, OldTy, NewTy, "struct field names differ");
+        if (!compare(OF[I].Ty, NF[I].Ty, Why))
+          return false;
+      }
+      return true;
+    }
+
+    case Type::TK_Fn: {
+      if (OldTy->params().size() != NewTy->params().size())
+        return fail(Why, OldTy, NewTy, "function arities differ");
+      for (size_t I = 0; I != OldTy->params().size(); ++I)
+        if (!compare(OldTy->params()[I], NewTy->params()[I], Why))
+          return false;
+      return compare(OldTy->result(), NewTy->result(), Why);
+    }
+
+    case Type::TK_Named: {
+      const VersionedName &ON = OldTy->name();
+      const VersionedName &NN = NewTy->name();
+      if (ON.Name != NN.Name)
+        return fail(Why, OldTy, NewTy, "named types have different names");
+      if (NN.Version < ON.Version)
+        return fail(Why, OldTy, NewTy,
+                    "named type version decreases; downgrades are not "
+                    "updates");
+      assert(NN.Version > ON.Version &&
+             "equal versions should be typesEqual");
+      addBump(VersionBump{ON, NN});
+      return true;
+    }
+    }
+    return fail(Why, OldTy, NewTy, "unhandled type kind");
+  }
+
+  void addBump(VersionBump B) {
+    if (std::find(Bumps.begin(), Bumps.end(), B) == Bumps.end())
+      Bumps.push_back(std::move(B));
+  }
+
+  std::vector<VersionBump> Bumps;
+};
+
+} // namespace
+
+ReplaceCheck dsu::checkReplacement(const Type *OldTy, const Type *NewTy) {
+  assert(OldTy && NewTy && "null type in replacement check");
+  return Comparer().run(OldTy, NewTy);
+}

@@ -1,0 +1,64 @@
+//===- types/Compat.h - Update compatibility rules ------------*- C++ -*-===//
+///
+/// \file
+/// The type-compatibility judgement used when a dynamic patch replaces an
+/// existing binding.
+///
+/// The PLDI 2001 rule: a definition may be replaced by one of the *same
+/// type*; representation changes are expressed by bumping the version of a
+/// named type, and every bump must be accompanied by a state transformer
+/// for values of the old version.  checkReplacement() computes exactly
+/// this judgement: it reports either identity, a set of required
+/// old-version -> new-version transformer obligations, or incompatibility
+/// with a reason usable in diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_TYPES_COMPAT_H
+#define DSU_TYPES_COMPAT_H
+
+#include "types/Type.h"
+
+#include <string>
+#include <vector>
+
+namespace dsu {
+
+/// Outcome of comparing a new binding's type against the old one.
+enum class ReplaceVerdict {
+  RV_Identical,     ///< byte-for-byte same type; no obligations
+  RV_VersionBumped, ///< same shape modulo named-type version increases
+  RV_Incompatible,  ///< shapes differ; replacement must be rejected
+};
+
+/// A named-type version increase discovered during comparison; the update
+/// is only safe if a transformer for this pair is supplied.
+struct VersionBump {
+  VersionedName From;
+  VersionedName To;
+
+  friend bool operator==(const VersionBump &A, const VersionBump &B) {
+    return A.From == B.From && A.To == B.To;
+  }
+};
+
+/// Result of checkReplacement().
+struct ReplaceCheck {
+  ReplaceVerdict Verdict = ReplaceVerdict::RV_Incompatible;
+  std::vector<VersionBump> Bumps; ///< deduplicated, discovery order
+  std::string Reason;             ///< populated when incompatible
+
+  bool ok() const { return Verdict != ReplaceVerdict::RV_Incompatible; }
+};
+
+/// Decides whether a binding of type \p OldTy may be rebound to a
+/// definition of type \p NewTy.  Both must come from the same TypeContext.
+ReplaceCheck checkReplacement(const Type *OldTy, const Type *NewTy);
+
+/// Structural equality (pointer equality under interning); exposed for
+/// tests that build types through different construction paths.
+bool typesEqual(const Type *A, const Type *B);
+
+} // namespace dsu
+
+#endif // DSU_TYPES_COMPAT_H

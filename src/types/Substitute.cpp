@@ -1,0 +1,84 @@
+//===- types/Substitute.cpp -----------------------------------*- C++ -*-===//
+
+#include "types/Substitute.h"
+
+using namespace dsu;
+
+const Type *dsu::substituteNamedVersion(TypeContext &Ctx, const Type *Ty,
+                                        const VersionBump &Bump) {
+  assert(Ty && "null type");
+  switch (Ty->kind()) {
+  case Type::TK_Int:
+  case Type::TK_Bool:
+  case Type::TK_Float:
+  case Type::TK_String:
+  case Type::TK_Unit:
+    return Ty;
+
+  case Type::TK_Ptr: {
+    const Type *E = substituteNamedVersion(Ctx, Ty->element(), Bump);
+    return E == Ty->element() ? Ty : Ctx.ptrType(E);
+  }
+  case Type::TK_Array: {
+    const Type *E = substituteNamedVersion(Ctx, Ty->element(), Bump);
+    return E == Ty->element() ? Ty : Ctx.arrayType(E);
+  }
+  case Type::TK_Struct: {
+    bool Changed = false;
+    std::vector<Type::Field> Fields;
+    Fields.reserve(Ty->fields().size());
+    for (const Type::Field &F : Ty->fields()) {
+      const Type *FT = substituteNamedVersion(Ctx, F.Ty, Bump);
+      Changed |= FT != F.Ty;
+      Fields.push_back(Type::Field{F.Name, FT});
+    }
+    return Changed ? Ctx.structType(std::move(Fields)) : Ty;
+  }
+  case Type::TK_Fn: {
+    bool Changed = false;
+    std::vector<const Type *> Params;
+    Params.reserve(Ty->params().size());
+    for (const Type *P : Ty->params()) {
+      const Type *PT = substituteNamedVersion(Ctx, P, Bump);
+      Changed |= PT != P;
+      Params.push_back(PT);
+    }
+    const Type *R = substituteNamedVersion(Ctx, Ty->result(), Bump);
+    Changed |= R != Ty->result();
+    return Changed ? Ctx.fnType(std::move(Params), R) : Ty;
+  }
+  case Type::TK_Named:
+    if (Ty->name() == Bump.From)
+      return Ctx.namedType(Bump.To);
+    return Ty;
+  }
+  return Ty;
+}
+
+bool dsu::typeMentions(const Type *Ty, const VersionedName &Name) {
+  assert(Ty && "null type");
+  switch (Ty->kind()) {
+  case Type::TK_Int:
+  case Type::TK_Bool:
+  case Type::TK_Float:
+  case Type::TK_String:
+  case Type::TK_Unit:
+    return false;
+  case Type::TK_Ptr:
+  case Type::TK_Array:
+    return typeMentions(Ty->element(), Name);
+  case Type::TK_Struct:
+    for (const Type::Field &F : Ty->fields())
+      if (typeMentions(F.Ty, Name))
+        return true;
+    return false;
+  case Type::TK_Fn:
+    for (const Type *P : Ty->params())
+      if (typeMentions(P, Name))
+        return true;
+    return typeMentions(Ty->result(), Name);
+  case Type::TK_Named:
+    return Ty->name() == Name;
+  }
+  return false;
+}

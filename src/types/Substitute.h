@@ -1,0 +1,31 @@
+//===- types/Substitute.h - Named-type version substitution ---*- C++ -*-===//
+///
+/// \file
+/// Rewrites occurrences of a named type at one version to another version
+/// inside an arbitrary type.  The state-transformation engine uses this to
+/// compute the post-update type of a state cell: a cell typed
+/// `array<%rec@1>` becomes `array<%rec@2>` under the bump %rec@1 -> %rec@2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_TYPES_SUBSTITUTE_H
+#define DSU_TYPES_SUBSTITUTE_H
+
+#include "types/Compat.h"
+#include "types/Type.h"
+
+namespace dsu {
+
+/// Returns \p Ty with every occurrence of the bump's old name@version
+/// replaced by the new version.  Returns \p Ty itself when nothing
+/// matches.
+const Type *substituteNamedVersion(TypeContext &Ctx, const Type *Ty,
+                                   const VersionBump &Bump);
+
+/// True when \p Ty mentions the named type \p Name (at that exact
+/// version) anywhere in its structure.
+bool typeMentions(const Type *Ty, const VersionedName &Name);
+
+} // namespace dsu
+
+#endif // DSU_TYPES_SUBSTITUTE_H

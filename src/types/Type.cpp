@@ -1,0 +1,138 @@
+//===- types/Type.cpp -----------------------------------------*- C++ -*-===//
+
+#include "types/Type.h"
+
+#include "support/StringUtil.h"
+
+using namespace dsu;
+
+std::string VersionedName::str() const {
+  return formatString("%%%s@%u", Name.c_str(), Version);
+}
+
+const Type::Field *Type::findField(std::string_view Name) const {
+  for (const Field &F : fields())
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+TypeContext::TypeContext() {
+  IntTy = makePrim(Type::TK_Int, "int");
+  BoolTy = makePrim(Type::TK_Bool, "bool");
+  FloatTy = makePrim(Type::TK_Float, "float");
+  StringTy = makePrim(Type::TK_String, "string");
+  UnitTy = makePrim(Type::TK_Unit, "unit");
+}
+
+const Type *TypeContext::intern(std::unique_ptr<Type> T) {
+  T->Print = fingerprintString(T->Canonical);
+  auto It = Interned.find(T->Canonical);
+  if (It != Interned.end())
+    return It->second.get();
+  const Type *Raw = T.get();
+  Interned.emplace(T->Canonical, std::move(T));
+  return Raw;
+}
+
+const Type *TypeContext::makePrim(Type::KindTy K, const char *Spelling) {
+  auto T = std::unique_ptr<Type>(new Type());
+  T->Kind = K;
+  T->Canonical = Spelling;
+  return intern(std::move(T));
+}
+
+const Type *TypeContext::ptrType(const Type *Elem) {
+  assert(Elem && "null element type");
+  auto T = std::unique_ptr<Type>(new Type());
+  T->Kind = Type::TK_Ptr;
+  T->Elem = Elem;
+  T->Canonical = "ptr<" + Elem->str() + ">";
+  return intern(std::move(T));
+}
+
+const Type *TypeContext::arrayType(const Type *Elem) {
+  assert(Elem && "null element type");
+  auto T = std::unique_ptr<Type>(new Type());
+  T->Kind = Type::TK_Array;
+  T->Elem = Elem;
+  T->Canonical = "array<" + Elem->str() + ">";
+  return intern(std::move(T));
+}
+
+const Type *TypeContext::structType(std::vector<Type::Field> Fields) {
+  auto T = std::unique_ptr<Type>(new Type());
+  T->Kind = Type::TK_Struct;
+  std::string S = "{";
+  for (size_t I = 0; I != Fields.size(); ++I) {
+    assert(Fields[I].Ty && "null field type");
+    if (I)
+      S += ", ";
+    S += Fields[I].Name;
+    S += ": ";
+    S += Fields[I].Ty->str();
+  }
+  S += "}";
+  T->Fields = std::move(Fields);
+  T->Canonical = std::move(S);
+  return intern(std::move(T));
+}
+
+const Type *TypeContext::fnType(std::vector<const Type *> Params,
+                                const Type *Ret) {
+  assert(Ret && "null return type");
+  auto T = std::unique_ptr<Type>(new Type());
+  T->Kind = Type::TK_Fn;
+  std::string S = "fn(";
+  for (size_t I = 0; I != Params.size(); ++I) {
+    assert(Params[I] && "null parameter type");
+    if (I)
+      S += ", ";
+    S += Params[I]->str();
+  }
+  S += ") -> ";
+  S += Ret->str();
+  T->Params = std::move(Params);
+  T->Ret = Ret;
+  T->Canonical = std::move(S);
+  return intern(std::move(T));
+}
+
+const Type *TypeContext::namedType(const VersionedName &Name) {
+  assert(!Name.Name.empty() && "named type needs a name");
+  auto T = std::unique_ptr<Type>(new Type());
+  T->Kind = Type::TK_Named;
+  T->NamedName = Name;
+  T->Canonical = Name.str();
+  return intern(std::move(T));
+}
+
+Error TypeContext::defineNamed(const VersionedName &Name, const Type *Def) {
+  assert(Def && "null definition");
+  auto It = Definitions.find(Name);
+  if (It != Definitions.end()) {
+    if (It->second == Def)
+      return Error::success();
+    return Error::make(ErrorCode::EC_Invalid,
+                       "type %s is already defined as '%s'; representation "
+                       "changes require a version bump",
+                       Name.str().c_str(), It->second->str().c_str());
+  }
+  Definitions.emplace(Name, Def);
+  return Error::success();
+}
+
+const Type *TypeContext::lookupDefinition(const VersionedName &Name) const {
+  auto It = Definitions.find(Name);
+  return It == Definitions.end() ? nullptr : It->second;
+}
+
+uint32_t TypeContext::latestVersion(const std::string &Name) const {
+  uint32_t Best = 0;
+  for (const auto &[VN, Def] : Definitions) {
+    (void)Def;
+    if (VN.Name == Name && VN.Version > Best)
+      Best = VN.Version;
+  }
+  return Best;
+}

@@ -1,0 +1,206 @@
+//===- types/TypeParser.cpp -----------------------------------*- C++ -*-===//
+
+#include "types/TypeParser.h"
+
+#include "support/StringUtil.h"
+
+#include <cctype>
+
+using namespace dsu;
+
+namespace {
+
+/// Recursive-descent parser over the type grammar.
+class Parser {
+public:
+  Parser(TypeContext &Ctx, std::string_view In) : Ctx(Ctx), In(In) {}
+
+  Expected<const Type *> parseAll() {
+    Expected<const Type *> T = parseTy();
+    if (!T)
+      return T;
+    skipSpace();
+    if (Pos != In.size())
+      return err("trailing characters after type");
+    return T;
+  }
+
+private:
+  Error errValue(const char *Msg) {
+    return Error::make(ErrorCode::EC_Parse, "type syntax at offset %zu: %s",
+                       Pos, Msg);
+  }
+  Expected<const Type *> err(const char *Msg) { return errValue(Msg); }
+
+  void skipSpace() {
+    while (Pos < In.size() &&
+           std::isspace(static_cast<unsigned char>(In[Pos])))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipSpace();
+    if (Pos < In.size() && In[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool consumeKeyword(std::string_view KW) {
+    skipSpace();
+    if (In.substr(Pos, KW.size()) != KW)
+      return false;
+    size_t End = Pos + KW.size();
+    // Keywords are identifiers: require a non-ident boundary.
+    if (End < In.size() &&
+        (std::isalnum(static_cast<unsigned char>(In[End])) || In[End] == '_'))
+      return false;
+    Pos = End;
+    return true;
+  }
+
+  std::string parseIdent() {
+    skipSpace();
+    size_t Start = Pos;
+    while (Pos < In.size() &&
+           (std::isalnum(static_cast<unsigned char>(In[Pos])) ||
+            In[Pos] == '_' || In[Pos] == '-' || In[Pos] == '.'))
+      ++Pos;
+    return std::string(In.substr(Start, Pos - Start));
+  }
+
+  Expected<const Type *> parseTy() {
+    skipSpace();
+    if (Pos >= In.size())
+      return err("expected a type");
+
+    if (In[Pos] == '%')
+      return parseNamed();
+    if (In[Pos] == '{')
+      return parseStruct();
+
+    if (consumeKeyword("int"))
+      return Ctx.intType();
+    if (consumeKeyword("bool"))
+      return Ctx.boolType();
+    if (consumeKeyword("float"))
+      return Ctx.floatType();
+    if (consumeKeyword("string"))
+      return Ctx.stringType();
+    if (consumeKeyword("unit"))
+      return Ctx.unitType();
+    if (consumeKeyword("ptr"))
+      return parseElemType(/*IsPtr=*/true);
+    if (consumeKeyword("array"))
+      return parseElemType(/*IsPtr=*/false);
+    if (consumeKeyword("fn"))
+      return parseFn();
+    return err("unknown type head");
+  }
+
+  Expected<const Type *> parseElemType(bool IsPtr) {
+    if (!consume('<'))
+      return err("expected '<'");
+    Expected<const Type *> Elem = parseTy();
+    if (!Elem)
+      return Elem;
+    if (!consume('>'))
+      return err("expected '>'");
+    return IsPtr ? Ctx.ptrType(*Elem) : Ctx.arrayType(*Elem);
+  }
+
+  Expected<const Type *> parseStruct() {
+    consume('{');
+    std::vector<Type::Field> Fields;
+    skipSpace();
+    if (consume('}'))
+      return Ctx.structType(std::move(Fields));
+    while (true) {
+      std::string Name = parseIdent();
+      if (Name.empty())
+        return err("expected field name");
+      if (!consume(':'))
+        return err("expected ':' after field name");
+      Expected<const Type *> FT = parseTy();
+      if (!FT)
+        return FT;
+      Fields.push_back(Type::Field{std::move(Name), *FT});
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        return Ctx.structType(std::move(Fields));
+      return err("expected ',' or '}' in struct type");
+    }
+  }
+
+  Expected<const Type *> parseFn() {
+    if (!consume('('))
+      return err("expected '(' after fn");
+    std::vector<const Type *> Params;
+    skipSpace();
+    if (!consume(')')) {
+      while (true) {
+        Expected<const Type *> P = parseTy();
+        if (!P)
+          return P;
+        Params.push_back(*P);
+        if (consume(','))
+          continue;
+        if (consume(')'))
+          break;
+        return err("expected ',' or ')' in parameter list");
+      }
+    }
+    if (!consume('-') || !consume('>'))
+      return err("expected '->' after parameter list");
+    Expected<const Type *> Ret = parseTy();
+    if (!Ret)
+      return Ret;
+    return Ctx.fnType(std::move(Params), *Ret);
+  }
+
+  Expected<const Type *> parseNamed() {
+    consume('%');
+    std::string Name = parseIdent();
+    if (Name.empty())
+      return err("expected name after '%'");
+    uint32_t Version = 1;
+    if (consume('@')) {
+      std::string V = parseIdent();
+      uint64_t Parsed;
+      if (!parseUInt(V, Parsed) || Parsed == 0 || Parsed > UINT32_MAX)
+        return err("bad version number");
+      Version = static_cast<uint32_t>(Parsed);
+    }
+    return Ctx.namedType(std::move(Name), Version);
+  }
+
+  TypeContext &Ctx;
+  std::string_view In;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+Expected<const Type *> dsu::parseType(TypeContext &Ctx,
+                                      std::string_view Text) {
+  return Parser(Ctx, Text).parseAll();
+}
+
+Expected<VersionedName> dsu::parseVersionedName(std::string_view Text) {
+  std::string_view S = trim(Text);
+  if (S.empty() || S[0] != '%')
+    return Error::make(ErrorCode::EC_Parse,
+                       "versioned name must start with '%%': '%.*s'",
+                       static_cast<int>(S.size()), S.data());
+  S.remove_prefix(1);
+  size_t At = S.find('@');
+  if (At == std::string_view::npos || At == 0)
+    return Error::make(ErrorCode::EC_Parse, "missing '@version' in name");
+  uint64_t V;
+  if (!parseUInt(S.substr(At + 1), V) || V == 0 || V > UINT32_MAX)
+    return Error::make(ErrorCode::EC_Parse, "bad version number");
+  return VersionedName{std::string(S.substr(0, At)),
+                       static_cast<uint32_t>(V)};
+}

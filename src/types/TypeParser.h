@@ -1,0 +1,29 @@
+//===- types/TypeParser.h - Concrete type syntax --------------*- C++ -*-===//
+///
+/// \file
+/// Parses the textual type syntax documented in types/Type.h.  Patch
+/// manifests and version manifests carry symbol types as strings; this
+/// parser turns them back into interned Type nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_TYPES_TYPEPARSER_H
+#define DSU_TYPES_TYPEPARSER_H
+
+#include "support/Error.h"
+#include "types/Type.h"
+
+#include <string_view>
+
+namespace dsu {
+
+/// Parses \p Text into an interned type in \p Ctx.  The whole input must
+/// be consumed (modulo surrounding whitespace).
+Expected<const Type *> parseType(TypeContext &Ctx, std::string_view Text);
+
+/// Parses "%name@version" into a VersionedName.
+Expected<VersionedName> parseVersionedName(std::string_view Text);
+
+} // namespace dsu
+
+#endif // DSU_TYPES_TYPEPARSER_H

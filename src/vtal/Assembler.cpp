@@ -1,0 +1,367 @@
+//===- vtal/Assembler.cpp -------------------------------------*- C++ -*-===//
+
+#include "vtal/Assembler.h"
+
+#include "support/StringUtil.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+using namespace dsu;
+using namespace dsu::vtal;
+
+namespace {
+
+Expected<ValKind> parseValKind(std::string_view S) {
+  S = trim(S);
+  if (S == "int")
+    return ValKind::VK_Int;
+  if (S == "float")
+    return ValKind::VK_Float;
+  if (S == "bool")
+    return ValKind::VK_Bool;
+  if (S == "string")
+    return ValKind::VK_Str;
+  if (S == "unit")
+    return ValKind::VK_Unit;
+  return Error::make(ErrorCode::EC_Parse, "unknown VTAL kind '%.*s'",
+                     static_cast<int>(S.size()), S.data());
+}
+
+/// Parses "name: kind, name: kind" declarations (shared by parameter
+/// lists and locals clauses).  Empty input yields an empty list.
+Expected<std::vector<LocalVar>> parseVarList(std::string_view Body) {
+  std::vector<LocalVar> Vars;
+  Body = trim(Body);
+  if (Body.empty())
+    return Vars;
+  for (const std::string &Piece : splitString(Body, ',')) {
+    std::string_view P = trim(Piece);
+    size_t Colon = P.find(':');
+    if (Colon == std::string_view::npos)
+      return Error::make(ErrorCode::EC_Parse,
+                         "expected 'name: kind' in '%.*s'",
+                         static_cast<int>(P.size()), P.data());
+    std::string_view Name = trim(P.substr(0, Colon));
+    Expected<ValKind> K = parseValKind(P.substr(Colon + 1));
+    if (!K)
+      return K.takeError();
+    if (Name.empty())
+      return Error::make(ErrorCode::EC_Parse, "empty variable name");
+    if (*K == ValKind::VK_Unit)
+      return Error::make(ErrorCode::EC_Parse,
+                         "variable '%.*s' cannot have kind unit",
+                         static_cast<int>(Name.size()), Name.data());
+    Vars.push_back(LocalVar{std::string(Name), *K});
+  }
+  return Vars;
+}
+
+/// Mnemonic lookup table built once.
+const std::map<std::string, Opcode> &mnemonicTable() {
+  static const std::map<std::string, Opcode> Table = [] {
+    std::map<std::string, Opcode> T;
+    for (unsigned I = 0; I != NumOpcodes; ++I) {
+      auto Op = static_cast<Opcode>(I);
+      T.emplace(opcodeName(Op), Op);
+    }
+    return T;
+  }();
+  return Table;
+}
+
+/// Line-oriented assembler state machine.
+class Assembler {
+public:
+  explicit Assembler(std::string_view Source) : Source(Source) {}
+
+  Expected<Module> run() {
+    std::vector<std::string> Lines = splitString(Source, '\n');
+    for (size_t I = 0; I != Lines.size(); ++I) {
+      LineNo = static_cast<unsigned>(I + 1);
+      std::string_view Line = stripComment(Lines[I]);
+      Line = trim(Line);
+      if (Line.empty())
+        continue;
+      if (Error E = handleLine(Line))
+        return E;
+    }
+    if (InFunc)
+      return errValue("unterminated function body (missing '}')");
+    if (M.Name.empty())
+      return errValue("missing 'module <name>' header");
+    return std::move(M);
+  }
+
+private:
+  static std::string_view stripComment(std::string_view Line) {
+    // Respect ';' inside string literals.
+    bool InStr = false;
+    for (size_t I = 0; I != Line.size(); ++I) {
+      char C = Line[I];
+      if (C == '"' && (I == 0 || Line[I - 1] != '\\'))
+        InStr = !InStr;
+      else if (C == ';' && !InStr)
+        return Line.substr(0, I);
+    }
+    return Line;
+  }
+
+  Error errValue(const char *Msg) {
+    return Error::make(ErrorCode::EC_Parse, "vtal asm line %u: %s", LineNo,
+                       Msg);
+  }
+
+  Error handleLine(std::string_view Line) {
+    if (!InFunc) {
+      if (startsWith(Line, "module "))
+        return handleModule(Line.substr(7));
+      if (startsWith(Line, "import "))
+        return handleImport(Line.substr(7));
+      if (startsWith(Line, "func "))
+        return handleFuncHeader(Line.substr(5));
+      return errValue("expected 'module', 'import' or 'func'");
+    }
+
+    if (Line == "}")
+      return finishFunction();
+    if (startsWith(Line, "locals"))
+      return handleLocals(Line.substr(6));
+
+    // Label definition: "name:" with an identifier name.
+    if (Line.back() == ':' && Line.find(' ') == std::string_view::npos) {
+      std::string Label(trim(Line.substr(0, Line.size() - 1)));
+      if (Label.empty())
+        return errValue("empty label name");
+      if (Labels.count(Label))
+        return errValue("duplicate label");
+      Labels[Label] = static_cast<uint32_t>(Cur.Code.size());
+      return Error::success();
+    }
+    return handleInstruction(Line);
+  }
+
+  Error handleModule(std::string_view Rest) {
+    if (!M.Name.empty())
+      return errValue("duplicate 'module' header");
+    M.Name = std::string(trim(Rest));
+    if (M.Name.empty())
+      return errValue("missing module name");
+    return Error::success();
+  }
+
+  Error handleImport(std::string_view Rest) {
+    size_t Colon = Rest.find(':');
+    if (Colon == std::string_view::npos)
+      return errValue("expected 'import name : (sig) -> result'");
+    Import Imp;
+    Imp.Name = std::string(trim(Rest.substr(0, Colon)));
+    if (Imp.Name.empty())
+      return errValue("missing import name");
+    Expected<Signature> Sig = parseSignature(Rest.substr(Colon + 1));
+    if (!Sig)
+      return Sig.takeError().withContext(
+          formatString("vtal asm line %u", LineNo));
+    Imp.Sig = std::move(*Sig);
+    M.Imports.push_back(std::move(Imp));
+    return Error::success();
+  }
+
+  Error handleFuncHeader(std::string_view Rest) {
+    // "<name> (params) -> result {"
+    size_t Open = Rest.find('(');
+    if (Open == std::string_view::npos)
+      return errValue("expected '(' in function header");
+    Cur = Function();
+    Cur.Name = std::string(trim(Rest.substr(0, Open)));
+    if (Cur.Name.empty())
+      return errValue("missing function name");
+
+    size_t Close = Rest.find(')', Open);
+    if (Close == std::string_view::npos)
+      return errValue("expected ')' in function header");
+    Expected<std::vector<LocalVar>> Params =
+        parseVarList(Rest.substr(Open + 1, Close - Open - 1));
+    if (!Params)
+      return Params.takeError().withContext(
+          formatString("vtal asm line %u", LineNo));
+
+    std::string_view Tail = trim(Rest.substr(Close + 1));
+    if (!startsWith(Tail, "->"))
+      return errValue("expected '->' after parameter list");
+    Tail = trim(Tail.substr(2));
+    if (Tail.empty() || Tail.back() != '{')
+      return errValue("expected '{' at end of function header");
+    Expected<ValKind> Res = parseValKind(trim(Tail.substr(0, Tail.size() - 1)));
+    if (!Res)
+      return Res.takeError().withContext(
+          formatString("vtal asm line %u", LineNo));
+
+    for (const LocalVar &P : *Params)
+      Cur.Sig.Params.push_back(P.Kind);
+    Cur.Sig.Result = *Res;
+    Cur.Locals = std::move(*Params);
+    Labels.clear();
+    PendingLabelRefs.clear();
+    InFunc = true;
+    return Error::success();
+  }
+
+  Error handleLocals(std::string_view Rest) {
+    Rest = trim(Rest);
+    if (Rest.size() < 2 || Rest.front() != '(' || Rest.back() != ')')
+      return errValue("expected 'locals (name: kind, ...)'");
+    Expected<std::vector<LocalVar>> Vars =
+        parseVarList(Rest.substr(1, Rest.size() - 2));
+    if (!Vars)
+      return Vars.takeError().withContext(
+          formatString("vtal asm line %u", LineNo));
+    for (LocalVar &V : *Vars) {
+      if (Cur.findLocal(V.Name) != UINT32_MAX)
+        return errValue("duplicate local name");
+      Cur.Locals.push_back(std::move(V));
+    }
+    return Error::success();
+  }
+
+  Error handleInstruction(std::string_view Line) {
+    size_t Space = Line.find_first_of(" \t");
+    std::string Mnemonic(Line.substr(0, Space));
+    std::string_view Operand =
+        Space == std::string_view::npos ? "" : trim(Line.substr(Space + 1));
+
+    auto It = mnemonicTable().find(Mnemonic);
+    if (It == mnemonicTable().end())
+      return errValue("unknown mnemonic");
+    Instruction Inst;
+    Inst.Op = It->second;
+
+    switch (opcodeOperand(Inst.Op)) {
+    case OperandKind::OK_None:
+      if (!Operand.empty())
+        return errValue("unexpected operand");
+      break;
+    case OperandKind::OK_Int: {
+      if (Operand.empty())
+        return errValue("missing integer operand");
+      char *End = nullptr;
+      std::string Copy(Operand);
+      Inst.IntOp = std::strtoll(Copy.c_str(), &End, 10);
+      if (End != Copy.c_str() + Copy.size())
+        return errValue("bad integer operand");
+      break;
+    }
+    case OperandKind::OK_Float: {
+      if (Operand.empty())
+        return errValue("missing float operand");
+      char *End = nullptr;
+      std::string Copy(Operand);
+      Inst.FloatOp = std::strtod(Copy.c_str(), &End);
+      if (End != Copy.c_str() + Copy.size())
+        return errValue("bad float operand");
+      break;
+    }
+    case OperandKind::OK_Bool:
+      if (Operand == "true")
+        Inst.IntOp = 1;
+      else if (Operand == "false")
+        Inst.IntOp = 0;
+      else
+        return errValue("boolean operand must be true or false");
+      break;
+    case OperandKind::OK_Str: {
+      if (Operand.size() < 2 || Operand.front() != '"' ||
+          Operand.back() != '"')
+        return errValue("string operand must be quoted");
+      if (!unescapeString(Operand.substr(1, Operand.size() - 2), Inst.StrOp))
+        return errValue("bad escape in string operand");
+      break;
+    }
+    case OperandKind::OK_Local: {
+      uint32_t Slot = Cur.findLocal(Operand);
+      if (Slot == UINT32_MAX)
+        return errValue("unknown local variable");
+      Inst.Index = Slot;
+      Inst.StrOp = std::string(Operand);
+      break;
+    }
+    case OperandKind::OK_Label:
+      if (Operand.empty())
+        return errValue("missing label operand");
+      // Targets may be defined later; record for fixup.
+      PendingLabelRefs.emplace_back(Cur.Code.size(), std::string(Operand));
+      Inst.StrOp = std::string(Operand);
+      break;
+    case OperandKind::OK_Func:
+      if (Operand.empty())
+        return errValue("missing callee name");
+      Inst.StrOp = std::string(Operand);
+      break;
+    }
+    Cur.Code.push_back(std::move(Inst));
+    return Error::success();
+  }
+
+  Error finishFunction() {
+    for (const auto &[PC, Label] : PendingLabelRefs) {
+      auto It = Labels.find(Label);
+      if (It == Labels.end())
+        return Error::make(ErrorCode::EC_Parse,
+                           "vtal asm: undefined label '%s' in function '%s'",
+                           Label.c_str(), Cur.Name.c_str());
+      Cur.Code[PC].Index = It->second;
+    }
+    if (M.findFunction(Cur.Name))
+      return errValue("duplicate function name");
+    M.Functions.push_back(std::move(Cur));
+    InFunc = false;
+    return Error::success();
+  }
+
+  std::string_view Source;
+  Module M;
+  Function Cur;
+  bool InFunc = false;
+  unsigned LineNo = 0;
+  std::map<std::string, uint32_t> Labels;
+  std::vector<std::pair<size_t, std::string>> PendingLabelRefs;
+};
+
+} // namespace
+
+Expected<Signature> dsu::vtal::parseSignature(std::string_view Text) {
+  std::string_view S = trim(Text);
+  if (S.empty() || S.front() != '(')
+    return Error::make(ErrorCode::EC_Parse, "signature must start with '('");
+  size_t Close = S.find(')');
+  if (Close == std::string_view::npos)
+    return Error::make(ErrorCode::EC_Parse, "missing ')' in signature");
+
+  Signature Sig;
+  std::string_view ParamsText = trim(S.substr(1, Close - 1));
+  if (!ParamsText.empty()) {
+    for (const std::string &P : splitString(ParamsText, ',')) {
+      Expected<ValKind> K = parseValKind(P);
+      if (!K)
+        return K.takeError();
+      if (*K == ValKind::VK_Unit)
+        return Error::make(ErrorCode::EC_Parse,
+                           "unit is not a valid parameter kind");
+      Sig.Params.push_back(*K);
+    }
+  }
+
+  std::string_view Tail = trim(S.substr(Close + 1));
+  if (!startsWith(Tail, "->"))
+    return Error::make(ErrorCode::EC_Parse, "expected '->' in signature");
+  Expected<ValKind> Res = parseValKind(Tail.substr(2));
+  if (!Res)
+    return Res.takeError();
+  Sig.Result = *Res;
+  return Sig;
+}
+
+Expected<Module> dsu::vtal::assemble(std::string_view Source) {
+  return Assembler(Source).run();
+}

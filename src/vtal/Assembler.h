@@ -1,0 +1,51 @@
+//===- vtal/Assembler.h - VTAL textual assembler --------------*- C++ -*-===//
+///
+/// \file
+/// Assembles VTAL text into a Module.  The syntax is line-oriented:
+/// \code
+///   module fact
+///   import log_call : (string) -> unit
+///   func fact (n: int) -> int {
+///     locals (acc: int, i: int)
+///     push.i 1
+///     store acc
+///     push.i 1
+///     store i
+///   loop:
+///     load i
+///     load n
+///     gt
+///     brif done
+///     ...
+///     br loop
+///   done:
+///     load acc
+///     ret
+///   }
+/// \endcode
+/// ';' starts a comment.  Labels are symbolic and resolved to instruction
+/// indices; locals are referenced by name.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_VTAL_ASSEMBLER_H
+#define DSU_VTAL_ASSEMBLER_H
+
+#include "support/Error.h"
+#include "vtal/Module.h"
+
+#include <string_view>
+
+namespace dsu {
+namespace vtal {
+
+/// Assembles \p Source into a module.  Errors carry 1-based line numbers.
+Expected<Module> assemble(std::string_view Source);
+
+/// Parses a signature like "(int, float) -> bool".
+Expected<Signature> parseSignature(std::string_view Text);
+
+} // namespace vtal
+} // namespace dsu
+
+#endif // DSU_VTAL_ASSEMBLER_H

@@ -1,0 +1,286 @@
+//===- vtal/Bytecode.cpp --------------------------------------*- C++ -*-===//
+
+#include "vtal/Bytecode.h"
+
+#include <cstring>
+
+using namespace dsu;
+using namespace dsu::vtal;
+
+namespace {
+
+constexpr char Magic[4] = {'V', 'T', 'A', 'L'};
+constexpr uint32_t FormatVersion = 1;
+
+class Writer {
+public:
+  void u8(uint8_t V) { Out.push_back(static_cast<char>(V)); }
+  void u32(uint32_t V) {
+    for (int I = 0; I != 4; ++I)
+      u8(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      u8(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void f64(double V) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, 8);
+    u64(Bits);
+  }
+  void str(const std::string &S) {
+    u32(static_cast<uint32_t>(S.size()));
+    Out.append(S);
+  }
+
+  std::string Out;
+};
+
+class ReaderState {
+public:
+  explicit ReaderState(std::string_view In) : In(In) {}
+
+  bool u8(uint8_t &V) {
+    if (Pos + 1 > In.size())
+      return false;
+    V = static_cast<uint8_t>(In[Pos++]);
+    return true;
+  }
+  bool u32(uint32_t &V) {
+    if (Pos + 4 > In.size())
+      return false;
+    V = 0;
+    for (int I = 0; I != 4; ++I)
+      V |= static_cast<uint32_t>(static_cast<uint8_t>(In[Pos + I]))
+           << (8 * I);
+    Pos += 4;
+    return true;
+  }
+  bool u64(uint64_t &V) {
+    if (Pos + 8 > In.size())
+      return false;
+    V = 0;
+    for (int I = 0; I != 8; ++I)
+      V |= static_cast<uint64_t>(static_cast<uint8_t>(In[Pos + I]))
+           << (8 * I);
+    Pos += 8;
+    return true;
+  }
+  bool f64(double &V) {
+    uint64_t Bits;
+    if (!u64(Bits))
+      return false;
+    std::memcpy(&V, &Bits, 8);
+    return true;
+  }
+  bool str(std::string &S) {
+    uint32_t Len;
+    if (!u32(Len) || Pos + Len > In.size())
+      return false;
+    S.assign(In.substr(Pos, Len));
+    Pos += Len;
+    return true;
+  }
+  bool atEnd() const { return Pos == In.size(); }
+
+private:
+  std::string_view In;
+  size_t Pos = 0;
+};
+
+bool validKind(uint8_t K) {
+  return K <= static_cast<uint8_t>(ValKind::VK_Unit);
+}
+
+void encodeSig(Writer &W, const Signature &Sig) {
+  W.u32(static_cast<uint32_t>(Sig.Params.size()));
+  for (ValKind K : Sig.Params)
+    W.u8(static_cast<uint8_t>(K));
+  W.u8(static_cast<uint8_t>(Sig.Result));
+}
+
+bool decodeSig(ReaderState &R, Signature &Sig) {
+  uint32_t N;
+  if (!R.u32(N) || N > (1u << 16))
+    return false;
+  Sig.Params.clear();
+  for (uint32_t I = 0; I != N; ++I) {
+    uint8_t K;
+    if (!R.u8(K) || !validKind(K))
+      return false;
+    Sig.Params.push_back(static_cast<ValKind>(K));
+  }
+  uint8_t Res;
+  if (!R.u8(Res) || !validKind(Res))
+    return false;
+  Sig.Result = static_cast<ValKind>(Res);
+  return true;
+}
+
+void encodeFunction(Writer &W, const Function &F, bool KeepNames) {
+  W.str(F.Name);
+  encodeSig(W, F.Sig);
+  W.u32(static_cast<uint32_t>(F.Locals.size()));
+  for (const LocalVar &L : F.Locals) {
+    W.str(KeepNames ? L.Name : std::string());
+    W.u8(static_cast<uint8_t>(L.Kind));
+  }
+  W.u32(static_cast<uint32_t>(F.Code.size()));
+  for (const Instruction &I : F.Code) {
+    W.u8(static_cast<uint8_t>(I.Op));
+    switch (opcodeOperand(I.Op)) {
+    case OperandKind::OK_None:
+      break;
+    case OperandKind::OK_Int:
+    case OperandKind::OK_Bool:
+      W.u64(static_cast<uint64_t>(I.IntOp));
+      break;
+    case OperandKind::OK_Float:
+      W.f64(I.FloatOp);
+      break;
+    case OperandKind::OK_Str:
+      W.str(I.StrOp);
+      break;
+    case OperandKind::OK_Local:
+      W.u32(I.Index);
+      W.str(KeepNames ? I.StrOp : std::string());
+      break;
+    case OperandKind::OK_Label:
+      W.u32(I.Index);
+      break;
+    case OperandKind::OK_Func:
+      W.str(I.StrOp);
+      break;
+    }
+  }
+}
+
+std::string encodeImpl(const Module &M, bool KeepNames) {
+  Writer W;
+  W.Out.append(Magic, 4);
+  W.u32(FormatVersion);
+  W.str(M.Name);
+  W.u32(static_cast<uint32_t>(M.Imports.size()));
+  for (const Import &I : M.Imports) {
+    W.str(I.Name);
+    encodeSig(W, I.Sig);
+  }
+  W.u32(static_cast<uint32_t>(M.Functions.size()));
+  for (const Function &F : M.Functions)
+    encodeFunction(W, F, KeepNames);
+  return std::move(W.Out);
+}
+
+} // namespace
+
+std::string dsu::vtal::encodeModule(const Module &M) {
+  return encodeImpl(M, /*KeepNames=*/true);
+}
+
+size_t dsu::vtal::strippedSize(const Module &M) {
+  return encodeImpl(M, /*KeepNames=*/false).size();
+}
+
+Expected<Module> dsu::vtal::decodeModule(std::string_view Bytes) {
+  auto Fail = [](const char *Why) -> Expected<Module> {
+    return Error::make(ErrorCode::EC_Parse, "vtal bytecode: %s", Why);
+  };
+
+  if (Bytes.size() < 8 || std::memcmp(Bytes.data(), Magic, 4) != 0)
+    return Fail("bad magic");
+  ReaderState R(Bytes.substr(4));
+
+  uint32_t Version;
+  if (!R.u32(Version) || Version != FormatVersion)
+    return Fail("unsupported format version");
+
+  Module M;
+  if (!R.str(M.Name))
+    return Fail("truncated module name");
+
+  uint32_t NumImports;
+  if (!R.u32(NumImports) || NumImports > (1u << 16))
+    return Fail("bad import count");
+  for (uint32_t I = 0; I != NumImports; ++I) {
+    Import Imp;
+    if (!R.str(Imp.Name) || !decodeSig(R, Imp.Sig))
+      return Fail("truncated import");
+    M.Imports.push_back(std::move(Imp));
+  }
+
+  uint32_t NumFns;
+  if (!R.u32(NumFns) || NumFns > (1u << 16))
+    return Fail("bad function count");
+  for (uint32_t FI = 0; FI != NumFns; ++FI) {
+    Function F;
+    if (!R.str(F.Name) || !decodeSig(R, F.Sig))
+      return Fail("truncated function header");
+
+    uint32_t NumLocals;
+    if (!R.u32(NumLocals) || NumLocals > (1u << 16))
+      return Fail("bad local count");
+    if (NumLocals < F.Sig.Params.size())
+      return Fail("fewer locals than parameters");
+    for (uint32_t I = 0; I != NumLocals; ++I) {
+      LocalVar L;
+      uint8_t K;
+      if (!R.str(L.Name) || !R.u8(K) || !validKind(K))
+        return Fail("truncated local");
+      L.Kind = static_cast<ValKind>(K);
+      F.Locals.push_back(std::move(L));
+    }
+
+    uint32_t NumInsts;
+    if (!R.u32(NumInsts) || NumInsts > (1u << 24))
+      return Fail("bad instruction count");
+    for (uint32_t I = 0; I != NumInsts; ++I) {
+      uint8_t OpByte;
+      if (!R.u8(OpByte) || OpByte >= NumOpcodes)
+        return Fail("bad opcode");
+      Instruction Inst;
+      Inst.Op = static_cast<Opcode>(OpByte);
+      switch (opcodeOperand(Inst.Op)) {
+      case OperandKind::OK_None:
+        break;
+      case OperandKind::OK_Int:
+      case OperandKind::OK_Bool: {
+        uint64_t V;
+        if (!R.u64(V))
+          return Fail("truncated int operand");
+        Inst.IntOp = static_cast<int64_t>(V);
+        break;
+      }
+      case OperandKind::OK_Float:
+        if (!R.f64(Inst.FloatOp))
+          return Fail("truncated float operand");
+        break;
+      case OperandKind::OK_Str:
+        if (!R.str(Inst.StrOp))
+          return Fail("truncated string operand");
+        break;
+      case OperandKind::OK_Local:
+        if (!R.u32(Inst.Index) || !R.str(Inst.StrOp))
+          return Fail("truncated local operand");
+        if (Inst.Index >= F.Locals.size())
+          return Fail("local index out of range");
+        break;
+      case OperandKind::OK_Label:
+        if (!R.u32(Inst.Index))
+          return Fail("truncated label operand");
+        if (Inst.Index >= NumInsts)
+          return Fail("label target out of range");
+        break;
+      case OperandKind::OK_Func:
+        if (!R.str(Inst.StrOp))
+          return Fail("truncated callee name");
+        break;
+      }
+      F.Code.push_back(std::move(Inst));
+    }
+    M.Functions.push_back(std::move(F));
+  }
+
+  if (!R.atEnd())
+    return Fail("trailing bytes after module");
+  return M;
+}

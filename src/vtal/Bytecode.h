@@ -1,0 +1,37 @@
+//===- vtal/Bytecode.h - VTAL binary encoding -----------------*- C++ -*-===//
+///
+/// \file
+/// Serializes VTAL modules to a compact binary form and back.  Patch files
+/// embed modules in this encoding; the decoder is defensive (a corrupt or
+/// hostile patch must fail cleanly, never crash), and decoded modules are
+/// still run through the verifier before linking — decode success conveys
+/// no trust, matching the PLDI 2001 stance that only verification does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_VTAL_BYTECODE_H
+#define DSU_VTAL_BYTECODE_H
+
+#include "support/Error.h"
+#include "vtal/Module.h"
+
+#include <string>
+
+namespace dsu {
+namespace vtal {
+
+/// Encodes \p M; the result is stable across processes and platforms of
+/// the same endianness.
+std::string encodeModule(const Module &M);
+
+/// Decodes a module previously produced by encodeModule().
+Expected<Module> decodeModule(std::string_view Bytes);
+
+/// Bytes of the encoded form with local/label symbol names stripped —
+/// the "stripped" size reported by the code-size experiment (E5).
+size_t strippedSize(const Module &M);
+
+} // namespace vtal
+} // namespace dsu
+
+#endif // DSU_VTAL_BYTECODE_H

@@ -1,0 +1,328 @@
+//===- vtal/Interp.cpp ----------------------------------------*- C++ -*-===//
+
+#include "vtal/Interp.h"
+
+#include "support/StringUtil.h"
+
+using namespace dsu;
+using namespace dsu::vtal;
+
+namespace {
+constexpr uint64_t DefaultFuel = 64ull << 20;
+constexpr unsigned MaxCallDepth = 256;
+} // namespace
+
+std::string Value::str() const {
+  switch (Kind) {
+  case ValKind::VK_Int:
+    return formatString("int(%lld)", static_cast<long long>(I));
+  case ValKind::VK_Float:
+    return formatString("float(%g)", F);
+  case ValKind::VK_Bool:
+    return B ? "bool(true)" : "bool(false)";
+  case ValKind::VK_Str:
+    return "string(\"" + escapeString(S) + "\")";
+  case ValKind::VK_Unit:
+    return "unit";
+  }
+  return "?";
+}
+
+Interpreter::Interpreter(const Module &M, uint64_t Fuel)
+    : M(M), FuelLimit(Fuel ? Fuel : DefaultFuel) {}
+
+Error Interpreter::bindImport(const std::string &Name, HostFn Fn) {
+  if (!M.findImport(Name))
+    return Error::make(ErrorCode::EC_Link,
+                       "module '%s' declares no import named '%s'",
+                       M.Name.c_str(), Name.c_str());
+  Imports[Name] = std::move(Fn);
+  return Error::success();
+}
+
+Expected<Value> Interpreter::call(const std::string &FnName,
+                                  const std::vector<Value> &Args) {
+  const Function *F = M.findFunction(FnName);
+  if (!F)
+    return Error::make(ErrorCode::EC_Invalid, "no function '%s' in '%s'",
+                       FnName.c_str(), M.Name.c_str());
+  if (Args.size() != F->Sig.Params.size())
+    return Error::make(ErrorCode::EC_Invalid,
+                       "call to '%s': expected %zu arguments, got %zu",
+                       FnName.c_str(), F->Sig.Params.size(), Args.size());
+  for (size_t I = 0; I != Args.size(); ++I)
+    if (Args[I].kind() != F->Sig.Params[I])
+      return Error::make(ErrorCode::EC_Invalid,
+                         "call to '%s': argument %zu has kind %s, want %s",
+                         FnName.c_str(), I, valKindName(Args[I].kind()),
+                         valKindName(F->Sig.Params[I]));
+
+  uint64_t Fuel = FuelLimit;
+  Expected<Value> Result = invoke(*F, Args, Fuel, 0);
+  LastFuelUsed = FuelLimit - Fuel;
+  return Result;
+}
+
+Expected<Value> Interpreter::invoke(const Function &F,
+                                    const std::vector<Value> &Args,
+                                    uint64_t &Fuel, unsigned Depth) {
+  if (Depth > MaxCallDepth)
+    return Error::make(ErrorCode::EC_Invalid,
+                       "call depth limit exceeded in '%s'", F.Name.c_str());
+
+  std::vector<Value> Locals(F.Locals.size());
+  for (size_t I = 0; I != Args.size(); ++I)
+    Locals[I] = Args[I];
+  // Non-parameter locals start zero-initialized at their declared kind.
+  for (size_t I = Args.size(); I != Locals.size(); ++I) {
+    switch (F.Locals[I].Kind) {
+    case ValKind::VK_Int:
+      Locals[I] = Value::makeInt(0);
+      break;
+    case ValKind::VK_Float:
+      Locals[I] = Value::makeFloat(0.0);
+      break;
+    case ValKind::VK_Bool:
+      Locals[I] = Value::makeBool(false);
+      break;
+    case ValKind::VK_Str:
+      Locals[I] = Value::makeStr("");
+      break;
+    case ValKind::VK_Unit:
+      break;
+    }
+  }
+
+  std::vector<Value> Stack;
+  Stack.reserve(16);
+  auto popV = [&Stack]() {
+    Value V = std::move(Stack.back());
+    Stack.pop_back();
+    return V;
+  };
+
+  uint32_t PC = 0;
+  while (true) {
+    if (Fuel == 0)
+      return Error::make(ErrorCode::EC_Invalid,
+                         "fuel exhausted in '%s' (infinite loop in patch "
+                         "code?)",
+                         F.Name.c_str());
+    --Fuel;
+    assert(PC < F.Code.size() && "pc out of range; module not verified?");
+    const Instruction &I = F.Code[PC];
+
+    switch (I.Op) {
+    case Opcode::PushI:
+      Stack.push_back(Value::makeInt(I.IntOp));
+      break;
+    case Opcode::PushF:
+      Stack.push_back(Value::makeFloat(I.FloatOp));
+      break;
+    case Opcode::PushB:
+      Stack.push_back(Value::makeBool(I.IntOp != 0));
+      break;
+    case Opcode::PushS:
+      Stack.push_back(Value::makeStr(I.StrOp));
+      break;
+
+    case Opcode::Load:
+      Stack.push_back(Locals[I.Index]);
+      break;
+    case Opcode::Store:
+      Locals[I.Index] = popV();
+      break;
+    case Opcode::Pop:
+      Stack.pop_back();
+      break;
+    case Opcode::Dup:
+      Stack.push_back(Stack.back());
+      break;
+
+#define INT_BINOP(OPC, EXPR)                                                 \
+  case Opcode::OPC: {                                                        \
+    int64_t B = popV().asInt();                                              \
+    int64_t A = popV().asInt();                                              \
+    (void)A;                                                                 \
+    (void)B;                                                                 \
+    Stack.push_back(EXPR);                                                   \
+    break;                                                                   \
+  }
+      INT_BINOP(Add, Value::makeInt(static_cast<int64_t>(
+                         static_cast<uint64_t>(A) + static_cast<uint64_t>(B))))
+      INT_BINOP(Sub, Value::makeInt(static_cast<int64_t>(
+                         static_cast<uint64_t>(A) - static_cast<uint64_t>(B))))
+      INT_BINOP(Mul, Value::makeInt(static_cast<int64_t>(
+                         static_cast<uint64_t>(A) * static_cast<uint64_t>(B))))
+      INT_BINOP(Eq, Value::makeBool(A == B))
+      INT_BINOP(Ne, Value::makeBool(A != B))
+      INT_BINOP(Lt, Value::makeBool(A < B))
+      INT_BINOP(Le, Value::makeBool(A <= B))
+      INT_BINOP(Gt, Value::makeBool(A > B))
+      INT_BINOP(Ge, Value::makeBool(A >= B))
+#undef INT_BINOP
+
+    case Opcode::Div:
+    case Opcode::Rem: {
+      int64_t B = popV().asInt();
+      int64_t A = popV().asInt();
+      if (B == 0)
+        return Error::make(ErrorCode::EC_Invalid,
+                           "division by zero in '%s' at pc %u",
+                           F.Name.c_str(), PC);
+      if (A == INT64_MIN && B == -1)
+        return Error::make(ErrorCode::EC_Invalid,
+                           "integer overflow in division in '%s' at pc %u",
+                           F.Name.c_str(), PC);
+      Stack.push_back(Value::makeInt(I.Op == Opcode::Div ? A / B : A % B));
+      break;
+    }
+    case Opcode::Neg: {
+      int64_t A = popV().asInt();
+      Stack.push_back(
+          Value::makeInt(static_cast<int64_t>(-static_cast<uint64_t>(A))));
+      break;
+    }
+
+#define FLT_BINOP(OPC, EXPR)                                                 \
+  case Opcode::OPC: {                                                        \
+    double B = popV().asFloat();                                             \
+    double A = popV().asFloat();                                             \
+    (void)A;                                                                 \
+    (void)B;                                                                 \
+    Stack.push_back(EXPR);                                                   \
+    break;                                                                   \
+  }
+      FLT_BINOP(FAdd, Value::makeFloat(A + B))
+      FLT_BINOP(FSub, Value::makeFloat(A - B))
+      FLT_BINOP(FMul, Value::makeFloat(A * B))
+      FLT_BINOP(FDiv, Value::makeFloat(A / B))
+      FLT_BINOP(FEq, Value::makeBool(A == B))
+      FLT_BINOP(FNe, Value::makeBool(A != B))
+      FLT_BINOP(FLt, Value::makeBool(A < B))
+      FLT_BINOP(FLe, Value::makeBool(A <= B))
+      FLT_BINOP(FGt, Value::makeBool(A > B))
+      FLT_BINOP(FGe, Value::makeBool(A >= B))
+#undef FLT_BINOP
+
+    case Opcode::FNeg:
+      Stack.push_back(Value::makeFloat(-popV().asFloat()));
+      break;
+
+    case Opcode::And: {
+      bool B = popV().asBool();
+      bool A = popV().asBool();
+      Stack.push_back(Value::makeBool(A && B));
+      break;
+    }
+    case Opcode::Or: {
+      bool B = popV().asBool();
+      bool A = popV().asBool();
+      Stack.push_back(Value::makeBool(A || B));
+      break;
+    }
+    case Opcode::Not:
+      Stack.push_back(Value::makeBool(!popV().asBool()));
+      break;
+
+    case Opcode::I2F:
+      Stack.push_back(Value::makeFloat(static_cast<double>(popV().asInt())));
+      break;
+    case Opcode::F2I:
+      Stack.push_back(Value::makeInt(static_cast<int64_t>(popV().asFloat())));
+      break;
+
+    case Opcode::SCat: {
+      Value B = popV();
+      Value A = popV();
+      Stack.push_back(Value::makeStr(A.asStr() + B.asStr()));
+      break;
+    }
+    case Opcode::SLen:
+      Stack.push_back(
+          Value::makeInt(static_cast<int64_t>(popV().asStr().size())));
+      break;
+    case Opcode::SEq: {
+      Value B = popV();
+      Value A = popV();
+      Stack.push_back(Value::makeBool(A.asStr() == B.asStr()));
+      break;
+    }
+    case Opcode::SSub: {
+      int64_t Len = popV().asInt();
+      int64_t Start = popV().asInt();
+      Value S = popV();
+      const std::string &Str = S.asStr();
+      // Clamped semantics: out-of-range slices yield the empty overlap
+      // instead of trapping, so patch code stays total on string ops.
+      int64_t N = static_cast<int64_t>(Str.size());
+      if (Start < 0)
+        Start = 0;
+      if (Start > N)
+        Start = N;
+      if (Len < 0)
+        Len = 0;
+      if (Start + Len > N)
+        Len = N - Start;
+      Stack.push_back(Value::makeStr(
+          Str.substr(static_cast<size_t>(Start), static_cast<size_t>(Len))));
+      break;
+    }
+    case Opcode::SFind: {
+      Value Needle = popV();
+      Value Hay = popV();
+      size_t Pos = Hay.asStr().find(Needle.asStr());
+      Stack.push_back(Value::makeInt(
+          Pos == std::string::npos ? -1 : static_cast<int64_t>(Pos)));
+      break;
+    }
+
+    case Opcode::Br:
+      PC = I.Index;
+      continue;
+    case Opcode::BrIf:
+      if (popV().asBool()) {
+        PC = I.Index;
+        continue;
+      }
+      break;
+
+    case Opcode::Ret:
+      if (F.Sig.Result == ValKind::VK_Unit)
+        return Value::makeUnit();
+      return popV();
+
+    case Opcode::Call: {
+      const Function *Callee = M.findFunction(I.StrOp);
+      const Import *Imp = Callee ? nullptr : M.findImport(I.StrOp);
+      const Signature &Sig = Callee ? Callee->Sig : Imp->Sig;
+      std::vector<Value> CallArgs(Sig.Params.size());
+      for (size_t A = Sig.Params.size(); A-- > 0;)
+        CallArgs[A] = popV();
+
+      Expected<Value> Result = Error::make(ErrorCode::EC_Link, "unbound");
+      if (Callee) {
+        Result = invoke(*Callee, CallArgs, Fuel, Depth + 1);
+      } else {
+        auto It = Imports.find(I.StrOp);
+        if (It == Imports.end())
+          return Error::make(ErrorCode::EC_Link,
+                             "import '%s' was never bound", I.StrOp.c_str());
+        Result = It->second(CallArgs);
+        if (Result && Result->kind() != Sig.Result)
+          return Error::make(ErrorCode::EC_Link,
+                             "host import '%s' returned %s, expected %s",
+                             I.StrOp.c_str(),
+                             valKindName(Result->kind()),
+                             valKindName(Sig.Result));
+      }
+      if (!Result)
+        return Result;
+      if (Sig.Result != ValKind::VK_Unit)
+        Stack.push_back(std::move(*Result));
+      break;
+    }
+    }
+    ++PC;
+  }
+}

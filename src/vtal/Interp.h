@@ -1,0 +1,125 @@
+//===- vtal/Interp.h - VTAL interpreter -----------------------*- C++ -*-===//
+///
+/// \file
+/// Executes verified VTAL modules.  The interpreter is the reproduction's
+/// execution substrate for patch code shipped as VTAL (patch code shipped
+/// as a native shared object runs directly; see link/NativeLoader.h).
+///
+/// An Interpreter instance binds one module plus host functions for its
+/// imports.  Execution is fuel-limited so that a buggy patch cannot hang
+/// the updating process at an update point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_VTAL_INTERP_H
+#define DSU_VTAL_INTERP_H
+
+#include "support/Error.h"
+#include "vtal/Module.h"
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dsu {
+namespace vtal {
+
+/// A runtime value of the VTAL machine.
+class Value {
+public:
+  Value() : Kind(ValKind::VK_Unit) {}
+
+  static Value makeInt(int64_t V) {
+    Value X;
+    X.Kind = ValKind::VK_Int;
+    X.I = V;
+    return X;
+  }
+  static Value makeFloat(double V) {
+    Value X;
+    X.Kind = ValKind::VK_Float;
+    X.F = V;
+    return X;
+  }
+  static Value makeBool(bool V) {
+    Value X;
+    X.Kind = ValKind::VK_Bool;
+    X.B = V;
+    return X;
+  }
+  static Value makeStr(std::string V) {
+    Value X;
+    X.Kind = ValKind::VK_Str;
+    X.S = std::move(V);
+    return X;
+  }
+  static Value makeUnit() { return Value(); }
+
+  ValKind kind() const { return Kind; }
+  int64_t asInt() const {
+    assert(Kind == ValKind::VK_Int && "not an int");
+    return I;
+  }
+  double asFloat() const {
+    assert(Kind == ValKind::VK_Float && "not a float");
+    return F;
+  }
+  bool asBool() const {
+    assert(Kind == ValKind::VK_Bool && "not a bool");
+    return B;
+  }
+  const std::string &asStr() const {
+    assert(Kind == ValKind::VK_Str && "not a string");
+    return S;
+  }
+
+  /// Debug rendering, e.g. "int(42)".
+  std::string str() const;
+
+private:
+  ValKind Kind;
+  int64_t I = 0;
+  double F = 0.0;
+  bool B = false;
+  std::string S;
+};
+
+/// A host-provided implementation of a module import.
+using HostFn = std::function<Expected<Value>(const std::vector<Value> &)>;
+
+/// Interprets one module.  The module must outlive the interpreter and
+/// should have passed verifyModule() — the interpreter still traps
+/// dynamically (division by zero, fuel exhaustion, call depth) but relies
+/// on verification for kind correctness of straight-line code.
+class Interpreter {
+public:
+  /// \p Fuel bounds the total instruction count of one call() including
+  /// callees; 0 means the default (64M instructions).
+  explicit Interpreter(const Module &M, uint64_t Fuel = 0);
+
+  /// Supplies the implementation of import \p Name.  Signature conformance
+  /// of values is checked at each call.
+  Error bindImport(const std::string &Name, HostFn Fn);
+
+  /// Calls function \p FnName with \p Args.
+  Expected<Value> call(const std::string &FnName,
+                       const std::vector<Value> &Args);
+
+  /// Instructions executed by the most recent call().
+  uint64_t lastFuelUsed() const { return LastFuelUsed; }
+
+private:
+  Expected<Value> invoke(const Function &F, const std::vector<Value> &Args,
+                         uint64_t &Fuel, unsigned Depth);
+
+  const Module &M;
+  uint64_t FuelLimit;
+  uint64_t LastFuelUsed = 0;
+  std::map<std::string, HostFn> Imports;
+};
+
+} // namespace vtal
+} // namespace dsu
+
+#endif // DSU_VTAL_INTERP_H

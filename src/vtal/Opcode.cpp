@@ -1,0 +1,128 @@
+//===- vtal/Opcode.cpp ----------------------------------------*- C++ -*-===//
+
+#include "vtal/Opcode.h"
+
+#include <cassert>
+
+using namespace dsu;
+using namespace dsu::vtal;
+
+const char *dsu::vtal::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::PushI:
+    return "push.i";
+  case Opcode::PushF:
+    return "push.f";
+  case Opcode::PushB:
+    return "push.b";
+  case Opcode::PushS:
+    return "push.s";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::Pop:
+    return "pop";
+  case Opcode::Dup:
+    return "dup";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Rem:
+    return "rem";
+  case Opcode::Neg:
+    return "neg";
+  case Opcode::FAdd:
+    return "fadd";
+  case Opcode::FSub:
+    return "fsub";
+  case Opcode::FMul:
+    return "fmul";
+  case Opcode::FDiv:
+    return "fdiv";
+  case Opcode::FNeg:
+    return "fneg";
+  case Opcode::Eq:
+    return "eq";
+  case Opcode::Ne:
+    return "ne";
+  case Opcode::Lt:
+    return "lt";
+  case Opcode::Le:
+    return "le";
+  case Opcode::Gt:
+    return "gt";
+  case Opcode::Ge:
+    return "ge";
+  case Opcode::FEq:
+    return "feq";
+  case Opcode::FNe:
+    return "fne";
+  case Opcode::FLt:
+    return "flt";
+  case Opcode::FLe:
+    return "fle";
+  case Opcode::FGt:
+    return "fgt";
+  case Opcode::FGe:
+    return "fge";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Not:
+    return "not";
+  case Opcode::I2F:
+    return "i2f";
+  case Opcode::F2I:
+    return "f2i";
+  case Opcode::SCat:
+    return "scat";
+  case Opcode::SLen:
+    return "slen";
+  case Opcode::SEq:
+    return "seq";
+  case Opcode::SSub:
+    return "ssub";
+  case Opcode::SFind:
+    return "sfind";
+  case Opcode::Br:
+    return "br";
+  case Opcode::BrIf:
+    return "brif";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::Call:
+    return "call";
+  }
+  assert(false && "unknown opcode");
+  return "?";
+}
+
+OperandKind dsu::vtal::opcodeOperand(Opcode Op) {
+  switch (Op) {
+  case Opcode::PushI:
+    return OperandKind::OK_Int;
+  case Opcode::PushF:
+    return OperandKind::OK_Float;
+  case Opcode::PushB:
+    return OperandKind::OK_Bool;
+  case Opcode::PushS:
+    return OperandKind::OK_Str;
+  case Opcode::Load:
+  case Opcode::Store:
+    return OperandKind::OK_Local;
+  case Opcode::Br:
+  case Opcode::BrIf:
+    return OperandKind::OK_Label;
+  case Opcode::Call:
+    return OperandKind::OK_Func;
+  default:
+    return OperandKind::OK_None;
+  }
+}

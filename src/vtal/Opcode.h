@@ -1,0 +1,114 @@
+//===- vtal/Opcode.h - VTAL instruction set -------------------*- C++ -*-===//
+///
+/// \file
+/// Opcodes of VTAL, the verifiable typed assembly-like language that plays
+/// the role TAL/x86 plays in the PLDI 2001 system: patch code shipped in
+/// VTAL carries enough typing structure to be machine-checked before it is
+/// dynamically linked into the running program.
+///
+/// VTAL is a typed stack machine over five scalar kinds (int, float, bool,
+/// string, unit) with named locals, structured function signatures, and
+/// direct calls to module-local or imported functions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_VTAL_OPCODE_H
+#define DSU_VTAL_OPCODE_H
+
+#include <cstdint>
+
+namespace dsu {
+namespace vtal {
+
+enum class Opcode : uint8_t {
+  // Constants.
+  PushI, ///< push.i <imm>      : push integer literal
+  PushF, ///< push.f <imm>      : push float literal
+  PushB, ///< push.b true|false : push boolean literal
+  PushS, ///< push.s "<text>"   : push string literal
+
+  // Locals and stack shuffling.
+  Load,  ///< load <local>      : push local
+  Store, ///< store <local>     : pop into local
+  Pop,   ///< pop               : discard top
+  Dup,   ///< dup               : duplicate top
+
+  // Integer arithmetic.
+  Add,
+  Sub,
+  Mul,
+  Div, ///< traps on divide by zero
+  Rem, ///< traps on divide by zero
+  Neg,
+
+  // Float arithmetic.
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  FNeg,
+
+  // Integer comparisons (push bool).
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+
+  // Float comparisons (push bool).
+  FEq,
+  FNe,
+  FLt,
+  FLe,
+  FGt,
+  FGe,
+
+  // Booleans.
+  And,
+  Or,
+  Not,
+
+  // Conversions.
+  I2F,
+  F2I,
+
+  // Strings.
+  SCat,  ///< concatenate two strings
+  SLen,  ///< string length as int
+  SEq,   ///< string equality as bool
+  SSub,  ///< substring: pops (s, start, len), pushes the slice (clamped)
+  SFind, ///< find: pops (haystack, needle), pushes first index or -1
+
+  // Control.
+  Br,   ///< br <label>    : unconditional jump
+  BrIf, ///< brif <label>  : pop bool, jump when true
+  Ret,  ///< return; stack must hold exactly the result
+  Call, ///< call <fn>     : pop args, push result
+};
+
+/// What a textual/encoded operand of an opcode looks like.
+enum class OperandKind : uint8_t {
+  OK_None,
+  OK_Int,   ///< 64-bit integer immediate
+  OK_Float, ///< 64-bit float immediate
+  OK_Bool,  ///< boolean immediate
+  OK_Str,   ///< string immediate
+  OK_Local, ///< local-variable reference (by name in text, index encoded)
+  OK_Label, ///< branch target (by name in text, index encoded)
+  OK_Func,  ///< callee name
+};
+
+/// Returns the assembler mnemonic for \p Op.
+const char *opcodeName(Opcode Op);
+
+/// Returns the operand shape of \p Op.
+OperandKind opcodeOperand(Opcode Op);
+
+/// Number of opcodes (for encode/decode validation).
+constexpr unsigned NumOpcodes = static_cast<unsigned>(Opcode::Call) + 1;
+
+} // namespace vtal
+} // namespace dsu
+
+#endif // DSU_VTAL_OPCODE_H

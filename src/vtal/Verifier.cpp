@@ -1,0 +1,307 @@
+//===- vtal/Verifier.cpp --------------------------------------*- C++ -*-===//
+
+#include "vtal/Verifier.h"
+
+#include "support/StringUtil.h"
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+
+using namespace dsu;
+using namespace dsu::vtal;
+
+namespace {
+
+using AbsStack = std::vector<ValKind>;
+
+/// Per-function verification context.
+class FunctionVerifier {
+public:
+  FunctionVerifier(const Module &M, const Function &F) : M(M), F(F) {}
+
+  Error run(size_t &InstructionsChecked) {
+    if (F.Code.empty())
+      return err(0, "function has no code");
+    if (F.Locals.size() < F.numParams())
+      return err(0, "fewer locals than parameters");
+    for (unsigned I = 0; I != F.numParams(); ++I)
+      if (F.Locals[I].Kind != F.Sig.Params[I])
+        return err(0, "parameter local kind disagrees with signature");
+
+    // Seed: entry with the empty stack.
+    States.resize(F.Code.size());
+    States[0] = AbsStack();
+    Worklist.push_back(0);
+
+    while (!Worklist.empty()) {
+      uint32_t PC = Worklist.front();
+      Worklist.pop_front();
+      AbsStack Stack = *States[PC];
+      ++InstructionsChecked;
+      if (Error E = step(PC, Stack))
+        return E;
+    }
+    return Error::success();
+  }
+
+private:
+  Error err(uint32_t PC, const char *Msg) {
+    return Error::make(ErrorCode::EC_Verify, "%s:%s:pc%u: %s",
+                       M.Name.c_str(), F.Name.c_str(), PC, Msg);
+  }
+
+  /// Pops one operand, checking its kind.
+  Error pop(AbsStack &Stack, uint32_t PC, ValKind Want) {
+    if (Stack.empty())
+      return err(PC, "operand stack underflow");
+    if (Stack.back() != Want)
+      return Error::make(
+          ErrorCode::EC_Verify, "%s:%s:pc%u: expected %s on stack, found %s",
+          M.Name.c_str(), F.Name.c_str(), PC, valKindName(Want),
+          valKindName(Stack.back()));
+    Stack.pop_back();
+    return Error::success();
+  }
+
+  /// Propagates \p Stack into \p Target; all paths must agree exactly.
+  Error flowTo(uint32_t PC, uint32_t Target, const AbsStack &Stack) {
+    if (Target >= F.Code.size())
+      return err(PC, "control flow past end of function (missing ret?)");
+    if (!States[Target]) {
+      States[Target] = Stack;
+      Worklist.push_back(Target);
+      return Error::success();
+    }
+    if (*States[Target] != Stack)
+      return err(Target, "inconsistent stack shapes at control-flow join");
+    return Error::success();
+  }
+
+  Error step(uint32_t PC, AbsStack Stack) {
+    const Instruction &I = F.Code[PC];
+    auto BinOp = [&](ValKind In, ValKind Out) -> Error {
+      if (Error E = pop(Stack, PC, In))
+        return E;
+      if (Error E = pop(Stack, PC, In))
+        return E;
+      Stack.push_back(Out);
+      return Error::success();
+    };
+    auto UnOp = [&](ValKind In, ValKind Out) -> Error {
+      if (Error E = pop(Stack, PC, In))
+        return E;
+      Stack.push_back(Out);
+      return Error::success();
+    };
+
+    switch (I.Op) {
+    case Opcode::PushI:
+      Stack.push_back(ValKind::VK_Int);
+      break;
+    case Opcode::PushF:
+      Stack.push_back(ValKind::VK_Float);
+      break;
+    case Opcode::PushB:
+      Stack.push_back(ValKind::VK_Bool);
+      break;
+    case Opcode::PushS:
+      Stack.push_back(ValKind::VK_Str);
+      break;
+
+    case Opcode::Load:
+      if (I.Index >= F.Locals.size())
+        return err(PC, "local index out of range");
+      Stack.push_back(F.Locals[I.Index].Kind);
+      break;
+    case Opcode::Store:
+      if (I.Index >= F.Locals.size())
+        return err(PC, "local index out of range");
+      if (Error E = pop(Stack, PC, F.Locals[I.Index].Kind))
+        return E;
+      break;
+
+    case Opcode::Pop:
+      if (Stack.empty())
+        return err(PC, "pop on empty stack");
+      Stack.pop_back();
+      break;
+    case Opcode::Dup:
+      if (Stack.empty())
+        return err(PC, "dup on empty stack");
+      Stack.push_back(Stack.back());
+      break;
+
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Rem:
+      if (Error E = BinOp(ValKind::VK_Int, ValKind::VK_Int))
+        return E;
+      break;
+    case Opcode::Neg:
+      if (Error E = UnOp(ValKind::VK_Int, ValKind::VK_Int))
+        return E;
+      break;
+
+    case Opcode::FAdd:
+    case Opcode::FSub:
+    case Opcode::FMul:
+    case Opcode::FDiv:
+      if (Error E = BinOp(ValKind::VK_Float, ValKind::VK_Float))
+        return E;
+      break;
+    case Opcode::FNeg:
+      if (Error E = UnOp(ValKind::VK_Float, ValKind::VK_Float))
+        return E;
+      break;
+
+    case Opcode::Eq:
+    case Opcode::Ne:
+    case Opcode::Lt:
+    case Opcode::Le:
+    case Opcode::Gt:
+    case Opcode::Ge:
+      if (Error E = BinOp(ValKind::VK_Int, ValKind::VK_Bool))
+        return E;
+      break;
+
+    case Opcode::FEq:
+    case Opcode::FNe:
+    case Opcode::FLt:
+    case Opcode::FLe:
+    case Opcode::FGt:
+    case Opcode::FGe:
+      if (Error E = BinOp(ValKind::VK_Float, ValKind::VK_Bool))
+        return E;
+      break;
+
+    case Opcode::And:
+    case Opcode::Or:
+      if (Error E = BinOp(ValKind::VK_Bool, ValKind::VK_Bool))
+        return E;
+      break;
+    case Opcode::Not:
+      if (Error E = UnOp(ValKind::VK_Bool, ValKind::VK_Bool))
+        return E;
+      break;
+
+    case Opcode::I2F:
+      if (Error E = UnOp(ValKind::VK_Int, ValKind::VK_Float))
+        return E;
+      break;
+    case Opcode::F2I:
+      if (Error E = UnOp(ValKind::VK_Float, ValKind::VK_Int))
+        return E;
+      break;
+
+    case Opcode::SCat:
+      if (Error E = BinOp(ValKind::VK_Str, ValKind::VK_Str))
+        return E;
+      break;
+    case Opcode::SLen:
+      if (Error E = UnOp(ValKind::VK_Str, ValKind::VK_Int))
+        return E;
+      break;
+    case Opcode::SEq:
+      if (Error E = BinOp(ValKind::VK_Str, ValKind::VK_Bool))
+        return E;
+      break;
+    case Opcode::SSub:
+      // (str, start:int, len:int) -> str
+      if (Error E = pop(Stack, PC, ValKind::VK_Int))
+        return E;
+      if (Error E = pop(Stack, PC, ValKind::VK_Int))
+        return E;
+      if (Error E = pop(Stack, PC, ValKind::VK_Str))
+        return E;
+      Stack.push_back(ValKind::VK_Str);
+      break;
+    case Opcode::SFind:
+      if (Error E = BinOp(ValKind::VK_Str, ValKind::VK_Int))
+        return E;
+      break;
+
+    case Opcode::Br:
+      return flowTo(PC, I.Index, Stack);
+
+    case Opcode::BrIf:
+      if (Error E = pop(Stack, PC, ValKind::VK_Bool))
+        return E;
+      if (Error E = flowTo(PC, I.Index, Stack))
+        return E;
+      return flowTo(PC, PC + 1, Stack);
+
+    case Opcode::Ret: {
+      if (F.Sig.Result == ValKind::VK_Unit) {
+        if (!Stack.empty())
+          return err(PC, "non-empty stack at return from unit function");
+        return Error::success();
+      }
+      if (Stack.size() != 1 || Stack.back() != F.Sig.Result)
+        return Error::make(ErrorCode::EC_Verify,
+                           "%s:%s:pc%u: return requires exactly one %s on "
+                           "the stack",
+                           M.Name.c_str(), F.Name.c_str(), PC,
+                           valKindName(F.Sig.Result));
+      return Error::success();
+    }
+
+    case Opcode::Call: {
+      const Signature *Sig = nullptr;
+      if (const Function *Callee = M.findFunction(I.StrOp))
+        Sig = &Callee->Sig;
+      else if (const Import *Imp = M.findImport(I.StrOp))
+        Sig = &Imp->Sig;
+      if (!Sig)
+        return Error::make(ErrorCode::EC_Verify,
+                           "%s:%s:pc%u: call to unknown function '%s'",
+                           M.Name.c_str(), F.Name.c_str(), PC,
+                           I.StrOp.c_str());
+      // Arguments were pushed left-to-right, so pop them right-to-left.
+      for (size_t A = Sig->Params.size(); A-- > 0;)
+        if (Error E = pop(Stack, PC, Sig->Params[A]))
+          return E;
+      if (Sig->Result != ValKind::VK_Unit)
+        Stack.push_back(Sig->Result);
+      break;
+    }
+    }
+
+    // Default fallthrough for non-terminators.
+    return flowTo(PC, PC + 1, Stack);
+  }
+
+  const Module &M;
+  const Function &F;
+  std::vector<std::optional<AbsStack>> States;
+  std::deque<uint32_t> Worklist;
+};
+
+} // namespace
+
+Error dsu::vtal::verifyModule(const Module &M, VerifyStats *Stats) {
+  VerifyStats Local;
+  VerifyStats &S = Stats ? *Stats : Local;
+
+  std::set<std::string> Names;
+  for (const Function &F : M.Functions)
+    if (!Names.insert(F.Name).second)
+      return Error::make(ErrorCode::EC_Verify,
+                         "%s: duplicate function '%s'", M.Name.c_str(),
+                         F.Name.c_str());
+  for (const Import &I : M.Imports)
+    if (Names.count(I.Name))
+      return Error::make(ErrorCode::EC_Verify,
+                         "%s: import '%s' collides with a function",
+                         M.Name.c_str(), I.Name.c_str());
+
+  for (const Function &F : M.Functions) {
+    ++S.FunctionsChecked;
+    if (Error E = FunctionVerifier(M, F).run(S.InstructionsChecked))
+      return E;
+  }
+  return Error::success();
+}

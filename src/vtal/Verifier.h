@@ -1,0 +1,43 @@
+//===- vtal/Verifier.h - VTAL bytecode verifier ---------------*- C++ -*-===//
+///
+/// \file
+/// The VTAL verifier: a dataflow typechecker run over every module before
+/// it may be dynamically linked.  This is the reproduction's analogue of
+/// TAL verification in the PLDI 2001 system — the step that lets the
+/// running program accept code from a patch file without trusting it.
+///
+/// The verifier abstractly interprets each function over stacks of value
+/// kinds: all paths to an instruction must agree on the stack shape,
+/// locals are used at their declared kinds, calls match the callee's
+/// signature, returns carry exactly the declared result, and control flow
+/// cannot fall off the end of a function.  Verification is linear in code
+/// size (each instruction is visited once per distinct incoming state, and
+/// states are required to be equal, so once).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_VTAL_VERIFIER_H
+#define DSU_VTAL_VERIFIER_H
+
+#include "support/Error.h"
+#include "vtal/Module.h"
+
+namespace dsu {
+namespace vtal {
+
+/// Statistics from a verification run (reported by bench_vtal_verify,
+/// experiment E7).
+struct VerifyStats {
+  size_t FunctionsChecked = 0;
+  size_t InstructionsChecked = 0;
+};
+
+/// Verifies \p M.  Returns success when the module is well-typed; the
+/// error identifies the offending function and program counter otherwise.
+/// \p Stats, when non-null, receives counters even on failure.
+Error verifyModule(const Module &M, VerifyStats *Stats = nullptr);
+
+} // namespace vtal
+} // namespace dsu
+
+#endif // DSU_VTAL_VERIFIER_H

@@ -1,0 +1,172 @@
+//===- tests/test_compat.cpp - Replacement compatibility tests -*- C++ -*-===//
+///
+/// Exercises the type-safety judgement at the heart of the PLDI 2001
+/// system: when may a binding be replaced, and which state-transformer
+/// obligations does the replacement incur.
+
+#include "types/Compat.h"
+#include "types/Substitute.h"
+#include "types/TypeParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace dsu;
+
+namespace {
+
+class CompatTest : public ::testing::Test {
+protected:
+  const Type *ty(const char *Text) {
+    Expected<const Type *> T = parseType(Ctx, Text);
+    EXPECT_TRUE(T) << T.error().str();
+    return *T;
+  }
+  TypeContext Ctx;
+};
+
+TEST_F(CompatTest, IdenticalTypesAreIdentical) {
+  ReplaceCheck C = checkReplacement(ty("fn(int) -> int"),
+                                    ty("fn(int) -> int"));
+  EXPECT_EQ(C.Verdict, ReplaceVerdict::RV_Identical);
+  EXPECT_TRUE(C.Bumps.empty());
+  EXPECT_TRUE(C.ok());
+}
+
+TEST_F(CompatTest, ShapeMismatchRejected) {
+  ReplaceCheck C = checkReplacement(ty("fn(int) -> int"),
+                                    ty("fn(string) -> int"));
+  EXPECT_EQ(C.Verdict, ReplaceVerdict::RV_Incompatible);
+  EXPECT_FALSE(C.ok());
+  EXPECT_FALSE(C.Reason.empty());
+}
+
+TEST_F(CompatTest, ArityChangeRejected) {
+  ReplaceCheck C = checkReplacement(ty("fn(int) -> int"),
+                                    ty("fn(int, int) -> int"));
+  EXPECT_EQ(C.Verdict, ReplaceVerdict::RV_Incompatible);
+}
+
+TEST_F(CompatTest, VersionBumpDetected) {
+  ReplaceCheck C = checkReplacement(ty("fn(%conn@1) -> int"),
+                                    ty("fn(%conn@2) -> int"));
+  ASSERT_EQ(C.Verdict, ReplaceVerdict::RV_VersionBumped);
+  ASSERT_EQ(C.Bumps.size(), 1u);
+  EXPECT_EQ(C.Bumps[0].From.str(), "%conn@1");
+  EXPECT_EQ(C.Bumps[0].To.str(), "%conn@2");
+}
+
+TEST_F(CompatTest, VersionDowngradeRejected) {
+  ReplaceCheck C = checkReplacement(ty("fn(%conn@2) -> int"),
+                                    ty("fn(%conn@1) -> int"));
+  EXPECT_EQ(C.Verdict, ReplaceVerdict::RV_Incompatible);
+}
+
+TEST_F(CompatTest, DifferentNamesRejected) {
+  ReplaceCheck C = checkReplacement(ty("fn(%conn@1) -> int"),
+                                    ty("fn(%sock@1) -> int"));
+  EXPECT_EQ(C.Verdict, ReplaceVerdict::RV_Incompatible);
+}
+
+TEST_F(CompatTest, NestedBumpsCollected) {
+  ReplaceCheck C = checkReplacement(
+      ty("fn(array<%rec@1>, {c: %conn@3}) -> ptr<%rec@1>"),
+      ty("fn(array<%rec@2>, {c: %conn@4}) -> ptr<%rec@2>"));
+  ASSERT_EQ(C.Verdict, ReplaceVerdict::RV_VersionBumped);
+  // %rec@1->@2 appears twice but is deduplicated; %conn@3->@4 once.
+  EXPECT_EQ(C.Bumps.size(), 2u);
+}
+
+TEST_F(CompatTest, MultiVersionJumpIsOneBump) {
+  ReplaceCheck C = checkReplacement(ty("fn(%rec@1) -> unit"),
+                                    ty("fn(%rec@4) -> unit"));
+  ASSERT_EQ(C.Verdict, ReplaceVerdict::RV_VersionBumped);
+  ASSERT_EQ(C.Bumps.size(), 1u);
+  EXPECT_EQ(C.Bumps[0].From.Version, 1u);
+  EXPECT_EQ(C.Bumps[0].To.Version, 4u);
+}
+
+TEST_F(CompatTest, StructFieldNameChangeRejected) {
+  ReplaceCheck C = checkReplacement(ty("fn({x: int}) -> unit"),
+                                    ty("fn({y: int}) -> unit"));
+  EXPECT_EQ(C.Verdict, ReplaceVerdict::RV_Incompatible);
+}
+
+TEST_F(CompatTest, StructFieldCountChangeRejected) {
+  // Adding a struct field in-place is NOT a compatible replacement; the
+  // paper requires a named-type version bump for representation changes.
+  ReplaceCheck C = checkReplacement(ty("fn({x: int}) -> unit"),
+                                    ty("fn({x: int, y: int}) -> unit"));
+  EXPECT_EQ(C.Verdict, ReplaceVerdict::RV_Incompatible);
+}
+
+TEST_F(CompatTest, ResultPositionBump) {
+  ReplaceCheck C = checkReplacement(ty("fn() -> %rec@1"),
+                                    ty("fn() -> %rec@2"));
+  EXPECT_EQ(C.Verdict, ReplaceVerdict::RV_VersionBumped);
+}
+
+// Property sweep: for any type T, replacing T by itself is RV_Identical,
+// and substituting a version bump yields RV_VersionBumped (when T
+// mentions the name) with exactly the expected obligation.
+class CompatProperty : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(CompatProperty, ReflexivityAndSubstitution) {
+  TypeContext Ctx;
+  Expected<const Type *> T = parseType(Ctx, GetParam());
+  ASSERT_TRUE(T) << T.error().str();
+
+  ReplaceCheck Self = checkReplacement(*T, *T);
+  EXPECT_EQ(Self.Verdict, ReplaceVerdict::RV_Identical);
+
+  VersionBump Bump{VersionedName{"rec", 1}, VersionedName{"rec", 2}};
+  const Type *Sub = substituteNamedVersion(Ctx, *T, Bump);
+  if (typeMentions(*T, Bump.From)) {
+    EXPECT_NE(Sub, *T);
+    EXPECT_FALSE(typeMentions(Sub, Bump.From));
+    EXPECT_TRUE(typeMentions(Sub, Bump.To));
+    ReplaceCheck C = checkReplacement(*T, Sub);
+    ASSERT_EQ(C.Verdict, ReplaceVerdict::RV_VersionBumped);
+    ASSERT_EQ(C.Bumps.size(), 1u);
+    EXPECT_TRUE(C.Bumps[0] == Bump);
+    // The reverse direction is a downgrade and must be rejected.
+    EXPECT_EQ(checkReplacement(Sub, *T).Verdict,
+              ReplaceVerdict::RV_Incompatible);
+  } else {
+    EXPECT_EQ(Sub, *T);
+    EXPECT_EQ(checkReplacement(*T, Sub).Verdict,
+              ReplaceVerdict::RV_Identical);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CompatProperty,
+    ::testing::Values("int", "fn(int) -> int", "%rec@1", "%other@1",
+                      "array<%rec@1>", "ptr<array<%rec@1>>",
+                      "{a: %rec@1, b: int}", "fn(%rec@1) -> %rec@1",
+                      "fn(fn(%rec@1) -> int) -> unit",
+                      "{nested: {deep: array<%rec@1>}}",
+                      "fn(string, bool) -> unit", "%rec@2"));
+
+// --- Substitution unit tests ------------------------------------------
+
+TEST_F(CompatTest, SubstituteIsIdentityWithoutMention) {
+  VersionBump Bump{VersionedName{"rec", 1}, VersionedName{"rec", 2}};
+  const Type *T = ty("fn(int, string) -> {x: float}");
+  EXPECT_EQ(substituteNamedVersion(Ctx, T, Bump), T);
+}
+
+TEST_F(CompatTest, SubstituteOnlyMatchingVersion) {
+  VersionBump Bump{VersionedName{"rec", 1}, VersionedName{"rec", 2}};
+  const Type *T = ty("{a: %rec@1, b: %rec@3}");
+  const Type *S = substituteNamedVersion(Ctx, T, Bump);
+  EXPECT_EQ(S->str(), "{a: %rec@2, b: %rec@3}");
+}
+
+TEST_F(CompatTest, TypesEqualAcrossContexts) {
+  TypeContext Other;
+  EXPECT_TRUE(typesEqual(ty("fn(int) -> int"),
+                         *parseType(Other, "fn(int) -> int")));
+  EXPECT_FALSE(typesEqual(ty("int"), *parseType(Other, "float")));
+}
+
+} // namespace

@@ -1,0 +1,116 @@
+//===- tests/test_flashed_http.cpp - HTTP substrate tests -----*- C++ -*-===//
+
+#include "flashed/DocStore.h"
+#include "flashed/Http.h"
+
+#include <gtest/gtest.h>
+
+using namespace dsu;
+using namespace dsu::flashed;
+
+namespace {
+
+TEST(HttpParseTest, BasicGet) {
+  Expected<HttpRequest> R = parseHttpRequest(
+      "GET /index.html HTTP/1.0\r\nHost: example.com\r\n"
+      "User-Agent: test\r\n\r\n");
+  ASSERT_TRUE(R) << R.error().str();
+  EXPECT_EQ(R->Method, "GET");
+  EXPECT_EQ(R->Target, "/index.html");
+  EXPECT_EQ(R->Version, "HTTP/1.0");
+  EXPECT_EQ(R->Headers.at("host"), "example.com");
+  EXPECT_EQ(R->Headers.at("user-agent"), "test");
+}
+
+TEST(HttpParseTest, HeaderKeysLowerCased) {
+  Expected<HttpRequest> R = parseHttpRequest(
+      "GET / HTTP/1.0\r\nX-CuStOm-KEY:  spaced value \r\n\r\n");
+  ASSERT_TRUE(R);
+  EXPECT_EQ(R->Headers.at("x-custom-key"), "spaced value");
+}
+
+TEST(HttpParseTest, BareLfAccepted) {
+  Expected<HttpRequest> R = parseHttpRequest("GET /x HTTP/1.0\n\n");
+  ASSERT_TRUE(R);
+  EXPECT_EQ(R->Target, "/x");
+}
+
+TEST(HttpParseTest, Http09StyleLine) {
+  Expected<HttpRequest> R = parseHttpRequest("GET /legacy\r\n\r\n");
+  ASSERT_TRUE(R);
+  EXPECT_EQ(R->Version, "HTTP/0.9");
+  EXPECT_EQ(R->Target, "/legacy");
+}
+
+TEST(HttpParseTest, Rejects) {
+  EXPECT_FALSE(parseHttpRequest("GET /incomplete HTTP/1.0\r\n"));
+  EXPECT_FALSE(parseHttpRequest("NOSPACES\r\n\r\n"));
+  EXPECT_FALSE(parseHttpRequest(
+      "GET / HTTP/1.0\r\nBadHeaderNoColon\r\n\r\n"));
+  EXPECT_FALSE(parseHttpRequest(""));
+}
+
+TEST(HttpParseTest, RequestComplete) {
+  EXPECT_TRUE(requestComplete("GET / HTTP/1.0\r\n\r\n"));
+  EXPECT_TRUE(requestComplete("GET / HTTP/1.0\n\n"));
+  EXPECT_FALSE(requestComplete("GET / HTTP/1.0\r\n"));
+  EXPECT_FALSE(requestComplete(""));
+}
+
+TEST(HttpResponseTest, SerializesWithFraming) {
+  std::string R = buildHttpResponse(200, "text/html", "<p>hi</p>");
+  EXPECT_NE(R.find("HTTP/1.0 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(R.find("Content-Type: text/html\r\n"), std::string::npos);
+  EXPECT_NE(R.find("Content-Length: 9\r\n"), std::string::npos);
+  EXPECT_TRUE(R.size() > 9 && R.substr(R.size() - 9) == "<p>hi</p>");
+}
+
+TEST(HttpResponseTest, StatusTexts) {
+  EXPECT_STREQ(statusText(200), "OK");
+  EXPECT_STREQ(statusText(404), "Not Found");
+  EXPECT_STREQ(statusText(403), "Forbidden");
+  EXPECT_STREQ(statusText(500), "Internal Server Error");
+  EXPECT_STREQ(statusText(999), "Unknown");
+}
+
+TEST(MimeTest, KnownAndUnknown) {
+  EXPECT_STREQ(mimeForExtension("html"), "text/html");
+  EXPECT_STREQ(mimeForExtension("css"), "text/css");
+  EXPECT_STREQ(mimeForExtension("js"), "application/javascript");
+  EXPECT_STREQ(mimeForExtension("png"), "image/png");
+  EXPECT_STREQ(mimeForExtension("weird"), "application/octet-stream");
+}
+
+TEST(DocStoreTest, PutGet) {
+  DocStore D;
+  D.put("/a.html", "alpha");
+  D.put("/b.txt", "beta");
+  EXPECT_EQ(D.size(), 2u);
+  ASSERT_NE(D.get("/a.html"), nullptr);
+  EXPECT_EQ(*D.get("/a.html"), "alpha");
+  EXPECT_EQ(D.get("/missing"), nullptr);
+  D.put("/a.html", "alpha2");
+  EXPECT_EQ(*D.get("/a.html"), "alpha2");
+  EXPECT_EQ(D.size(), 2u);
+}
+
+TEST(DocStoreTest, UnsafePaths) {
+  EXPECT_TRUE(DocStore::isUnsafePath("/../etc/passwd"));
+  EXPECT_TRUE(DocStore::isUnsafePath("/a/../../b"));
+  EXPECT_FALSE(DocStore::isUnsafePath("/normal/path.html"));
+}
+
+TEST(DocStoreTest, SyntheticFill) {
+  DocStore D;
+  D.fillSynthetic(8, 256);
+  EXPECT_EQ(D.size(), 8u);
+  for (const std::string &P : D.paths())
+    EXPECT_EQ(D.get(P)->size(), 256u);
+  // Deterministic contents.
+  EXPECT_EQ(syntheticBody(64, 3), syntheticBody(64, 3));
+  EXPECT_NE(syntheticBody(64, 3), syntheticBody(64, 4));
+  EXPECT_EQ(syntheticBody(0).size(), 0u);
+  EXPECT_EQ(syntheticBody(1000000).size(), 1000000u);
+}
+
+} // namespace

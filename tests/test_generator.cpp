@@ -1,0 +1,191 @@
+//===- tests/test_generator.cpp - Patch generator tests -------*- C++ -*-===//
+///
+/// The semi-automatic patch generator: classification of changes between
+/// two version manifests and skeleton emission.
+
+#include "patch/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace dsu;
+
+namespace {
+
+VmFunction fn(const char *Name, const char *Ty, const char *Hash,
+              const char *Impl = "") {
+  return VmFunction{Name, Ty, Hash, Impl};
+}
+
+VersionManifest base() {
+  VersionManifest M;
+  M.Program = "app";
+  M.Version = 1;
+  M.Functions = {
+      fn("parse", "fn(string) -> string", "h-parse-1"),
+      fn("mime", "fn(string) -> string", "h-mime-1"),
+      fn("log", "fn(string, int) -> unit", "h-log-1"),
+  };
+  M.Types = {VmType{"%cache@1", "{p: string, b: string}"}};
+  return M;
+}
+
+TEST(GeneratorTest, NoChangesYieldsEmptyPatch) {
+  VersionManifest Old = base();
+  VersionManifest New = base();
+  New.Version = 2;
+  Expected<GeneratedPatch> G = generatePatch(Old, New);
+  ASSERT_TRUE(G) << G.takeError().str();
+  EXPECT_EQ(G->Stats.Unchanged, 3u);
+  EXPECT_EQ(G->Stats.BodyChanged + G->Stats.Added + G->Stats.Removed +
+                G->Stats.SigChanged + G->Stats.TypesBumped,
+            0u);
+  EXPECT_TRUE(G->Manifest.Provides.empty());
+  EXPECT_EQ(G->Manifest.Id, "app-v1-to-v2");
+}
+
+TEST(GeneratorTest, BodyChangeProvides) {
+  VersionManifest Old = base();
+  VersionManifest New = base();
+  New.Version = 2;
+  New.Functions[0].BodyHash = "h-parse-2";
+  Expected<GeneratedPatch> G = generatePatch(Old, New);
+  ASSERT_TRUE(G);
+  EXPECT_EQ(G->Stats.BodyChanged, 1u);
+  ASSERT_EQ(G->Manifest.Provides.size(), 1u);
+  EXPECT_EQ(G->Manifest.Provides[0].Name, "parse");
+  // The generator synthesizes a native symbol when none is given.
+  EXPECT_FALSE(G->Manifest.Provides[0].NativeSymbol.empty());
+}
+
+TEST(GeneratorTest, ImplNamePropagates) {
+  VersionManifest Old = base();
+  VersionManifest New = base();
+  New.Functions[0].BodyHash = "h2";
+  New.Functions[0].Impl = "custom_sym";
+  Expected<GeneratedPatch> G = generatePatch(Old, New);
+  ASSERT_TRUE(G);
+  EXPECT_EQ(G->Manifest.Provides[0].NativeSymbol, "custom_sym");
+}
+
+TEST(GeneratorTest, AddedFunctionProvides) {
+  VersionManifest Old = base();
+  VersionManifest New = base();
+  New.Functions.push_back(fn("stats", "fn() -> string", "h-stats-1"));
+  Expected<GeneratedPatch> G = generatePatch(Old, New);
+  ASSERT_TRUE(G);
+  EXPECT_EQ(G->Stats.Added, 1u);
+  ASSERT_EQ(G->Manifest.Provides.size(), 1u);
+  EXPECT_EQ(G->Manifest.Provides[0].Name, "stats");
+}
+
+TEST(GeneratorTest, RemovedFunctionWarns) {
+  VersionManifest Old = base();
+  VersionManifest New = base();
+  New.Functions.pop_back();
+  Expected<GeneratedPatch> G = generatePatch(Old, New);
+  ASSERT_TRUE(G);
+  EXPECT_EQ(G->Stats.Removed, 1u);
+  ASSERT_FALSE(G->Manifest.Warnings.empty());
+  EXPECT_NE(G->Manifest.Warnings[0].find("log"), std::string::npos);
+}
+
+TEST(GeneratorTest, CompatibleSigChangeProvides) {
+  VersionManifest Old = base();
+  Old.Functions.push_back(fn("touch", "fn(%cache@1) -> unit", "h1"));
+  VersionManifest New = Old;
+  New.Functions.back().TypeText = "fn(%cache@2) -> unit";
+  New.Functions.back().BodyHash = "h2";
+  Expected<GeneratedPatch> G = generatePatch(Old, New);
+  ASSERT_TRUE(G);
+  EXPECT_EQ(G->Stats.SigChanged, 1u);
+  ASSERT_EQ(G->Manifest.Provides.size(), 1u);
+  EXPECT_EQ(G->Manifest.Provides[0].TypeText, "fn(%cache@2) -> unit");
+}
+
+TEST(GeneratorTest, IncompatibleSigChangeWarnsInsteadOfProviding) {
+  VersionManifest Old = base();
+  VersionManifest New = base();
+  New.Functions[2].TypeText = "fn(string, int, int) -> unit"; // arity up
+  Expected<GeneratedPatch> G = generatePatch(Old, New);
+  ASSERT_TRUE(G);
+  EXPECT_EQ(G->Stats.SigChanged, 1u);
+  EXPECT_TRUE(G->Manifest.Provides.empty());
+  ASSERT_FALSE(G->Manifest.Warnings.empty());
+  EXPECT_NE(G->Manifest.Warnings[0].find("shim"), std::string::npos);
+}
+
+TEST(GeneratorTest, TypeReprChangeBumpsAndEmitsTransformerStub) {
+  VersionManifest Old = base();
+  VersionManifest New = base();
+  New.Types[0] = VmType{"%cache@2", "{p: string, b: string, hits: int}"};
+  Expected<GeneratedPatch> G = generatePatch(Old, New);
+  ASSERT_TRUE(G);
+  EXPECT_EQ(G->Stats.TypesBumped, 1u);
+  ASSERT_EQ(G->Manifest.NewTypes.size(), 1u);
+  EXPECT_EQ(G->Manifest.NewTypes[0].Name, "%cache@2");
+  ASSERT_EQ(G->Manifest.Transformers.size(), 1u);
+  EXPECT_EQ(G->Manifest.Transformers[0].From, "%cache@1");
+  EXPECT_EQ(G->Manifest.Transformers[0].To, "%cache@2");
+  // The stub source contains the transformer skeleton.
+  EXPECT_NE(G->StubSource.find(G->Manifest.Transformers[0].Impl),
+            std::string::npos);
+  EXPECT_NE(G->StubSource.find("DsuNativeTransformOut"), std::string::npos);
+}
+
+TEST(GeneratorTest, ForgottenVersionBumpIsAutoBumped) {
+  VersionManifest Old = base();
+  VersionManifest New = base();
+  // Same version, different repr: author forgot the bump.
+  New.Types[0] = VmType{"%cache@1", "{p: string, b: string, hits: int}"};
+  Expected<GeneratedPatch> G = generatePatch(Old, New);
+  ASSERT_TRUE(G);
+  ASSERT_EQ(G->Manifest.NewTypes.size(), 1u);
+  EXPECT_EQ(G->Manifest.NewTypes[0].Name, "%cache@2");
+  ASSERT_FALSE(G->Manifest.Warnings.empty());
+}
+
+TEST(GeneratorTest, BrandNewTypeNeedsNoTransformer) {
+  VersionManifest Old = base();
+  VersionManifest New = base();
+  New.Types.push_back(VmType{"%log@1", "array<string>"});
+  Expected<GeneratedPatch> G = generatePatch(Old, New);
+  ASSERT_TRUE(G);
+  ASSERT_EQ(G->Manifest.NewTypes.size(), 1u);
+  EXPECT_EQ(G->Manifest.NewTypes[0].Name, "%log@1");
+  EXPECT_TRUE(G->Manifest.Transformers.empty());
+}
+
+TEST(GeneratorTest, DifferentProgramsRejected) {
+  VersionManifest Old = base();
+  VersionManifest New = base();
+  New.Program = "other";
+  EXPECT_FALSE(generatePatch(Old, New));
+}
+
+TEST(GeneratorTest, GeneratedManifestParses) {
+  VersionManifest Old = base();
+  VersionManifest New = base();
+  New.Version = 2;
+  New.Functions[0].BodyHash = "h2";
+  New.Types[0] = VmType{"%cache@2", "{p: string, b: string, hits: int}"};
+  Expected<GeneratedPatch> G = generatePatch(Old, New);
+  ASSERT_TRUE(G);
+  Expected<PatchManifest> Back = PatchManifest::parse(G->Manifest.print());
+  ASSERT_TRUE(Back) << Back.error().str();
+  EXPECT_EQ(Back->Provides.size(), G->Manifest.Provides.size());
+  EXPECT_EQ(Back->Transformers.size(), G->Manifest.Transformers.size());
+}
+
+TEST(GeneratorTest, StubSourceMentionsEveryProvide) {
+  VersionManifest Old = base();
+  VersionManifest New = base();
+  New.Functions[0].BodyHash = "x";
+  New.Functions[1].BodyHash = "y";
+  Expected<GeneratedPatch> G = generatePatch(Old, New);
+  ASSERT_TRUE(G);
+  for (const ManifestProvide &P : G->Manifest.Provides)
+    EXPECT_NE(G->StubSource.find(P.NativeSymbol), std::string::npos);
+  EXPECT_NE(G->StubSource.find("dsu_patch_manifest"), std::string::npos);
+}
+
+} // namespace

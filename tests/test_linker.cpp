@@ -1,0 +1,190 @@
+//===- tests/test_linker.cpp - Dynamic linker tests -----------*- C++ -*-===//
+///
+/// The load-bearing property throughout: a link unit that fails any
+/// check is rejected at prepare time with ZERO mutation of the running
+/// program.
+
+#include "link/Linker.h"
+#include "link/NativeLoader.h"
+#include "runtime/Updateable.h"
+
+#include <gtest/gtest.h>
+
+using namespace dsu;
+
+namespace {
+
+int64_t inc(int64_t X) { return X + 1; }
+int64_t dec(int64_t X) { return X - 1; }
+
+class LinkerTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Handle = cantFail(defineUpdateable(Reg, Ctx, "app.inc", &inc));
+    cantFail(Syms.addExport(
+        {"host.now", Ctx.fnType({}, Ctx.intType()), nullptr,
+         [](const std::vector<vtal::Value> &) -> Expected<vtal::Value> {
+           return vtal::Value::makeInt(7);
+         }}));
+  }
+
+  ProvideRequest provideInc(const Type *Ty = nullptr) {
+    return ProvideRequest{
+        "app.inc", Ty ? Ty : fnTypeOf<int64_t, int64_t>(Ctx),
+        makeRawBinding(&dec, 0, "test-patch")};
+  }
+
+  TypeContext Ctx;
+  UpdateableRegistry Reg;
+  SymbolTable Syms;
+  Updateable<int64_t(int64_t)> Handle;
+};
+
+TEST_F(LinkerTest, PrepareAndCommitReplacement) {
+  Linker L(Reg, Syms);
+  LinkUnit Unit;
+  Unit.Name = "patch:test";
+  Unit.Provides.push_back(provideInc());
+
+  Expected<LinkPlan> Plan = L.prepare(std::move(Unit));
+  ASSERT_TRUE(Plan) << Plan.takeError().str();
+  EXPECT_TRUE(Plan->RequiredBumps.empty());
+  ASSERT_EQ(Plan->IsReplacement.size(), 1u);
+  EXPECT_TRUE(Plan->IsReplacement[0]);
+  // Prepare must not have changed anything.
+  EXPECT_EQ(Handle(10), 11);
+
+  ASSERT_FALSE(L.commit(std::move(*Plan)));
+  EXPECT_EQ(Handle(10), 9);
+}
+
+TEST_F(LinkerTest, NewDefinitionLinksAsDefine) {
+  Linker L(Reg, Syms);
+  LinkUnit Unit;
+  Unit.Name = "patch:new";
+  Unit.Provides.push_back(ProvideRequest{
+      "app.dec", fnTypeOf<int64_t, int64_t>(Ctx), makeRawBinding(&dec)});
+  Expected<LinkPlan> Plan = L.prepare(std::move(Unit));
+  ASSERT_TRUE(Plan);
+  EXPECT_FALSE(Plan->IsReplacement[0]);
+  ASSERT_FALSE(L.commit(std::move(*Plan)));
+  ASSERT_NE(Reg.lookup("app.dec"), nullptr);
+}
+
+TEST_F(LinkerTest, UnresolvedImportRejectsWholeUnit) {
+  Linker L(Reg, Syms);
+  LinkUnit Unit;
+  Unit.Name = "patch:bad";
+  Unit.Imports.push_back(
+      ImportRequest{"host.ghost", Ctx.fnType({}, Ctx.intType())});
+  Unit.Provides.push_back(provideInc());
+
+  Expected<LinkPlan> Plan = L.prepare(std::move(Unit));
+  ASSERT_FALSE(Plan);
+  EXPECT_EQ(Plan.error().code(), ErrorCode::EC_Link);
+  // Atomicity: nothing changed.
+  EXPECT_EQ(Handle(10), 11);
+  EXPECT_EQ(Handle.version(), 1u);
+}
+
+TEST_F(LinkerTest, ImportTypeMismatchRejects) {
+  Linker L(Reg, Syms);
+  LinkUnit Unit;
+  Unit.Name = "patch:bad";
+  Unit.Imports.push_back(
+      ImportRequest{"host.now", Ctx.fnType({}, Ctx.stringType())});
+  Expected<LinkPlan> Plan = L.prepare(std::move(Unit));
+  ASSERT_FALSE(Plan);
+  EXPECT_EQ(Plan.error().code(), ErrorCode::EC_TypeMismatch);
+}
+
+TEST_F(LinkerTest, ProvideTypeMismatchRejects) {
+  Linker L(Reg, Syms);
+  LinkUnit Unit;
+  Unit.Name = "patch:bad";
+  Unit.Provides.push_back(
+      provideInc(Ctx.fnType({Ctx.stringType()}, Ctx.intType())));
+  Expected<LinkPlan> Plan = L.prepare(std::move(Unit));
+  ASSERT_FALSE(Plan);
+  EXPECT_EQ(Plan.error().code(), ErrorCode::EC_TypeMismatch);
+  EXPECT_EQ(Handle(10), 11);
+}
+
+TEST_F(LinkerTest, DuplicateProvideRejects) {
+  Linker L(Reg, Syms);
+  LinkUnit Unit;
+  Unit.Name = "patch:bad";
+  Unit.Provides.push_back(provideInc());
+  Unit.Provides.push_back(provideInc());
+  EXPECT_FALSE(L.prepare(std::move(Unit)));
+}
+
+TEST_F(LinkerTest, ProvideWithoutCodeRejects) {
+  Linker L(Reg, Syms);
+  LinkUnit Unit;
+  Unit.Name = "patch:bad";
+  Unit.Provides.push_back(
+      ProvideRequest{"app.inc", fnTypeOf<int64_t, int64_t>(Ctx), Binding()});
+  EXPECT_FALSE(L.prepare(std::move(Unit)));
+}
+
+TEST_F(LinkerTest, BumpObligationsSurface) {
+  const Type *OldTy = Ctx.fnType({Ctx.namedType("rec", 1)}, Ctx.unitType());
+  const Type *NewTy = Ctx.fnType({Ctx.namedType("rec", 2)}, Ctx.unitType());
+  ASSERT_TRUE(Reg.define("app.use_rec", OldTy,
+                         makeClosureBinding<void, int64_t>([](int64_t) {})));
+
+  Linker L(Reg, Syms);
+  LinkUnit Unit;
+  Unit.Name = "patch:bump";
+  Unit.Provides.push_back(ProvideRequest{
+      "app.use_rec", NewTy,
+      makeClosureBinding<void, int64_t>([](int64_t) {})});
+  Expected<LinkPlan> Plan = L.prepare(std::move(Unit));
+  ASSERT_TRUE(Plan) << Plan.takeError().str();
+  ASSERT_EQ(Plan->RequiredBumps.size(), 1u);
+  EXPECT_EQ(Plan->RequiredBumps[0].From.str(), "%rec@1");
+  EXPECT_EQ(Plan->RequiredBumps[0].To.str(), "%rec@2");
+}
+
+// --- SymbolTable ---------------------------------------------------------
+
+TEST(SymbolTableTest, AddLookupResolve) {
+  TypeContext Ctx;
+  SymbolTable Syms;
+  const Type *Ty = Ctx.fnType({Ctx.intType()}, Ctx.intType());
+  ASSERT_FALSE(Syms.addExport({"f", Ty, nullptr, nullptr}));
+  EXPECT_EQ(Syms.size(), 1u);
+  ASSERT_NE(Syms.lookup("f"), nullptr);
+  EXPECT_EQ(Syms.lookup("g"), nullptr);
+
+  Expected<const SymbolDef *> R = Syms.resolve("f", Ty);
+  ASSERT_TRUE(R);
+  Expected<const SymbolDef *> Wrong =
+      Syms.resolve("f", Ctx.fnType({}, Ctx.intType()));
+  ASSERT_FALSE(Wrong);
+  EXPECT_EQ(Wrong.error().code(), ErrorCode::EC_TypeMismatch);
+  EXPECT_FALSE(Syms.resolve("g", Ty));
+}
+
+TEST(SymbolTableTest, RejectsDuplicatesAndMalformed) {
+  TypeContext Ctx;
+  SymbolTable Syms;
+  const Type *Ty = Ctx.fnType({}, Ctx.unitType());
+  ASSERT_FALSE(Syms.addExport({"f", Ty, nullptr, nullptr}));
+  EXPECT_TRUE(Syms.addExport({"f", Ty, nullptr, nullptr}));
+  EXPECT_TRUE(Syms.addExport({"", Ty, nullptr, nullptr}));
+  EXPECT_TRUE(Syms.addExport({"g", nullptr, nullptr, nullptr}));
+}
+
+// --- NativeLoader (error paths; the happy path lives in
+// test_patchloader_native) -----------------------------------------------
+
+TEST(NativeLoaderTest, MissingFileFails) {
+  Expected<std::shared_ptr<LoadedLibrary>> L =
+      LoadedLibrary::open("/nonexistent/patch.so");
+  ASSERT_FALSE(L);
+  EXPECT_EQ(L.error().code(), ErrorCode::EC_Link);
+}
+
+} // namespace

@@ -1,0 +1,92 @@
+//===- tests/test_rollback.cpp - Rollback tests ---------------*- C++ -*-===//
+///
+/// Rolling an updateable back to its previous implementation — the
+/// PLDI 2001 future-work item implemented as append-only history.
+
+#include "core/Runtime.h"
+#include "patch/PatchBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace dsu;
+
+namespace {
+
+int64_t v1(int64_t X) { return X + 1; }
+int64_t v2(int64_t X) { return X + 2; }
+int64_t v3(int64_t X) { return X + 3; }
+
+class RollbackTest : public ::testing::Test {
+protected:
+  void apply(const char *Id, int64_t (*Fn)(int64_t)) {
+    Patch P = cantFail(
+        PatchBuilder(RT.types(), Id).provide("app.f", Fn).build());
+    cantFail(RT.applyNow(std::move(P)), Id);
+  }
+  Runtime RT;
+};
+
+TEST_F(RollbackTest, RevertsToPreviousImplementation) {
+  auto H = cantFail(RT.defineUpdateable("app.f", &v1));
+  apply("p2", &v2);
+  apply("p3", &v3);
+  EXPECT_EQ(H(0), 3);
+  EXPECT_EQ(H.version(), 3u);
+
+  ASSERT_FALSE(RT.rollbackUpdateable("app.f"));
+  EXPECT_EQ(H(0), 2);             // v2 behaviour again
+  EXPECT_EQ(H.version(), 4u);     // but as a NEW version
+  EXPECT_EQ(H.slot()->historySize(), 4u);
+}
+
+TEST_F(RollbackTest, RollbackOfRollbackGoesForwardAgain) {
+  auto H = cantFail(RT.defineUpdateable("app.f", &v1));
+  apply("p2", &v2);
+  ASSERT_FALSE(RT.rollbackUpdateable("app.f")); // back to v1 behaviour
+  EXPECT_EQ(H(0), 1);
+  ASSERT_FALSE(RT.rollbackUpdateable("app.f")); // undo the rollback
+  EXPECT_EQ(H(0), 2);
+  EXPECT_EQ(H.version(), 4u);
+}
+
+TEST_F(RollbackTest, InitialVersionCannotRollBack) {
+  cantFail(RT.defineUpdateable("app.f", &v1));
+  Error E = RT.rollbackUpdateable("app.f");
+  ASSERT_TRUE(E);
+  EXPECT_EQ(E.code(), ErrorCode::EC_Invalid);
+}
+
+TEST_F(RollbackTest, UnknownSlotFails) {
+  Error E = RT.rollbackUpdateable("ghost");
+  ASSERT_TRUE(E);
+  EXPECT_EQ(E.code(), ErrorCode::EC_Link);
+}
+
+TEST_F(RollbackTest, RollbackRestoresRecordedType) {
+  TypeContext &Ctx = RT.types();
+  const Type *OldTy = Ctx.fnType({Ctx.namedType("rec", 1)}, Ctx.unitType());
+  const Type *NewTy = Ctx.fnType({Ctx.namedType("rec", 2)}, Ctx.unitType());
+  UpdateableSlot *Slot = cantFail(RT.updateables().define(
+      "app.g", OldTy, makeClosureBinding<void, int64_t>([](int64_t) {})));
+  cantFail(RT.updateables().rebind(
+      "app.g", NewTy, makeClosureBinding<void, int64_t>([](int64_t) {}),
+      nullptr));
+  EXPECT_EQ(Slot->type(), NewTy);
+  ASSERT_FALSE(RT.updateables().rollback("app.g"));
+  EXPECT_EQ(Slot->type(), OldTy);
+}
+
+TEST_F(RollbackTest, RefusedInsideUpdateableCode) {
+  Runtime *RTP = &RT;
+  auto H = cantFail(RT.defineUpdateableFn<int64_t>(
+      "app.inner", [RTP]() -> int64_t {
+        Error E = RTP->rollbackUpdateable("app.inner");
+        return E ? 1 : 0;
+      }));
+  (void)H;
+  auto Probe = cantFail(bindUpdateable<int64_t()>(RT.updateables(),
+                                                  RT.types(), "app.inner"));
+  EXPECT_EQ(Probe(), 1); // rollback refused re-entrantly
+}
+
+} // namespace

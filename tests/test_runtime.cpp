@@ -1,0 +1,225 @@
+//===- tests/test_runtime.cpp - Updateable runtime tests ------*- C++ -*-===//
+
+#include "runtime/UpdateQueue.h"
+#include "runtime/Updateable.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+using namespace dsu;
+
+namespace {
+
+int64_t addV1(int64_t A, int64_t B) { return A + B; }
+int64_t addV2(int64_t A, int64_t B) { return A + B + 1000; }
+std::string greetV1(std::string Name) { return "hello " + Name; }
+
+class RuntimeTest : public ::testing::Test {
+protected:
+  TypeContext Ctx;
+  UpdateableRegistry Reg;
+};
+
+TEST_F(RuntimeTest, DefineAndCall) {
+  Expected<Updateable<int64_t(int64_t, int64_t)>> H =
+      defineUpdateable(Reg, Ctx, "add", &addV1);
+  ASSERT_TRUE(H) << H.takeError().str();
+  EXPECT_TRUE(H->valid());
+  EXPECT_EQ((*H)(2, 3), 5);
+  EXPECT_EQ(H->version(), 1u);
+  EXPECT_EQ(Reg.size(), 1u);
+}
+
+TEST_F(RuntimeTest, DuplicateDefineFails) {
+  ASSERT_TRUE(defineUpdateable(Reg, Ctx, "add", &addV1));
+  Expected<Updateable<int64_t(int64_t, int64_t)>> H =
+      defineUpdateable(Reg, Ctx, "add", &addV1);
+  EXPECT_FALSE(H);
+}
+
+TEST_F(RuntimeTest, DefineRequiresFunctionType) {
+  Expected<UpdateableSlot *> S =
+      Reg.define("bad", Ctx.intType(), makeRawBinding(&addV1));
+  ASSERT_FALSE(S);
+  EXPECT_EQ(S.error().code(), ErrorCode::EC_Invalid);
+}
+
+TEST_F(RuntimeTest, RebindSwitchesImplementation) {
+  auto H = cantFail(defineUpdateable(Reg, Ctx, "add", &addV1));
+  const Type *Ty = fnTypeOf<int64_t, int64_t, int64_t>(Ctx);
+  ASSERT_FALSE(Reg.rebind("add", Ty, makeRawBinding(&addV2, 0, "patch"),
+                          nullptr));
+  EXPECT_EQ(H(2, 3), 1005);
+  EXPECT_EQ(H.version(), 2u);
+  EXPECT_EQ(H.slot()->historySize(), 2u);
+}
+
+TEST_F(RuntimeTest, RebindTypeMismatchRejected) {
+  auto H = cantFail(defineUpdateable(Reg, Ctx, "add", &addV1));
+  const Type *WrongTy = Ctx.fnType({Ctx.stringType()}, Ctx.intType());
+  Error E = Reg.rebind("add", WrongTy, makeRawBinding(&addV2), nullptr);
+  ASSERT_TRUE(E);
+  EXPECT_EQ(E.code(), ErrorCode::EC_TypeMismatch);
+  // Old implementation still live.
+  EXPECT_EQ(H(2, 3), 5);
+  EXPECT_EQ(H.version(), 1u);
+}
+
+TEST_F(RuntimeTest, RebindUnknownSlotRejected) {
+  const Type *Ty = fnTypeOf<int64_t, int64_t, int64_t>(Ctx);
+  Error E = Reg.rebind("ghost", Ty, makeRawBinding(&addV2), nullptr);
+  ASSERT_TRUE(E);
+  EXPECT_EQ(E.code(), ErrorCode::EC_Link);
+}
+
+TEST_F(RuntimeTest, RebindCollectsBumps) {
+  const Type *OldTy =
+      Ctx.fnType({Ctx.namedType("conn", 1)}, Ctx.unitType());
+  const Type *NewTy =
+      Ctx.fnType({Ctx.namedType("conn", 2)}, Ctx.unitType());
+  auto NoopBinding = makeClosureBinding<void, int64_t>([](int64_t) {});
+  // Define with an explicit named type in the signature.
+  ASSERT_TRUE(Reg.define("onconn", OldTy, NoopBinding));
+  std::vector<VersionBump> Bumps;
+  ASSERT_FALSE(Reg.rebind(
+      "onconn", NewTy, makeClosureBinding<void, int64_t>([](int64_t) {}),
+      &Bumps));
+  ASSERT_EQ(Bumps.size(), 1u);
+  EXPECT_EQ(Bumps[0].From.str(), "%conn@1");
+  EXPECT_EQ(Bumps[0].To.str(), "%conn@2");
+}
+
+TEST_F(RuntimeTest, ClosureBindings) {
+  int Counter = 0;
+  Expected<UpdateableSlot *> S = Reg.define(
+      "count", fnTypeOf<int64_t>(Ctx),
+      makeClosureBinding<int64_t>([&Counter]() -> int64_t {
+        return ++Counter;
+      }));
+  ASSERT_TRUE(S);
+  Updateable<int64_t()> H(*S);
+  EXPECT_EQ(H(), 1);
+  EXPECT_EQ(H(), 2);
+}
+
+TEST_F(RuntimeTest, StringSignatures) {
+  auto H = cantFail(defineUpdateable(Reg, Ctx, "greet", &greetV1));
+  EXPECT_EQ(H("world"), "hello world");
+  EXPECT_EQ(H.slot()->type()->str(), "fn(string) -> string");
+}
+
+TEST_F(RuntimeTest, BindUpdateableChecksType) {
+  ASSERT_TRUE(defineUpdateable(Reg, Ctx, "add", &addV1));
+  Expected<Updateable<int64_t(int64_t, int64_t)>> Good =
+      bindUpdateable<int64_t(int64_t, int64_t)>(Reg, Ctx, "add");
+  ASSERT_TRUE(Good);
+  EXPECT_EQ((*Good)(1, 1), 2);
+
+  Expected<Updateable<std::string(std::string)>> Bad =
+      bindUpdateable<std::string(std::string)>(Reg, Ctx, "add");
+  ASSERT_FALSE(Bad);
+  EXPECT_EQ(Bad.error().code(), ErrorCode::EC_TypeMismatch);
+
+  EXPECT_FALSE(bindUpdateable<int64_t(int64_t, int64_t)>(Reg, Ctx, "nope"));
+}
+
+TEST_F(RuntimeTest, SlotNamesSorted) {
+  ASSERT_TRUE(defineUpdateable(Reg, Ctx, "zeta", &addV1));
+  ASSERT_TRUE(defineUpdateable(Reg, Ctx, "alpha", &addV2));
+  auto Names = Reg.slotNames();
+  ASSERT_EQ(Names.size(), 2u);
+  EXPECT_EQ(Names[0], "alpha");
+  EXPECT_EQ(Names[1], "zeta");
+}
+
+TEST_F(RuntimeTest, ActivationTrackerCountsFrames) {
+  EXPECT_EQ(ActivationTracker::currentDepth(), 0u);
+  Expected<UpdateableSlot *> S = Reg.define(
+      "depth", fnTypeOf<int64_t>(Ctx), makeClosureBinding<int64_t>([]() {
+        return static_cast<int64_t>(ActivationTracker::currentDepth());
+      }));
+  ASSERT_TRUE(S);
+  Updateable<int64_t()> H(*S);
+  EXPECT_EQ(H(), 1); // measured inside the call
+  EXPECT_EQ(H.callUntracked(), 0);
+  EXPECT_EQ(ActivationTracker::currentDepth(), 0u);
+}
+
+/// Readers race an updater: every observed result must be a valid value
+/// of *some* version — never a torn or invalid call.
+TEST_F(RuntimeTest, ConcurrentReadersDuringRebind) {
+  auto H = cantFail(defineUpdateable(Reg, Ctx, "add", &addV1));
+  const Type *Ty = fnTypeOf<int64_t, int64_t, int64_t>(Ctx);
+
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> Bad{0};
+  std::vector<std::thread> Readers;
+  for (int T = 0; T != 4; ++T)
+    Readers.emplace_back([&] {
+      while (!Stop.load(std::memory_order_relaxed)) {
+        int64_t R = H(10, 20);
+        if (R != 30 && R != 1030)
+          Bad.fetch_add(1);
+      }
+    });
+
+  for (int I = 0; I != 200; ++I) {
+    ASSERT_FALSE(Reg.rebind("add", Ty,
+                            makeRawBinding(I % 2 ? &addV1 : &addV2), nullptr));
+  }
+  Stop.store(true);
+  for (std::thread &T : Readers)
+    T.join();
+  EXPECT_EQ(Bad.load(), 0u);
+  EXPECT_EQ(H.slot()->historySize(), 201u);
+}
+
+// --- UpdateQueue -----------------------------------------------------------
+
+TEST(UpdateQueueTest, PendingFlagAndFifoDrain) {
+  UpdateQueue Q;
+  EXPECT_FALSE(Q.pending());
+  std::vector<int> Order;
+  Q.enqueue("a", [&] {
+    Order.push_back(1);
+    return Error::success();
+  });
+  Q.enqueue("b", [&] {
+    Order.push_back(2);
+    return Error::success();
+  });
+  EXPECT_TRUE(Q.pending());
+  EXPECT_EQ(Q.depth(), 2u);
+
+  UpdatePointOutcome Out = Q.drain();
+  EXPECT_EQ(Out.Applied, 2u);
+  EXPECT_EQ(Out.Failed, 0u);
+  ASSERT_EQ(Order.size(), 2u);
+  EXPECT_EQ(Order[0], 1);
+  EXPECT_EQ(Order[1], 2);
+  EXPECT_FALSE(Q.pending());
+  EXPECT_EQ(Q.depth(), 0u);
+}
+
+TEST(UpdateQueueTest, FailuresCollected) {
+  UpdateQueue Q;
+  Q.enqueue("good", [] { return Error::success(); });
+  Q.enqueue("bad",
+            [] { return Error::make(ErrorCode::EC_Verify, "nope"); });
+  UpdatePointOutcome Out = Q.drain();
+  EXPECT_EQ(Out.Applied, 1u);
+  EXPECT_EQ(Out.Failed, 1u);
+  ASSERT_EQ(Out.Diagnostics.size(), 1u);
+  EXPECT_NE(Out.Diagnostics[0].find("bad"), std::string::npos);
+  EXPECT_NE(Out.Diagnostics[0].find("nope"), std::string::npos);
+}
+
+TEST(UpdateQueueTest, DrainOnEmptyIsNoop) {
+  UpdateQueue Q;
+  UpdatePointOutcome Out = Q.drain();
+  EXPECT_EQ(Out.Applied + Out.Failed, 0u);
+}
+
+} // namespace

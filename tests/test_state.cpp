@@ -1,0 +1,257 @@
+//===- tests/test_state.cpp - State transformation tests ------*- C++ -*-===//
+///
+/// Exercises the two-phase migration engine: all-or-nothing semantics,
+/// transformer chaining, and cell selection by type mention.
+
+#include "state/StateCell.h"
+#include "state/Transform.h"
+#include "types/TypeParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace dsu;
+
+namespace {
+
+struct RecV1 {
+  int64_t Value;
+};
+struct RecV2 {
+  int64_t Value;
+  int64_t Flags;
+};
+struct RecV3 {
+  int64_t Value;
+  int64_t Flags;
+  std::string Label;
+};
+
+class StateTest : public ::testing::Test {
+protected:
+  const Type *named(const char *Name, uint32_t V) {
+    return Ctx.namedType(Name, V);
+  }
+
+  VersionBump bump(const char *Name, uint32_t From, uint32_t To) {
+    return VersionBump{VersionedName{Name, From}, VersionedName{Name, To}};
+  }
+
+  TransformFn recV1toV2() {
+    return [](const std::shared_ptr<void> &Old,
+              const StateCell &) -> Expected<std::shared_ptr<void>> {
+      auto *V1 = static_cast<RecV1 *>(Old.get());
+      return std::shared_ptr<void>(
+          std::make_shared<RecV2>(RecV2{V1->Value, 0}));
+    };
+  }
+
+  TransformFn recV2toV3() {
+    return [](const std::shared_ptr<void> &Old,
+              const StateCell &) -> Expected<std::shared_ptr<void>> {
+      auto *V2 = static_cast<RecV2 *>(Old.get());
+      return std::shared_ptr<void>(
+          std::make_shared<RecV3>(RecV3{V2->Value, V2->Flags, "migrated"}));
+    };
+  }
+
+  TypeContext Ctx;
+  StateRegistry State;
+  TransformerRegistry Xforms;
+};
+
+TEST_F(StateTest, DefineLookupAccess) {
+  Expected<StateCell *> C = State.define(
+      "app.rec", named("rec", 1), std::make_shared<RecV1>(RecV1{42}));
+  ASSERT_TRUE(C);
+  EXPECT_EQ(State.size(), 1u);
+  EXPECT_EQ(State.lookup("app.rec"), *C);
+  EXPECT_EQ(State.lookup("ghost"), nullptr);
+  EXPECT_EQ((*C)->get<RecV1>()->Value, 42);
+  EXPECT_EQ((*C)->generation(), 1u);
+  EXPECT_EQ((*C)->type()->str(), "%rec@1");
+}
+
+TEST_F(StateTest, DuplicateDefineFails) {
+  ASSERT_TRUE(State.define("c", named("rec", 1),
+                           std::make_shared<RecV1>(RecV1{1})));
+  EXPECT_FALSE(State.define("c", named("rec", 1),
+                            std::make_shared<RecV1>(RecV1{2})));
+}
+
+TEST_F(StateTest, BasicMigration) {
+  StateCell *C = cantFail(State.define(
+      "app.rec", named("rec", 1), std::make_shared<RecV1>(RecV1{42})));
+  Xforms.add(bump("rec", 1, 2), recV1toV2());
+
+  TransformStats Stats;
+  ASSERT_FALSE(runStateTransform(Ctx, State, Xforms, {bump("rec", 1, 2)},
+                                 &Stats));
+  EXPECT_EQ(Stats.CellsExamined, 1u);
+  EXPECT_EQ(Stats.CellsMigrated, 1u);
+  EXPECT_EQ(C->type()->str(), "%rec@2");
+  EXPECT_EQ(C->generation(), 2u);
+  EXPECT_EQ(C->get<RecV2>()->Value, 42);
+  EXPECT_EQ(C->get<RecV2>()->Flags, 0);
+}
+
+TEST_F(StateTest, MissingTransformerRejectsBeforeAnyWork) {
+  StateCell *C = cantFail(State.define(
+      "app.rec", named("rec", 1), std::make_shared<RecV1>(RecV1{42})));
+  Error E = runStateTransform(Ctx, State, Xforms, {bump("rec", 1, 2)});
+  ASSERT_TRUE(E);
+  EXPECT_EQ(E.code(), ErrorCode::EC_Transform);
+  EXPECT_EQ(C->type()->str(), "%rec@1");
+  EXPECT_EQ(C->generation(), 1u);
+}
+
+TEST_F(StateTest, FailingTransformerLeavesAllCellsUntouched) {
+  StateCell *A = cantFail(State.define(
+      "a", named("rec", 1), std::make_shared<RecV1>(RecV1{1})));
+  StateCell *B = cantFail(State.define(
+      "b", named("rec", 1), std::make_shared<RecV1>(RecV1{2})));
+
+  int Calls = 0;
+  Xforms.add(bump("rec", 1, 2),
+             [&Calls](const std::shared_ptr<void> &Old,
+                      const StateCell &) -> Expected<std::shared_ptr<void>> {
+               // First cell converts, second fails: the engine must
+               // discard the first result too.
+               if (++Calls == 1) {
+                 auto *V1 = static_cast<RecV1 *>(Old.get());
+                 return std::shared_ptr<void>(
+                     std::make_shared<RecV2>(RecV2{V1->Value, 0}));
+               }
+               return Error::make(ErrorCode::EC_Transform, "boom");
+             });
+
+  Error E = runStateTransform(Ctx, State, Xforms, {bump("rec", 1, 2)});
+  ASSERT_TRUE(E);
+  EXPECT_EQ(Calls, 2);
+  EXPECT_EQ(A->type()->str(), "%rec@1");
+  EXPECT_EQ(B->type()->str(), "%rec@1");
+  EXPECT_EQ(A->generation(), 1u);
+  EXPECT_EQ(B->generation(), 1u);
+  EXPECT_EQ(A->get<RecV1>()->Value, 1);
+}
+
+TEST_F(StateTest, ChainedBumpsCompose) {
+  StateCell *C = cantFail(State.define(
+      "app.rec", named("rec", 1), std::make_shared<RecV1>(RecV1{7})));
+  Xforms.add(bump("rec", 1, 2), recV1toV2());
+  Xforms.add(bump("rec", 2, 3), recV2toV3());
+
+  // A single 1 -> 3 bump must decompose into the two registered steps.
+  ASSERT_FALSE(runStateTransform(Ctx, State, Xforms, {bump("rec", 1, 3)}));
+  EXPECT_EQ(C->type()->str(), "%rec@3");
+  EXPECT_EQ(C->get<RecV3>()->Value, 7);
+  EXPECT_EQ(C->get<RecV3>()->Label, "migrated");
+}
+
+TEST_F(StateTest, DirectTransformerBeatsChain) {
+  StateCell *C = cantFail(State.define(
+      "app.rec", named("rec", 1), std::make_shared<RecV1>(RecV1{7})));
+  Xforms.add(bump("rec", 1, 2), recV1toV2());
+  Xforms.add(bump("rec", 2, 3), recV2toV3());
+  // Direct 1 -> 3 transformer takes priority over the chain.
+  Xforms.add(bump("rec", 1, 3),
+             [](const std::shared_ptr<void> &Old,
+                const StateCell &) -> Expected<std::shared_ptr<void>> {
+               auto *V1 = static_cast<RecV1 *>(Old.get());
+               return std::shared_ptr<void>(std::make_shared<RecV3>(
+                   RecV3{V1->Value, 99, "direct"}));
+             });
+  ASSERT_FALSE(runStateTransform(Ctx, State, Xforms, {bump("rec", 1, 3)}));
+  EXPECT_EQ(C->get<RecV3>()->Label, "direct");
+  EXPECT_EQ(C->get<RecV3>()->Flags, 99);
+}
+
+TEST_F(StateTest, IncompleteChainRejects) {
+  cantFail(State.define("app.rec", named("rec", 1),
+                        std::make_shared<RecV1>(RecV1{7})));
+  Xforms.add(bump("rec", 1, 2), recV1toV2());
+  // No 2 -> 3 step registered.
+  Error E = runStateTransform(Ctx, State, Xforms, {bump("rec", 1, 3)});
+  ASSERT_TRUE(E);
+  EXPECT_NE(E.message().find("%rec@2 -> %rec@3"), std::string::npos);
+}
+
+TEST_F(StateTest, OnlyMentioningCellsMigrate) {
+  StateCell *Rec = cantFail(State.define(
+      "rec", named("rec", 1), std::make_shared<RecV1>(RecV1{1})));
+  StateCell *Other = cantFail(State.define(
+      "other", named("other", 1), std::make_shared<RecV1>(RecV1{2})));
+  StateCell *Plain = cantFail(State.define(
+      "plain", Ctx.intType(), std::make_shared<int64_t>(3)));
+
+  Xforms.add(bump("rec", 1, 2), recV1toV2());
+  TransformStats Stats;
+  ASSERT_FALSE(runStateTransform(Ctx, State, Xforms, {bump("rec", 1, 2)},
+                                 &Stats));
+  EXPECT_EQ(Stats.CellsExamined, 3u);
+  EXPECT_EQ(Stats.CellsMigrated, 1u);
+  EXPECT_EQ(Rec->generation(), 2u);
+  EXPECT_EQ(Other->generation(), 1u);
+  EXPECT_EQ(Plain->generation(), 1u);
+}
+
+TEST_F(StateTest, StructuredCellTypesSubstitute) {
+  // A cell whose type *mentions* the bumped name inside a container.
+  Expected<const Type *> CellTy = parseType(Ctx, "array<%rec@1>");
+  ASSERT_TRUE(CellTy);
+  StateCell *C = cantFail(State.define(
+      "recs", *CellTy,
+      std::make_shared<std::vector<RecV1>>(
+          std::vector<RecV1>{{1}, {2}, {3}})));
+
+  Xforms.add(bump("rec", 1, 2),
+             [](const std::shared_ptr<void> &Old,
+                const StateCell &) -> Expected<std::shared_ptr<void>> {
+               auto *V1 = static_cast<std::vector<RecV1> *>(Old.get());
+               auto V2 = std::make_shared<std::vector<RecV2>>();
+               for (const RecV1 &R : *V1)
+                 V2->push_back(RecV2{R.Value, 0});
+               return std::shared_ptr<void>(std::move(V2));
+             });
+
+  ASSERT_FALSE(runStateTransform(Ctx, State, Xforms, {bump("rec", 1, 2)}));
+  EXPECT_EQ(C->type()->str(), "array<%rec@2>");
+  auto *V2 = C->get<std::vector<RecV2>>();
+  ASSERT_EQ(V2->size(), 3u);
+  EXPECT_EQ((*V2)[2].Value, 3);
+}
+
+TEST_F(StateTest, EmptyBumpListIsNoop) {
+  cantFail(State.define("rec", named("rec", 1),
+                        std::make_shared<RecV1>(RecV1{1})));
+  TransformStats Stats;
+  ASSERT_FALSE(runStateTransform(Ctx, State, Xforms, {}, &Stats));
+  EXPECT_EQ(Stats.CellsExamined, 0u);
+}
+
+TEST_F(StateTest, MigrateUnknownCellFails) {
+  EXPECT_TRUE(State.migrate("ghost", Ctx.intType(),
+                            std::make_shared<int64_t>(0)));
+}
+
+TEST_F(StateTest, TransformerRegistryReplaces) {
+  int Which = 0;
+  Xforms.add(bump("rec", 1, 2),
+             [&Which](const std::shared_ptr<void> &Old,
+                      const StateCell &) -> Expected<std::shared_ptr<void>> {
+               Which = 1;
+               return Old;
+             });
+  Xforms.add(bump("rec", 1, 2),
+             [&Which](const std::shared_ptr<void> &Old,
+                      const StateCell &) -> Expected<std::shared_ptr<void>> {
+               Which = 2;
+               return Old;
+             });
+  EXPECT_EQ(Xforms.size(), 1u);
+  cantFail(State.define("rec", named("rec", 1),
+                        std::make_shared<RecV1>(RecV1{1})));
+  ASSERT_FALSE(runStateTransform(Ctx, State, Xforms, {bump("rec", 1, 2)}));
+  EXPECT_EQ(Which, 2);
+}
+
+} // namespace

@@ -1,0 +1,165 @@
+//===- tests/test_tools.cpp - CLI tool integration tests ------*- C++ -*-===//
+///
+/// Drives the installed command-line tools (dsu-vtal, dsu-patchgen) as
+/// subprocesses, checking exit codes and artifacts — the offline half of
+/// the update workflow.
+
+#include "patch/Manifest.h"
+#include "support/MemoryBuffer.h"
+#include "vtal/Bytecode.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace dsu;
+
+namespace {
+
+std::string toolPath(const char *Name) {
+  return std::string(DSU_BIN_DIR) + "/tools/" + Name;
+}
+
+std::string tmpPath(const char *Name) {
+  return ::testing::TempDir() + "dsu_tools_" + Name;
+}
+
+/// Runs a command, returns its exit status; stdout/stderr are captured
+/// into \p OutFile when given.
+int run(const std::string &Cmd, const std::string &OutFile = "") {
+  std::string Full = Cmd;
+  if (!OutFile.empty())
+    Full += " > " + OutFile + " 2>&1";
+  int Status = std::system(Full.c_str());
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+}
+
+const char *GoodVtal = R"(
+module cli
+func triple (x: int) -> int {
+  load x
+  push.i 3
+  mul
+  ret
+}
+)";
+
+const char *BadVtal = R"(
+module cli
+func broken (x: int) -> int {
+  push.s "not an int"
+  ret
+}
+)";
+
+class ToolsTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    if (!fileExists(toolPath("dsu-vtal")))
+      GTEST_SKIP() << "tools not built";
+  }
+};
+
+TEST_F(ToolsTest, VtalVerifyAcceptsGoodCode) {
+  std::string Src = tmpPath("good.vtal");
+  ASSERT_FALSE(writeFile(Src, GoodVtal));
+  EXPECT_EQ(run(toolPath("dsu-vtal") + " verify " + Src, tmpPath("v.out")),
+            0);
+  std::remove(Src.c_str());
+}
+
+TEST_F(ToolsTest, VtalVerifyRejectsBadCode) {
+  std::string Src = tmpPath("bad.vtal");
+  ASSERT_FALSE(writeFile(Src, BadVtal));
+  std::string Out = tmpPath("bad.out");
+  EXPECT_EQ(run(toolPath("dsu-vtal") + " verify " + Src, Out), 1);
+  Expected<std::string> Text = readFile(Out);
+  ASSERT_TRUE(Text);
+  EXPECT_NE(Text->find("REJECTED"), std::string::npos);
+  std::remove(Src.c_str());
+}
+
+TEST_F(ToolsTest, VtalEncodeDumpRoundTrip) {
+  std::string Src = tmpPath("enc.vtal");
+  std::string Bin = tmpPath("enc.vtalbc");
+  ASSERT_FALSE(writeFile(Src, GoodVtal));
+  ASSERT_EQ(run(toolPath("dsu-vtal") + " encode " + Src + " " + Bin), 0);
+
+  // The emitted bytecode decodes with the library.
+  Expected<std::string> Bytes = readFile(Bin);
+  ASSERT_TRUE(Bytes);
+  Expected<vtal::Module> M = vtal::decodeModule(*Bytes);
+  ASSERT_TRUE(M) << M.error().str();
+  EXPECT_EQ(M->Name, "cli");
+
+  std::string Out = tmpPath("dump.out");
+  ASSERT_EQ(run(toolPath("dsu-vtal") + " dump " + Bin, Out), 0);
+  Expected<std::string> Dump = readFile(Out);
+  ASSERT_TRUE(Dump);
+  EXPECT_NE(Dump->find("func triple"), std::string::npos);
+  std::remove(Src.c_str());
+  std::remove(Bin.c_str());
+}
+
+TEST_F(ToolsTest, VtalRunExecutes) {
+  std::string Src = tmpPath("run.vtal");
+  ASSERT_FALSE(writeFile(Src, GoodVtal));
+  std::string Out = tmpPath("run.out");
+  ASSERT_EQ(run(toolPath("dsu-vtal") + " run " + Src + " triple 14", Out),
+            0);
+  Expected<std::string> Text = readFile(Out);
+  ASSERT_TRUE(Text);
+  EXPECT_NE(Text->find("int(42)"), std::string::npos);
+  std::remove(Src.c_str());
+}
+
+TEST_F(ToolsTest, VtalUsageOnBadInvocation) {
+  EXPECT_EQ(run(toolPath("dsu-vtal") + " bogus x", tmpPath("u.out")), 2);
+  EXPECT_EQ(run(toolPath("dsu-vtal"), tmpPath("u2.out")), 2);
+}
+
+TEST_F(ToolsTest, PatchgenEmitsArtifacts) {
+  std::string OldVm = tmpPath("old.vm");
+  std::string NewVm = tmpPath("new.vm");
+  ASSERT_FALSE(writeFile(OldVm, R"(
+(version-manifest (program "app") (version 1)
+  (functions (fn (name "f") (type "fn(int) -> int") (body-hash "a")))
+  (types (type (name "%t@1") (repr "{x: int}"))))
+)"));
+  ASSERT_FALSE(writeFile(NewVm, R"(
+(version-manifest (program "app") (version 2)
+  (functions (fn (name "f") (type "fn(int) -> int") (body-hash "b")))
+  (types (type (name "%t@2") (repr "{x: int, y: int}"))))
+)"));
+
+  std::string Prefix = tmpPath("genout");
+  ASSERT_EQ(run(toolPath("dsu-patchgen") + " " + OldVm + " " + NewVm +
+                    " " + Prefix,
+                tmpPath("gen.log")),
+            0);
+
+  Expected<std::string> ManifestText = readFile(Prefix + ".dsup-manifest");
+  ASSERT_TRUE(ManifestText);
+  Expected<PatchManifest> M = PatchManifest::parse(*ManifestText);
+  ASSERT_TRUE(M) << M.error().str();
+  EXPECT_EQ(M->Provides.size(), 1u);
+  EXPECT_EQ(M->Transformers.size(), 1u);
+
+  Expected<std::string> Stub = readFile(Prefix + ".cpp");
+  ASSERT_TRUE(Stub);
+  EXPECT_NE(Stub->find("dsu_patch_manifest"), std::string::npos);
+
+  for (const char *Suffix : {".dsup-manifest", ".cpp"})
+    std::remove((Prefix + Suffix).c_str());
+  std::remove(OldVm.c_str());
+  std::remove(NewVm.c_str());
+}
+
+TEST_F(ToolsTest, PatchgenRejectsMissingInput) {
+  EXPECT_NE(run(toolPath("dsu-patchgen") + " /no/such.vm /no/such2.vm",
+                tmpPath("miss.out")),
+            0);
+}
+
+} // namespace

@@ -1,0 +1,154 @@
+//===- tests/test_vtal_bytecode.cpp - VTAL encoding tests -----*- C++ -*-===//
+
+#include "vtal/Assembler.h"
+#include "vtal/Bytecode.h"
+#include "vtal/Interp.h"
+#include "vtal/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace dsu;
+using namespace dsu::vtal;
+
+namespace {
+
+const char *Sources[] = {
+    // Minimal.
+    "module tiny\nfunc f () -> unit {\nret\n}",
+    // All operand kinds.
+    R"(module ops
+import log : (string) -> unit
+func f (n: int, x: float, b: bool, s: string) -> string {
+  locals (t: string)
+  load s
+  store t
+  push.s "msg \"quoted\"\n"
+  call log
+  load n
+  push.i -9223372036854775807
+  add
+  pop
+  load x
+  push.f -1.25e3
+  fadd
+  pop
+  load b
+  push.b false
+  or
+  brif yes
+  load t
+  ret
+yes:
+  push.s "yes"
+  ret
+})",
+    // Control-flow heavy.
+    R"(module loops
+func f (n: int) -> int {
+  locals (acc: int, i: int)
+  push.i 0
+  store acc
+  push.i 0
+  store i
+outer:
+  load i
+  load n
+  ge
+  brif done
+  load acc
+  load i
+  add
+  store acc
+  load i
+  push.i 1
+  add
+  store i
+  br outer
+done:
+  load acc
+  ret
+})",
+};
+
+class BytecodeRoundTrip : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(BytecodeRoundTrip, EncodeDecodePreservesModule) {
+  Expected<Module> M = assemble(GetParam());
+  ASSERT_TRUE(M) << M.error().str();
+
+  std::string Bytes = encodeModule(*M);
+  Expected<Module> Back = decodeModule(Bytes);
+  ASSERT_TRUE(Back) << Back.error().str();
+
+  // Structural identity via re-encoding and via the printer.
+  EXPECT_EQ(encodeModule(*Back), Bytes);
+  EXPECT_EQ(Back->str(), M->str());
+  EXPECT_EQ(Back->fingerprint(), M->fingerprint());
+
+  // Verification verdicts agree.
+  EXPECT_EQ(static_cast<bool>(verifyModule(*M)),
+            static_cast<bool>(verifyModule(*Back)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BytecodeRoundTrip,
+                         ::testing::ValuesIn(Sources));
+
+TEST(BytecodeTest, DecodedModuleExecutesIdentically) {
+  Expected<Module> M = assemble(Sources[2]);
+  ASSERT_TRUE(M);
+  Expected<Module> Back = decodeModule(encodeModule(*M));
+  ASSERT_TRUE(Back);
+
+  Interpreter A(*M), B(*Back);
+  for (int64_t N : {0, 1, 5, 100}) {
+    Expected<Value> RA = A.call("f", {Value::makeInt(N)});
+    Expected<Value> RB = B.call("f", {Value::makeInt(N)});
+    ASSERT_TRUE(RA);
+    ASSERT_TRUE(RB);
+    EXPECT_EQ(RA->asInt(), RB->asInt());
+  }
+}
+
+TEST(BytecodeTest, StrippedSizeIsSmaller) {
+  Expected<Module> M = assemble(Sources[1]);
+  ASSERT_TRUE(M);
+  EXPECT_LT(strippedSize(*M), encodeModule(*M).size());
+}
+
+TEST(BytecodeTest, RejectsBadMagic) {
+  EXPECT_FALSE(decodeModule(""));
+  EXPECT_FALSE(decodeModule("XXXX"));
+  EXPECT_FALSE(decodeModule("VTA"));
+  std::string Bytes = encodeModule(
+      *assemble("module m\nfunc f () -> unit {\nret\n}"));
+  Bytes[0] = 'W';
+  EXPECT_FALSE(decodeModule(Bytes));
+}
+
+TEST(BytecodeTest, RejectsTruncation) {
+  std::string Bytes =
+      encodeModule(*assemble(Sources[1]));
+  // Every strict prefix must be rejected (never crash, never accept).
+  for (size_t Len = 0; Len < Bytes.size(); ++Len) {
+    Expected<Module> M = decodeModule(std::string_view(Bytes).substr(0, Len));
+    EXPECT_FALSE(M) << "accepted truncation at " << Len;
+  }
+}
+
+TEST(BytecodeTest, RejectsTrailingGarbage) {
+  std::string Bytes =
+      encodeModule(*assemble("module m\nfunc f () -> unit {\nret\n}"));
+  Bytes += "extra";
+  EXPECT_FALSE(decodeModule(Bytes));
+}
+
+TEST(BytecodeTest, FingerprintTracksContent) {
+  Module A = *assemble("module m\nfunc f () -> int {\npush.i 1\nret\n}");
+  Module B = *assemble("module m\nfunc f () -> int {\npush.i 2\nret\n}");
+  EXPECT_NE(A.fingerprint(), B.fingerprint());
+  EXPECT_EQ(A.fingerprint(),
+            assemble("module m\nfunc f () -> int {\npush.i 1\nret\n}")
+                ->fingerprint());
+}
+
+} // namespace

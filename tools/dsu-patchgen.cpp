@@ -1,0 +1,84 @@
+//===- tools/dsu-patchgen.cpp - Patch generator CLI -----------*- C++ -*-===//
+///
+/// \file
+/// Command-line front end for the semi-automatic patch generator:
+///
+///   dsu-patchgen <old-version.vm> <new-version.vm> [output-prefix]
+///
+/// Reads two version manifests, diffs them, and writes
+/// `<prefix>.dsup-manifest` (the patch manifest) and `<prefix>.cpp`
+/// (the native stub skeleton to finish and compile with
+/// `g++ -shared -fPIC`).  With no prefix, prints both to stdout.
+///
+//===----------------------------------------------------------------------===//
+
+#include "patch/Generator.h"
+#include "support/MemoryBuffer.h"
+
+#include <cstdio>
+
+using namespace dsu;
+
+int main(int argc, char **argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <old-version.vm> <new-version.vm> "
+                 "[output-prefix]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  auto Load = [](const char *Path) -> VersionManifest {
+    Expected<std::string> Text = readFile(Path);
+    if (!Text) {
+      std::fprintf(stderr, "error: %s\n", Text.error().str().c_str());
+      std::exit(1);
+    }
+    Expected<VersionManifest> M = VersionManifest::parse(*Text);
+    if (!M) {
+      std::fprintf(stderr, "error: %s: %s\n", Path,
+                   M.error().str().c_str());
+      std::exit(1);
+    }
+    return std::move(*M);
+  };
+
+  VersionManifest Old = Load(argv[1]);
+  VersionManifest New = Load(argv[2]);
+
+  Expected<GeneratedPatch> G = generatePatch(Old, New);
+  if (!G) {
+    std::fprintf(stderr, "error: %s\n", G.error().str().c_str());
+    return 1;
+  }
+
+  std::fprintf(stderr,
+               "%s: unchanged=%u body-changed=%u sig-changed=%u added=%u "
+               "removed=%u types-bumped=%u\n",
+               G->Manifest.Id.c_str(), G->Stats.Unchanged,
+               G->Stats.BodyChanged, G->Stats.SigChanged, G->Stats.Added,
+               G->Stats.Removed, G->Stats.TypesBumped);
+  for (const std::string &W : G->Manifest.Warnings)
+    std::fprintf(stderr, "warning: %s\n", W.c_str());
+
+  if (argc >= 4) {
+    std::string Prefix = argv[3];
+    if (Error E = writeFile(Prefix + ".dsup-manifest",
+                            G->Manifest.print())) {
+      std::fprintf(stderr, "error: %s\n", E.str().c_str());
+      return 1;
+    }
+    if (Error E = writeFile(Prefix + ".cpp", G->StubSource)) {
+      std::fprintf(stderr, "error: %s\n", E.str().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s.dsup-manifest and %s.cpp\n",
+                 Prefix.c_str(), Prefix.c_str());
+    return 0;
+  }
+
+  std::printf(";; ---- patch manifest ----\n%s\n\n",
+              G->Manifest.print().c_str());
+  std::printf("// ---- stub skeleton ----\n%s", G->StubSource.c_str());
+  return 0;
+}
