@@ -1,0 +1,270 @@
+//===- bench/bench_vtal_interp.cpp - Experiment E8 ------------*- C++ -*-===//
+///
+/// E8: steady-state execution throughput of the VTAL engine — the cost a
+/// VTAL-shipped handler pays per request once the patch is linked.  The
+/// PLDI 2001 position is that updateability must be near-free in steady
+/// state; for patch code executed by the interpreter that means the inner
+/// loop may not do name lookups or per-call heap allocation.  DESIGN.md §5
+/// documents the resolved execution form these workloads exercise.
+///
+/// Rows:
+///   CallTree        call-heavy: binary recursion, ~2 calls per 10 insts
+///   CallChain       call-heavy: a loop of direct calls through 8 callees
+///   HostCalls       import dispatch: tight loop crossing into a host fn
+///   ArithLoop       straight-line arithmetic (no calls; dispatch floor)
+///   StringOps       handler-shaped string slicing and search
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtil.h"
+#include "vtal/Assembler.h"
+#include "vtal/Interp.h"
+#include "vtal/Verifier.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace dsu;
+using namespace dsu::vtal;
+
+namespace {
+
+Module mustModule(const std::string &Src) {
+  Module M = cantFail(assemble(Src), "bench module");
+  cantFail(verifyModule(M), "bench module verify");
+  return M;
+}
+
+// Binary recursion: fib — the densest VTAL-to-VTAL call workload.
+Module callTreeModule() {
+  return mustModule(R"(
+module calltree
+func fib (n: int) -> int {
+  load n
+  push.i 2
+  lt
+  brif base
+  load n
+  push.i 1
+  sub
+  call fib
+  load n
+  push.i 2
+  sub
+  call fib
+  add
+  ret
+base:
+  load n
+  ret
+}
+)");
+}
+
+void BM_CallTree(benchmark::State &State) {
+  Module M = callTreeModule();
+  Interpreter I(M);
+  std::vector<Value> Args{Value::makeInt(State.range(0))};
+  uint64_t Fuel = 0;
+  for (auto _ : State) {
+    Expected<Value> R = I.call("fib", Args);
+    if (!R)
+      State.SkipWithError(R.error().str().c_str());
+    benchmark::DoNotOptimize(R->asInt());
+    Fuel = I.lastFuelUsed();
+  }
+  State.counters["insts/s"] = benchmark::Counter(
+      static_cast<double>(Fuel), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_CallTree)->Arg(15)->Arg(20);
+
+// A loop whose body calls through a chain of small functions, the shape
+// of handler code factored into helpers.
+Module callChainModule(unsigned Depth) {
+  std::string Src = "module callchain\n";
+  Src += "func leaf (x: int) -> int {\n  load x\n  push.i 1\n  add\n  ret\n}\n";
+  std::string Prev = "leaf";
+  for (unsigned D = 0; D != Depth; ++D) {
+    std::string Name = formatString("hop_%u", D);
+    Src += formatString(
+        "func %s (x: int) -> int {\n  load x\n  call %s\n  ret\n}\n",
+        Name.c_str(), Prev.c_str());
+    Prev = Name;
+  }
+  Src += formatString(R"(
+func drive (n: int) -> int {
+  locals (acc: int, i: int)
+  push.i 0
+  store acc
+  push.i 0
+  store i
+loop:
+  load i
+  load n
+  ge
+  brif done
+  load acc
+  call %s
+  store acc
+  load i
+  push.i 1
+  add
+  store i
+  br loop
+done:
+  load acc
+  ret
+}
+)",
+                      Prev.c_str());
+  return mustModule(Src);
+}
+
+void BM_CallChain(benchmark::State &State) {
+  Module M = callChainModule(8);
+  Interpreter I(M);
+  std::vector<Value> Args{Value::makeInt(State.range(0))};
+  uint64_t Fuel = 0;
+  for (auto _ : State) {
+    Expected<Value> R = I.call("drive", Args);
+    if (!R)
+      State.SkipWithError(R.error().str().c_str());
+    benchmark::DoNotOptimize(R->asInt());
+    Fuel = I.lastFuelUsed();
+  }
+  State.counters["insts/s"] = benchmark::Counter(
+      static_cast<double>(Fuel), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_CallChain)->Arg(1000);
+
+// Import dispatch: the handler-to-host boundary in a tight loop.
+void BM_HostCalls(benchmark::State &State) {
+  Module M = mustModule(R"(
+module hostloop
+import bump : (int) -> int
+func drive (n: int) -> int {
+  locals (acc: int, i: int)
+  push.i 0
+  store acc
+  push.i 0
+  store i
+loop:
+  load i
+  load n
+  ge
+  brif done
+  load acc
+  call bump
+  store acc
+  load i
+  push.i 1
+  add
+  store i
+  br loop
+done:
+  load acc
+  ret
+}
+)");
+  Interpreter I(M);
+  cantFail(I.bindImport("bump",
+                        [](const std::vector<Value> &A) -> Expected<Value> {
+                          return Value::makeInt(A[0].asInt() + 1);
+                        }),
+           "bind bump");
+  std::vector<Value> Args{Value::makeInt(State.range(0))};
+  for (auto _ : State) {
+    Expected<Value> R = I.call("drive", Args);
+    if (!R)
+      State.SkipWithError(R.error().str().c_str());
+    benchmark::DoNotOptimize(R->asInt());
+  }
+  State.counters["hostcalls/s"] = benchmark::Counter(
+      static_cast<double>(State.range(0)),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_HostCalls)->Arg(1000);
+
+// Straight-line arithmetic loop: the dispatch floor, no calls at all.
+void BM_ArithLoop(benchmark::State &State) {
+  Module M = mustModule(R"(
+module arith
+func sum (n: int) -> int {
+  locals (acc: int, i: int)
+  push.i 0
+  store acc
+  push.i 0
+  store i
+loop:
+  load i
+  load n
+  ge
+  brif done
+  load acc
+  load i
+  load i
+  mul
+  add
+  store acc
+  load i
+  push.i 1
+  add
+  store i
+  br loop
+done:
+  load acc
+  ret
+}
+)");
+  Interpreter I(M);
+  std::vector<Value> Args{Value::makeInt(State.range(0))};
+  uint64_t Fuel = 0;
+  for (auto _ : State) {
+    Expected<Value> R = I.call("sum", Args);
+    if (!R)
+      State.SkipWithError(R.error().str().c_str());
+    benchmark::DoNotOptimize(R->asInt());
+    Fuel = I.lastFuelUsed();
+  }
+  State.counters["insts/s"] = benchmark::Counter(
+      static_cast<double>(Fuel), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_ArithLoop)->Arg(10000);
+
+// Handler-shaped string work: strip a query string per "request".
+void BM_StringOps(benchmark::State &State) {
+  Module M = mustModule(R"(
+module strops
+func strip_query (target: string) -> string {
+  locals (q: int)
+  load target
+  push.s "?"
+  sfind
+  store q
+  load q
+  push.i 0
+  lt
+  brif noquery
+  load target
+  push.i 0
+  load q
+  ssub
+  ret
+noquery:
+  load target
+  ret
+}
+)");
+  Interpreter I(M);
+  std::vector<Value> Args{Value::makeStr("/docs/index.html?session=abc123")};
+  for (auto _ : State) {
+    Expected<Value> R = I.call("strip_query", Args);
+    if (!R)
+      State.SkipWithError(R.error().str().c_str());
+    benchmark::DoNotOptimize(R->asStr().size());
+  }
+}
+BENCHMARK(BM_StringOps);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -148,6 +148,14 @@ void Server::handleReadable(int Fd) {
     return;
   }
 
+  // A client may not buffer unbounded bytes: once the pending input
+  // exceeds the cap without forming a servable request, drop it.
+  if (C.In.size() > MaxRequestBytes &&
+      (C.Responding || !requestComplete(C.In))) {
+    closeConn(Fd);
+    return;
+  }
+
   if (C.Responding || !requestComplete(C.In))
     return;
 

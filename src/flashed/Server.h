@@ -45,6 +45,12 @@ public:
 
   void setIdleHook(IdleHook Hook) { Idle = std::move(Hook); }
 
+  /// Caps per-connection request buffering: a connection whose pending
+  /// input exceeds \p Bytes without forming a complete request is closed,
+  /// so a client that streams bytes forever cannot grow memory without
+  /// bound.  Default 1 MiB.
+  void setMaxRequestBytes(size_t Bytes) { MaxRequestBytes = Bytes; }
+
   /// Runs one event-loop iteration with the given poll timeout.
   /// Returns the number of events processed.
   Expected<int> pollOnce(int TimeoutMs);
@@ -77,6 +83,7 @@ private:
   int EpollFd = -1;
   int ListenFd = -1;
   uint16_t BoundPort = 0;
+  size_t MaxRequestBytes = 1 << 20;
   std::map<int, Conn> Conns;
   uint64_t Served = 0;
   uint64_t Sent = 0;

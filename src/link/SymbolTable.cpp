@@ -4,6 +4,8 @@
 
 #include "types/Compat.h"
 
+#include <mutex>
+
 using namespace dsu;
 
 Error SymbolTable::addExport(SymbolDef Def) {
@@ -12,7 +14,7 @@ Error SymbolTable::addExport(SymbolDef Def) {
   if (!Def.Ty)
     return Error::make(ErrorCode::EC_Invalid, "export '%s' needs a type",
                        Def.Name.c_str());
-  std::lock_guard<std::mutex> G(Lock);
+  std::unique_lock<std::shared_mutex> G(Lock);
   // Take the key first: evaluation order of emplace arguments is
   // unspecified, so `Def.Name` must not be read in the same call that
   // moves Def.
@@ -27,7 +29,7 @@ Error SymbolTable::addExport(SymbolDef Def) {
 }
 
 const SymbolDef *SymbolTable::lookup(const std::string &Name) const {
-  std::lock_guard<std::mutex> G(Lock);
+  std::shared_lock<std::shared_mutex> G(Lock);
   auto It = Defs.find(Name);
   return It == Defs.end() ? nullptr : It->second.get();
 }
@@ -48,7 +50,7 @@ SymbolTable::resolve(const std::string &Name, const Type *WantTy) const {
 }
 
 std::vector<std::string> SymbolTable::names() const {
-  std::lock_guard<std::mutex> G(Lock);
+  std::shared_lock<std::shared_mutex> G(Lock);
   std::vector<std::string> Out;
   Out.reserve(Defs.size());
   for (const auto &[Name, Def] : Defs) {
@@ -59,6 +61,6 @@ std::vector<std::string> SymbolTable::names() const {
 }
 
 size_t SymbolTable::size() const {
-  std::lock_guard<std::mutex> G(Lock);
+  std::shared_lock<std::shared_mutex> G(Lock);
   return Defs.size();
 }

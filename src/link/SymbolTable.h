@@ -20,7 +20,7 @@
 #include "vtal/Interp.h"
 
 #include <map>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -60,7 +60,11 @@ public:
   size_t size() const;
 
 private:
-  mutable std::mutex Lock;
+  /// Reader-writer lock: steady-state lookups (every patch-code import
+  /// dispatch resolves here at load time, and diagnostics enumerate the
+  /// table) vastly outnumber exports, which happen only at startup and at
+  /// update points.
+  mutable std::shared_mutex Lock;
   std::map<std::string, std::unique_ptr<SymbolDef>> Defs;
 };
 

@@ -191,11 +191,12 @@ Expected<Patch> dsu::loadVtalPatch(TypeContext &Ctx, const SymbolTable &Syms,
       return Error::make(ErrorCode::EC_Link,
                          "%s: provide '%s' names no vtal-fn",
                          SourcePath.c_str(), Prov.Name.c_str());
-    const vtal::Function *Fn = Inst->Mod.findFunction(Prov.VtalFn);
-    if (!Fn)
+    Expected<uint32_t> FnIdx = Inst->Interp->functionIndex(Prov.VtalFn);
+    if (!FnIdx)
       return Error::make(ErrorCode::EC_Link,
                          "%s: vtal-fn '%s' not found in module",
                          SourcePath.c_str(), Prov.VtalFn.c_str());
+    const vtal::Function *Fn = &Inst->Mod.Functions[*FnIdx];
     Expected<const Type *> DeclTy = parseType(Ctx, Prov.TypeText);
     if (!DeclTy)
       return DeclTy.takeError().withContext("provide '" + Prov.Name + "'");
@@ -207,10 +208,11 @@ Expected<Patch> dsu::loadVtalPatch(TypeContext &Ctx, const SymbolTable &Syms,
                          SourcePath.c_str(), Prov.Name.c_str(),
                          (*DeclTy)->str().c_str(), CodeTy->str().c_str());
 
-    std::string FnName = Prov.VtalFn;
+    // The entry point is resolved once here; per-request dispatch goes
+    // straight to the function index.
     vtal::HostFn Impl =
-        [Inst, FnName](const std::vector<vtal::Value> &Args) {
-          return Inst->Interp->call(FnName, Args);
+        [Inst, Idx = *FnIdx](const std::vector<vtal::Value> &Args) {
+          return Inst->Interp->callIndex(Idx, Args);
         };
     // Note: the binding's KeepAlive is the closure box created by the
     // bridge; the interpreter instance stays alive because the closure
@@ -227,11 +229,12 @@ Expected<Patch> dsu::loadVtalPatch(TypeContext &Ctx, const SymbolTable &Syms,
     Expected<VersionBump> Bump = parseBump(X);
     if (!Bump)
       return Bump.takeError().withContext(SourcePath);
-    const vtal::Function *Fn = Inst->Mod.findFunction(X.Impl);
-    if (!Fn)
+    Expected<uint32_t> XfIdx = Inst->Interp->functionIndex(X.Impl);
+    if (!XfIdx)
       return Error::make(ErrorCode::EC_Link,
                          "%s: transformer impl '%s' not found in module",
                          SourcePath.c_str(), X.Impl.c_str());
+    const vtal::Function *Fn = &Inst->Mod.Functions[*XfIdx];
     // VTAL transformers cover scalar-represented cells: the transformer
     // function must be (int) -> int or (string) -> string; the engine
     // passes the cell payload through it.
@@ -245,10 +248,9 @@ Expected<Patch> dsu::loadVtalPatch(TypeContext &Ctx, const SymbolTable &Syms,
                          SourcePath.c_str(), X.Impl.c_str());
 
     bool IsInt = Fn->Sig.Result == vtal::ValKind::VK_Int;
-    std::string FnName = X.Impl;
     TransformFn Xf =
-        [Inst, FnName, IsInt](const std::shared_ptr<void> &Old,
-                              const StateCell &Cell)
+        [Inst, XfIdx = *XfIdx, IsInt](const std::shared_ptr<void> &Old,
+                                      const StateCell &Cell)
         -> Expected<std::shared_ptr<void>> {
       std::vector<vtal::Value> Args;
       if (IsInt)
@@ -257,7 +259,7 @@ Expected<Patch> dsu::loadVtalPatch(TypeContext &Ctx, const SymbolTable &Syms,
       else
         Args.push_back(
             vtal::Value::makeStr(*static_cast<std::string *>(Old.get())));
-      Expected<vtal::Value> Res = Inst->Interp->call(FnName, Args);
+      Expected<vtal::Value> Res = Inst->Interp->callIndex(XfIdx, Args);
       if (!Res)
         return Res.takeError().withContext("VTAL transformer on cell '" +
                                            Cell.name() + "'");

@@ -64,6 +64,10 @@ const std::map<std::string, Opcode> &mnemonicTable() {
     std::map<std::string, Opcode> T;
     for (unsigned I = 0; I != NumOpcodes; ++I) {
       auto Op = static_cast<Opcode>(I);
+      // The resolved call forms are internal to the link pass; "call.fn"
+      // and "call.host" are not part of the assembly surface.
+      if (opcodeIsResolved(Op))
+        continue;
       T.emplace(opcodeName(Op), Op);
     }
     return T;
@@ -298,6 +302,10 @@ private:
         return errValue("missing callee name");
       Inst.StrOp = std::string(Operand);
       break;
+    case OperandKind::OK_FuncIdx:
+      // Unreachable: resolved opcodes are excluded from the mnemonic
+      // table above.
+      return errValue("internal opcode cannot be assembled");
     }
     Cur.Code.push_back(std::move(Inst));
     return Error::success();

@@ -151,6 +151,12 @@ void encodeFunction(Writer &W, const Function &F, bool KeepNames) {
     case OperandKind::OK_Func:
       W.str(I.StrOp);
       break;
+    case OperandKind::OK_FuncIdx:
+      // Resolved call forms never reach the encoder: modules are encoded
+      // in their shipping form, and linkModule() does not mutate them.
+      assert(false && "resolved opcode in module being encoded");
+      W.u32(I.Index);
+      break;
     }
   }
 }
@@ -239,6 +245,8 @@ Expected<Module> dsu::vtal::decodeModule(std::string_view Bytes) {
         return Fail("bad opcode");
       Instruction Inst;
       Inst.Op = static_cast<Opcode>(OpByte);
+      if (opcodeIsResolved(Inst.Op))
+        return Fail("resolved opcode in shipped bytecode");
       switch (opcodeOperand(Inst.Op)) {
       case OperandKind::OK_None:
         break;
@@ -274,6 +282,8 @@ Expected<Module> dsu::vtal::decodeModule(std::string_view Bytes) {
         if (!R.str(Inst.StrOp))
           return Fail("truncated callee name");
         break;
+      case OperandKind::OK_FuncIdx:
+        return Fail("resolved opcode in shipped bytecode");
       }
       F.Code.push_back(std::move(Inst));
     }

@@ -12,140 +12,190 @@ constexpr uint64_t DefaultFuel = 64ull << 20;
 constexpr unsigned MaxCallDepth = 256;
 } // namespace
 
-std::string Value::str() const {
-  switch (Kind) {
-  case ValKind::VK_Int:
-    return formatString("int(%lld)", static_cast<long long>(I));
-  case ValKind::VK_Float:
-    return formatString("float(%g)", F);
-  case ValKind::VK_Bool:
-    return B ? "bool(true)" : "bool(false)";
-  case ValKind::VK_Str:
-    return "string(\"" + escapeString(S) + "\")";
-  case ValKind::VK_Unit:
-    return "unit";
+Interpreter::Interpreter(const Module &M, uint64_t Fuel)
+    : M(M), FuelLimit(Fuel ? Fuel : DefaultFuel) {
+  Expected<ResolvedModule> Linked = linkModule(M);
+  if (Linked) {
+    RM = std::move(*Linked);
+  } else {
+    // Defer: every call() reports the link failure instead of executing.
+    // Unverified modules with dangling callee names land here — the
+    // engine must reject them cleanly, never dereference them.
+    LinkErr = Linked.takeError();
   }
-  return "?";
+  Imports.resize(M.Imports.size());
 }
 
-Interpreter::Interpreter(const Module &M, uint64_t Fuel)
-    : M(M), FuelLimit(Fuel ? Fuel : DefaultFuel) {}
-
 Error Interpreter::bindImport(const std::string &Name, HostFn Fn) {
-  if (!M.findImport(Name))
+  uint32_t Ordinal = M.importIndex(Name);
+  if (Ordinal == UINT32_MAX)
     return Error::make(ErrorCode::EC_Link,
                        "module '%s' declares no import named '%s'",
                        M.Name.c_str(), Name.c_str());
-  Imports[Name] = std::move(Fn);
+  Imports[Ordinal] = std::move(Fn);
   return Error::success();
+}
+
+Expected<uint32_t>
+Interpreter::functionIndex(const std::string &FnName) const {
+  uint32_t Idx = M.functionIndex(FnName);
+  if (Idx == UINT32_MAX)
+    return Error::make(ErrorCode::EC_Invalid, "no function '%s' in '%s'",
+                       FnName.c_str(), M.Name.c_str());
+  return Idx;
 }
 
 Expected<Value> Interpreter::call(const std::string &FnName,
                                   const std::vector<Value> &Args) {
-  const Function *F = M.findFunction(FnName);
-  if (!F)
+  uint32_t Idx = M.functionIndex(FnName);
+  if (Idx == UINT32_MAX)
     return Error::make(ErrorCode::EC_Invalid, "no function '%s' in '%s'",
                        FnName.c_str(), M.Name.c_str());
-  if (Args.size() != F->Sig.Params.size())
+  return callIndex(Idx, Args);
+}
+
+Expected<Value> Interpreter::callIndex(uint32_t FnIndex,
+                                       const std::vector<Value> &Args) {
+  if (FnIndex >= M.Functions.size())
+    return Error::make(ErrorCode::EC_Invalid,
+                       "function index %u out of range in '%s'", FnIndex,
+                       M.Name.c_str());
+  const Function &F = M.Functions[FnIndex];
+  if (Args.size() != F.Sig.Params.size())
     return Error::make(ErrorCode::EC_Invalid,
                        "call to '%s': expected %zu arguments, got %zu",
-                       FnName.c_str(), F->Sig.Params.size(), Args.size());
+                       F.Name.c_str(), F.Sig.Params.size(), Args.size());
   for (size_t I = 0; I != Args.size(); ++I)
-    if (Args[I].kind() != F->Sig.Params[I])
+    if (Args[I].kind() != F.Sig.Params[I])
       return Error::make(ErrorCode::EC_Invalid,
                          "call to '%s': argument %zu has kind %s, want %s",
-                         FnName.c_str(), I, valKindName(Args[I].kind()),
-                         valKindName(F->Sig.Params[I]));
+                         F.Name.c_str(), I, valKindName(Args[I].kind()),
+                         valKindName(F.Sig.Params[I]));
+  if (LinkErr)
+    return LinkErr;
 
   uint64_t Fuel = FuelLimit;
-  Expected<Value> Result = invoke(*F, Args, Fuel, 0);
+  Expected<Value> Result = run(FnIndex, Args, Fuel);
   LastFuelUsed = FuelLimit - Fuel;
   return Result;
 }
 
-Expected<Value> Interpreter::invoke(const Function &F,
-                                    const std::vector<Value> &Args,
-                                    uint64_t &Fuel, unsigned Depth) {
-  if (Depth > MaxCallDepth)
-    return Error::make(ErrorCode::EC_Invalid,
-                       "call depth limit exceeded in '%s'", F.Name.c_str());
+namespace {
 
-  std::vector<Value> Locals(F.Locals.size());
-  for (size_t I = 0; I != Args.size(); ++I)
-    Locals[I] = Args[I];
-  // Non-parameter locals start zero-initialized at their declared kind.
-  for (size_t I = Args.size(); I != Locals.size(); ++I) {
-    switch (F.Locals[I].Kind) {
-    case ValKind::VK_Int:
-      Locals[I] = Value::makeInt(0);
-      break;
-    case ValKind::VK_Float:
-      Locals[I] = Value::makeFloat(0.0);
-      break;
-    case ValKind::VK_Bool:
-      Locals[I] = Value::makeBool(false);
-      break;
-    case ValKind::VK_Str:
-      Locals[I] = Value::makeStr("");
-      break;
-    case ValKind::VK_Unit:
-      break;
+/// Restores the shared execution state on every exit path, so errors and
+/// re-entrant activations cannot leak frames or values.
+class ActivationGuard {
+public:
+  ActivationGuard(std::vector<Value> &Arena, size_t ArenaBase)
+      : Arena(Arena), ArenaBase(ArenaBase) {}
+  ~ActivationGuard() { Arena.resize(ArenaBase); }
+
+private:
+  std::vector<Value> &Arena;
+  size_t ArenaBase;
+};
+
+} // namespace
+
+Expected<Value> Interpreter::run(uint32_t FnIndex,
+                                 const std::vector<Value> &Args,
+                                 uint64_t &Fuel) {
+  const size_t FrameBase = Frames.size();
+  const size_t ArenaBase = Arena.size();
+  ActivationGuard ArenaG(Arena, ArenaBase);
+
+  struct FramesGuard {
+    std::vector<Frame> &Frames;
+    size_t FrameBase;
+    ~FramesGuard() { Frames.resize(FrameBase); }
+  } FramesG{Frames, FrameBase};
+
+  const ResolvedFunction *const Fns = RM.Functions.data();
+
+  // Entry frame: arguments become locals [0, N); the remaining locals are
+  // zero-initialized at their declared kind.
+  auto pushZeroLocals = [this](const ResolvedFunction &RF, uint32_t From) {
+    for (uint32_t L = From; L != RF.NumLocals; ++L) {
+      switch (RF.LocalKinds[L]) {
+      case ValKind::VK_Int:
+        Arena.push_back(Value::makeInt(0));
+        break;
+      case ValKind::VK_Float:
+        Arena.push_back(Value::makeFloat(0.0));
+        break;
+      case ValKind::VK_Bool:
+        Arena.push_back(Value::makeBool(false));
+        break;
+      case ValKind::VK_Str:
+        Arena.push_back(Value::emptyStr());
+        break;
+      case ValKind::VK_Unit:
+        Arena.push_back(Value());
+        break;
+      }
     }
-  }
+  };
 
-  std::vector<Value> Stack;
-  Stack.reserve(16);
-  auto popV = [&Stack]() {
-    Value V = std::move(Stack.back());
-    Stack.pop_back();
+  const ResolvedFunction *F = &Fns[FnIndex];
+  uint32_t Base = static_cast<uint32_t>(ArenaBase);
+  uint32_t PC = 0;
+  Frames.push_back(Frame{FnIndex, 0, Base});
+  for (const Value &A : Args)
+    Arena.push_back(A);
+  pushZeroLocals(*F, static_cast<uint32_t>(Args.size()));
+
+  auto popV = [this]() {
+    Value V = std::move(Arena.back());
+    Arena.pop_back();
     return V;
   };
 
-  uint32_t PC = 0;
   while (true) {
     if (Fuel == 0)
       return Error::make(ErrorCode::EC_Invalid,
                          "fuel exhausted in '%s' (infinite loop in patch "
                          "code?)",
-                         F.Name.c_str());
+                         F->Src->Name.c_str());
     --Fuel;
-    assert(PC < F.Code.size() && "pc out of range; module not verified?");
-    const Instruction &I = F.Code[PC];
+    assert(PC < F->Code.size() && "pc out of range; module not verified?");
+    const ResolvedInst &I = F->Code[PC];
 
     switch (I.Op) {
     case Opcode::PushI:
-      Stack.push_back(Value::makeInt(I.IntOp));
+      Arena.push_back(Value::makeInt(I.IntOp));
       break;
     case Opcode::PushF:
-      Stack.push_back(Value::makeFloat(I.FloatOp));
+      Arena.push_back(Value::makeFloat(I.FloatOp));
       break;
     case Opcode::PushB:
-      Stack.push_back(Value::makeBool(I.IntOp != 0));
+      Arena.push_back(Value::makeBool(I.IntOp != 0));
       break;
     case Opcode::PushS:
-      Stack.push_back(Value::makeStr(I.StrOp));
+      Arena.push_back(RM.StrPool[I.Index]);
       break;
 
     case Opcode::Load:
-      Stack.push_back(Locals[I.Index]);
+      Arena.push_back(Arena[Base + I.Index]);
       break;
     case Opcode::Store:
-      Locals[I.Index] = popV();
+      Arena[Base + I.Index] = std::move(Arena.back());
+      Arena.pop_back();
       break;
     case Opcode::Pop:
-      Stack.pop_back();
+      Arena.pop_back();
       break;
     case Opcode::Dup:
-      Stack.push_back(Stack.back());
+      Arena.push_back(Arena.back());
       break;
 
 #define INT_BINOP(OPC, EXPR)                                                 \
   case Opcode::OPC: {                                                        \
-    int64_t B = popV().asInt();                                              \
-    int64_t A = popV().asInt();                                              \
+    int64_t B = Arena.back().asInt();                                        \
+    Arena.pop_back();                                                        \
+    int64_t A = Arena.back().asInt();                                        \
     (void)A;                                                                 \
     (void)B;                                                                 \
-    Stack.push_back(EXPR);                                                   \
+    Arena.back() = EXPR;                                                     \
     break;                                                                   \
   }
       INT_BINOP(Add, Value::makeInt(static_cast<int64_t>(
@@ -164,33 +214,35 @@ Expected<Value> Interpreter::invoke(const Function &F,
 
     case Opcode::Div:
     case Opcode::Rem: {
-      int64_t B = popV().asInt();
-      int64_t A = popV().asInt();
+      int64_t B = Arena.back().asInt();
+      Arena.pop_back();
+      int64_t A = Arena.back().asInt();
       if (B == 0)
         return Error::make(ErrorCode::EC_Invalid,
                            "division by zero in '%s' at pc %u",
-                           F.Name.c_str(), PC);
+                           F->Src->Name.c_str(), PC);
       if (A == INT64_MIN && B == -1)
         return Error::make(ErrorCode::EC_Invalid,
                            "integer overflow in division in '%s' at pc %u",
-                           F.Name.c_str(), PC);
-      Stack.push_back(Value::makeInt(I.Op == Opcode::Div ? A / B : A % B));
+                           F->Src->Name.c_str(), PC);
+      Arena.back() = Value::makeInt(I.Op == Opcode::Div ? A / B : A % B);
       break;
     }
     case Opcode::Neg: {
-      int64_t A = popV().asInt();
-      Stack.push_back(
-          Value::makeInt(static_cast<int64_t>(-static_cast<uint64_t>(A))));
+      int64_t A = Arena.back().asInt();
+      Arena.back() =
+          Value::makeInt(static_cast<int64_t>(-static_cast<uint64_t>(A)));
       break;
     }
 
 #define FLT_BINOP(OPC, EXPR)                                                 \
   case Opcode::OPC: {                                                        \
-    double B = popV().asFloat();                                             \
-    double A = popV().asFloat();                                             \
+    double B = Arena.back().asFloat();                                       \
+    Arena.pop_back();                                                        \
+    double A = Arena.back().asFloat();                                       \
     (void)A;                                                                 \
     (void)B;                                                                 \
-    Stack.push_back(EXPR);                                                   \
+    Arena.back() = EXPR;                                                     \
     break;                                                                   \
   }
       FLT_BINOP(FAdd, Value::makeFloat(A + B))
@@ -206,46 +258,51 @@ Expected<Value> Interpreter::invoke(const Function &F,
 #undef FLT_BINOP
 
     case Opcode::FNeg:
-      Stack.push_back(Value::makeFloat(-popV().asFloat()));
+      Arena.back() = Value::makeFloat(-Arena.back().asFloat());
       break;
 
     case Opcode::And: {
-      bool B = popV().asBool();
-      bool A = popV().asBool();
-      Stack.push_back(Value::makeBool(A && B));
+      bool B = Arena.back().asBool();
+      Arena.pop_back();
+      bool A = Arena.back().asBool();
+      Arena.back() = Value::makeBool(A && B);
       break;
     }
     case Opcode::Or: {
-      bool B = popV().asBool();
-      bool A = popV().asBool();
-      Stack.push_back(Value::makeBool(A || B));
+      bool B = Arena.back().asBool();
+      Arena.pop_back();
+      bool A = Arena.back().asBool();
+      Arena.back() = Value::makeBool(A || B);
       break;
     }
     case Opcode::Not:
-      Stack.push_back(Value::makeBool(!popV().asBool()));
+      Arena.back() = Value::makeBool(!Arena.back().asBool());
       break;
 
     case Opcode::I2F:
-      Stack.push_back(Value::makeFloat(static_cast<double>(popV().asInt())));
+      Arena.back() =
+          Value::makeFloat(static_cast<double>(Arena.back().asInt()));
       break;
     case Opcode::F2I:
-      Stack.push_back(Value::makeInt(static_cast<int64_t>(popV().asFloat())));
+      Arena.back() =
+          Value::makeInt(static_cast<int64_t>(Arena.back().asFloat()));
       break;
 
     case Opcode::SCat: {
       Value B = popV();
       Value A = popV();
-      Stack.push_back(Value::makeStr(A.asStr() + B.asStr()));
+      Arena.push_back(Value::makeStr(A.asStr() + B.asStr()));
       break;
     }
-    case Opcode::SLen:
-      Stack.push_back(
-          Value::makeInt(static_cast<int64_t>(popV().asStr().size())));
+    case Opcode::SLen: {
+      int64_t N = static_cast<int64_t>(Arena.back().asStr().size());
+      Arena.back() = Value::makeInt(N);
       break;
+    }
     case Opcode::SEq: {
       Value B = popV();
       Value A = popV();
-      Stack.push_back(Value::makeBool(A.asStr() == B.asStr()));
+      Arena.push_back(Value::makeBool(A.asStr() == B.asStr()));
       break;
     }
     case Opcode::SSub: {
@@ -264,7 +321,7 @@ Expected<Value> Interpreter::invoke(const Function &F,
         Len = 0;
       if (Start + Len > N)
         Len = N - Start;
-      Stack.push_back(Value::makeStr(
+      Arena.push_back(Value::makeStr(
           Str.substr(static_cast<size_t>(Start), static_cast<size_t>(Len))));
       break;
     }
@@ -272,7 +329,7 @@ Expected<Value> Interpreter::invoke(const Function &F,
       Value Needle = popV();
       Value Hay = popV();
       size_t Pos = Hay.asStr().find(Needle.asStr());
-      Stack.push_back(Value::makeInt(
+      Arena.push_back(Value::makeInt(
           Pos == std::string::npos ? -1 : static_cast<int64_t>(Pos)));
       break;
     }
@@ -287,41 +344,84 @@ Expected<Value> Interpreter::invoke(const Function &F,
       }
       break;
 
-    case Opcode::Ret:
-      if (F.Sig.Result == ValKind::VK_Unit)
-        return Value::makeUnit();
-      return popV();
-
-    case Opcode::Call: {
-      const Function *Callee = M.findFunction(I.StrOp);
-      const Import *Imp = Callee ? nullptr : M.findImport(I.StrOp);
-      const Signature &Sig = Callee ? Callee->Sig : Imp->Sig;
-      std::vector<Value> CallArgs(Sig.Params.size());
-      for (size_t A = Sig.Params.size(); A-- > 0;)
-        CallArgs[A] = popV();
-
-      Expected<Value> Result = Error::make(ErrorCode::EC_Link, "unbound");
-      if (Callee) {
-        Result = invoke(*Callee, CallArgs, Fuel, Depth + 1);
-      } else {
-        auto It = Imports.find(I.StrOp);
-        if (It == Imports.end())
-          return Error::make(ErrorCode::EC_Link,
-                             "import '%s' was never bound", I.StrOp.c_str());
-        Result = It->second(CallArgs);
-        if (Result && Result->kind() != Sig.Result)
-          return Error::make(ErrorCode::EC_Link,
-                             "host import '%s' returned %s, expected %s",
-                             I.StrOp.c_str(),
-                             valKindName(Result->kind()),
-                             valKindName(Sig.Result));
+    case Opcode::Ret: {
+      bool HasResult = F->Result != ValKind::VK_Unit;
+      if (Frames.size() == FrameBase + 1) {
+        // Top of this activation: hand the result to the caller.
+        if (!HasResult)
+          return Value::makeUnit();
+        return popV();
       }
+      Value Result;
+      if (HasResult)
+        Result = popV();
+      Arena.resize(Base);
+      Frames.pop_back();
+      const Frame &Caller = Frames.back();
+      F = &Fns[Caller.FnIndex];
+      Base = Caller.Base;
+      PC = Caller.PC;
+      if (HasResult)
+        Arena.push_back(std::move(Result));
+      break; // resumes at the instruction after the call
+    }
+
+    case Opcode::CallFn: {
+      if (Frames.size() - FrameBase > MaxCallDepth)
+        return Error::make(ErrorCode::EC_Invalid,
+                           "call depth limit exceeded in '%s'",
+                           Fns[I.Index].Src->Name.c_str());
+      const ResolvedFunction &Callee = Fns[I.Index];
+      // The top NumParams arena values ARE the callee's parameter locals:
+      // no argument copying, the frame starts beneath them.
+      uint32_t NewBase =
+          static_cast<uint32_t>(Arena.size()) - Callee.NumParams;
+      Frames.back().PC = PC;
+      Frames.push_back(Frame{I.Index, 0, NewBase});
+      pushZeroLocals(Callee, Callee.NumParams);
+      F = &Callee;
+      Base = NewBase;
+      PC = 0;
+      continue;
+    }
+
+    case Opcode::CallHost: {
+      const Import &Imp = M.Imports[I.Index];
+      const HostFn &Host = Imports[I.Index];
+      if (!Host)
+        return Error::make(ErrorCode::EC_Link,
+                           "import '%s' was never bound", Imp.Name.c_str());
+      size_t NumArgs = Imp.Sig.Params.size();
+      if (HostDepth == HostArgsPool.size())
+        HostArgsPool.emplace_back();
+      std::vector<Value> &CallArgs = HostArgsPool[HostDepth];
+      ++HostDepth;
+      CallArgs.resize(NumArgs);
+      for (size_t A = NumArgs; A-- > 0;) {
+        CallArgs[A] = std::move(Arena.back());
+        Arena.pop_back();
+      }
+      Expected<Value> Result = Host(CallArgs);
+      CallArgs.clear();
+      --HostDepth;
+      if (Result && Result->kind() != Imp.Sig.Result)
+        return Error::make(ErrorCode::EC_Link,
+                           "host import '%s' returned %s, expected %s",
+                           Imp.Name.c_str(), valKindName(Result->kind()),
+                           valKindName(Imp.Sig.Result));
       if (!Result)
         return Result;
-      if (Sig.Result != ValKind::VK_Unit)
-        Stack.push_back(std::move(*Result));
+      if (Imp.Sig.Result != ValKind::VK_Unit)
+        Arena.push_back(std::move(*Result));
       break;
     }
+
+    case Opcode::Call:
+      // linkModule rewrites every Call; reaching one means the image was
+      // built outside the link pass.
+      return Error::make(ErrorCode::EC_Link,
+                         "unresolved call in '%s' at pc %u",
+                         F->Src->Name.c_str(), PC);
     }
     ++PC;
   }

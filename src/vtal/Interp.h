@@ -6,8 +6,12 @@
 /// as a native shared object runs directly; see link/NativeLoader.h).
 ///
 /// An Interpreter instance binds one module plus host functions for its
-/// imports.  Execution is fuel-limited so that a buggy patch cannot hang
-/// the updating process at an update point.
+/// imports.  Binding runs the load-time link pass (vtal/Resolve.h), so
+/// steady-state execution dispatches calls by index, binds imports by
+/// ordinal, and runs on an explicit frame stack over one reusable value
+/// arena — no name lookups and no per-call heap allocation in the inner
+/// loop.  Execution is fuel-limited so that a buggy patch cannot hang the
+/// updating process at an update point.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,86 +20,31 @@
 
 #include "support/Error.h"
 #include "vtal/Module.h"
+#include "vtal/Resolve.h"
+#include "vtal/Value.h"
 
+#include <deque>
 #include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
 namespace dsu {
 namespace vtal {
 
-/// A runtime value of the VTAL machine.
-class Value {
-public:
-  Value() : Kind(ValKind::VK_Unit) {}
-
-  static Value makeInt(int64_t V) {
-    Value X;
-    X.Kind = ValKind::VK_Int;
-    X.I = V;
-    return X;
-  }
-  static Value makeFloat(double V) {
-    Value X;
-    X.Kind = ValKind::VK_Float;
-    X.F = V;
-    return X;
-  }
-  static Value makeBool(bool V) {
-    Value X;
-    X.Kind = ValKind::VK_Bool;
-    X.B = V;
-    return X;
-  }
-  static Value makeStr(std::string V) {
-    Value X;
-    X.Kind = ValKind::VK_Str;
-    X.S = std::move(V);
-    return X;
-  }
-  static Value makeUnit() { return Value(); }
-
-  ValKind kind() const { return Kind; }
-  int64_t asInt() const {
-    assert(Kind == ValKind::VK_Int && "not an int");
-    return I;
-  }
-  double asFloat() const {
-    assert(Kind == ValKind::VK_Float && "not a float");
-    return F;
-  }
-  bool asBool() const {
-    assert(Kind == ValKind::VK_Bool && "not a bool");
-    return B;
-  }
-  const std::string &asStr() const {
-    assert(Kind == ValKind::VK_Str && "not a string");
-    return S;
-  }
-
-  /// Debug rendering, e.g. "int(42)".
-  std::string str() const;
-
-private:
-  ValKind Kind;
-  int64_t I = 0;
-  double F = 0.0;
-  bool B = false;
-  std::string S;
-};
-
 /// A host-provided implementation of a module import.
 using HostFn = std::function<Expected<Value>(const std::vector<Value> &)>;
 
 /// Interprets one module.  The module must outlive the interpreter and
 /// should have passed verifyModule() — the interpreter still traps
-/// dynamically (division by zero, fuel exhaustion, call depth) but relies
-/// on verification for kind correctness of straight-line code.
+/// dynamically (division by zero, fuel exhaustion, call depth) and
+/// refuses to run modules whose calls do not link, but relies on
+/// verification for kind correctness of straight-line code.
 class Interpreter {
 public:
   /// \p Fuel bounds the total instruction count of one call() including
-  /// callees; 0 means the default (64M instructions).
+  /// callees; 0 means the default (64M instructions).  Construction runs
+  /// the link pass; a module that fails to link is rejected (with the
+  /// link error) on every subsequent call().
   explicit Interpreter(const Module &M, uint64_t Fuel = 0);
 
   /// Supplies the implementation of import \p Name.  Signature conformance
@@ -106,17 +55,55 @@ public:
   Expected<Value> call(const std::string &FnName,
                        const std::vector<Value> &Args);
 
+  /// Index of \p FnName for callIndex(); fails when absent.  Lets
+  /// long-lived call sites (patch provides, transformers) resolve the
+  /// entry point once at load time.
+  Expected<uint32_t> functionIndex(const std::string &FnName) const;
+
+  /// Calls function \p FnIndex (from functionIndex()) with \p Args,
+  /// skipping the by-name entry lookup.
+  Expected<Value> callIndex(uint32_t FnIndex, const std::vector<Value> &Args);
+
   /// Instructions executed by the most recent call().
   uint64_t lastFuelUsed() const { return LastFuelUsed; }
 
 private:
-  Expected<Value> invoke(const Function &F, const std::vector<Value> &Args,
-                         uint64_t &Fuel, unsigned Depth);
+  /// One activation record.  Locals live in the shared arena at
+  /// [Base, Base + NumLocals); the frame's operand stack is the arena
+  /// region above them, up to the next frame's Base (or the arena top for
+  /// the innermost frame).
+  struct Frame {
+    uint32_t FnIndex;
+    uint32_t PC;
+    uint32_t Base;
+  };
+
+  Expected<Value> run(uint32_t FnIndex, const std::vector<Value> &Args,
+                      uint64_t &Fuel);
 
   const Module &M;
   uint64_t FuelLimit;
   uint64_t LastFuelUsed = 0;
-  std::map<std::string, HostFn> Imports;
+
+  /// Execution form; valid only when LinkErr is a success value.
+  ResolvedModule RM;
+  Error LinkErr;
+
+  /// Host bindings, dense by import ordinal.
+  std::vector<HostFn> Imports;
+
+  /// Reusable execution state: frames and the locals/operand-stack arena.
+  /// Capacity persists across calls, so steady-state execution performs
+  /// no heap allocation.  call() is re-entrant (a host function may call
+  /// back into the same interpreter): each activation stacks its frames
+  /// and values above the outer one's.
+  std::vector<Frame> Frames;
+  std::vector<Value> Arena;
+
+  /// Per-nesting-level argument buffers for host calls (deque: growing
+  /// it never moves a level that an active host call still references).
+  std::deque<std::vector<Value>> HostArgsPool;
+  unsigned HostDepth = 0;
 };
 
 } // namespace vtal

@@ -107,6 +107,9 @@ std::string Instruction::str() const {
   case OperandKind::OK_Func:
     S += " " + StrOp;
     break;
+  case OperandKind::OK_FuncIdx:
+    S += formatString(" #%u", Index);
+    break;
   }
   return S;
 }
@@ -130,6 +133,20 @@ const Import *Module::findImport(std::string_view ImpName) const {
     if (I.Name == ImpName)
       return &I;
   return nullptr;
+}
+
+uint32_t Module::functionIndex(std::string_view FnName) const {
+  for (uint32_t I = 0; I != Functions.size(); ++I)
+    if (Functions[I].Name == FnName)
+      return I;
+  return UINT32_MAX;
+}
+
+uint32_t Module::importIndex(std::string_view ImpName) const {
+  for (uint32_t I = 0; I != Imports.size(); ++I)
+    if (Imports[I].Name == ImpName)
+      return I;
+  return UINT32_MAX;
 }
 
 uint64_t Module::fingerprint() const {

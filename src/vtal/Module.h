@@ -111,6 +111,12 @@ struct Module {
   const Function *findFunction(std::string_view FnName) const;
   const Import *findImport(std::string_view ImpName) const;
 
+  /// Index of the named function in Functions; UINT32_MAX when absent.
+  uint32_t functionIndex(std::string_view FnName) const;
+
+  /// Ordinal of the named import in Imports; UINT32_MAX when absent.
+  uint32_t importIndex(std::string_view ImpName) const;
+
   /// Stable fingerprint over the full encoded module (code identity).
   uint64_t fingerprint() const;
 

@@ -99,6 +99,10 @@ const char *dsu::vtal::opcodeName(Opcode Op) {
     return "ret";
   case Opcode::Call:
     return "call";
+  case Opcode::CallFn:
+    return "call.fn";
+  case Opcode::CallHost:
+    return "call.host";
   }
   assert(false && "unknown opcode");
   return "?";
@@ -122,6 +126,9 @@ OperandKind dsu::vtal::opcodeOperand(Opcode Op) {
     return OperandKind::OK_Label;
   case Opcode::Call:
     return OperandKind::OK_Func;
+  case Opcode::CallFn:
+  case Opcode::CallHost:
+    return OperandKind::OK_FuncIdx;
   default:
     return OperandKind::OK_None;
   }

@@ -85,6 +85,14 @@ enum class Opcode : uint8_t {
   BrIf, ///< brif <label>  : pop bool, jump when true
   Ret,  ///< return; stack must hold exactly the result
   Call, ///< call <fn>     : pop args, push result
+
+  // Resolved call forms.  Produced only by the load-time link pass
+  // (vtal/Resolve.h) after verification; they carry a dense index instead
+  // of a callee name so the execution engine dispatches without string
+  // lookups.  They never appear in shipped text or bytecode: the
+  // assembler, decoder and verifier all reject them.
+  CallFn,   ///< call.fn #idx   : direct call to Functions[idx]
+  CallHost, ///< call.host #idx : call the host binding of Imports[idx]
 };
 
 /// What a textual/encoded operand of an opcode looks like.
@@ -94,9 +102,10 @@ enum class OperandKind : uint8_t {
   OK_Float, ///< 64-bit float immediate
   OK_Bool,  ///< boolean immediate
   OK_Str,   ///< string immediate
-  OK_Local, ///< local-variable reference (by name in text, index encoded)
-  OK_Label, ///< branch target (by name in text, index encoded)
-  OK_Func,  ///< callee name
+  OK_Local,   ///< local-variable reference (by name in text, index encoded)
+  OK_Label,   ///< branch target (by name in text, index encoded)
+  OK_Func,    ///< callee name
+  OK_FuncIdx, ///< resolved callee: function index or import ordinal
 };
 
 /// Returns the assembler mnemonic for \p Op.
@@ -105,8 +114,15 @@ const char *opcodeName(Opcode Op);
 /// Returns the operand shape of \p Op.
 OperandKind opcodeOperand(Opcode Op);
 
+/// True for the resolved call forms, which exist only inside a linked
+/// execution image — the shipping surfaces (assembler text, bytecode,
+/// verifier input) must reject them.
+constexpr bool opcodeIsResolved(Opcode Op) {
+  return Op == Opcode::CallFn || Op == Opcode::CallHost;
+}
+
 /// Number of opcodes (for encode/decode validation).
-constexpr unsigned NumOpcodes = static_cast<unsigned>(Opcode::Call) + 1;
+constexpr unsigned NumOpcodes = static_cast<unsigned>(Opcode::CallHost) + 1;
 
 } // namespace vtal
 } // namespace dsu

@@ -1,0 +1,105 @@
+//===- vtal/Resolve.cpp ---------------------------------------*- C++ -*-===//
+
+#include "vtal/Resolve.h"
+
+#include <map>
+
+using namespace dsu;
+using namespace dsu::vtal;
+
+Expected<ResolvedModule> dsu::vtal::linkModule(const Module &M) {
+  ResolvedModule R;
+  R.Src = &M;
+  R.Functions.reserve(M.Functions.size());
+
+  // Intern string literals: one pooled Value per distinct literal, so
+  // repeated `push.s` of the same text share a payload.
+  std::map<std::string, uint32_t> StrIds;
+  auto internStr = [&](const std::string &S) -> uint32_t {
+    auto [It, Inserted] =
+        StrIds.emplace(S, static_cast<uint32_t>(R.StrPool.size()));
+    if (Inserted)
+      R.StrPool.push_back(Value::makeStr(S));
+    return It->second;
+  };
+
+  for (const Function &F : M.Functions) {
+    if (F.Sig.Params.size() > F.Locals.size())
+      return Error::make(ErrorCode::EC_Verify,
+                         "%s:%s: fewer locals than parameters",
+                         M.Name.c_str(), F.Name.c_str());
+    ResolvedFunction RF;
+    RF.Src = &F;
+    RF.NumParams = F.numParams();
+    RF.NumLocals = static_cast<uint32_t>(F.Locals.size());
+    RF.Result = F.Sig.Result;
+    RF.LocalKinds.reserve(F.Locals.size());
+    for (const LocalVar &L : F.Locals)
+      RF.LocalKinds.push_back(L.Kind);
+
+    RF.Code.reserve(F.Code.size());
+    for (size_t PC = 0; PC != F.Code.size(); ++PC) {
+      const Instruction &I = F.Code[PC];
+      ResolvedInst RI;
+      RI.Op = I.Op;
+      switch (opcodeOperand(I.Op)) {
+      case OperandKind::OK_None:
+        break;
+      case OperandKind::OK_Int:
+      case OperandKind::OK_Bool:
+        RI.IntOp = I.IntOp;
+        break;
+      case OperandKind::OK_Float:
+        RI.FloatOp = I.FloatOp;
+        break;
+      case OperandKind::OK_Str:
+        RI.Index = internStr(I.StrOp);
+        break;
+      case OperandKind::OK_Local:
+        if (I.Index >= F.Locals.size())
+          return Error::make(ErrorCode::EC_Verify,
+                             "%s:%s:pc%zu: local index out of range",
+                             M.Name.c_str(), F.Name.c_str(), PC);
+        RI.Index = I.Index;
+        break;
+      case OperandKind::OK_Label:
+        if (I.Index >= F.Code.size())
+          return Error::make(ErrorCode::EC_Verify,
+                             "%s:%s:pc%zu: branch target out of range",
+                             M.Name.c_str(), F.Name.c_str(), PC);
+        RI.Index = I.Index;
+        break;
+      case OperandKind::OK_Func: {
+        // The link step proper: a callee name binds to a module-local
+        // function first (verifyModule guarantees names are disjoint),
+        // then to an import ordinal.
+        uint32_t FnIdx = M.functionIndex(I.StrOp);
+        if (FnIdx != UINT32_MAX) {
+          RI.Op = Opcode::CallFn;
+          RI.Index = FnIdx;
+          break;
+        }
+        uint32_t Ordinal = M.importIndex(I.StrOp);
+        if (Ordinal != UINT32_MAX) {
+          RI.Op = Opcode::CallHost;
+          RI.Index = Ordinal;
+          break;
+        }
+        return Error::make(ErrorCode::EC_Link,
+                           "%s:%s:pc%zu: call to unknown function '%s'",
+                           M.Name.c_str(), F.Name.c_str(), PC,
+                           I.StrOp.c_str());
+      }
+      case OperandKind::OK_FuncIdx:
+        return Error::make(ErrorCode::EC_Verify,
+                           "%s:%s:pc%zu: module already contains resolved "
+                           "opcode '%s'",
+                           M.Name.c_str(), F.Name.c_str(), PC,
+                           opcodeName(I.Op));
+      }
+      RF.Code.push_back(RI);
+    }
+    R.Functions.push_back(std::move(RF));
+  }
+  return R;
+}

@@ -1,0 +1,83 @@
+//===- vtal/Resolve.h - Load-time call resolution -------------*- C++ -*-===//
+///
+/// \file
+/// The load-time link pass that turns a verified Module (the shipping
+/// form) into a ResolvedModule (the execution form).  Resolution happens
+/// once, when an Interpreter binds a module; afterwards the inner loop
+/// never touches a std::string key:
+///
+///   - every `Call` is rewritten to `CallFn` (module-local callee, by
+///     function index) or `CallHost` (import, by ordinal),
+///   - string literals are interned into a pool of prebuilt Values, so
+///     `push.s` is a refcounted handle copy,
+///   - per-function metadata (arity, local kinds, result kind) is laid
+///     out densely for frame setup without touching the source Module.
+///
+/// The pass is also the dynamic-linking safety net for modules that have
+/// NOT passed verifyModule(): a call to a name that is neither a function
+/// nor an import is reported as an EC_Link error here instead of being
+/// dereferenced at execution time, and local/label indices are
+/// bounds-checked so a hostile module cannot make the engine index out of
+/// range.  (Operand-stack discipline is still the verifier's job.)
+///
+/// The source Module must outlive the ResolvedModule; resolution never
+/// mutates it, so module fingerprints and encoded sizes are unaffected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_VTAL_RESOLVE_H
+#define DSU_VTAL_RESOLVE_H
+
+#include "support/Error.h"
+#include "vtal/Module.h"
+#include "vtal/Value.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dsu {
+namespace vtal {
+
+/// One instruction of the execution form: a fixed-size, trivially
+/// copyable cell.  Operand use by kind:
+///   OK_Int/OK_Bool -> IntOp;  OK_Float -> FloatOp;
+///   OK_Str -> Index into ResolvedModule::StrPool;
+///   OK_Local/OK_Label -> Index;  OK_FuncIdx -> Index (fn / ordinal).
+struct ResolvedInst {
+  Opcode Op = Opcode::Ret;
+  uint32_t Index = 0;
+  union {
+    int64_t IntOp;
+    double FloatOp;
+  };
+  ResolvedInst() : IntOp(0) {}
+};
+
+/// Execution-form function: dense metadata plus resolved code.
+struct ResolvedFunction {
+  const Function *Src = nullptr; ///< names for diagnostics only
+  uint32_t NumParams = 0;
+  uint32_t NumLocals = 0;
+  ValKind Result = ValKind::VK_Unit;
+  std::vector<ValKind> LocalKinds; ///< for zero-initializing frames
+  std::vector<ResolvedInst> Code;
+};
+
+/// Execution form of a whole module.  Imports keep their declaration
+/// order, so an import's ordinal is its index in Module::Imports.
+struct ResolvedModule {
+  const Module *Src = nullptr;
+  std::vector<ResolvedFunction> Functions;
+  std::vector<Value> StrPool; ///< interned string literal values
+};
+
+/// Links \p M into its execution form.  Fails with EC_Link when a call
+/// names neither a function nor an import, and with EC_Verify when an
+/// operand index is out of range or the module already contains resolved
+/// opcodes (both impossible for modules that passed verifyModule()).
+Expected<ResolvedModule> linkModule(const Module &M);
+
+} // namespace vtal
+} // namespace dsu
+
+#endif // DSU_VTAL_RESOLVE_H

@@ -1,0 +1,29 @@
+//===- vtal/Value.cpp -----------------------------------------*- C++ -*-===//
+
+#include "vtal/Value.h"
+
+#include "support/StringUtil.h"
+
+using namespace dsu;
+using namespace dsu::vtal;
+
+const Value &Value::emptyStr() {
+  static const Value E = Value::makeStr(std::string());
+  return E;
+}
+
+std::string Value::str() const {
+  switch (Kind) {
+  case ValKind::VK_Int:
+    return formatString("int(%lld)", static_cast<long long>(I));
+  case ValKind::VK_Float:
+    return formatString("float(%g)", F);
+  case ValKind::VK_Bool:
+    return B ? "bool(true)" : "bool(false)";
+  case ValKind::VK_Str:
+    return "string(\"" + escapeString(*S) + "\")";
+  case ValKind::VK_Unit:
+    return "unit";
+  }
+  return "?";
+}

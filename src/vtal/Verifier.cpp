@@ -268,6 +268,12 @@ private:
         Stack.push_back(Sig->Result);
       break;
     }
+
+    case Opcode::CallFn:
+    case Opcode::CallHost:
+      // Resolved call forms are an artifact of the load-time link pass
+      // (vtal/Resolve.h); a shipped module that carries them is forged.
+      return err(PC, "resolved call form in unlinked module");
     }
 
     // Default fallthrough for non-terminators.

@@ -11,8 +11,14 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
 #include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <thread>
+#include <unistd.h>
 
 using namespace dsu;
 using namespace dsu::flashed;
@@ -138,6 +144,66 @@ TEST_F(ServerTest, FullEvolutionUnderTraffic) {
   auto Count = cantFail(bindUpdateable<int64_t()>(
       RT.updateables(), RT.types(), "flashed.log_count"));
   EXPECT_GT(Count(), 0);
+}
+
+TEST(ServerLimitsTest, OverlongIncompleteRequestDisconnected) {
+  Runtime RT;
+  FlashedApp App(RT);
+  DocStore Docs;
+  Docs.put("/x.html", "x");
+  ASSERT_FALSE(App.init(std::move(Docs)));
+  Server Srv([&App](const std::string &Raw) { return App.handle(Raw); });
+  // The cap must be configured before the loop thread starts: the field
+  // is read by the event loop without synchronization.
+  Srv.setMaxRequestBytes(4096);
+  ASSERT_FALSE(Srv.listenOn(0));
+  std::atomic<bool> Stop{false};
+  std::thread Loop([&] {
+    Error E = Srv.runUntil([&] { return Stop.load(); }, 5);
+    EXPECT_FALSE(E) << E.str();
+  });
+
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Srv.port());
+  ASSERT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                      sizeof(Addr)),
+            0);
+
+  // Header bytes with no terminating blank line, well past the cap.  A
+  // client that streams bytes without ever completing a request must be
+  // cut off.
+  std::string Chunk(1024, 'A');
+  bool Rejected = false;
+  for (int I = 0; I != 64 && !Rejected; ++I) {
+    ssize_t N = ::send(Fd, Chunk.data(), Chunk.size(), MSG_NOSIGNAL);
+    if (N < 0)
+      Rejected = true; // server already reset the connection
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  if (!Rejected) {
+    // The close must surface as EOF or a reset on our side; a receive
+    // timeout (EAGAIN) means the cap was never enforced and the test
+    // must fail.
+    timeval Tv{2, 0};
+    ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+    char Buf[64];
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    Rejected = N == 0 || (N < 0 && errno != EAGAIN && errno != EWOULDBLOCK);
+  }
+  ::close(Fd);
+  EXPECT_TRUE(Rejected);
+
+  // Well-behaved clients are unaffected.
+  Expected<FetchResult> R = httpGet(Srv.port(), "/x.html");
+  ASSERT_TRUE(R) << R.takeError().str();
+  EXPECT_EQ(R->Status, 200);
+
+  Stop.store(true);
+  Loop.join();
 }
 
 TEST(ServerLifecycleTest, ShutdownAndRebind) {

@@ -1,0 +1,466 @@
+//===- tests/test_vtal_resolve.cpp - Resolved execution form --*- C++ -*-===//
+///
+/// The load-time link pass (vtal/Resolve.h) and the frame-based engine it
+/// feeds: call rewriting to indices, host-import binding by ordinal, the
+/// depth limit on the explicit frame stack, clean rejection of unlinkable
+/// modules, and the fuel-accounting regression against the pre-resolution
+/// recursive engine.
+
+#include "vtal/Assembler.h"
+#include "vtal/Interp.h"
+#include "vtal/Resolve.h"
+#include "vtal/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace dsu;
+using namespace dsu::vtal;
+
+namespace {
+
+Module mustAssemble(const char *Src) {
+  Expected<Module> M = assemble(Src);
+  EXPECT_TRUE(M) << M.error().str();
+  return std::move(*M);
+}
+
+Module mustAssembleVerified(const char *Src) {
+  Module M = mustAssemble(Src);
+  Error E = verifyModule(M);
+  EXPECT_FALSE(E) << E.str();
+  return M;
+}
+
+// --- The link pass itself. ----------------------------------------------
+
+TEST(ResolveTest, RewritesCallsToIndices) {
+  Module M = mustAssembleVerified(R"(
+module link
+import host_a : (int) -> int
+import host_b : () -> int
+func leaf (x: int) -> int {
+  load x
+  ret
+}
+func caller (x: int) -> int {
+  load x
+  call leaf
+  call host_a
+  call host_b
+  add
+  ret
+}
+)");
+  Expected<ResolvedModule> R = linkModule(M);
+  ASSERT_TRUE(R) << R.error().str();
+  ASSERT_EQ(R->Functions.size(), 2u);
+
+  const ResolvedFunction &Caller = R->Functions[1];
+  // call leaf -> CallFn #0, call host_a -> CallHost #0, host_b -> #1.
+  ASSERT_EQ(Caller.Code.size(), 6u);
+  EXPECT_EQ(Caller.Code[1].Op, Opcode::CallFn);
+  EXPECT_EQ(Caller.Code[1].Index, 0u);
+  EXPECT_EQ(Caller.Code[2].Op, Opcode::CallHost);
+  EXPECT_EQ(Caller.Code[2].Index, 0u);
+  EXPECT_EQ(Caller.Code[3].Op, Opcode::CallHost);
+  EXPECT_EQ(Caller.Code[3].Index, 1u);
+  // No unresolved Call survives the pass.
+  for (const ResolvedFunction &F : R->Functions)
+    for (const ResolvedInst &I : F.Code)
+      EXPECT_NE(I.Op, Opcode::Call);
+}
+
+TEST(ResolveTest, InternsStringLiterals) {
+  Module M = mustAssembleVerified(R"(
+module pool
+func f () -> string {
+  push.s "dup"
+  push.s "other"
+  scat
+  push.s "dup"
+  scat
+  ret
+}
+)");
+  Expected<ResolvedModule> R = linkModule(M);
+  ASSERT_TRUE(R) << R.error().str();
+  // "dup" is pooled once; two literals total.
+  EXPECT_EQ(R->StrPool.size(), 2u);
+  EXPECT_EQ(R->Functions[0].Code[0].Index,
+            R->Functions[0].Code[3].Index);
+}
+
+TEST(ResolveTest, UnknownCalleeFailsToLink) {
+  // Deliberately NOT verified: the verifier would reject this module,
+  // but an unverified module must fail cleanly, not crash (the seed
+  // engine dereferenced a null import here).
+  Module M = mustAssemble(R"(
+module bad
+func f () -> int {
+  call ghost
+  ret
+}
+)");
+  Expected<ResolvedModule> R = linkModule(M);
+  ASSERT_FALSE(R);
+  EXPECT_EQ(R.error().code(), ErrorCode::EC_Link);
+  EXPECT_NE(R.error().message().find("unknown function 'ghost'"),
+            std::string::npos);
+}
+
+TEST(ResolveTest, OutOfRangeLocalFailsToLink) {
+  Module M;
+  M.Name = "raw";
+  Function F;
+  F.Name = "f";
+  F.Sig.Result = ValKind::VK_Int;
+  Instruction Load;
+  Load.Op = Opcode::Load;
+  Load.Index = 3; // no locals exist
+  F.Code.push_back(Load);
+  Instruction Ret;
+  Ret.Op = Opcode::Ret;
+  F.Code.push_back(Ret);
+  M.Functions.push_back(std::move(F));
+
+  Expected<ResolvedModule> R = linkModule(M);
+  ASSERT_FALSE(R);
+  EXPECT_EQ(R.error().code(), ErrorCode::EC_Verify);
+}
+
+TEST(ResolveTest, ResolvedOpcodesRejectedByVerifierAndAssembler) {
+  // A forged module carrying a pre-resolved call may not pass the
+  // shipping surfaces.
+  Module M;
+  M.Name = "forged";
+  Function F;
+  F.Name = "f";
+  F.Sig.Result = ValKind::VK_Unit;
+  Instruction CallIdx;
+  CallIdx.Op = Opcode::CallFn;
+  CallIdx.Index = 0;
+  F.Code.push_back(CallIdx);
+  Instruction Ret;
+  Ret.Op = Opcode::Ret;
+  F.Code.push_back(Ret);
+  M.Functions.push_back(std::move(F));
+
+  Error E = verifyModule(M);
+  ASSERT_TRUE(E);
+  EXPECT_EQ(E.code(), ErrorCode::EC_Verify);
+  EXPECT_NE(E.message().find("resolved call form"), std::string::npos);
+
+  // The mnemonics are not assemblable either.
+  Expected<Module> A = assemble("module m\nfunc f () -> unit {\n"
+                                "call.fn #0\nret\n}\n");
+  ASSERT_FALSE(A);
+}
+
+// --- The engine on unlinkable modules. ----------------------------------
+
+TEST(ResolveInterpTest, UnknownCalleeIsLinkErrorAtCallTime) {
+  Module M = mustAssemble(R"(
+module bad
+func ok () -> int {
+  push.i 7
+  ret
+}
+func f () -> int {
+  call ghost
+  ret
+}
+)");
+  Interpreter I(M);
+  // The whole module is rejected: resolution is a load-time property.
+  Expected<Value> R = I.call("f", {});
+  ASSERT_FALSE(R);
+  EXPECT_EQ(R.error().code(), ErrorCode::EC_Link);
+  Expected<Value> R2 = I.call("ok", {});
+  ASSERT_FALSE(R2);
+  EXPECT_EQ(R2.error().code(), ErrorCode::EC_Link);
+}
+
+// --- Host-import binding by ordinal. ------------------------------------
+
+TEST(ResolveInterpTest, HostImportsBindByOrdinal) {
+  Module M = mustAssembleVerified(R"(
+module ords
+import alpha : (int) -> int
+import beta : (int) -> int
+import gamma : (int) -> int
+func pick (x: int) -> int {
+  load x
+  call beta
+  ret
+}
+func all (x: int) -> int {
+  load x
+  call alpha
+  call beta
+  call gamma
+  ret
+}
+)");
+  Interpreter I(M);
+  // Bind out of declaration order: dispatch must go by ordinal, not by
+  // binding sequence.
+  ASSERT_FALSE(I.bindImport("gamma", [](const std::vector<Value> &A)
+                                -> Expected<Value> {
+    return Value::makeInt(A[0].asInt() * 100);
+  }));
+  ASSERT_FALSE(I.bindImport("alpha", [](const std::vector<Value> &A)
+                                -> Expected<Value> {
+    return Value::makeInt(A[0].asInt() + 1);
+  }));
+  ASSERT_FALSE(I.bindImport("beta", [](const std::vector<Value> &A)
+                                -> Expected<Value> {
+    return Value::makeInt(A[0].asInt() * 10);
+  }));
+
+  Expected<Value> Pick = I.call("pick", {Value::makeInt(4)});
+  ASSERT_TRUE(Pick) << Pick.error().str();
+  EXPECT_EQ(Pick->asInt(), 40);
+  // alpha(5)=6, beta(6)=60, gamma(60)=6000: order of application proves
+  // each ordinal hit its own binding.
+  Expected<Value> All = I.call("all", {Value::makeInt(5)});
+  ASSERT_TRUE(All) << All.error().str();
+  EXPECT_EQ(All->asInt(), 6000);
+}
+
+TEST(ResolveInterpTest, PartiallyBoundImportsStillTrapUnbound) {
+  Module M = mustAssembleVerified(R"(
+module part
+import a : () -> int
+import b : () -> int
+func useb () -> int {
+  call b
+  ret
+}
+)");
+  Interpreter I(M);
+  ASSERT_FALSE(I.bindImport("a", [](const std::vector<Value> &)
+                                -> Expected<Value> {
+    return Value::makeInt(1);
+  }));
+  Expected<Value> R = I.call("useb", {});
+  ASSERT_FALSE(R);
+  EXPECT_EQ(R.error().code(), ErrorCode::EC_Link);
+  EXPECT_NE(R.error().message().find("'b' was never bound"),
+            std::string::npos);
+}
+
+// --- Depth limit on the explicit frame stack. ---------------------------
+
+TEST(ResolveInterpTest, RecursionToExactlyTheDepthLimit) {
+  // down(n) recurses n deep: the engine permits depth 256 (the seed's
+  // MaxCallDepth) and rejects depth 257, from frame 0 of the activation.
+  Module M = mustAssembleVerified(R"(
+module deep
+func down (n: int) -> int {
+  load n
+  push.i 0
+  le
+  brif base
+  load n
+  push.i 1
+  sub
+  call down
+  push.i 1
+  add
+  ret
+base:
+  push.i 0
+  ret
+}
+)");
+  Interpreter I(M);
+  Expected<Value> AtLimit = I.call("down", {Value::makeInt(256)});
+  ASSERT_TRUE(AtLimit) << AtLimit.error().str();
+  EXPECT_EQ(AtLimit->asInt(), 256);
+
+  Expected<Value> Past = I.call("down", {Value::makeInt(257)});
+  ASSERT_FALSE(Past);
+  EXPECT_NE(Past.error().message().find("depth"), std::string::npos);
+
+  // The failed activation must not poison the engine's reusable state.
+  Expected<Value> Again = I.call("down", {Value::makeInt(10)});
+  ASSERT_TRUE(Again) << Again.error().str();
+  EXPECT_EQ(Again->asInt(), 10);
+}
+
+// --- Re-entrancy: a host function calling back into the engine. ---------
+
+TEST(ResolveInterpTest, HostFunctionMayReenterInterpreter) {
+  Module M = mustAssembleVerified(R"(
+module reent
+import echo : (int) -> int
+func double (n: int) -> int {
+  load n
+  push.i 2
+  mul
+  ret
+}
+func outer (n: int) -> int {
+  load n
+  call echo
+  push.i 1
+  add
+  ret
+}
+)");
+  Interpreter I(M);
+  ASSERT_FALSE(I.bindImport(
+      "echo", [&I](const std::vector<Value> &A) -> Expected<Value> {
+        // Re-enter the same interpreter mid-activation.
+        return I.call("double", {A[0]});
+      }));
+  Expected<Value> R = I.call("outer", {Value::makeInt(5)});
+  ASSERT_TRUE(R) << R.error().str();
+  EXPECT_EQ(R->asInt(), 11);
+}
+
+// --- callIndex: the load-time-resolved entry path. ----------------------
+
+TEST(ResolveInterpTest, CallIndexMatchesCallByName) {
+  Module M = mustAssembleVerified(R"(
+module byidx
+func a () -> int {
+  push.i 1
+  ret
+}
+func b () -> int {
+  push.i 2
+  ret
+}
+)");
+  Interpreter I(M);
+  Expected<uint32_t> IdxB = I.functionIndex("b");
+  ASSERT_TRUE(IdxB);
+  Expected<Value> R = I.callIndex(*IdxB, {});
+  ASSERT_TRUE(R);
+  EXPECT_EQ(R->asInt(), 2);
+
+  EXPECT_FALSE(I.functionIndex("ghost"));
+  Expected<Value> Bad = I.callIndex(99, {});
+  ASSERT_FALSE(Bad);
+  EXPECT_EQ(Bad.error().code(), ErrorCode::EC_Invalid);
+}
+
+// --- Fuel regression against the pre-resolution engine. -----------------
+
+TEST(ResolveInterpTest, FuelIdenticalToUnresolvedEngine) {
+  // Golden values measured on the seed's recursive, name-resolving
+  // interpreter for these exact modules (dsu-vtal run, seed commit):
+  //   fact(0)=10  fact(1)=23  fact(10)=140
+  //   fib(12)=4646  fib(15)=19726
+  //   gcd(252,105)=39
+  // Load-time resolution must not change fuel accounting by a single
+  // instruction, or the update-duration experiments stop being
+  // comparable across engine generations.
+  Module Fact = mustAssembleVerified(R"(
+module fact
+func fact (n: int) -> int {
+  locals (acc: int, i: int)
+  push.i 1
+  store acc
+  push.i 1
+  store i
+loop:
+  load i
+  load n
+  gt
+  brif done
+  load acc
+  load i
+  mul
+  store acc
+  load i
+  push.i 1
+  add
+  store i
+  br loop
+done:
+  load acc
+  ret
+}
+)");
+  Module Fib = mustAssembleVerified(R"(
+module fib
+func fib (n: int) -> int {
+  load n
+  push.i 2
+  lt
+  brif base
+  load n
+  push.i 1
+  sub
+  call fib
+  load n
+  push.i 2
+  sub
+  call fib
+  add
+  ret
+base:
+  load n
+  ret
+}
+)");
+  Module Gcd = mustAssembleVerified(R"(
+module gcd
+func gcd (a: int, b: int) -> int {
+loop:
+  load b
+  push.i 0
+  eq
+  brif done
+  load a
+  load b
+  rem
+  load b
+  store a
+  store b
+  br loop
+done:
+  load a
+  ret
+}
+)");
+
+  Interpreter FactI(Fact);
+  struct {
+    int64_t Arg;
+    int64_t Want;
+    uint64_t Fuel;
+  } FactCases[] = {{0, 1, 10}, {1, 1, 23}, {10, 3628800, 140}};
+  for (const auto &C : FactCases) {
+    Expected<Value> R = FactI.call("fact", {Value::makeInt(C.Arg)});
+    ASSERT_TRUE(R) << R.error().str();
+    EXPECT_EQ(R->asInt(), C.Want);
+    EXPECT_EQ(FactI.lastFuelUsed(), C.Fuel) << "fact(" << C.Arg << ")";
+  }
+
+  Interpreter FibI(Fib);
+  Expected<Value> F12 = FibI.call("fib", {Value::makeInt(12)});
+  ASSERT_TRUE(F12);
+  EXPECT_EQ(F12->asInt(), 144);
+  EXPECT_EQ(FibI.lastFuelUsed(), 4646u);
+  Expected<Value> F15 = FibI.call("fib", {Value::makeInt(15)});
+  ASSERT_TRUE(F15);
+  EXPECT_EQ(F15->asInt(), 610);
+  EXPECT_EQ(FibI.lastFuelUsed(), 19726u);
+
+  Interpreter GcdI(Gcd);
+  Expected<Value> G = GcdI.call("gcd", {Value::makeInt(252),
+                                        Value::makeInt(105)});
+  ASSERT_TRUE(G);
+  EXPECT_EQ(G->asInt(), 21);
+  EXPECT_EQ(GcdI.lastFuelUsed(), 39u);
+
+  // Determinism across repeated calls and across engine instances.
+  Interpreter FibI2(Fib);
+  ASSERT_TRUE(FibI2.call("fib", {Value::makeInt(12)}));
+  EXPECT_EQ(FibI2.lastFuelUsed(), 4646u);
+}
+
+} // namespace
