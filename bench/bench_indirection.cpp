@@ -22,6 +22,8 @@
 
 #include <functional>
 #include <mutex>
+#include <string_view>
+#include <vector>
 
 using namespace dsu;
 
@@ -140,4 +142,20 @@ BENCHMARK(BM_UpdateableString);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), plus a --json convenience flag that maps to Google
+// Benchmark's JSON reporter so CI can collect machine-readable results
+// with the same flag every bench binary understands.
+int main(int argc, char **argv) {
+  static char JsonFlag[] = "--benchmark_format=json";
+  std::vector<char *> Args(argv, argv + argc);
+  for (char *&A : Args)
+    if (std::string_view(A) == "--json")
+      A = JsonFlag;
+  int Argc = static_cast<int>(Args.size());
+  ::benchmark::Initialize(&Argc, Args.data());
+  if (::benchmark::ReportUnrecognizedArguments(Argc, Args.data()))
+    return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

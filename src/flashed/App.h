@@ -30,8 +30,10 @@
 #include "core/Runtime.h"
 #include "flashed/Cache.h"
 #include "flashed/DocStore.h"
+#include "flashed/Http.h"
 
 #include <string>
+#include <string_view>
 
 namespace dsu {
 namespace flashed {
@@ -54,6 +56,18 @@ public:
   /// implementations (no updateable indirection) — the "static Flash"
   /// baseline of E2.
   std::string handleStatic(const std::string &RawRequest);
+
+  /// Writer-style fast path through the updateable pipeline: serializes
+  /// the response head into \p Out (a reusable buffer) and hands the
+  /// body as a shared pointer in \p Body, so a cached document is served
+  /// without per-request copies.  Matches Server::FastHandler.
+  void handleInto(const RequestHead &Head, std::string_view Raw,
+                  std::string &Out, SharedBody &Body);
+
+  /// The static-baseline twin of handleInto() (no updateable
+  /// indirection) — the "static Flash" column of E2's keep-alive mode.
+  void handleStaticInto(const RequestHead &Head, std::string_view Raw,
+                        std::string &Out, SharedBody &Body);
 
   Runtime &runtime() { return RT; }
   DocStore &docs() { return Docs; }
@@ -85,6 +99,16 @@ private:
   std::string handleWith(const std::string &RawRequest, HParse &&Parse,
                          HMap &&Map, HMime &&Mime, HGet &&Get, HPut &&Put,
                          HLog &&Log);
+
+  template <typename HParse, typename HMap, typename HMime, typename HLog>
+  void handleIntoWith(const RequestHead &Head, std::string_view Raw,
+                      std::string &Out, SharedBody &Body, HParse &&Parse,
+                      HMap &&Map, HMime &&Mime, HLog &&Log);
+
+  /// Version-aware zero-copy body lookup: reads the live cache cell
+  /// directly (bumping V2 hit counters), falling back to the document
+  /// store and filling the cache on a miss.
+  SharedBody lookupBody(const std::string &Path);
 
   Runtime &RT;
   DocStore Docs;

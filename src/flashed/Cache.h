@@ -7,6 +7,11 @@
 /// last-access stamps.  The dsu named type `%flashed_cache@N` describes
 /// the cell; these structs are the C++ representations at each version.
 ///
+/// Bodies are held as shared_ptr<const string>: the string-typed
+/// updateable stages (`flashed.cache_get` et al.) copy on the way out —
+/// that marshalling is part of what E2 measures — while the serving fast
+/// path shares the same bytes with the socket layer without copying.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DSU_FLASHED_CACHE_H
@@ -14,19 +19,23 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 
 namespace dsu {
 namespace flashed {
 
+/// A shared, immutable response body.
+using SharedBody = std::shared_ptr<const std::string>;
+
 /// %flashed_cache@1 : array<{path: string, body: string}>
 struct CacheV1 {
-  std::map<std::string, std::string> Entries;
+  std::map<std::string, SharedBody> Entries;
 };
 
 /// One entry of %flashed_cache@2.
 struct CacheEntryV2 {
-  std::string Body;
+  SharedBody Body;
   int64_t Hits = 0;
   int64_t LastAccessMs = 0;
 };

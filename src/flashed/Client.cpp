@@ -2,11 +2,14 @@
 
 #include "flashed/Client.h"
 
+#include "flashed/Http.h"
 #include "support/StringUtil.h"
 #include "support/Timer.h"
 
 #include <arpa/inet.h>
+#include <cctype>
 #include <cerrno>
+#include <charconv>
 #include <cstdlib>
 #include <cstring>
 #include <netinet/in.h>
@@ -17,8 +20,10 @@
 using namespace dsu;
 using namespace dsu::flashed;
 
-Expected<FetchResult> dsu::flashed::httpGet(uint16_t Port,
-                                            const std::string &Target) {
+namespace {
+
+/// Connects a TCP_NODELAY socket to 127.0.0.1:\p Port.
+Expected<int> connectLoopback(uint16_t Port) {
   int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (Fd < 0)
     return Error::make(ErrorCode::EC_IO, "socket: %s",
@@ -35,24 +40,88 @@ Expected<FetchResult> dsu::flashed::httpGet(uint16_t Port,
     ::close(Fd);
     return Error::make(ErrorCode::EC_IO, "connect: %s", std::strerror(E));
   }
+  return Fd;
+}
+
+Error writeAll(int Fd, const std::string &Bytes) {
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    ssize_t N = ::write(Fd, Bytes.data() + Off, Bytes.size() - Off);
+    if (N <= 0) {
+      if (N < 0 && errno == EINTR)
+        continue;
+      return Error::make(ErrorCode::EC_IO, "write: %s",
+                         std::strerror(errno));
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return Error::success();
+}
+
+/// Framing facts of one buffered response.
+struct ResponseFrame {
+  bool Complete = false;
+  int Status = 0;
+  size_t HeadBytes = 0;
+  size_t ContentLength = 0;
+};
+
+/// Scans \p Buf for a complete response head; Content-Length framing.
+Expected<ResponseFrame> scanResponse(std::string_view Buf) {
+  ResponseFrame F;
+  size_t HeadEnd = Buf.find("\r\n\r\n");
+  if (HeadEnd == std::string_view::npos)
+    return F; // incomplete, not an error
+  F.HeadBytes = HeadEnd + 4;
+
+  // "HTTP/1.1 200 OK"
+  size_t Sp = Buf.find(' ');
+  if (Sp == std::string_view::npos || Sp > HeadEnd)
+    return Error::make(ErrorCode::EC_Parse, "malformed status line");
+  std::string_view Code = Buf.substr(Sp + 1);
+  auto [Ptr, Ec] = std::from_chars(
+      Code.data(), Code.data() + std::min<size_t>(Code.size(), 3),
+      F.Status);
+  if (Ec != std::errc())
+    return Error::make(ErrorCode::EC_Parse, "malformed status code");
+  (void)Ptr;
+
+  // Header lines, for Content-Length.
+  std::string_view Rest = Buf.substr(0, HeadEnd);
+  while (!Rest.empty()) {
+    std::string_view Line = popHeaderLine(Rest);
+    size_t Colon = Line.find(':');
+    if (Colon == std::string_view::npos)
+      continue;
+    if (asciiCaseEqual(trim(Line.substr(0, Colon)), "content-length")) {
+      if (!parseContentLength(trim(Line.substr(Colon + 1)),
+                              F.ContentLength))
+        return Error::make(ErrorCode::EC_Parse, "bad Content-Length");
+    }
+  }
+  F.Complete = true;
+  return F;
+}
+
+} // namespace
+
+Expected<FetchResult> dsu::flashed::httpGet(uint16_t Port,
+                                            const std::string &Target) {
+  Expected<int> Fd = connectLoopback(Port);
+  if (!Fd)
+    return Fd.takeError();
 
   std::string Request = "GET " + Target + " HTTP/1.0\r\nHost: localhost\r\n"
                         "User-Agent: dsu-loadgen\r\n\r\n";
-  size_t Off = 0;
-  while (Off < Request.size()) {
-    ssize_t N = ::write(Fd, Request.data() + Off, Request.size() - Off);
-    if (N <= 0) {
-      int E = errno;
-      ::close(Fd);
-      return Error::make(ErrorCode::EC_IO, "write: %s", std::strerror(E));
-    }
-    Off += static_cast<size_t>(N);
+  if (Error E = writeAll(*Fd, Request)) {
+    ::close(*Fd);
+    return E;
   }
 
   std::string Raw;
   char Buf[1 << 16];
   while (true) {
-    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    ssize_t N = ::read(*Fd, Buf, sizeof(Buf));
     if (N > 0) {
       Raw.append(Buf, static_cast<size_t>(N));
       continue;
@@ -62,10 +131,10 @@ Expected<FetchResult> dsu::flashed::httpGet(uint16_t Port,
     if (errno == EINTR)
       continue;
     int E = errno;
-    ::close(Fd);
+    ::close(*Fd);
     return Error::make(ErrorCode::EC_IO, "read: %s", std::strerror(E));
   }
-  ::close(Fd);
+  ::close(*Fd);
 
   FetchResult Out;
   size_t HeadEnd = Raw.find("\r\n\r\n");
@@ -82,6 +151,127 @@ Expected<FetchResult> dsu::flashed::httpGet(uint16_t Port,
   return Out;
 }
 
+// --- KeepAliveClient ------------------------------------------------------
+
+Error KeepAliveClient::connectTo(uint16_t ToPort) {
+  if (Fd >= 0 && Port == ToPort)
+    return Error::success();
+  disconnect();
+  Expected<int> NewFd = connectLoopback(ToPort);
+  if (!NewFd)
+    return NewFd.takeError();
+  Fd = *NewFd;
+  Port = ToPort;
+  return Error::success();
+}
+
+void KeepAliveClient::disconnect() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  Buf.clear();
+}
+
+Error KeepAliveClient::sendAll(const std::string &Bytes) {
+  return writeAll(Fd, Bytes);
+}
+
+Expected<FetchResult> KeepAliveClient::readResponse() {
+  char Chunk[1 << 16];
+  while (true) {
+    Expected<ResponseFrame> F = scanResponse(Buf);
+    if (!F) {
+      // A parse failure leaves the stream desynced; drop the connection
+      // (and its buffered bytes) so a retry starts clean.
+      Error E = F.takeError();
+      disconnect();
+      return E;
+    }
+    if (F->Complete && Buf.size() >= F->HeadBytes + F->ContentLength) {
+      FetchResult Out;
+      Out.Status = F->Status;
+      Out.Headers = Buf.substr(0, F->HeadBytes - 4);
+      Out.Body = Buf.substr(F->HeadBytes, F->ContentLength);
+      Buf.erase(0, F->HeadBytes + F->ContentLength);
+      return Out;
+    }
+    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    if (N > 0) {
+      Buf.append(Chunk, static_cast<size_t>(N));
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    int E = N < 0 ? errno : 0;
+    disconnect();
+    return N == 0 ? Error::make(ErrorCode::EC_IO,
+                                "connection closed mid-response")
+                  : Error::make(ErrorCode::EC_IO, "read: %s",
+                                std::strerror(E));
+  }
+}
+
+Expected<FetchResult> KeepAliveClient::get(const std::string &Target,
+                                           bool Close) {
+  if (Fd < 0) {
+    if (Error E = connectTo(Port))
+      return E;
+  }
+  std::string Request = "GET " + Target + " HTTP/1.1\r\nHost: localhost\r\n";
+  if (Close)
+    Request += "Connection: close\r\n";
+  Request += "\r\n";
+
+  // The server may have dropped the idle connection; retry once on a
+  // fresh one before reporting failure.
+  for (int Attempt = 0; Attempt != 2; ++Attempt) {
+    if (Error E = sendAll(Request)) {
+      disconnect();
+      if (Error E2 = connectTo(Port))
+        return E2;
+      continue;
+    }
+    Expected<FetchResult> R = readResponse();
+    if (R) {
+      if (Close)
+        disconnect();
+      return R;
+    }
+    if (Attempt == 1)
+      return R.takeError();
+    R.takeError(); // swallow; reconnect and retry
+    if (Error E2 = connectTo(Port))
+      return E2;
+  }
+  return Error::make(ErrorCode::EC_IO, "keep-alive request failed");
+}
+
+Expected<std::vector<FetchResult>>
+KeepAliveClient::pipeline(const std::vector<std::string> &Targets) {
+  if (Fd < 0) {
+    if (Error E = connectTo(Port))
+      return E;
+  }
+  std::string Burst;
+  for (const std::string &T : Targets)
+    Burst += "GET " + T + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  if (Error E = sendAll(Burst))
+    return E;
+
+  std::vector<FetchResult> Out;
+  Out.reserve(Targets.size());
+  for (size_t I = 0; I != Targets.size(); ++I) {
+    Expected<FetchResult> R = readResponse();
+    if (!R)
+      return R.takeError();
+    Out.push_back(std::move(*R));
+  }
+  return Out;
+}
+
+// --- Load generators ------------------------------------------------------
+
 Expected<LoadStats> dsu::flashed::runLoad(
     uint16_t Port, const std::vector<std::string> &Targets, uint64_t Count) {
   if (Targets.empty())
@@ -90,6 +280,34 @@ Expected<LoadStats> dsu::flashed::runLoad(
   Timer T;
   for (uint64_t I = 0; I != Count; ++I) {
     Expected<FetchResult> R = httpGet(Port, Targets[I % Targets.size()]);
+    ++Stats.Requests;
+    if (!R || R->Status != 200) {
+      ++Stats.Failures;
+      continue;
+    }
+    Stats.BytesReceived += R->Body.size() + R->Headers.size();
+  }
+  Stats.Seconds = T.elapsedNs() / 1e9;
+  return Stats;
+}
+
+Expected<LoadStats> dsu::flashed::runLoadKeepAlive(
+    uint16_t Port, const std::vector<std::string> &Targets, uint64_t Count,
+    unsigned Connections) {
+  if (Targets.empty())
+    return Error::make(ErrorCode::EC_Invalid, "no targets to load");
+  if (Connections == 0)
+    Connections = 1;
+  std::vector<KeepAliveClient> Clients(Connections);
+  for (KeepAliveClient &C : Clients)
+    if (Error E = C.connectTo(Port))
+      return E;
+
+  LoadStats Stats;
+  Timer T;
+  for (uint64_t I = 0; I != Count; ++I) {
+    KeepAliveClient &C = Clients[I % Connections];
+    Expected<FetchResult> R = C.get(Targets[I % Targets.size()]);
     ++Stats.Requests;
     if (!R || R->Status != 200) {
       ++Stats.Failures;

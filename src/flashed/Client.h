@@ -1,10 +1,13 @@
 //===- flashed/Client.h - Loopback HTTP client and load generator -*- C++ -*-//
 ///
 /// \file
-/// A blocking HTTP/1.0 client plus the load generator driving the
-/// throughput experiment (E2) — the role httperf and the client machines
-/// play in the PLDI 2001 testbed, collapsed onto the loopback interface
-/// so the benchmark is self-contained.
+/// Blocking HTTP clients plus the load generators driving the throughput
+/// experiment (E2) — the role httperf and the client machines play in
+/// the PLDI 2001 testbed, collapsed onto the loopback interface so the
+/// benchmark is self-contained.  Two flavours: the original one-shot
+/// HTTP/1.0 fetch (one TCP connection per request) and a persistent
+/// HTTP/1.1 client that issues many requests — optionally pipelined —
+/// over one connection.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,8 +30,48 @@ struct FetchResult {
   std::string Body;
 };
 
-/// Performs one blocking GET against 127.0.0.1:\p Port.
+/// Performs one blocking HTTP/1.0 GET against 127.0.0.1:\p Port (a fresh
+/// TCP connection per call — the one-shot baseline path).
 Expected<FetchResult> httpGet(uint16_t Port, const std::string &Target);
+
+/// A persistent-connection HTTP/1.1 client: one TCP connection, many
+/// sequential (or pipelined) requests framed by Content-Length.
+class KeepAliveClient {
+public:
+  KeepAliveClient() = default;
+  ~KeepAliveClient() { disconnect(); }
+  KeepAliveClient(const KeepAliveClient &) = delete;
+  KeepAliveClient &operator=(const KeepAliveClient &) = delete;
+
+  /// Connects to 127.0.0.1:\p Port.  Idempotent while connected.
+  Error connectTo(uint16_t Port);
+
+  bool connected() const { return Fd >= 0; }
+
+  /// One GET over the persistent connection.  When \p Close is set the
+  /// request carries "Connection: close" and the connection is torn
+  /// down after the response.  Reconnects transparently (once) when the
+  /// server closed the connection between requests.
+  Expected<FetchResult> get(const std::string &Target, bool Close = false);
+
+  /// Writes GETs for all \p Targets in one burst, then reads all
+  /// responses — the pipelined client the server's drain loop exists
+  /// for.  Responses come back in request order.
+  Expected<std::vector<FetchResult>>
+  pipeline(const std::vector<std::string> &Targets);
+
+  void disconnect();
+
+private:
+  Error sendAll(const std::string &Bytes);
+  /// Reads one Content-Length-framed response off the connection,
+  /// consuming it from the internal buffer (pipelined bytes survive).
+  Expected<FetchResult> readResponse();
+
+  int Fd = -1;
+  uint16_t Port = 0;
+  std::string Buf; ///< bytes read beyond previously consumed responses
+};
 
 /// Load-generation outcome.
 struct LoadStats {
@@ -45,11 +88,20 @@ struct LoadStats {
   }
 };
 
-/// Issues \p Count sequential GETs cycling through \p Targets.  The
-/// caller runs the server on another thread (or interleaves pollOnce).
+/// Issues \p Count sequential one-shot GETs cycling through \p Targets.
+/// The caller runs the server on another thread (or interleaves
+/// pollOnce).
 Expected<LoadStats> runLoad(uint16_t Port,
                             const std::vector<std::string> &Targets,
                             uint64_t Count);
+
+/// Keep-alive flavour of runLoad(): \p Count GETs cycling through
+/// \p Targets, spread round-robin over \p Connections persistent
+/// HTTP/1.1 connections.
+Expected<LoadStats> runLoadKeepAlive(uint16_t Port,
+                                     const std::vector<std::string> &Targets,
+                                     uint64_t Count,
+                                     unsigned Connections = 1);
 
 } // namespace flashed
 } // namespace dsu

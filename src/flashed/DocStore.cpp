@@ -8,12 +8,18 @@ using namespace dsu;
 using namespace dsu::flashed;
 
 void DocStore::put(const std::string &Path, std::string Body) {
-  Docs[Path] = std::move(Body);
+  Docs[Path] = std::make_shared<const std::string>(std::move(Body));
 }
 
 const std::string *DocStore::get(const std::string &Path) const {
   auto It = Docs.find(Path);
-  return It == Docs.end() ? nullptr : &It->second;
+  return It == Docs.end() ? nullptr : It->second.get();
+}
+
+std::shared_ptr<const std::string>
+DocStore::getShared(const std::string &Path) const {
+  auto It = Docs.find(Path);
+  return It == Docs.end() ? nullptr : It->second;
 }
 
 bool DocStore::isUnsafePath(const std::string &Path) {

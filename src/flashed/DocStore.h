@@ -15,13 +15,16 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace dsu {
 namespace flashed {
 
-/// Path -> document body map with simple traversal protection.
+/// Path -> document body map with simple traversal protection.  Bodies
+/// are held as shared_ptr<const string> so the serving fast path can
+/// hand them to the socket layer without copying.
 class DocStore {
 public:
   /// Adds or replaces a document at \p Path (must start with '/').
@@ -29,6 +32,10 @@ public:
 
   /// Returns the body at \p Path, or nullptr.
   const std::string *get(const std::string &Path) const;
+
+  /// Returns the body at \p Path as a shared handle (zero-copy serving),
+  /// or nullptr.
+  std::shared_ptr<const std::string> getShared(const std::string &Path) const;
 
   /// True for paths attempting directory traversal ("..").
   static bool isUnsafePath(const std::string &Path);
@@ -41,7 +48,7 @@ public:
   void fillSynthetic(unsigned Count, size_t Bytes);
 
 private:
-  std::map<std::string, std::string> Docs;
+  std::map<std::string, std::shared_ptr<const std::string>> Docs;
 };
 
 /// Deterministic pseudo-text content of \p Bytes (used by benches and

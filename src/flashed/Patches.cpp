@@ -92,9 +92,9 @@ Expected<Patch> dsu::flashed::makePatchP3(FlashedApp &App) {
   VersionBump Bump{VersionedName{"flashed_cache", 1},
                    VersionedName{"flashed_cache", 2}};
 
-  // The state transformer: carry every cached body over, zeroing the new
-  // statistics fields — the canonical "add a field" transformer of the
-  // paper.
+  // The state transformer: carry every cached body over (sharing the
+  // bytes, not copying them), zeroing the new statistics fields — the
+  // canonical "add a field" transformer of the paper.
   TransformFn Migrate =
       [](const std::shared_ptr<void> &Old,
          const StateCell &) -> Expected<std::shared_ptr<void>> {
@@ -118,11 +118,11 @@ Expected<Patch> dsu::flashed::makePatchP3(FlashedApp &App) {
       return "";
     ++It->second.Hits;
     It->second.LastAccessMs = nowMs();
-    return It->second.Body;
+    return *It->second.Body;
   };
   auto CachePutV2 = [AppPtr](std::string Path, std::string Body) {
     CacheEntryV2 E;
-    E.Body = std::move(Body);
+    E.Body = std::make_shared<const std::string>(std::move(Body));
     E.Hits = 0;
     E.LastAccessMs = nowMs();
     AppPtr->cacheCell()->get<CacheV2>()->Entries[Path] = std::move(E);

@@ -2,17 +2,17 @@
 
 #include "flashed/Server.h"
 
-#include "flashed/Http.h"
 #include "support/Logging.h"
 
 #include <arpa/inet.h>
+#include <cassert>
 #include <cerrno>
 #include <cstring>
-#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 using namespace dsu;
@@ -25,23 +25,23 @@ Error sysError(const char *What) {
                      std::strerror(errno));
 }
 
-Error setNonBlocking(int Fd) {
-  int Flags = ::fcntl(Fd, F_GETFL, 0);
-  if (Flags < 0 || ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) < 0)
-    return sysError("fcntl(O_NONBLOCK)");
-  return Error::success();
-}
+/// How long the listener stays out of the epoll set after a persistent
+/// accept failure (EMFILE and friends) before retrying.
+constexpr std::chrono::milliseconds AcceptBackoffMs{100};
 
 } // namespace
 
 Server::~Server() { shutdown(); }
 
 void Server::shutdown() {
-  for (const auto &[Fd, C] : Conns) {
-    (void)C;
-    ::close(Fd);
-  }
-  Conns.clear();
+  for (const std::unique_ptr<Conn> &C : Pool)
+    if (C->Fd >= 0)
+      ::close(C->Fd);
+  Pool.clear();
+  FreeList = nullptr;
+  PendingRelease.clear();
+  AcceptPaused = false;
+  AcceptErrorLogged = false;
   if (ListenFd >= 0) {
     ::close(ListenFd);
     ListenFd = -1;
@@ -53,10 +53,28 @@ void Server::shutdown() {
 }
 
 Error Server::listenOn(uint16_t Port) {
-  assert(ListenFd < 0 && "server is already listening");
-  ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (ListenFd >= 0)
+    return Error::make(ErrorCode::EC_IO,
+                       "listenOn: server is already listening on port %u",
+                       BoundPort);
+  // Unwind partial setup on failure so a failed listen neither leaks
+  // fds nor leaves the server claiming to be listening.
+  auto Fail = [this](const char *What) {
+    Error E = sysError(What);
+    if (ListenFd >= 0) {
+      ::close(ListenFd);
+      ListenFd = -1;
+    }
+    if (EpollFd >= 0) {
+      ::close(EpollFd);
+      EpollFd = -1;
+    }
+    return E;
+  };
+  ListenFd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (ListenFd < 0)
-    return sysError("socket");
+    return Fail("socket");
   int One = 1;
   ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
 
@@ -66,135 +84,272 @@ Error Server::listenOn(uint16_t Port) {
   Addr.sin_port = htons(Port);
   if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
       0)
-    return sysError("bind");
+    return Fail("bind");
   if (::listen(ListenFd, 256) < 0)
-    return sysError("listen");
+    return Fail("listen");
   socklen_t Len = sizeof(Addr);
   if (::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Addr), &Len) < 0)
-    return sysError("getsockname");
+    return Fail("getsockname");
   BoundPort = ntohs(Addr.sin_port);
 
-  if (Error E = setNonBlocking(ListenFd))
-    return E;
-
-  EpollFd = ::epoll_create1(0);
+  EpollFd = ::epoll_create1(EPOLL_CLOEXEC);
   if (EpollFd < 0)
-    return sysError("epoll_create1");
+    return Fail("epoll_create1");
   epoll_event Ev{};
   Ev.events = EPOLLIN;
-  Ev.data.fd = ListenFd;
+  Ev.data.ptr = nullptr; // nullptr marks the listener
   if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, ListenFd, &Ev) < 0)
-    return sysError("epoll_ctl(listen)");
+    return Fail("epoll_ctl(listen)");
 
   DSU_LOG_INFO("flashed listening on 127.0.0.1:%u", BoundPort);
   return Error::success();
 }
 
+Server::Conn *Server::allocConn(int Fd) {
+  Conn *C;
+  if (FreeList) {
+    C = FreeList;
+    FreeList = C->NextFree;
+  } else {
+    Pool.push_back(std::make_unique<Conn>());
+    C = Pool.back().get();
+  }
+  C->Fd = Fd;
+  C->In.clear(); // clear() keeps capacity: buffers are recycled
+  C->InPos = 0;
+  C->Out.clear();
+  C->OutPos = 0;
+  C->Tail.reset();
+  C->TailPos = 0;
+  C->WriteArmed = false;
+  C->CloseAfter = false;
+  C->PeerClosed = false;
+  C->NextFree = nullptr;
+  return C;
+}
+
+void Server::pauseAccepting() {
+  ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, ListenFd, nullptr);
+  AcceptPaused = true;
+  AcceptResumeAt = std::chrono::steady_clock::now() + AcceptBackoffMs;
+}
+
+void Server::resumeAcceptingIfDue() {
+  if (!AcceptPaused || std::chrono::steady_clock::now() < AcceptResumeAt)
+    return;
+  epoll_event Ev{};
+  Ev.events = EPOLLIN;
+  Ev.data.ptr = nullptr;
+  if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, ListenFd, &Ev) == 0)
+    AcceptPaused = false;
+}
+
 void Server::acceptPending() {
   while (true) {
-    int Fd = ::accept(ListenFd, nullptr, nullptr);
-    if (Fd < 0)
-      return; // EAGAIN or transient error: try again next round
-    if (setNonBlocking(Fd)) {
-      ::close(Fd);
-      continue;
+    int Fd = ::accept4(ListenFd, nullptr, nullptr, SOCK_NONBLOCK);
+    if (Fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        return;
+      if (errno == EINTR || errno == ECONNABORTED)
+        continue; // transient, keep draining the backlog
+      // Persistent errors (EMFILE, ENFILE, ENOBUFS, ENOMEM): spinning on
+      // a level-triggered listener would peg the loop, so log once and
+      // take the listener out of the epoll set for a short backoff.
+      if (!AcceptErrorLogged) {
+        DSU_LOG_WARN("flashed accept: %s; backing off",
+                     std::strerror(errno));
+        AcceptErrorLogged = true;
+      }
+      pauseAccepting();
+      return;
     }
+    AcceptErrorLogged = false;
     int One = 1;
     ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    Conn *C = allocConn(Fd);
     epoll_event Ev{};
     Ev.events = EPOLLIN;
-    Ev.data.fd = Fd;
+    Ev.data.ptr = C;
     if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, Fd, &Ev) < 0) {
       ::close(Fd);
+      C->Fd = -1;
+      C->NextFree = FreeList;
+      FreeList = C;
       continue;
     }
-    Conns.emplace(Fd, Conn());
+    ++Accepted;
   }
 }
 
-void Server::armWrite(int Fd, bool Enable) {
+void Server::armWrite(Conn *C, bool Enable) {
+  if (C->WriteArmed == Enable)
+    return;
   epoll_event Ev{};
   Ev.events = Enable ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
-  Ev.data.fd = Fd;
-  ::epoll_ctl(EpollFd, EPOLL_CTL_MOD, Fd, &Ev);
+  Ev.data.ptr = C;
+  ::epoll_ctl(EpollFd, EPOLL_CTL_MOD, C->Fd, &Ev);
+  C->WriteArmed = Enable;
 }
 
-void Server::closeConn(int Fd) {
-  ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, Fd, nullptr);
-  ::close(Fd);
-  Conns.erase(Fd);
+void Server::closeConn(Conn *C) {
+  ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, C->Fd, nullptr);
+  ::close(C->Fd);
+  C->Fd = -1;
+  C->Tail.reset();
+  // Deferred recycling: a stale event for this conn may still sit later
+  // in the current epoll_wait batch.
+  PendingRelease.push_back(C);
 }
 
-void Server::handleReadable(int Fd) {
-  auto It = Conns.find(Fd);
-  if (It == Conns.end())
-    return;
-  Conn &C = It->second;
+void Server::serveOne(Conn *C, const RequestHead &Head,
+                      std::string_view Raw) {
+  assert(!C->hasPendingOutput() && "serving while output is pending");
+  ++Served;
+  if (Fast) {
+    Fast(Head, Raw, C->Out, C->Tail);
+    C->CloseAfter = Head.Malformed || !Head.KeepAlive;
+  } else {
+    // Legacy one-shot handler: string in, string out, close after.
+    C->Out += Handle(std::string(Raw));
+    C->CloseAfter = true;
+  }
+}
 
+bool Server::flushOutput(Conn *C) {
+  while (C->hasPendingOutput()) {
+    iovec Iov[2];
+    int NIov = 0;
+    if (C->OutPos < C->Out.size()) {
+      Iov[NIov].iov_base = const_cast<char *>(C->Out.data()) + C->OutPos;
+      Iov[NIov].iov_len = C->Out.size() - C->OutPos;
+      ++NIov;
+    }
+    if (C->Tail && C->TailPos < C->Tail->size()) {
+      Iov[NIov].iov_base =
+          const_cast<char *>(C->Tail->data()) + C->TailPos;
+      Iov[NIov].iov_len = C->Tail->size() - C->TailPos;
+      ++NIov;
+    }
+    ssize_t N = ::writev(C->Fd, Iov, NIov);
+    if (N < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        return true;
+      if (errno == EINTR)
+        continue;
+      closeConn(C);
+      return false;
+    }
+    Sent += static_cast<uint64_t>(N);
+    size_t Left = static_cast<size_t>(N);
+    size_t HeadLeft = C->Out.size() - C->OutPos;
+    size_t Adv = Left < HeadLeft ? Left : HeadLeft;
+    C->OutPos += Adv;
+    Left -= Adv;
+    if (C->Tail)
+      C->TailPos += Left;
+  }
+  C->Out.clear();
+  C->OutPos = 0;
+  C->Tail.reset();
+  C->TailPos = 0;
+  return true;
+}
+
+void Server::processConn(Conn *C) {
+  while (true) {
+    if (C->hasPendingOutput()) {
+      if (!flushOutput(C))
+        return;
+      if (C->hasPendingOutput()) {
+        // Kernel send buffer is full.  Stop serving further pipelined
+        // requests until it drains, and cut off a client that keeps
+        // streaming input past the cap meanwhile.
+        if (C->In.size() - C->InPos > MaxRequestBytes) {
+          closeConn(C);
+          return;
+        }
+        armWrite(C, true);
+        return;
+      }
+    }
+    if (C->CloseAfter) {
+      closeConn(C);
+      return;
+    }
+    armWrite(C, false);
+
+    std::string_view Pending(C->In.data() + C->InPos,
+                             C->In.size() - C->InPos);
+    RequestHead Head = scanRequestHead(Pending);
+    if (!Head.Complete ||
+        (!Head.Malformed && Pending.size() < Head.totalBytes())) {
+      // Need more input.  A half-closed peer cannot send any, so the
+      // connection is done (its buffered requests were served above).
+      if (C->PeerClosed) {
+        closeConn(C);
+        return;
+      }
+      // Enforce the buffering cap, then compact the consumed prefix so
+      // the buffer does not creep upward forever.
+      if (Pending.size() > MaxRequestBytes) {
+        closeConn(C);
+        return;
+      }
+      if (C->InPos) {
+        C->In.erase(0, C->InPos);
+        C->InPos = 0;
+      }
+      return;
+    }
+    // A malformed head has unreliable framing: serve the error response
+    // the handler produces and consume everything (the conn closes).
+    size_t Consumed = Head.Malformed ? Pending.size() : Head.totalBytes();
+    serveOne(C, Head, Pending.substr(0, Consumed));
+    C->InPos += Consumed;
+  }
+}
+
+void Server::handleReadable(Conn *C) {
   char Buf[1 << 16];
   while (true) {
-    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    ssize_t N = ::read(C->Fd, Buf, sizeof(Buf));
     if (N > 0) {
-      C.In.append(Buf, static_cast<size_t>(N));
+      C->In.append(Buf, static_cast<size_t>(N));
+      if (static_cast<size_t>(N) < sizeof(Buf))
+        break; // short read: the socket is drained
       continue;
     }
     if (N == 0) {
-      closeConn(Fd);
-      return;
+      // Half-close: the client may have pipelined requests and shut
+      // down its write side; serve what is buffered before closing.
+      C->PeerClosed = true;
+      break;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK)
       break;
-    closeConn(Fd);
-    return;
-  }
-
-  // A client may not buffer unbounded bytes: once the pending input
-  // exceeds the cap without forming a servable request, drop it.
-  if (C.In.size() > MaxRequestBytes &&
-      (C.Responding || !requestComplete(C.In))) {
-    closeConn(Fd);
-    return;
-  }
-
-  if (C.Responding || !requestComplete(C.In))
-    return;
-
-  C.Out = Handle(C.In);
-  C.OutPos = 0;
-  C.Responding = true;
-  ++Served;
-  handleWritable(Fd);
-}
-
-void Server::handleWritable(int Fd) {
-  auto It = Conns.find(Fd);
-  if (It == Conns.end())
-    return;
-  Conn &C = It->second;
-  if (!C.Responding)
-    return;
-
-  while (C.OutPos < C.Out.size()) {
-    ssize_t N =
-        ::write(Fd, C.Out.data() + C.OutPos, C.Out.size() - C.OutPos);
-    if (N > 0) {
-      C.OutPos += static_cast<size_t>(N);
-      Sent += static_cast<uint64_t>(N);
+    if (errno == EINTR)
       continue;
-    }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      armWrite(Fd, true);
-      return;
-    }
-    closeConn(Fd);
+    closeConn(C);
     return;
   }
-  // Response fully written; HTTP/1.0 one-shot connection.
-  closeConn(Fd);
+  processConn(C);
 }
 
 Expected<int> Server::pollOnce(int TimeoutMs) {
-  assert(EpollFd >= 0 && "pollOnce before listenOn");
+  if (EpollFd < 0)
+    return Error::make(ErrorCode::EC_IO, "pollOnce before listenOn");
+  resumeAcceptingIfDue();
+  if (AcceptPaused) {
+    // The paused listener generates no events; cap the wait so the
+    // backoff actually expires even under a long (or infinite) timeout.
+    auto Remain = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      AcceptResumeAt - std::chrono::steady_clock::now())
+                      .count() +
+                  1;
+    int RemainMs = Remain < 0 ? 0 : static_cast<int>(Remain);
+    if (TimeoutMs < 0 || TimeoutMs > RemainMs)
+      TimeoutMs = RemainMs;
+  }
   epoll_event Events[128];
   int N = ::epoll_wait(EpollFd, Events, 128, TimeoutMs);
   if (N < 0) {
@@ -204,20 +359,30 @@ Expected<int> Server::pollOnce(int TimeoutMs) {
       return sysError("epoll_wait");
   }
   for (int I = 0; I != N; ++I) {
-    int Fd = Events[I].data.fd;
-    if (Fd == ListenFd) {
+    Conn *C = static_cast<Conn *>(Events[I].data.ptr);
+    if (!C) {
       acceptPending();
       continue;
     }
+    if (C->Fd < 0)
+      continue; // closed earlier in this batch
     if (Events[I].events & (EPOLLHUP | EPOLLERR)) {
-      closeConn(Fd);
+      closeConn(C);
       continue;
     }
-    if (Events[I].events & EPOLLIN)
-      handleReadable(Fd);
+    if (Events[I].events & EPOLLIN) {
+      handleReadable(C);
+      if (C->Fd < 0)
+        continue;
+    }
     if (Events[I].events & EPOLLOUT)
-      handleWritable(Fd);
+      processConn(C);
   }
+  for (Conn *C : PendingRelease) {
+    C->NextFree = FreeList;
+    FreeList = C;
+  }
+  PendingRelease.clear();
   if (Idle)
     Idle();
   return N;

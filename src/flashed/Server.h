@@ -7,17 +7,32 @@
 /// complete request and an idle hook once per iteration — the natural
 /// update point, exactly where FlashEd places its `update` call.
 ///
+/// The serving hot path is allocation- and lookup-free in steady state:
+/// connections are pooled objects reached directly through
+/// `epoll_event.data.ptr` (no fd->connection map), their input/output
+/// buffers are recycled through a free list, and responses can carry a
+/// `shared_ptr<const string>` body that is written to the socket with
+/// writev() and never copied.  Persistent (HTTP/1.1 keep-alive)
+/// connections are drained request by request, including pipelined
+/// requests arriving in one read; the idle hook — the update point —
+/// still runs once per poll iteration, i.e. between requests of a
+/// persistent connection.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DSU_FLASHED_SERVER_H
 #define DSU_FLASHED_SERVER_H
 
+#include "flashed/Http.h"
 #include "support/Error.h"
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace dsu {
 namespace flashed {
@@ -25,19 +40,33 @@ namespace flashed {
 /// Single-threaded epoll HTTP server.
 class Server {
 public:
-  /// Maps one complete raw request to raw response bytes.
+  /// Legacy one-shot handler: maps one complete raw request to raw
+  /// response bytes.  Connections served through it close after each
+  /// response (HTTP/1.0 semantics, the pre-keep-alive behaviour).
   using Handler = std::function<std::string(const std::string &)>;
+
+  /// Writer-style handler for the persistent-connection fast path.  The
+  /// handler serializes the response head (and any inline body) into
+  /// \p Out — the connection's reusable output buffer — and may set
+  /// \p Body to a shared payload the server writes after \p Out without
+  /// copying it.  \p Req is the framing scan of the request; the
+  /// response's Connection header should match Req.KeepAlive.
+  using FastHandler = std::function<void(
+      const RequestHead &Req, std::string_view Raw, std::string &Out,
+      std::shared_ptr<const std::string> &Body)>;
 
   /// Called once per event-loop iteration (FlashEd installs the dsu
   /// update point here).
   using IdleHook = std::function<void()>;
 
   explicit Server(Handler H) : Handle(std::move(H)) {}
+  explicit Server(FastHandler H) : Fast(std::move(H)) {}
   ~Server();
   Server(const Server &) = delete;
   Server &operator=(const Server &) = delete;
 
   /// Binds and listens on 127.0.0.1:\p Port (0 picks an ephemeral port).
+  /// Fails with EC_IO when the server is already listening.
   Error listenOn(uint16_t Port = 0);
 
   /// The bound port (valid after listenOn()).
@@ -45,10 +74,11 @@ public:
 
   void setIdleHook(IdleHook Hook) { Idle = std::move(Hook); }
 
-  /// Caps per-connection request buffering: a connection whose pending
-  /// input exceeds \p Bytes without forming a complete request is closed,
-  /// so a client that streams bytes forever cannot grow memory without
-  /// bound.  Default 1 MiB.
+  /// Caps per-connection buffering: a connection whose pending input
+  /// exceeds \p Bytes without forming a servable request — or that keeps
+  /// pipelining past the cap while its output is backpressured — is
+  /// closed, so a client that streams bytes forever cannot grow memory
+  /// without bound.  Default 1 MiB.
   void setMaxRequestBytes(size_t Bytes) { MaxRequestBytes = Bytes; }
 
   /// Runs one event-loop iteration with the given poll timeout.
@@ -60,33 +90,66 @@ public:
 
   uint64_t requestsServed() const { return Served; }
   uint64_t bytesSent() const { return Sent; }
+  uint64_t connectionsAccepted() const { return Accepted; }
 
   /// Closes all sockets; listenOn() may be called again afterwards.
   void shutdown();
 
 private:
+  /// One pooled connection.  Reached via epoll_event.data.ptr; buffers
+  /// keep their capacity across tenants (free-list recycling).
   struct Conn {
-    std::string In;
-    std::string Out;
+    int Fd = -1;
+    std::string In; ///< inbound bytes; [InPos, size) not yet consumed
+    size_t InPos = 0;
+    std::string Out; ///< serialized output; [OutPos, size) unwritten
     size_t OutPos = 0;
-    bool Responding = false;
+    std::shared_ptr<const std::string> Tail; ///< zero-copy body after Out
+    size_t TailPos = 0;
+    bool WriteArmed = false;
+    bool CloseAfter = false;
+    bool PeerClosed = false; ///< read side saw EOF (client half-close)
+    Conn *NextFree = nullptr;
+
+    bool hasPendingOutput() const {
+      return OutPos < Out.size() || (Tail && TailPos < Tail->size());
+    }
   };
 
+  Conn *allocConn(int Fd);
   void acceptPending();
-  void handleReadable(int Fd);
-  void handleWritable(int Fd);
-  void closeConn(int Fd);
-  void armWrite(int Fd, bool Enable);
+  void pauseAccepting();
+  void resumeAcceptingIfDue();
+  void handleReadable(Conn *C);
+  /// Serves every buffered request backpressure allows, then flushes.
+  void processConn(Conn *C);
+  void serveOne(Conn *C, const RequestHead &Head, std::string_view Raw);
+  /// Returns false when the connection was closed by a write error.
+  bool flushOutput(Conn *C);
+  void closeConn(Conn *C);
+  void armWrite(Conn *C, bool Enable);
 
   Handler Handle;
+  FastHandler Fast;
   IdleHook Idle;
   int EpollFd = -1;
   int ListenFd = -1;
   uint16_t BoundPort = 0;
   size_t MaxRequestBytes = 1 << 20;
-  std::map<int, Conn> Conns;
+
+  std::vector<std::unique_ptr<Conn>> Pool;
+  Conn *FreeList = nullptr;
+  /// Conns closed mid-batch; recycled only after the batch so stale
+  /// events in the same epoll_wait return cannot hit a reused object.
+  std::vector<Conn *> PendingRelease;
+
+  bool AcceptPaused = false;
+  bool AcceptErrorLogged = false;
+  std::chrono::steady_clock::time_point AcceptResumeAt{};
+
   uint64_t Served = 0;
   uint64_t Sent = 0;
+  uint64_t Accepted = 0;
 };
 
 } // namespace flashed

@@ -122,7 +122,7 @@ TEST_F(FlashedAppTest, P3MigratesLiveCache) {
   EXPECT_EQ(App.cacheCell()->type()->str(), "%flashed_cache@2");
   auto *V2 = App.cacheCell()->get<CacheV2>();
   ASSERT_EQ(V2->Entries.size(), 2u);
-  EXPECT_EQ(V2->Entries.at("/doc.html").Body, "<html>doc</html>");
+  EXPECT_EQ(*V2->Entries.at("/doc.html").Body, "<html>doc</html>");
   EXPECT_EQ(V2->Entries.at("/doc.html").Hits, 0);
 
   // Hits now count.

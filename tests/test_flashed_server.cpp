@@ -206,6 +206,316 @@ TEST(ServerLimitsTest, OverlongIncompleteRequestDisconnected) {
   Loop.join();
 }
 
+// --- Persistent-connection (fast path) tests ----------------------------
+
+/// Like ServerTest, but serving through the writer-style fast path with
+/// keep-alive semantics.
+class FastServerTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    DocStore Docs;
+    Docs.put("/index.html", "<html>home</html>");
+    Docs.put("/doc.html", "<html>doc</html>");
+    Docs.fillSynthetic(4, 1024);
+    ASSERT_FALSE(App.init(std::move(Docs)));
+
+    Srv = std::make_unique<Server>(
+        [this](const RequestHead &Head, std::string_view Raw,
+               std::string &Out, SharedBody &Body) {
+          App.handleInto(Head, Raw, Out, Body);
+        });
+    // The idle hook is FlashEd's update point; it runs between requests
+    // of a persistent connection.
+    Srv->setIdleHook([this] { RT.updatePoint(); });
+    ASSERT_FALSE(Srv->listenOn(0));
+
+    Loop = std::thread([this] {
+      Error E = Srv->runUntil([this] { return Stop.load(); }, 5);
+      EXPECT_FALSE(E) << E.str();
+    });
+  }
+
+  void TearDown() override {
+    Stop.store(true);
+    if (Loop.joinable())
+      Loop.join();
+  }
+
+  Runtime RT;
+  FlashedApp App{RT};
+  std::unique_ptr<Server> Srv;
+  std::thread Loop;
+  std::atomic<bool> Stop{false};
+};
+
+TEST_F(FastServerTest, KeepAliveSequenceOnOneConnection) {
+  KeepAliveClient C;
+  ASSERT_FALSE(C.connectTo(Srv->port()));
+  for (int I = 0; I != 32; ++I) {
+    Expected<FetchResult> R = C.get("/doc0.html");
+    ASSERT_TRUE(R) << R.takeError().str();
+    EXPECT_EQ(R->Status, 200);
+    EXPECT_EQ(R->Body.size(), 1024u);
+    EXPECT_NE(R->Headers.find("Connection: keep-alive"),
+              std::string::npos);
+  }
+  EXPECT_GE(Srv->requestsServed(), 32u);
+  // All 32 requests rode one TCP connection.
+  EXPECT_EQ(Srv->connectionsAccepted(), 1u);
+}
+
+TEST_F(FastServerTest, PipelinedRequestsInOneRead) {
+  KeepAliveClient C;
+  ASSERT_FALSE(C.connectTo(Srv->port()));
+  Expected<std::vector<FetchResult>> Rs =
+      C.pipeline({"/doc0.html", "/doc.html", "/index.html", "/doc1.html"});
+  ASSERT_TRUE(Rs) << Rs.takeError().str();
+  ASSERT_EQ(Rs->size(), 4u);
+  // Responses come back in request order.
+  EXPECT_EQ((*Rs)[0].Body.size(), 1024u);
+  EXPECT_EQ((*Rs)[1].Body, "<html>doc</html>");
+  EXPECT_EQ((*Rs)[2].Body, "<html>home</html>");
+  EXPECT_EQ((*Rs)[3].Body.size(), 1024u);
+  EXPECT_EQ(Srv->connectionsAccepted(), 1u);
+}
+
+TEST_F(FastServerTest, PipelinedBurstThenHalfCloseStillServed) {
+  // A client may pipeline requests and immediately shut down its write
+  // side; every buffered request must still be answered before the
+  // server closes.
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Srv->port());
+  ASSERT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                      sizeof(Addr)),
+            0);
+  std::string Burst;
+  for (int I = 0; I != 3; ++I)
+    Burst += "GET /doc.html HTTP/1.1\r\nHost: h\r\n\r\n";
+  ASSERT_EQ(::send(Fd, Burst.data(), Burst.size(), 0),
+            static_cast<ssize_t>(Burst.size()));
+  ASSERT_EQ(::shutdown(Fd, SHUT_WR), 0);
+
+  std::string Raw;
+  char Buf[4096];
+  while (true) {
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N <= 0)
+      break;
+    Raw.append(Buf, static_cast<size_t>(N));
+  }
+  ::close(Fd);
+  size_t Hits = 0;
+  for (size_t At = Raw.find("<html>doc</html>"); At != std::string::npos;
+       At = Raw.find("<html>doc</html>", At + 1))
+    ++Hits;
+  EXPECT_EQ(Hits, 3u);
+}
+
+TEST_F(FastServerTest, ConnectionCloseHonored) {
+  // A raw HTTP/1.1 exchange with "Connection: close": the server must
+  // answer, echo the close, and actually close the socket (EOF).
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Srv->port());
+  ASSERT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                      sizeof(Addr)),
+            0);
+  std::string Req = "GET /doc.html HTTP/1.1\r\nHost: h\r\n"
+                    "Connection: close\r\n\r\n";
+  ASSERT_EQ(::send(Fd, Req.data(), Req.size(), 0),
+            static_cast<ssize_t>(Req.size()));
+
+  std::string Raw;
+  char Buf[4096];
+  while (true) {
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N <= 0)
+      break; // EOF: the server closed its side
+    Raw.append(Buf, static_cast<size_t>(N));
+  }
+  ::close(Fd);
+  EXPECT_NE(Raw.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(Raw.find("Connection: close"), std::string::npos);
+  EXPECT_NE(Raw.find("<html>doc</html>"), std::string::npos);
+}
+
+TEST_F(FastServerTest, PartialWritesUnderTinyReceiveBuffer) {
+  // An 8 MiB body against a deliberately tiny client receive window
+  // forces the server through its EAGAIN/EPOLLOUT partial-write path
+  // (writev of the shared body tail across many rounds).
+  App.docs().put("/big.bin", syntheticBody(8u << 20, 42));
+
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  int Tiny = 4096;
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVBUF, &Tiny, sizeof(Tiny));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Srv->port());
+  ASSERT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                      sizeof(Addr)),
+            0);
+  std::string Req = "GET /big.bin HTTP/1.1\r\nHost: h\r\n\r\n";
+  ASSERT_EQ(::send(Fd, Req.data(), Req.size(), 0),
+            static_cast<ssize_t>(Req.size()));
+
+  // Read the head, then drain exactly Content-Length body bytes.
+  std::string Raw;
+  char Buf[8192];
+  size_t HeadEnd = std::string::npos;
+  while ((HeadEnd = Raw.find("\r\n\r\n")) == std::string::npos) {
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    ASSERT_GT(N, 0);
+    Raw.append(Buf, static_cast<size_t>(N));
+  }
+  ASSERT_NE(Raw.find("HTTP/1.1 200 OK"), std::string::npos);
+  size_t Want = (8u << 20) + HeadEnd + 4;
+  while (Raw.size() < Want) {
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    ASSERT_GT(N, 0);
+    Raw.append(Buf, static_cast<size_t>(N));
+  }
+  EXPECT_EQ(Raw.size(), Want);
+  EXPECT_EQ(Raw.substr(HeadEnd + 4), syntheticBody(8u << 20, 42));
+
+  // The connection survived the backpressure and still serves.
+  std::string Req2 = "GET /doc.html HTTP/1.1\r\nHost: h\r\n"
+                     "Connection: close\r\n\r\n";
+  ASSERT_EQ(::send(Fd, Req2.data(), Req2.size(), 0),
+            static_cast<ssize_t>(Req2.size()));
+  std::string Raw2;
+  while (true) {
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N <= 0)
+      break;
+    Raw2.append(Buf, static_cast<size_t>(N));
+  }
+  ::close(Fd);
+  EXPECT_NE(Raw2.find("<html>doc</html>"), std::string::npos);
+}
+
+TEST_F(FastServerTest, UpdateAppliesBetweenKeepAliveRequests) {
+  // The paper's update point fires between two requests of the SAME
+  // persistent connection: v1 bug before, patched behaviour after,
+  // zero downtime and zero reconnects.
+  KeepAliveClient C;
+  ASSERT_FALSE(C.connectTo(Srv->port()));
+
+  Expected<FetchResult> Before = C.get("/doc.html?x=1");
+  ASSERT_TRUE(Before) << Before.takeError().str();
+  EXPECT_EQ(Before->Status, 404); // the seeded v1 query-string bug
+
+  Expected<Patch> P1 = makePatchP1(App);
+  ASSERT_TRUE(P1) << P1.takeError().str();
+  RT.requestUpdate(std::move(*P1));
+  for (int Spin = 0; Spin != 100 && RT.updatesApplied() == 0; ++Spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_EQ(RT.updatesApplied(), 1u);
+
+  Expected<FetchResult> After = C.get("/doc.html?x=1");
+  ASSERT_TRUE(After) << After.takeError().str();
+  EXPECT_EQ(After->Status, 200);
+  EXPECT_EQ(After->Body, "<html>doc</html>");
+  // Both exchanges used one connection: the update really happened
+  // mid-connection.
+  EXPECT_EQ(Srv->connectionsAccepted(), 1u);
+}
+
+TEST(FastServerLimitsTest, BufferCapEnforcedOnPersistentConnection) {
+  Runtime RT;
+  FlashedApp App(RT);
+  DocStore Docs;
+  Docs.put("/x.html", "x");
+  ASSERT_FALSE(App.init(std::move(Docs)));
+  Server Srv([&App](const RequestHead &Head, std::string_view Raw,
+                    std::string &Out, SharedBody &Body) {
+    App.handleInto(Head, Raw, Out, Body);
+  });
+  Srv.setMaxRequestBytes(4096);
+  ASSERT_FALSE(Srv.listenOn(0));
+  std::atomic<bool> Stop{false};
+  std::thread Loop([&] {
+    Error E = Srv.runUntil([&] { return Stop.load(); }, 5);
+    EXPECT_FALSE(E) << E.str();
+  });
+
+  // A well-formed keep-alive exchange first: the connection persists.
+  KeepAliveClient C;
+  ASSERT_FALSE(C.connectTo(Srv.port()));
+  Expected<FetchResult> R = C.get("/x.html");
+  ASSERT_TRUE(R) << R.takeError().str();
+  EXPECT_EQ(R->Status, 200);
+
+  // Then stream header bytes with no terminating blank line past the
+  // cap on that same (persistent) connection: the server must cut it.
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Srv.port());
+  ASSERT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                      sizeof(Addr)),
+            0);
+  std::string Ok = "GET /x.html HTTP/1.1\r\nHost: h\r\n\r\n";
+  ASSERT_EQ(::send(Fd, Ok.data(), Ok.size(), 0),
+            static_cast<ssize_t>(Ok.size()));
+  // Consume the response so only garbage remains buffered server-side.
+  char Buf[4096];
+  std::string Head;
+  while (Head.find("\r\n\r\n") == std::string::npos) {
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    ASSERT_GT(N, 0);
+    Head.append(Buf, static_cast<size_t>(N));
+  }
+
+  std::string Chunk(1024, 'A');
+  bool Rejected = false;
+  for (int I = 0; I != 64 && !Rejected; ++I) {
+    ssize_t N = ::send(Fd, Chunk.data(), Chunk.size(), MSG_NOSIGNAL);
+    if (N < 0)
+      Rejected = true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  if (!Rejected) {
+    timeval Tv{2, 0};
+    ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    Rejected = N == 0 || (N < 0 && errno != EAGAIN && errno != EWOULDBLOCK);
+  }
+  ::close(Fd);
+  EXPECT_TRUE(Rejected);
+
+  Stop.store(true);
+  Loop.join();
+}
+
+TEST(ServerLifecycleTest, DoubleListenIsARealError) {
+  Runtime RT;
+  FlashedApp App(RT);
+  DocStore Docs;
+  Docs.put("/x.html", "x");
+  ASSERT_FALSE(App.init(std::move(Docs)));
+  Server Srv([&App](const std::string &Raw) { return App.handle(Raw); });
+  ASSERT_FALSE(Srv.listenOn(0));
+  uint16_t Port = Srv.port();
+  // A second listenOn must fail loudly (not assert, not leak an fd) and
+  // leave the original listener serving.
+  Error E = Srv.listenOn(0);
+  EXPECT_TRUE(static_cast<bool>(E));
+  EXPECT_NE(E.str().find("already listening"), std::string::npos);
+  EXPECT_EQ(Srv.port(), Port);
+  Srv.shutdown();
+}
+
 TEST(ServerLifecycleTest, ShutdownAndRebind) {
   Runtime RT;
   FlashedApp App(RT);
