@@ -1,15 +1,25 @@
 //===- bench/bench_update_duration.cpp - Experiment E3 --------*- C++ -*-===//
 ///
 /// E3: the paper's per-patch update-time table — for each patch in the
-/// FlashEd series, the time to apply it broken into verify / link /
-/// state-transform, plus the artifact size.  The paper reports totals
-/// well under a second per patch, dominated by verification for
-/// code-heavy patches and by the transformer for state-heavy ones.
+/// FlashEd series, the time to apply it, broken into the transactional
+/// split this repo's update API exposes:
+///
+///   stage (any thread):   verify + link prepare + state-transform build
+///   commit (update point): generation-validated swaps + binding swings
+///
+/// The commit column is the serving *pause*; the paper reports totals
+/// well under a second per patch, and the transaction API shrinks the
+/// pause to a small fraction of even that (the acceptance bar tracked in
+/// BENCH_update.json: commit at least 5x smaller than stage+commit for
+/// the P1..P3 FlashEd patches).
 ///
 /// Each sample applies the full P1..P5 series to a fresh FlashEd with a
 /// warmed cache; the native mathlib patch and a VTAL patch are appended
 /// so every loading path (in-process / dlopen / verified VTAL) appears
 /// in the same table.
+///
+/// Usage: bench_update_duration [samples] [cache-entries] [--json]
+///        [--out FILE]
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,6 +29,8 @@
 #include "support/Timer.h"
 
 #include <cstdio>
+#include <cstring>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -67,7 +79,7 @@ done:
 )dsu";
 
 struct Agg {
-  RunningStat Verify, Link, Transform, Total;
+  RunningStat Stage, Commit, Verify, Prepare, Build, Total;
   size_t Bytes = 0;
   size_t Migrated = 0;
   std::string Kind;
@@ -95,41 +107,53 @@ void runSeries(std::map<std::string, Agg> &Table,
                           std::make_shared<int64_t>(1)),
            "counter cell");
 
+  // Each job produces its patch the way the staging side really does:
+  // in-process construction for P1..P5 (what an embedded program hands
+  // the controller), dlopen for the native artifact, parse + assemble
+  // for the VTAL artifact.  All of it runs off the update point, so it
+  // is counted as stage time next to verify/prepare/build.
   struct Job {
     std::string Kind;
-    Patch P;
+    std::function<Expected<Patch>()> Make;
   };
   std::vector<Job> Jobs;
-  Jobs.push_back({"bugfix (code only)", cantFail(makePatchP1(App), "P1")});
-  Jobs.push_back({"feature add", cantFail(makePatchP2(App), "P2")});
-  Jobs.push_back({"type change + xform", cantFail(makePatchP3(App), "P3")});
-  Jobs.push_back({"signature change (shim)",
-                  cantFail(makePatchP4(App), "P4")});
-  Jobs.push_back({"compound subsystem", cantFail(makePatchP5(App), "P5")});
+  Jobs.push_back({"bugfix (code only)", [&] { return makePatchP1(App); }});
+  Jobs.push_back({"feature add", [&] { return makePatchP2(App); }});
+  Jobs.push_back({"type change + xform", [&] { return makePatchP3(App); }});
   Jobs.push_back(
-      {"native dlopen + xform",
-       cantFail(loadNativePatch(RT.types(),
-                                std::string(DSU_PATCH_DIR) +
-                                    "/mathlib_v2.so"),
-                "mathlib")});
-  Jobs.push_back({"verified VTAL",
-                  cantFail(loadVtalPatch(RT.types(), RT.exports(),
-                                         VtalTunePatch),
-                           "vtal")});
+      {"signature change (shim)", [&] { return makePatchP4(App); }});
+  Jobs.push_back({"compound subsystem", [&] { return makePatchP5(App); }});
+  Jobs.push_back({"native dlopen + xform", [&] {
+                    return loadNativePatch(RT.types(),
+                                           std::string(DSU_PATCH_DIR) +
+                                               "/mathlib_v2.so");
+                  }});
+  Jobs.push_back({"verified VTAL", [&] {
+                    return loadVtalPatch(RT.types(), RT.exports(),
+                                         VtalTunePatch);
+                  }});
 
   for (Job &J : Jobs) {
-    std::string Id = J.P.Id;
-    cantFail(RT.applyNow(std::move(J.P)), Id.c_str());
+    Timer TLoad;
+    Patch P = cantFail(J.Make(), J.Kind.c_str());
+    double LoadMs = TLoad.elapsedMs();
+    std::string Id = P.Id;
+    // The transactional split: stage on this thread (in a real server,
+    // the controller's worker), commit as the update point would.
+    StagedUpdate U = cantFail(RT.stage(std::move(P)), Id.c_str());
+    cantFail(U.commit(), Id.c_str());
     UpdateRecord Rec = RT.updateLog().back();
     Agg &A = Table[Id];
     if (A.Kind.empty()) {
       A.Kind = J.Kind;
       Order.push_back(Id);
     }
+    A.Stage.addSample(LoadMs + Rec.StageMs);
+    A.Commit.addSample(Rec.CommitMs);
     A.Verify.addSample(Rec.VerifyMs);
-    A.Link.addSample(Rec.LinkMs);
-    A.Transform.addSample(Rec.TransformMs);
-    A.Total.addSample(Rec.TotalMs);
+    A.Prepare.addSample(Rec.PrepareMs);
+    A.Build.addSample(Rec.BuildMs);
+    A.Total.addSample(LoadMs + Rec.TotalMs);
     A.Bytes = Rec.CodeBytes;
     A.Migrated = Rec.CellsMigrated;
   }
@@ -140,35 +164,97 @@ void runSeries(std::map<std::string, Agg> &Table,
 int main(int argc, char **argv) {
   unsigned Samples = 30;
   unsigned CacheEntries = 64;
-  if (argc > 1)
-    Samples = static_cast<unsigned>(std::atoi(argv[1]));
-  if (argc > 2)
-    CacheEntries = static_cast<unsigned>(std::atoi(argv[2]));
+  bool Json = false;
+  const char *OutPath = nullptr;
+  unsigned Positional = 0;
+  for (int I = 1; I != argc; ++I) {
+    if (std::strcmp(argv[I], "--json") == 0)
+      Json = true;
+    else if (std::strcmp(argv[I], "--out") == 0 && I + 1 < argc)
+      OutPath = argv[++I];
+    else if (Positional++ == 0)
+      Samples = static_cast<unsigned>(std::atoi(argv[I]));
+    else
+      CacheEntries = static_cast<unsigned>(std::atoi(argv[I]));
+  }
+
+  FILE *Out = stdout;
+  if (OutPath) {
+    Out = std::fopen(OutPath, "w");
+    if (!Out) {
+      std::fprintf(stderr, "cannot open %s\n", OutPath);
+      return 1;
+    }
+  }
 
   std::map<std::string, Agg> Table;
   std::vector<std::string> Order;
   for (unsigned I = 0; I != Samples; ++I)
     runSeries(Table, Order, CacheEntries);
 
-  std::printf("E3: dynamic update duration per patch (%u samples, warmed "
-              "cache: %u docs)\n",
-              Samples, CacheEntries);
-  std::printf("reproduces: PLDI'01 per-patch update time table\n\n");
-  std::printf("%-26s %-24s %8s %9s %9s %9s %9s %6s\n", "patch", "kind",
-              "bytes", "verify", "link", "xform", "total(ms)", "cells");
-  std::printf("%.*s\n", 110,
-              "--------------------------------------------------------"
-              "--------------------------------------------------------");
-  for (const std::string &Id : Order) {
-    const Agg &A = Table[Id];
-    std::printf("%-26s %-24s %8zu %9.3f %9.3f %9.3f %9.3f %6zu\n",
-                Id.c_str(), A.Kind.c_str(), A.Bytes, A.Verify.mean(),
-                A.Link.mean(), A.Transform.mean(), A.Total.mean(),
-                A.Migrated);
+  if (Json) {
+    std::fprintf(Out,
+                 "{\n  \"bench\": \"update_duration\",\n"
+                 "  \"samples\": %u,\n  \"cache_entries\": %u,\n"
+                 "  \"results\": [",
+                 Samples, CacheEntries);
+    bool First = true;
+    for (const std::string &Id : Order) {
+      const Agg &A = Table[Id];
+      double StageCommit = A.Stage.mean() + A.Commit.mean();
+      double PauseRatio =
+          A.Commit.mean() > 0 ? StageCommit / A.Commit.mean() : 1e9;
+      std::fprintf(Out,
+                   "%s\n    {\"patch\": \"%s\", \"kind\": \"%s\", "
+                   "\"bytes\": %zu, \"stage_ms\": %.4f, "
+                   "\"commit_pause_ms\": %.4f, \"verify_ms\": %.4f, "
+                   "\"prepare_ms\": %.4f, \"build_ms\": %.4f, "
+                   "\"total_ms\": %.4f, \"cells\": %zu, "
+                   "\"pause_ratio\": %.1f}",
+                   First ? "" : ",", Id.c_str(), A.Kind.c_str(), A.Bytes,
+                   A.Stage.mean(), A.Commit.mean(), A.Verify.mean(),
+                   A.Prepare.mean(), A.Build.mean(), A.Total.mean(),
+                   A.Migrated, PauseRatio);
+      First = false;
+    }
+    std::fprintf(Out, "\n  ]\n}\n");
+  } else {
+    std::fprintf(Out,
+                 "E3: dynamic update duration per patch (%u samples, "
+                 "warmed cache: %u docs)\n",
+                 Samples, CacheEntries);
+    std::fprintf(Out, "reproduces: PLDI'01 per-patch update time table, "
+                      "split stage vs. commit pause\n\n");
+    std::fprintf(Out, "%-26s %-24s %8s %9s %9s %9s %9s %9s %6s %7s\n",
+                 "patch", "kind", "bytes", "stage", "verify", "prepare",
+                 "build", "pause(ms)", "cells", "ratio");
+    std::fprintf(Out, "%.*s\n", 122,
+                 "--------------------------------------------------------"
+                 "--------------------------------------------------------"
+                 "----------");
+    for (const std::string &Id : Order) {
+      const Agg &A = Table[Id];
+      double StageCommit = A.Stage.mean() + A.Commit.mean();
+      double PauseRatio =
+          A.Commit.mean() > 0 ? StageCommit / A.Commit.mean() : 1e9;
+      std::fprintf(Out,
+                   "%-26s %-24s %8zu %9.3f %9.3f %9.3f %9.3f %9.3f %6zu "
+                   "%6.1fx\n",
+                   Id.c_str(), A.Kind.c_str(), A.Bytes, A.Stage.mean(),
+                   A.Verify.mean(), A.Prepare.mean(), A.Build.mean(),
+                   A.Commit.mean(), A.Migrated, PauseRatio);
+    }
+    std::fprintf(Out,
+                 "\nshape check (paper + this repo's API): every patch "
+                 "applies in milliseconds\n(well under the paper's "
+                 "sub-second bound); verification cost appears only on\n"
+                 "the verified (VTAL) patch and is paid at *stage* time, "
+                 "off the serving\nthread; the serving pause (commit) is "
+                 "a small fraction of the total —\nthe ratio column — "
+                 "because only binding swings and validated state swaps\n"
+                 "happen at the update point.\n");
   }
-  std::printf("\nshape check (paper): every patch applies in milliseconds "
-              "(well under the\npaper's sub-second bound); verification "
-              "cost appears only on the verified\n(VTAL) patch; transform "
-              "time appears only on the state-migrating patches.\n");
+  if (Out != stdout)
+    std::fclose(Out);
   return 0;
 }

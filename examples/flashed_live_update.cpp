@@ -14,6 +14,7 @@
 #include "flashed/Client.h"
 #include "flashed/Patches.h"
 #include "flashed/Server.h"
+#include "runtime/UpdateController.h"
 
 #include <atomic>
 #include <cstdio>
@@ -61,14 +62,19 @@ int main() {
   auto applyAndWait = [&](Expected<Patch> P, const char *Name) {
     Patch Patch = cantFail(std::move(P), Name);
     unsigned Want = RT.updatesApplied() + 1;
-    RT.requestUpdate(std::move(Patch));
+    // Stage asynchronously on the controller's worker; the server's
+    // idle hook commits at its next (quiescent) update point.
+    RT.controller().stagePatch(std::move(Patch));
     while (RT.updatesApplied() < Want)
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     UpdateRecord Rec = RT.updateLog().back();
-    std::printf("\n== applied %s (verify %.3fms, link %.3fms, transform "
-                "%.3fms, %zu cells)\n",
-                Rec.PatchId.c_str(), Rec.VerifyMs, Rec.LinkMs,
-                Rec.TransformMs, Rec.CellsMigrated);
+    std::printf("\n== applied %s (staged %.3fms off-thread: verify %.3f "
+                "prepare %.3f build %.3f; serving pause %.3fms%s, %zu "
+                "cells)\n",
+                Rec.PatchId.c_str(), Rec.StageMs, Rec.VerifyMs,
+                Rec.PrepareMs, Rec.BuildMs, Rec.CommitMs,
+                Rec.StateRebuilt ? " [state rebuilt]" : "",
+                Rec.CellsMigrated);
   };
 
   std::printf("-- version 1 behaviour\n");

@@ -2,11 +2,45 @@
 
 #include "core/Runtime.h"
 
+#include "runtime/UpdateController.h"
 #include "support/Logging.h"
 #include "support/Timer.h"
 #include "vtal/Verifier.h"
 
 using namespace dsu;
+
+// --- StagedUpdate (handle methods need the runtime) ----------------------
+
+Error StagedUpdate::commit() {
+  if (!valid())
+    return Error::make(ErrorCode::EC_Invalid,
+                       "commit of an empty StagedUpdate handle");
+  return RT->commitStagedTx(Tx);
+}
+
+Error StagedUpdate::abort() {
+  if (!valid())
+    return Error::make(ErrorCode::EC_Invalid,
+                       "abort of an empty StagedUpdate handle");
+  return RT->abortStagedTx(Tx);
+}
+
+// --- Runtime lifecycle ---------------------------------------------------
+
+Runtime::Runtime() : TheLinker(Updateables, Exports) {}
+
+Runtime::~Runtime() {
+  // Stop the staging worker before any subsystem it touches goes away.
+  std::lock_guard<std::mutex> G(CtlLock);
+  Ctl.reset();
+}
+
+UpdateController &Runtime::controller() {
+  std::lock_guard<std::mutex> G(CtlLock);
+  if (!Ctl)
+    Ctl = std::make_unique<UpdateController>(*this);
+  return *Ctl;
+}
 
 Error Runtime::exportHost(const std::string &Name, const Type *Ty,
                           vtal::HostFn Host, void *Addr) {
@@ -18,71 +52,100 @@ Error Runtime::exportHost(const std::string &Name, const Type *Ty,
   return Exports.addExport(std::move(Def));
 }
 
-void Runtime::requestUpdate(Patch P) {
-  auto Shared = std::make_shared<Patch>(std::move(P));
-  std::string Name = "patch:" + Shared->Id;
-  Queue.enqueue(Name, [this, Shared]() -> Error {
-    UpdateRecord Rec;
-    Error E = applyPatch(*Shared, Rec);
-    {
-      std::lock_guard<std::mutex> G(LogLock);
-      Log.push_back(Rec);
-    }
-    if (!E)
-      Applied.fetch_add(1);
-    return E;
-  });
+// --- Transaction plumbing ------------------------------------------------
+
+std::shared_ptr<UpdateTransaction>
+Runtime::makeTransaction(std::string PatchId) {
+  auto Tx = std::shared_ptr<UpdateTransaction>(
+      new UpdateTransaction(NextTxId.fetch_add(1)));
+  std::lock_guard<std::mutex> G(Tx->RecLock);
+  Tx->Rec.TxId = Tx->id();
+  Tx->Rec.PatchId = std::move(PatchId);
+  return Tx;
 }
 
-Error Runtime::requestUpdateFromFile(const std::string &Path) {
-  Expected<Patch> P = loadPatchFile(Types, Exports, Path);
-  if (!P)
-    return P.takeError();
-  requestUpdate(std::move(*P));
-  return Error::success();
-}
-
-unsigned Runtime::updatePoint() {
-  if (!Queue.pending())
-    return 0;
-  if (ActivationTracker::currentDepth() != 0) {
-    // Updateable code is active on this thread: not a safe point.  The
-    // update stays queued for the next (quiescent) update point, the
-    // paper's "delay until inactive" behaviour.
-    DSU_LOG_DEBUG("update point skipped: %u active updateable frame(s)",
-                  ActivationTracker::currentDepth());
-    return 0;
+void Runtime::finalize(UpdateTransaction &Tx, UpdatePhase Phase,
+                       const Error *E) {
+  Tx.Phase.store(Phase, std::memory_order_release);
+  UpdateRecord RecCopy;
+  {
+    std::lock_guard<std::mutex> G(Tx.RecLock);
+    Tx.Rec.Phase = updatePhaseName(Phase);
+    Tx.Rec.Succeeded = Phase == UpdatePhase::Committed;
+    if (E)
+      Tx.Rec.FailureReason = E->str();
+    RecCopy = Tx.Rec;
   }
-  UpdatePointOutcome Outcome = Queue.drain();
-  return Outcome.Applied;
-}
-
-Error Runtime::applyNow(Patch P) {
-  if (ActivationTracker::currentDepth() != 0)
-    return Error::make(ErrorCode::EC_Invalid,
-                       "applyNow called with %u active updateable frame(s) "
-                       "on this thread",
-                       ActivationTracker::currentDepth());
-  UpdateRecord Rec;
-  Error E = applyPatch(P, Rec);
   {
     std::lock_guard<std::mutex> G(LogLock);
-    Log.push_back(Rec);
+    Log.push_back(std::move(RecCopy));
   }
-  if (!E)
+  if (Phase == UpdatePhase::Committed)
     Applied.fetch_add(1);
-  return E;
+  // A terminal front transaction becomes collectable at the next update
+  // point (and a Ready one committable).
+  Queue.refresh();
 }
 
-Error Runtime::applyPatch(Patch &P, UpdateRecord &Rec) {
+// --- Staging (any thread) ------------------------------------------------
+
+namespace {
+
+/// The union of the bumps a plan's replacements demand and the bumps a
+/// patch declares via new type versions (used identically at stage time
+/// and when a stale plan revalidates at commit).
+std::vector<VersionBump>
+unionBumps(const std::vector<VersionBump> &Required,
+           const std::vector<VersionBump> &Declared) {
+  std::vector<VersionBump> All = Required;
+  for (const VersionBump &B : Declared) {
+    bool Known = false;
+    for (const VersionBump &K : All)
+      Known |= K == B;
+    if (!Known)
+      All.push_back(B);
+  }
+  return All;
+}
+
+bool sameBumpSet(const std::vector<VersionBump> &A,
+                 const std::vector<VersionBump> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (const VersionBump &X : A) {
+    bool Found = false;
+    for (const VersionBump &Y : B)
+      Found |= X == Y;
+    if (!Found)
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+Error Runtime::stageInto(UpdateTransaction &Tx) {
+  // One stager at a time: preparation reads the registries the update
+  // thread writes at commit, and patch type/transformer definitions must
+  // land in submission order.  Commit never takes this lock, so staging
+  // cannot delay an update point.
+  std::lock_guard<std::mutex> StageG(StageLock);
   Timer Total;
-  Rec.PatchId = P.Id;
-  Rec.CodeBytes = P.CodeBytes;
+  Patch &P = Tx.P;
+  {
+    std::lock_guard<std::mutex> G(Tx.RecLock);
+    Tx.Rec.PatchId = P.Id;
+    Tx.Rec.CodeBytes = P.CodeBytes;
+  }
+  std::string PatchId = P.Id;
 
   auto Fail = [&](Error E) {
-    Rec.Succeeded = false;
-    Rec.FailureReason = E.str();
-    Rec.TotalMs = Total.elapsedMs();
+    {
+      std::lock_guard<std::mutex> G(Tx.RecLock);
+      Tx.Rec.StageMs = Total.elapsedMs();
+      Tx.Rec.TotalMs = Tx.Rec.StageMs;
+    }
+    finalize(Tx, UpdatePhase::StageFailed, &E);
     return E;
   };
 
@@ -94,88 +157,353 @@ Error Runtime::applyPatch(Patch &P, UpdateRecord &Rec) {
     if (P.VtalMod) {
       vtal::VerifyStats VS;
       if (Error E = vtal::verifyModule(*P.VtalMod, &VS))
-        return Fail(E.withContext("patch " + P.Id));
-      Rec.InstructionsVerified = VS.InstructionsChecked;
+        return Fail(E.withContext("patch " + PatchId));
+      std::lock_guard<std::mutex> G(Tx.RecLock);
+      Tx.Rec.InstructionsVerified = VS.InstructionsChecked;
     }
-    Rec.VerifyMs = T.elapsedMs();
+    std::lock_guard<std::mutex> G(Tx.RecLock);
+    Tx.Rec.VerifyMs = T.elapsedMs();
   }
 
   // Stage 2: introduce the patch's new named types and transformers.
-  // Computing the declared bumps needs the pre-patch latest versions.
-  std::vector<VersionBump> DeclaredBumps;
+  // Both registries are append-only, so this mutates nothing the running
+  // program observes; an aborted transaction leaves its (inert)
+  // definitions behind.  Computing the declared bumps needs the
+  // pre-patch latest versions.
   for (const PatchTypeDef &TD : P.NewTypes) {
     uint32_t Prev = Types.latestVersion(TD.Name.Name);
     if (Prev > 0 && Prev < TD.Name.Version)
-      DeclaredBumps.push_back(
+      Tx.DeclaredBumps.push_back(
           VersionBump{VersionedName{TD.Name.Name, Prev}, TD.Name});
     if (Error E = Types.defineNamed(TD.Name, TD.Repr))
-      return Fail(E.withContext("patch " + P.Id));
+      return Fail(E.withContext("patch " + PatchId));
   }
   for (PatchTransformer &X : P.Transformers)
     Transformers.add(X.Bump, X.Fn);
 
   // Stage 3: link preparation (typed import resolution + replacement
-  // compatibility).  No program mutation yet.
-  LinkPlan Plan;
+  // compatibility).  No program mutation.  The commit generation is
+  // read *before* preparing, so a commit racing this prepare can only
+  // make the plan look stale — never silently valid.
+  Tx.PreparedAtGeneration =
+      CommitGeneration.load(std::memory_order_acquire);
   {
     Timer T;
     Expected<LinkPlan> PlanOrErr = TheLinker.prepare(std::move(P.Unit));
-    if (!PlanOrErr) {
-      Rec.LinkMs = T.elapsedMs();
-      return Fail(PlanOrErr.takeError());
+    {
+      std::lock_guard<std::mutex> G(Tx.RecLock);
+      Tx.Rec.PrepareMs = T.elapsedMs();
     }
-    Plan = std::move(*PlanOrErr);
-    Rec.LinkMs = T.elapsedMs();
+    if (!PlanOrErr)
+      return Fail(PlanOrErr.takeError());
+    Tx.Plan = std::move(*PlanOrErr);
   }
 
   // Union of bumps demanded by signature changes and bumps declared via
   // new type versions.
-  std::vector<VersionBump> AllBumps = Plan.RequiredBumps;
-  for (const VersionBump &B : DeclaredBumps) {
-    bool Known = false;
-    for (const VersionBump &K : AllBumps)
-      Known |= K == B;
-    if (!Known)
-      AllBumps.push_back(B);
-  }
+  Tx.Bumps = unionBumps(Tx.Plan.RequiredBumps, Tx.DeclaredBumps);
 
-  // Stage 4: state transformation (two-phase inside; rejects the update
-  // with state untouched when a transformer is missing or fails).
+  // Stage 4: the state-transform build.  Optimistic: new payloads are
+  // computed here, off the update thread, from snapshots whose mutation
+  // generations commit will validate.  A missing or failing transformer
+  // rejects the transaction now, with all state untouched.
   {
     Timer T;
-    TransformStats TS;
-    if (Error E =
-            runStateTransform(Types, State, Transformers, AllBumps, &TS)) {
-      Rec.TransformMs = T.elapsedMs();
-      return Fail(E.withContext("patch " + P.Id));
+    Expected<StagedStateSwap> Swap =
+        stageStateTransform(Types, State, Transformers, Tx.Bumps);
+    {
+      std::lock_guard<std::mutex> G(Tx.RecLock);
+      Tx.Rec.BuildMs = T.elapsedMs();
     }
-    Rec.CellsMigrated = TS.CellsMigrated;
-    Rec.TransformMs = T.elapsedMs();
+    if (!Swap)
+      return Fail(Swap.takeError().withContext("patch " + PatchId));
+    Tx.Swap = std::move(*Swap);
   }
 
-  // Stage 5: commit the bindings.
   {
-    Timer T;
-    Rec.ProvidesLinked = Plan.Unit.Provides.size();
-    if (Error E = TheLinker.commit(std::move(Plan))) {
-      Rec.LinkMs += T.elapsedMs();
-      return Fail(std::move(E));
-    }
-    Rec.LinkMs += T.elapsedMs();
+    std::lock_guard<std::mutex> G(Tx.RecLock);
+    Tx.Rec.StageMs = Total.elapsedMs();
+    Tx.Rec.TotalMs = Tx.Rec.StageMs;
   }
 
-  Rec.Succeeded = true;
-  Rec.TotalMs = Total.elapsedMs();
-  DSU_LOG_INFO("patch %s applied: verify %.3fms link %.3fms transform "
-               "%.3fms total %.3fms",
-               P.Id.c_str(), Rec.VerifyMs, Rec.LinkMs, Rec.TransformMs,
-               Rec.TotalMs);
+  // Publish-then-check handshake with abortStagedTx (both sides
+  // seq_cst, Dekker-style): either that store of Ready is visible to an
+  // aborter's phase load, or the abort flag is visible here — an abort
+  // requested during staging can never be missed by both sides.
+  Tx.Phase.store(UpdatePhase::Ready, std::memory_order_seq_cst);
+  if (Tx.AbortRequested.load(std::memory_order_seq_cst)) {
+    UpdatePhase Expect = UpdatePhase::Ready;
+    if (Tx.Phase.compare_exchange_strong(Expect, UpdatePhase::Aborted,
+                                         std::memory_order_acq_rel)) {
+      Tx.Plan = LinkPlan();
+      Tx.Swap = StagedStateSwap();
+      finalize(Tx, UpdatePhase::Aborted, nullptr);
+      return Error::success();
+    }
+  }
+  Queue.refresh();
+  DSU_LOG_DEBUG("tx %llu (%s) staged and ready",
+                static_cast<unsigned long long>(Tx.id()), PatchId.c_str());
   return Error::success();
 }
+
+Expected<StagedUpdate> Runtime::stage(Patch P) {
+  std::shared_ptr<UpdateTransaction> Tx = makeTransaction(P.Id);
+  Tx->P = std::move(P);
+  if (Error E = stageInto(*Tx))
+    return E;
+  return StagedUpdate(this, std::move(Tx));
+}
+
+Error Runtime::enqueue(const StagedUpdate &U) {
+  if (!U.valid())
+    return Error::make(ErrorCode::EC_Invalid,
+                       "enqueue of an empty StagedUpdate handle");
+  if (!Queue.enqueue(U.Tx))
+    return Error::make(ErrorCode::EC_Invalid,
+                       "transaction %llu is already queued",
+                       static_cast<unsigned long long>(U.Tx->id()));
+  return Error::success();
+}
+
+void Runtime::requestUpdate(Patch P) {
+  std::shared_ptr<UpdateTransaction> Tx = makeTransaction(P.Id);
+  Tx->P = std::move(P);
+  // Enqueue before staging: queue position — and therefore commit order
+  // — is fixed by submission order, not by how long staging takes.
+  Queue.enqueue(Tx);
+  (void)stageInto(*Tx); // a failure is recorded in the update log
+}
+
+Error Runtime::requestUpdateFromFile(const std::string &Path) {
+  Expected<Patch> P = loadPatchFile(Types, Exports, Path);
+  if (!P)
+    return P.takeError();
+  requestUpdate(std::move(*P));
+  return Error::success();
+}
+
+// --- Commit (the update thread) ------------------------------------------
+
+
+Error Runtime::commitStagedTx(const std::shared_ptr<UpdateTransaction> &TxP) {
+  UpdateTransaction &Tx = *TxP;
+  if (ActivationTracker::currentDepth() != 0)
+    return Error::make(
+        ErrorCode::EC_Busy,
+        "commit of tx %llu refused: single-updater discipline violated "
+        "(%u updateable frame(s) active on this thread); retry at a "
+        "quiescent update point",
+        static_cast<unsigned long long>(Tx.id()),
+        ActivationTracker::currentDepth());
+
+  UpdatePhase Expect = UpdatePhase::Ready;
+  if (!Tx.Phase.compare_exchange_strong(Expect, UpdatePhase::Committing,
+                                        std::memory_order_acq_rel))
+    return Error::make(ErrorCode::EC_Invalid,
+                       "transaction %llu is %s, not ready to commit",
+                       static_cast<unsigned long long>(Tx.id()),
+                       updatePhaseName(Expect));
+
+  std::string PatchId = Tx.patchId();
+  Timer CommitTimer;
+  auto FailCommit = [&](Error E) {
+    {
+      std::lock_guard<std::mutex> G(Tx.RecLock);
+      Tx.Rec.CommitMs = CommitTimer.elapsedMs();
+      Tx.Rec.TotalMs = Tx.Rec.StageMs + Tx.Rec.CommitMs;
+    }
+    finalize(Tx, UpdatePhase::CommitFailed, &E);
+    return E;
+  };
+
+  // Revalidate when any other transaction committed since this one was
+  // prepared: its replacement decisions or required bumps may be stale.
+  // Nothing has been mutated yet, so a revalidation failure rejects the
+  // transaction with the program untouched.
+  if (Tx.PreparedAtGeneration !=
+      CommitGeneration.load(std::memory_order_acquire)) {
+    Tx.Plan.restoreCode(); // put the prepared bindings back in the unit
+    Expected<LinkPlan> Fresh = TheLinker.prepare(std::move(Tx.Plan.Unit));
+    if (!Fresh)
+      return FailCommit(
+          Fresh.takeError().withContext("revalidating staged plan"));
+    Tx.Plan = std::move(*Fresh);
+    std::vector<VersionBump> AllBumps =
+        unionBumps(Tx.Plan.RequiredBumps, Tx.DeclaredBumps);
+    if (!sameBumpSet(AllBumps, Tx.Bumps)) {
+      // The required migrations changed; rebuild the swap from live
+      // state (we are on the mutator thread, so it cannot go stale
+      // before the commit below).
+      Tx.Bumps = std::move(AllBumps);
+      Expected<StagedStateSwap> Rebuilt =
+          stageStateTransform(Types, State, Transformers, Tx.Bumps);
+      if (!Rebuilt)
+        return FailCommit(
+            Rebuilt.takeError().withContext("patch " + PatchId));
+      Tx.Swap = std::move(*Rebuilt);
+      std::lock_guard<std::mutex> G(Tx.RecLock);
+      Tx.Rec.StateRebuilt = true;
+    }
+  }
+
+  // State commit: generation-validated payload swaps, or a rebuild from
+  // live state when a cell mutated since staging.  Two-phase inside —
+  // a failure leaves every cell untouched.  One timer, cumulative marks:
+  // the pause window itself should not be spent reading clocks.
+  TransformStats TS;
+  StateSwapUndo Undo;
+  bool Rebuilt = false;
+  {
+    Error E = commitStagedState(Types, State, Transformers,
+                                std::move(Tx.Swap), &TS, &Rebuilt, &Undo);
+    if (E) {
+      // Undo holds whatever swapAll managed before failing; reverting
+      // it keeps the all-or-nothing contract even on this (today
+      // unreachable) mid-swap path.
+      revertStateSwap(State, std::move(Undo));
+      return FailCommit(E.withContext("patch " + PatchId));
+    }
+  }
+  double StateMark = CommitTimer.elapsedMs();
+
+  // Binding swings.  All-or-nothing inside the linker; if it still
+  // fails, the state swap above is reverted so the whole transaction is
+  // a no-op.
+  size_t Provides = Tx.Plan.Unit.Provides.size();
+  {
+    Error E = TheLinker.commit(std::move(Tx.Plan));
+    if (E) {
+      revertStateSwap(State, std::move(Undo));
+      return FailCommit(std::move(E));
+    }
+  }
+  CommitGeneration.fetch_add(1, std::memory_order_release);
+
+  double CommitMs = CommitTimer.elapsedMs(); // measurement ends here
+  UpdateRecord Done;
+  {
+    std::lock_guard<std::mutex> G(Tx.RecLock);
+    Tx.Rec.CellsMigrated = TS.CellsMigrated;
+    Tx.Rec.StateRebuilt |= Rebuilt;
+    Tx.Rec.ProvidesLinked = Provides;
+    Tx.Rec.LinkMs = Tx.Rec.PrepareMs + (CommitMs - StateMark);
+    Tx.Rec.CommitMs = CommitMs;
+    Tx.Rec.TotalMs = Tx.Rec.StageMs + CommitMs;
+    Tx.Rec.TransformMs = Tx.Rec.BuildMs + StateMark;
+    Done = Tx.Rec;
+  }
+  finalize(Tx, UpdatePhase::Committed, nullptr);
+  DSU_LOG_INFO("patch %s committed: staged %.3fms (verify %.3f, prepare "
+               "%.3f, build %.3f) + pause %.3fms%s",
+               PatchId.c_str(), Done.StageMs, Done.VerifyMs, Done.PrepareMs,
+               Done.BuildMs, Done.CommitMs,
+               Done.StateRebuilt ? " [state rebuilt at commit]" : "");
+  return Error::success();
+}
+
+Error Runtime::abortStagedTx(const std::shared_ptr<UpdateTransaction> &TxP) {
+  UpdateTransaction &Tx = *TxP;
+  // Request first, inspect second (seq_cst pairs with stageInto's
+  // publish-then-check): if the transaction is still staging, the
+  // staging side is guaranteed to observe the flag and abort when it
+  // finishes — no need to wait for it here.
+  Tx.AbortRequested.store(true, std::memory_order_seq_cst);
+  while (true) {
+    UpdatePhase P = Tx.Phase.load(std::memory_order_seq_cst);
+    switch (P) {
+    case UpdatePhase::Staging:
+      return Error::success(); // honoured at the end of staging
+    case UpdatePhase::Ready: {
+      UpdatePhase Expect = UpdatePhase::Ready;
+      if (Tx.Phase.compare_exchange_strong(Expect, UpdatePhase::Aborted,
+                                           std::memory_order_acq_rel)) {
+        Tx.Plan = LinkPlan();
+        Tx.Swap = StagedStateSwap();
+        finalize(Tx, UpdatePhase::Aborted, nullptr);
+        return Error::success();
+      }
+      continue; // lost a race with commit or the staging thread
+    }
+    case UpdatePhase::Aborted:
+      return Error::success();
+    default:
+      return Error::make(ErrorCode::EC_Invalid,
+                         "transaction %llu is already %s; nothing to abort",
+                         static_cast<unsigned long long>(Tx.id()),
+                         updatePhaseName(P));
+    }
+  }
+}
+
+unsigned Runtime::updatePoint() {
+  if (!Queue.pending())
+    return 0;
+  if (ActivationTracker::currentDepth() != 0) {
+    // Updateable code is active on this thread: not a safe point.  The
+    // transactions stay queued for the next (quiescent) update point,
+    // the paper's "delay until inactive" behaviour.
+    DSU_LOG_DEBUG("update point skipped: %u active updateable frame(s)",
+                  ActivationTracker::currentDepth());
+    return 0;
+  }
+  unsigned Committed = 0;
+  while (std::shared_ptr<UpdateTransaction> Tx = Queue.popActionable()) {
+    if (Tx->phase() != UpdatePhase::Ready)
+      continue; // stage-failed or aborted: already recorded, just collect
+    if (Error E = commitStagedTx(Tx))
+      DSU_LOG_WARN("update rejected: tx %llu (%s): %s",
+                   static_cast<unsigned long long>(Tx->id()),
+                   Tx->patchId().c_str(), E.str().c_str());
+    else
+      ++Committed;
+  }
+  return Committed;
+}
+
+Error Runtime::applyNow(Patch P) {
+  if (ActivationTracker::currentDepth() != 0)
+    return Error::make(
+        ErrorCode::EC_Busy,
+        "applyNow refused: single-updater discipline violated (%u "
+        "updateable frame(s) active on this thread); retry at a "
+        "quiescent update point",
+        ActivationTracker::currentDepth());
+  Expected<StagedUpdate> U = stage(std::move(P));
+  if (!U)
+    return U.takeError();
+  return U->commit();
+}
+
+Error Runtime::rollbackUpdateable(const std::string &Name) {
+  if (ActivationTracker::currentDepth() != 0)
+    return Error::make(
+        ErrorCode::EC_Busy,
+        "rollback of '%s' refused: single-updater discipline violated "
+        "(%u updateable frame(s) active on this thread); retry at a "
+        "quiescent update point",
+        Name.c_str(), ActivationTracker::currentDepth());
+  Error E = Updateables.rollback(Name);
+  if (!E) {
+    // A rollback is itself an update: it may revert a slot's recorded
+    // type, so any plan prepared before it must revalidate at commit.
+    CommitGeneration.fetch_add(1, std::memory_order_release);
+  }
+  return E;
+}
+
+// --- Introspection -------------------------------------------------------
 
 std::vector<UpdateRecord> Runtime::updateLog() const {
   std::lock_guard<std::mutex> G(LogLock);
   return Log;
+}
+
+std::vector<UpdateRecord> Runtime::pendingUpdates() const {
+  std::vector<UpdateRecord> Out;
+  for (const std::shared_ptr<UpdateTransaction> &Tx : Queue.snapshot())
+    Out.push_back(Tx->record());
+  return Out;
 }
 
 unsigned Runtime::updatesApplied() const { return Applied.load(); }

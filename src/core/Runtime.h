@@ -3,18 +3,27 @@
 /// \file
 /// dsu::Runtime is the facade a program embeds to become updateable: it
 /// owns the type context, the updateable-symbol registry, the typed export
-/// table, the state registry, the transformer registry, and the pending-
-/// update queue, and it runs the update pipeline
+/// table, the state registry, the transformer registry, and the queue of
+/// staged update transactions.
 ///
-///     verify  ->  link(prepare)  ->  state transform  ->  link(commit)
+/// The update pipeline is transactional and split in two:
+///
+///   stage  (any thread):   verify -> link prepare -> state build
+///   commit (update point): validate -> payload swaps -> binding swings
 ///
 /// with per-stage timing — the breakdown the PLDI 2001 evaluation reports
-/// for every FlashEd patch (reproduced by bench_update_duration, E3).
+/// for every FlashEd patch (reproduced by bench_update_duration, E3),
+/// sharpened into a stage-time vs. pause-time split.  Staging performs no
+/// program mutation beyond append-only type/transformer definitions, so
+/// the serving pause at updatePoint() is only the commit cost.
 ///
-/// Thread model: any thread may request updates; exactly the program's
-/// chosen update thread calls updatePoint()/applyNow() (single-updater
+/// Thread model: any thread may stage updates (Runtime::stage, or the
+/// UpdateController's worker); exactly the program's chosen update thread
+/// calls updatePoint()/applyNow()/StagedUpdate::commit() (single-updater
 /// discipline, as in the paper where the program updates itself at its
-/// own update points).
+/// own update points).  Violations are reported as EC_Busy — distinct
+/// from EC_Invalid — naming the discipline broken, so operator surfaces
+/// can answer "retry at a quiescent point".
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,36 +35,24 @@
 #include "patch/Patch.h"
 #include "patch/PatchLoader.h"
 #include "runtime/UpdateQueue.h"
+#include "runtime/UpdateTransaction.h"
 #include "runtime/Updateable.h"
 #include "state/StateCell.h"
 #include "state/Transform.h"
 #include "types/Type.h"
 
+#include <memory>
 #include <vector>
 
 namespace dsu {
 
-/// Timing and outcome of one applied (or rejected) patch.
-struct UpdateRecord {
-  std::string PatchId;
-  bool Succeeded = false;
-  std::string FailureReason;
-
-  double VerifyMs = 0;    ///< VTAL verification (0 for native patches)
-  double LinkMs = 0;      ///< prepare + commit of the link unit
-  double TransformMs = 0; ///< state migration
-  double TotalMs = 0;     ///< end-to-end inside the update point
-
-  size_t CodeBytes = 0;          ///< artifact size
-  size_t InstructionsVerified = 0;
-  size_t CellsMigrated = 0;
-  size_t ProvidesLinked = 0;
-};
+class UpdateController;
 
 /// The updating runtime.  One per program.
 class Runtime {
 public:
-  Runtime() : TheLinker(Updateables, Exports) {}
+  Runtime();
+  ~Runtime();
   Runtime(const Runtime &) = delete;
   Runtime &operator=(const Runtime &) = delete;
 
@@ -65,6 +62,10 @@ public:
   SymbolTable &exports() { return Exports; }
   StateRegistry &state() { return State; }
   TransformerRegistry &transformers() { return Transformers; }
+
+  /// The asynchronous staging engine (created on first use; its worker
+  /// thread lives until the runtime is destroyed).
+  UpdateController &controller();
 
   // -- Program setup -----------------------------------------------------
 
@@ -109,45 +110,80 @@ public:
 
   // -- Update flow ---------------------------------------------------------
 
-  /// Queues \p P for the next update point (callable from any thread).
+  /// Stages \p P on the calling thread: verification, link preparation,
+  /// and the state-transform build all run here, with no program
+  /// mutation.  Returns the handle whose commit() (at an update point)
+  /// or abort() completes the transaction.  A staging failure is
+  /// recorded in the update log and returned.  Callable from any thread.
+  Expected<StagedUpdate> stage(Patch P);
+
+  /// Queues a staged transaction for the next update point (FIFO with
+  /// everything else queued).
+  Error enqueue(const StagedUpdate &U);
+
+  /// Stages \p P on the calling thread and queues it for the next update
+  /// point.  A staging failure is recorded in the update log; the
+  /// failed transaction never blocks the queue.
   void requestUpdate(Patch P);
 
-  /// Loads a patch artifact and queues it.
+  /// Loads a patch artifact and stages + queues it.
   Error requestUpdateFromFile(const std::string &Path);
 
-  /// The update point.  Near-free when nothing is pending; otherwise
-  /// drains the queue, applying each patch through the full pipeline.
-  /// Returns the number of patches applied.
+  /// The update point.  Near-free when nothing is actionable; otherwise
+  /// commits every *ready* transaction at the front of the queue, in
+  /// FIFO order, pausing only for commit cost (binding swings + state
+  /// swaps) — never for verification or link preparation, which already
+  /// ran at stage time.  Returns the number of transactions committed.
   unsigned updatePoint();
 
-  /// Applies one patch immediately (the caller asserts this is a safe
-  /// point).  Refused when updateable code is active on this thread.
+  /// Stages and immediately commits one patch (the caller asserts this
+  /// is a safe point on the update thread).  Refused with EC_Busy when
+  /// updateable code is active on this thread.
   Error applyNow(Patch P);
 
-  /// True when an update awaits the next update point.
+  /// True when a transaction awaits the next update point.
   bool updatePending() const { return Queue.pending(); }
 
   /// Reverts one updateable to its previous implementation (code-only;
   /// see UpdateableRegistry::rollback for the state caveat).  Refused
-  /// while updateable code is active on this thread, like any update.
-  Error rollbackUpdateable(const std::string &Name) {
-    if (ActivationTracker::currentDepth() != 0)
-      return Error::make(ErrorCode::EC_Invalid,
-                         "rollback requested with active updateable "
-                         "frames on this thread");
-    return Updateables.rollback(Name);
-  }
+  /// with EC_Busy while updateable code is active on this thread, like
+  /// any update.
+  Error rollbackUpdateable(const std::string &Name);
 
   // -- Introspection -------------------------------------------------------
 
-  /// Chronological record of every update attempt.
+  /// Chronological record of every terminal update transaction.
   std::vector<UpdateRecord> updateLog() const;
 
-  /// Number of successfully applied updates.
+  /// Records of the transactions still queued (staging or ready),
+  /// front-of-queue first.
+  std::vector<UpdateRecord> pendingUpdates() const;
+
+  /// Number of transactions waiting at the update point (any phase).
+  size_t queueDepth() const { return Queue.depth(); }
+
+  /// Number of successfully committed updates.
   unsigned updatesApplied() const;
 
 private:
-  Error applyPatch(Patch &P, UpdateRecord &Rec);
+  friend class StagedUpdate;
+  friend class UpdateController;
+
+  std::shared_ptr<UpdateTransaction> makeTransaction(std::string PatchId);
+
+  /// Runs the staging pipeline into \p Tx (serialized across stagers).
+  /// On success the phase becomes Ready; on failure StageFailed with the
+  /// record appended to the log.
+  Error stageInto(UpdateTransaction &Tx);
+
+  /// Commits one ready transaction on the calling (update) thread.
+  Error commitStagedTx(const std::shared_ptr<UpdateTransaction> &Tx);
+
+  /// Registers an abort request; see StagedUpdate::abort().
+  Error abortStagedTx(const std::shared_ptr<UpdateTransaction> &Tx);
+
+  /// Appends \p Tx's record to the log with terminal phase \p Phase.
+  void finalize(UpdateTransaction &Tx, UpdatePhase Phase, const Error *E);
 
   TypeContext Types;
   UpdateableRegistry Updateables;
@@ -157,9 +193,22 @@ private:
   Linker TheLinker;
   UpdateQueue Queue;
 
+  /// Serializes staging pipelines (prepare reads registries that commit
+  /// writes; type/transformer definitions are append-only but ordered).
+  std::mutex StageLock;
+
+  /// Bumped on every commit; a transaction prepared against an older
+  /// generation revalidates its link plan before committing.
+  std::atomic<uint64_t> CommitGeneration{0};
+
+  std::atomic<uint64_t> NextTxId{1};
+
   mutable std::mutex LogLock;
   std::vector<UpdateRecord> Log;
   std::atomic<unsigned> Applied{0};
+
+  std::mutex CtlLock;
+  std::unique_ptr<UpdateController> Ctl;
 };
 
 } // namespace dsu

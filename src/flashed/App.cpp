@@ -3,6 +3,7 @@
 #include "flashed/App.h"
 
 #include "flashed/Http.h"
+#include "runtime/UpdateController.h"
 #include "support/StringUtil.h"
 #include "types/TypeParser.h"
 
@@ -48,6 +49,10 @@ std::string FlashedApp::mimeTypeV1(std::string Path) {
 }
 
 std::string FlashedApp::cacheGetV1(std::string Path) {
+  // Cache payload accesses hold the cell's payload lock so an update
+  // transaction may snapshot the cache for its state-transform build on
+  // another thread while requests are served.
+  std::lock_guard<std::mutex> G(Cache->payloadLock());
   auto *C = Cache->get<CacheV1>();
   auto It = C->Entries.find(Path);
   return It == C->Entries.end() ? std::string() : *It->second;
@@ -55,8 +60,10 @@ std::string FlashedApp::cacheGetV1(std::string Path) {
 
 void FlashedApp::cachePutV1(std::string Path,
                             std::string Body) {
+  std::lock_guard<std::mutex> G(Cache->payloadLock());
   Cache->get<CacheV1>()->Entries[Path] =
       std::make_shared<const std::string>(std::move(Body));
+  Cache->noteMutation();
 }
 
 void FlashedApp::logAccessV1(std::string Path, int64_t Status) {
@@ -236,19 +243,25 @@ SharedBody FlashedApp::lookupBody(const std::string &Path) {
   // cell directly, switching on the cell's live type version so it keeps
   // working after P3 migrates %flashed_cache@1 -> @2.  Hit accounting
   // matches what the version's cache_get implementation would do.
+  // Type+payload pairs change only on this (the update) thread, so the
+  // version read cannot tear; payload accesses take the cell lock so a
+  // concurrent staging build sees consistent contents.
   const Type *Ty = Cache->type();
   uint32_t Version = Ty->isNamed() ? Ty->name().Version : 0;
   if (Version == 1) {
+    std::lock_guard<std::mutex> G(Cache->payloadLock());
     auto *C = Cache->get<CacheV1>();
     auto It = C->Entries.find(Path);
     if (It != C->Entries.end())
       return It->second;
   } else if (Version == 2) {
+    std::lock_guard<std::mutex> G(Cache->payloadLock());
     auto *C = Cache->get<CacheV2>();
     auto It = C->Entries.find(Path);
     if (It != C->Entries.end()) {
       ++It->second.Hits;
       It->second.LastAccessMs = nowMs();
+      Cache->noteMutation();
       return It->second.Body;
     }
   } else {
@@ -263,12 +276,16 @@ SharedBody FlashedApp::lookupBody(const std::string &Path) {
   if (!Doc)
     return nullptr;
   if (Version == 1) {
+    std::lock_guard<std::mutex> G(Cache->payloadLock());
     Cache->get<CacheV1>()->Entries[Path] = Doc;
+    Cache->noteMutation();
   } else if (Version == 2) {
     CacheEntryV2 E;
     E.Body = Doc;
     E.LastAccessMs = nowMs();
+    std::lock_guard<std::mutex> G(Cache->payloadLock());
     Cache->get<CacheV2>()->Entries[Path] = std::move(E);
+    Cache->noteMutation();
   } else {
     CachePut(Path, *Doc);
   }
@@ -319,6 +336,11 @@ void FlashedApp::handleIntoWith(const RequestHead &Head,
 
 void FlashedApp::handleInto(const RequestHead &Head, std::string_view Raw,
                             std::string &Out, SharedBody &Body) {
+  if (Admin && !Head.Malformed && startsWith(Head.Target, "/admin/")) {
+    ++Requests;
+    handleAdmin(Head, Raw, Out);
+    return;
+  }
   handleIntoWith(
       Head, Raw, Out, Body,
       [&](const std::string &S) { return ParseTarget(S); },
@@ -336,4 +358,181 @@ void FlashedApp::handleStaticInto(const RequestHead &Head,
       [&](const std::string &S) { return mapUrlV1(S); },
       [&](const std::string &S) { return mimeTypeV1(S); },
       [&](const std::string &P, int64_t C) { logAccessV1(P, C); });
+}
+
+// --- The /admin control plane -------------------------------------------
+
+namespace {
+
+void jsonEscapeTo(std::string &Out, std::string_view S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += formatString("\\u%04x", C);
+      else
+        Out += C;
+    }
+  }
+}
+
+void appendRecordJson(std::string &J, const UpdateRecord &R) {
+  J += formatString("{\"tx\": %llu, \"patch\": \"",
+                    static_cast<unsigned long long>(R.TxId));
+  jsonEscapeTo(J, R.PatchId);
+  J += "\", \"phase\": \"";
+  jsonEscapeTo(J, R.Phase);
+  J += formatString(
+      "\", \"stage_ms\": %.3f, \"commit_ms\": %.3f, \"verify_ms\": %.3f, "
+      "\"prepare_ms\": %.3f, \"build_ms\": %.3f, \"total_ms\": %.3f, "
+      "\"cells_migrated\": %zu, \"provides\": %zu, \"state_rebuilt\": %s",
+      R.StageMs, R.CommitMs, R.VerifyMs, R.PrepareMs, R.BuildMs, R.TotalMs,
+      R.CellsMigrated, R.ProvidesLinked, R.StateRebuilt ? "true" : "false");
+  if (!R.FailureReason.empty()) {
+    J += ", \"failure\": \"";
+    jsonEscapeTo(J, R.FailureReason);
+    J += '"';
+  }
+  J += '}';
+}
+
+std::string_view queryParam(std::string_view Target, std::string_view Key) {
+  size_t Q = Target.find('?');
+  if (Q == std::string_view::npos)
+    return {};
+  std::string_view Qs = Target.substr(Q + 1);
+  while (!Qs.empty()) {
+    size_t Amp = Qs.find('&');
+    std::string_view Pair = Qs.substr(0, Amp);
+    size_t Eq = Pair.find('=');
+    if (Eq != std::string_view::npos && Pair.substr(0, Eq) == Key)
+      return Pair.substr(Eq + 1);
+    if (Amp == std::string_view::npos)
+      break;
+    Qs.remove_prefix(Amp + 1);
+  }
+  return {};
+}
+
+} // namespace
+
+int dsu::flashed::adminStatusForError(const Error &E) {
+  if (!E)
+    return 200;
+  switch (E.code()) {
+  case ErrorCode::EC_Busy:
+    return 503; // retryable: the update thread was not at a safe point
+  case ErrorCode::EC_Link:
+    return 404;
+  default:
+    return 409;
+  }
+}
+
+void FlashedApp::handleAdmin(const RequestHead &Head, std::string_view Raw,
+                             std::string &Out) {
+  bool KeepAlive = Head.KeepAlive;
+  std::string_view Target = Head.Target;
+  std::string_view PathOnly = Target.substr(0, Target.find('?'));
+
+  auto Respond = [&](int Code, std::string_view Json,
+                     const char *ExtraHeader = nullptr) {
+    Out += formatString("HTTP/1.1 %d %s\r\n", Code, statusText(Code));
+    Out += "Content-Type: application/json\r\n";
+    Out += formatString("Content-Length: %zu\r\n", Json.size());
+    if (ExtraHeader) {
+      Out += ExtraHeader;
+      Out += "\r\n";
+    }
+    Out += KeepAlive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+    Out += "\r\n";
+    Out += Json;
+  };
+
+  if (Head.Method == "POST" && PathOnly == "/admin/patches") {
+    std::string_view Body =
+        Raw.size() > Head.HeadBytes ? Raw.substr(Head.HeadBytes)
+                                    : std::string_view();
+    if (Body.empty())
+      return Respond(400, "{\"error\": \"empty patch artifact\"}");
+    // Staging (parse, verify, link prepare, state build) happens on the
+    // controller's worker; the commit lands at the server's idle hook.
+    StagedUpdate U = Admin->stageArtifactText(std::string(Body),
+                                              "POST /admin/patches");
+    return Respond(202, formatString(
+                            "{\"tx\": %llu, \"phase\": \"%s\"}",
+                            static_cast<unsigned long long>(U.id()),
+                            updatePhaseName(U.phase())));
+  }
+
+  if (Head.Method == "GET" && PathOnly == "/admin/updates") {
+    std::string J = "{\"log\": [";
+    bool First = true;
+    for (const UpdateRecord &R : RT.updateLog()) {
+      if (!First)
+        J += ", ";
+      First = false;
+      appendRecordJson(J, R);
+    }
+    J += "], \"pending\": [";
+    First = true;
+    for (const UpdateRecord &R : RT.pendingUpdates()) {
+      if (!First)
+        J += ", ";
+      First = false;
+      appendRecordJson(J, R);
+    }
+    J += "]}";
+    return Respond(200, J);
+  }
+
+  if (Head.Method == "GET" && PathOnly == "/admin/status") {
+    return Respond(
+        200,
+        formatString("{\"updates_applied\": %u, \"queue_depth\": %zu, "
+                     "\"update_pending\": %s, \"staging_backlog\": %zu, "
+                     "\"requests_handled\": %llu}",
+                     RT.updatesApplied(), RT.queueDepth(),
+                     RT.updatePending() ? "true" : "false",
+                     Admin->backlog(),
+                     static_cast<unsigned long long>(Requests)));
+  }
+
+  if (Head.Method == "POST" && PathOnly == "/admin/rollback") {
+    std::string Name(queryParam(Target, "name"));
+    if (Name.empty() && Raw.size() > Head.HeadBytes)
+      Name = std::string(Raw.substr(Head.HeadBytes));
+    if (Name.empty())
+      return Respond(400, "{\"error\": \"missing updateable name\"}");
+    Error E = RT.rollbackUpdateable(Name);
+    if (!E) {
+      std::string J = "{\"rolled_back\": \"";
+      jsonEscapeTo(J, Name);
+      J += "\"}";
+      return Respond(200, J);
+    }
+    int Code = adminStatusForError(E);
+    std::string J = "{\"error\": \"";
+    jsonEscapeTo(J, E.str());
+    J += formatString("\", \"retryable\": %s}",
+                      E.code() == ErrorCode::EC_Busy ? "true" : "false");
+    return Respond(Code, J, Code == 503 ? "Retry-After: 0" : nullptr);
+  }
+
+  Respond(404, "{\"error\": \"unknown admin endpoint\"}");
 }

@@ -36,7 +36,15 @@
 #include <string_view>
 
 namespace dsu {
+
+class UpdateController;
+
 namespace flashed {
+
+/// Maps an update-flow error to the HTTP status the admin control plane
+/// answers with: EC_Busy -> 503 (retryable, with Retry-After), EC_Link
+/// -> 404, other rejections -> 409, success -> 200.
+int adminStatusForError(const Error &E);
 
 /// One FlashEd instance wired into a dsu runtime.
 class FlashedApp {
@@ -48,6 +56,23 @@ public:
   /// Defines named types, the cache state cell, the updateable pipeline
   /// and host exports.  Call once before serving.
   Error init(DocStore InitialDocs);
+
+  /// Enables the /admin control plane on the fast-path handler, staging
+  /// POSTed patch artifacts through \p Ctl (off the serve thread) and
+  /// committing them at the server's idle hook:
+  ///
+  ///   POST /admin/patches        stage the request body (a .dsup patch
+  ///                              artifact); answers 202 with the tx id
+  ///   GET  /admin/updates        the update log + queued transactions
+  ///                              (phase, per-stage timings, failures)
+  ///   GET  /admin/status         counters and queue depth
+  ///   POST /admin/rollback?name=F  roll one updateable back; EC_Busy
+  ///                              surfaces as a retryable 503
+  ///
+  /// The admin surface is part of the control plane, not the updateable
+  /// request pipeline: handleStatic*/the E2 baseline never see it.
+  void enableAdmin(UpdateController &Ctl) { Admin = &Ctl; }
+  bool adminEnabled() const { return Admin != nullptr; }
 
   /// Serves one request through the updateable pipeline.
   std::string handle(const std::string &RawRequest);
@@ -110,9 +135,14 @@ private:
   /// store and filling the cache on a miss.
   SharedBody lookupBody(const std::string &Path);
 
+  /// Serves one /admin request into \p Out.
+  void handleAdmin(const RequestHead &Head, std::string_view Raw,
+                   std::string &Out);
+
   Runtime &RT;
   DocStore Docs;
   StateCell *Cache = nullptr;
+  UpdateController *Admin = nullptr;
   uint64_t Requests = 0;
 };
 

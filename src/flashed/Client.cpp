@@ -151,6 +151,16 @@ Expected<FetchResult> dsu::flashed::httpGet(uint16_t Port,
   return Out;
 }
 
+Expected<FetchResult> dsu::flashed::httpPost(uint16_t Port,
+                                             const std::string &Target,
+                                             const std::string &Body,
+                                             const std::string &ContentType) {
+  KeepAliveClient C;
+  if (Error E = C.connectTo(Port))
+    return E;
+  return C.post(Target, Body, ContentType, /*Close=*/true);
+}
+
 // --- KeepAliveClient ------------------------------------------------------
 
 Error KeepAliveClient::connectTo(uint16_t ToPort) {
@@ -214,15 +224,33 @@ Expected<FetchResult> KeepAliveClient::readResponse() {
 
 Expected<FetchResult> KeepAliveClient::get(const std::string &Target,
                                            bool Close) {
-  if (Fd < 0) {
-    if (Error E = connectTo(Port))
-      return E;
-  }
   std::string Request = "GET " + Target + " HTTP/1.1\r\nHost: localhost\r\n";
   if (Close)
     Request += "Connection: close\r\n";
   Request += "\r\n";
+  return roundTrip(Request, Close);
+}
 
+Expected<FetchResult> KeepAliveClient::post(const std::string &Target,
+                                            const std::string &Body,
+                                            const std::string &ContentType,
+                                            bool Close) {
+  std::string Request = "POST " + Target + " HTTP/1.1\r\nHost: localhost\r\n";
+  Request += "Content-Type: " + ContentType + "\r\n";
+  Request += "Content-Length: " + std::to_string(Body.size()) + "\r\n";
+  if (Close)
+    Request += "Connection: close\r\n";
+  Request += "\r\n";
+  Request += Body;
+  return roundTrip(Request, Close);
+}
+
+Expected<FetchResult> KeepAliveClient::roundTrip(const std::string &Request,
+                                                 bool Close) {
+  if (Fd < 0) {
+    if (Error E = connectTo(Port))
+      return E;
+  }
   // The server may have dropped the idle connection; retry once on a
   // fresh one before reporting failure.
   for (int Attempt = 0; Attempt != 2; ++Attempt) {

@@ -34,6 +34,14 @@ struct FetchResult {
 /// TCP connection per call — the one-shot baseline path).
 Expected<FetchResult> httpGet(uint16_t Port, const std::string &Target);
 
+/// Performs one blocking HTTP/1.1 POST (Connection: close) against
+/// 127.0.0.1:\p Port — the one-shot operator path used by dsu-updatectl
+/// to drive a server's /admin control plane.
+Expected<FetchResult> httpPost(uint16_t Port, const std::string &Target,
+                               const std::string &Body,
+                               const std::string &ContentType =
+                                   "application/octet-stream");
+
 /// A persistent-connection HTTP/1.1 client: one TCP connection, many
 /// sequential (or pipelined) requests framed by Content-Length.
 class KeepAliveClient {
@@ -54,6 +62,14 @@ public:
   /// server closed the connection between requests.
   Expected<FetchResult> get(const std::string &Target, bool Close = false);
 
+  /// One POST over the same persistent connection (e.g. staging a patch
+  /// through /admin/patches between GETs, without reconnecting).
+  Expected<FetchResult> post(const std::string &Target,
+                             const std::string &Body,
+                             const std::string &ContentType =
+                                 "application/octet-stream",
+                             bool Close = false);
+
   /// Writes GETs for all \p Targets in one burst, then reads all
   /// responses — the pipelined client the server's drain loop exists
   /// for.  Responses come back in request order.
@@ -64,6 +80,9 @@ public:
 
 private:
   Error sendAll(const std::string &Bytes);
+  /// Sends \p Request and reads its response, reconnecting once when the
+  /// server dropped the idle connection (shared by get()/post()).
+  Expected<FetchResult> roundTrip(const std::string &Request, bool Close);
   /// Reads one Content-Length-framed response off the connection,
   /// consuming it from the internal buffer (pipelined bytes survive).
   Expected<FetchResult> readResponse();

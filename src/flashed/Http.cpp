@@ -201,6 +201,8 @@ const char *dsu::flashed::statusText(int Code) {
     return "OK";
   case 201:
     return "Created";
+  case 202:
+    return "Accepted";
   case 204:
     return "No Content";
   case 301:
@@ -219,6 +221,8 @@ const char *dsu::flashed::statusText(int Code) {
     return "Method Not Allowed";
   case 408:
     return "Request Timeout";
+  case 409:
+    return "Conflict";
   case 411:
     return "Length Required";
   case 413:

@@ -110,14 +110,20 @@ Expected<Patch> dsu::flashed::makePatchP3(FlashedApp &App) {
     return std::shared_ptr<void>(std::move(V2));
   };
 
+  // Like every cache payload access, the V2 stages hold the cell's
+  // payload lock and mark mutations, so a *later* staged transaction can
+  // snapshot the cache from another thread while requests are served.
   FlashedApp *AppPtr = &App;
   auto CacheGetV2 = [AppPtr](std::string Path) -> std::string {
-    auto *C = AppPtr->cacheCell()->get<CacheV2>();
+    StateCell *Cell = AppPtr->cacheCell();
+    std::lock_guard<std::mutex> G(Cell->payloadLock());
+    auto *C = Cell->get<CacheV2>();
     auto It = C->Entries.find(Path);
     if (It == C->Entries.end())
       return "";
     ++It->second.Hits;
     It->second.LastAccessMs = nowMs();
+    Cell->noteMutation();
     return *It->second.Body;
   };
   auto CachePutV2 = [AppPtr](std::string Path, std::string Body) {
@@ -125,10 +131,15 @@ Expected<Patch> dsu::flashed::makePatchP3(FlashedApp &App) {
     E.Body = std::make_shared<const std::string>(std::move(Body));
     E.Hits = 0;
     E.LastAccessMs = nowMs();
-    AppPtr->cacheCell()->get<CacheV2>()->Entries[Path] = std::move(E);
+    StateCell *Cell = AppPtr->cacheCell();
+    std::lock_guard<std::mutex> G(Cell->payloadLock());
+    Cell->get<CacheV2>()->Entries[Path] = std::move(E);
+    Cell->noteMutation();
   };
   auto CacheStats = [AppPtr]() -> std::string {
-    auto *C = AppPtr->cacheCell()->get<CacheV2>();
+    StateCell *Cell = AppPtr->cacheCell();
+    std::lock_guard<std::mutex> G(Cell->payloadLock());
+    auto *C = Cell->get<CacheV2>();
     int64_t Hits = 0;
     for (const auto &[Path, E] : C->Entries) {
       (void)Path;
@@ -259,6 +270,120 @@ Expected<Patch> dsu::flashed::makePatchP5(FlashedApp &App) {
                       makeClosureBinding<std::string>(LogRecent, 0,
                                                       "patch:P5"))
       .build();
+}
+
+const char *dsu::flashed::vtalParseFixPatchText() {
+  return R"dsu(
+(patch
+  (id "P1-parse-query-fix-vtal")
+  (description "query-string fix shipped as verified VTAL")
+  (provides
+    (fn (name "flashed.parse_target")
+        (type "fn(string) -> string")
+        (vtal-fn "parse_target")))
+  (vtal-module
+"module parse_mod
+func first_line (raw: string) -> string {
+  locals (nl: int)
+  load raw
+  push.s \"\\n\"
+  sfind
+  store nl
+  load nl
+  push.i 0
+  lt
+  brif whole
+  load raw
+  push.i 0
+  load nl
+  ssub
+  ret
+whole:
+  load raw
+  ret
+}
+func parse_target (raw: string) -> string {
+  locals (line: string, sp1: int, sp2: int, method: string, rest: string, q: int)
+  load raw
+  call first_line
+  store line
+  load line
+  push.s \" \"
+  sfind
+  store sp1
+  load sp1
+  push.i 1
+  lt
+  brif bad
+  load line
+  push.i 0
+  load sp1
+  ssub
+  store method
+  load method
+  push.s \"GET\"
+  seq
+  load method
+  push.s \"HEAD\"
+  seq
+  or
+  not
+  brif notallowed
+  load line
+  load sp1
+  push.i 1
+  add
+  load line
+  slen
+  ssub
+  store rest
+  load rest
+  push.s \" \"
+  sfind
+  store sp2
+  load sp2
+  push.i 0
+  lt
+  brif notrail
+  load rest
+  push.i 0
+  load sp2
+  ssub
+  store rest
+notrail:
+  load rest
+  slen
+  push.i 0
+  eq
+  brif bad
+  load rest
+  push.s \"?\"
+  sfind
+  store q
+  load q
+  push.i 0
+  lt
+  brif noquery
+  load rest
+  push.i 0
+  load q
+  ssub
+  store rest
+noquery:
+  load method
+  push.s \" \"
+  scat
+  load rest
+  scat
+  ret
+bad:
+  push.s \"!400 malformed request\"
+  ret
+notallowed:
+  push.s \"!405 method not allowed\"
+  ret
+}"))
+)dsu";
 }
 
 Expected<std::vector<Patch>>

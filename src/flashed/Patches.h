@@ -40,6 +40,13 @@ Expected<Patch> makePatchP5(FlashedApp &App);
 /// All five in order.
 Expected<std::vector<Patch>> makePatchSeries(FlashedApp &App);
 
+/// P1 expressed as verified VTAL: the query-string fix shipped as a
+/// self-contained .dsup patch artifact (manifest text with an embedded
+/// VTAL module).  This is the artifact an operator POSTs to a running
+/// server's /admin/patches endpoint; also used by tests and tools as the
+/// canonical over-the-wire patch.
+const char *vtalParseFixPatchText();
+
 } // namespace flashed
 } // namespace dsu
 

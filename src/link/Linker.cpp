@@ -42,8 +42,9 @@ Expected<LinkPlan> Linker::prepare(LinkUnit Unit) const {
                          "%s: duplicate provide '%s'", Unit.Name.c_str(),
                          Prov.Name.c_str());
 
-    const UpdateableSlot *Slot = Registry.lookup(Prov.Name);
+    UpdateableSlot *Slot = Registry.lookup(Prov.Name);
     Plan.IsReplacement.push_back(Slot != nullptr);
+    Plan.ResolvedSlots.push_back(Slot);
     if (!Slot)
       continue;
 
@@ -59,28 +60,67 @@ Expected<LinkPlan> Linker::prepare(LinkUnit Unit) const {
         Plan.RequiredBumps.push_back(B);
   }
 
+  // Pre-allocate every binding — and pre-construct the slots of new
+  // definitions — now, at stage time, so the commit pause is only
+  // pointer swings plus one registry insert per new name.
+  Plan.PreparedCode.reserve(Unit.Provides.size());
+  Plan.PreparedSlots.reserve(Unit.Provides.size());
+  for (size_t I = 0; I != Unit.Provides.size(); ++I) {
+    ProvideRequest &Prov = Unit.Provides[I];
+    Plan.PreparedCode.push_back(
+        std::make_unique<Binding>(std::move(Prov.Code)));
+    Plan.PreparedSlots.push_back(
+        Plan.IsReplacement[I]
+            ? nullptr
+            : std::make_unique<UpdateableSlot>(
+                  Prov.Name, Prov.Ty,
+                  std::make_unique<Binding>(*Plan.PreparedCode[I])));
+  }
+
   Plan.Unit = std::move(Unit);
   return Plan;
 }
 
 Error Linker::commit(LinkPlan Plan) {
+  // On a mid-way failure every slot swung so far — the replacements in
+  // Provides[0, I) — is unwound.  (A slot *defined* by this commit
+  // cannot be removed — handles may already name it — but a dangling new
+  // definition is harmless; only replacements change behaviour the
+  // program can observe.)  No bookkeeping allocation on the happy path:
+  // the provide index is the undo log.
+  auto FailAtomically = [&](size_t Done, Error E) {
+    for (size_t I = Done; I-- > 0;) {
+      if (!Plan.IsReplacement[I])
+        continue;
+      if (Error R = Registry.rollback(Plan.Unit.Provides[I].Name))
+        DSU_LOG_WARN("%s: rollback of '%s' after failed commit also "
+                     "failed: %s",
+                     Plan.Unit.Name.c_str(),
+                     Plan.Unit.Provides[I].Name.c_str(), R.str().c_str());
+    }
+    return E.withContext(Plan.Unit.Name +
+                         ": commit failed mid-way; partially committed "
+                         "slots rolled back");
+  };
+
+  assert(Plan.PreparedCode.size() == Plan.Unit.Provides.size() &&
+         "commit needs the plan prepare() produced");
   for (size_t I = 0; I != Plan.Unit.Provides.size(); ++I) {
     ProvideRequest &Prov = Plan.Unit.Provides[I];
+    // The prepared paths skip the compatibility judgement: prepare()
+    // already ran it, and stale plans are re-prepared before commit.
     if (Plan.IsReplacement[I]) {
-      if (Error E = Registry.rebind(Prov.Name, Prov.Ty,
-                                    std::move(Prov.Code), nullptr))
-        return E.withContext(Plan.Unit.Name +
-                             ": commit failed mid-way (plan raced?)");
+      Registry.rebindPreparedSlot(*Plan.ResolvedSlots[I], Prov.Ty,
+                                  std::move(Plan.PreparedCode[I]));
       continue;
     }
     Expected<UpdateableSlot *> Slot =
-        Registry.define(Prov.Name, Prov.Ty, std::move(Prov.Code));
+        Registry.installPreparedSlot(std::move(Plan.PreparedSlots[I]));
     if (!Slot)
-      return Slot.takeError().withContext(
-          Plan.Unit.Name + ": commit failed mid-way (plan raced?)");
+      return FailAtomically(I, Slot.takeError());
   }
-  DSU_LOG_INFO("%s: linked %zu provide(s), %zu import(s)",
-               Plan.Unit.Name.c_str(), Plan.Unit.Provides.size(),
-               Plan.Unit.Imports.size());
+  DSU_LOG_DEBUG("%s: linked %zu provide(s), %zu import(s)",
+                Plan.Unit.Name.c_str(), Plan.Unit.Provides.size(),
+                Plan.Unit.Imports.size());
   return Error::success();
 }

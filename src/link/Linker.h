@@ -19,6 +19,7 @@
 #include "runtime/UpdateableRegistry.h"
 #include "types/Compat.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -51,9 +52,33 @@ struct LinkPlan {
   std::vector<const SymbolDef *> ResolvedImports;
   /// Provides that replace an existing slot (vs. define a new one).
   std::vector<bool> IsReplacement;
+  /// The resolved slot of each replacement (nullptr for defines),
+  /// parallel to Unit.Provides.  Slot pointers are stable for the
+  /// program's life, so commit swings them without a name lookup.
+  std::vector<UpdateableSlot *> ResolvedSlots;
   /// Named-type version bumps across all replacements; the update engine
   /// must hold a transformer for each before committing.
   std::vector<VersionBump> RequiredBumps;
+  /// Each provide's binding, heap-allocated at prepare time (parallel to
+  /// Unit.Provides, whose Code fields it was moved from) so the commit
+  /// pause pays no allocation.  restoreCode() puts the code back for a
+  /// re-prepare of the same unit.
+  std::vector<std::unique_ptr<Binding>> PreparedCode;
+  /// Fully constructed slots for the provides that *define* (nullptr for
+  /// replacements), also built at prepare time; commit only links each
+  /// into the registry.  They hold a copy of the binding, so
+  /// PreparedCode stays intact for restoreCode().
+  std::vector<std::unique_ptr<UpdateableSlot>> PreparedSlots;
+
+  /// Moves PreparedCode back into Unit.Provides so the unit can be
+  /// re-prepared (plan revalidation after another commit landed).
+  void restoreCode() {
+    for (size_t I = 0; I != PreparedCode.size() && I != Unit.Provides.size();
+         ++I)
+      if (PreparedCode[I])
+        Unit.Provides[I].Code = std::move(*PreparedCode[I]);
+    PreparedCode.clear();
+  }
 };
 
 /// Stateless two-phase linker over a registry and export table.
@@ -67,7 +92,10 @@ public:
 
   /// Phase 2: installs every provide.  Must be called with the plan from
   /// prepare(); by the single-updater discipline (updates apply at update
-  /// points), nothing can invalidate the plan in between.
+  /// points), nothing can invalidate the plan in between.  All or
+  /// nothing: if an install fails mid-way, every slot already swung by
+  /// this commit is rolled back to its pre-commit binding before the
+  /// error returns, so the program is never left half-updated.
   Error commit(LinkPlan Plan);
 
 private:

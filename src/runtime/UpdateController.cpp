@@ -1,0 +1,140 @@
+//===- runtime/UpdateController.cpp ---------------------------*- C++ -*-===//
+
+#include "runtime/UpdateController.h"
+
+#include "core/Runtime.h"
+#include "support/Logging.h"
+
+using namespace dsu;
+
+UpdateController::UpdateController(Runtime &RT) : RT(RT) {
+  Worker = std::thread([this] { workerMain(); });
+}
+
+UpdateController::~UpdateController() {
+  {
+    std::lock_guard<std::mutex> G(Lock);
+    Stopping = true;
+  }
+  CV.notify_all();
+  if (Worker.joinable())
+    Worker.join();
+}
+
+StagedUpdate UpdateController::submit(Job J) {
+  // Queue position — and therefore commit order — is fixed here, at
+  // submission, not when the worker gets around to staging.
+  RT.Queue.enqueue(J.Tx);
+  StagedUpdate Handle(&RT, J.Tx);
+  {
+    std::lock_guard<std::mutex> G(Lock);
+    Jobs.push_back(std::move(J));
+  }
+  CV.notify_one();
+  return Handle;
+}
+
+StagedUpdate UpdateController::stagePatch(Patch P) {
+  Job J;
+  J.Tx = RT.makeTransaction(P.Id);
+  J.Kind = Job::InMemory;
+  J.P = std::move(P);
+  return submit(std::move(J));
+}
+
+StagedUpdate UpdateController::stageArtifactText(std::string Text,
+                                                 std::string SourceName) {
+  Job J;
+  J.Tx = RT.makeTransaction("(loading " + SourceName + ")");
+  J.Kind = Job::Text;
+  J.Artifact = std::move(Text);
+  J.SourceName = std::move(SourceName);
+  return submit(std::move(J));
+}
+
+StagedUpdate UpdateController::stageArtifactFile(std::string Path) {
+  Job J;
+  J.Tx = RT.makeTransaction("(loading " + Path + ")");
+  J.Kind = Job::File;
+  J.Artifact = std::move(Path);
+  return submit(std::move(J));
+}
+
+size_t UpdateController::backlog() const {
+  std::lock_guard<std::mutex> G(Lock);
+  return Jobs.size() + InFlight;
+}
+
+void UpdateController::waitIdle() {
+  std::unique_lock<std::mutex> G(Lock);
+  IdleCV.wait(G, [this] { return Jobs.empty() && InFlight == 0; });
+}
+
+void UpdateController::workerMain() {
+  while (true) {
+    Job J;
+    {
+      std::unique_lock<std::mutex> G(Lock);
+      CV.wait(G, [this] { return Stopping || !Jobs.empty(); });
+      if (Stopping)
+        return;
+      J = std::move(Jobs.front());
+      Jobs.pop_front();
+      ++InFlight;
+    }
+
+    // A job aborted while it sat in the backlog needs no staging work
+    // at all: mark it and move on.
+    if (J.Tx->AbortRequested.load(std::memory_order_seq_cst)) {
+      UpdatePhase Expect = UpdatePhase::Staging;
+      if (J.Tx->Phase.compare_exchange_strong(Expect, UpdatePhase::Aborted,
+                                              std::memory_order_acq_rel))
+        RT.finalize(*J.Tx, UpdatePhase::Aborted, nullptr);
+      std::lock_guard<std::mutex> G(Lock);
+      --InFlight;
+      IdleCV.notify_all();
+      continue;
+    }
+
+    // Resolve the artifact into a Patch (parse + assemble for text,
+    // dlopen for native files) — all off the serving thread.
+    Error LoadErr;
+    switch (J.Kind) {
+    case Job::InMemory:
+      J.Tx->P = std::move(J.P);
+      break;
+    case Job::Text: {
+      Expected<Patch> P = loadVtalPatch(RT.types(), RT.exports(),
+                                        J.Artifact, J.SourceName);
+      if (P)
+        J.Tx->P = std::move(*P);
+      else
+        LoadErr = P.takeError();
+      break;
+    }
+    case Job::File: {
+      Expected<Patch> P =
+          loadPatchFile(RT.types(), RT.exports(), J.Artifact);
+      if (P)
+        J.Tx->P = std::move(*P);
+      else
+        LoadErr = P.takeError();
+      break;
+    }
+    }
+
+    if (LoadErr) {
+      DSU_LOG_WARN("staging worker: artifact rejected: %s",
+                   LoadErr.str().c_str());
+      RT.finalize(*J.Tx, UpdatePhase::StageFailed, &LoadErr);
+    } else {
+      (void)RT.stageInto(*J.Tx); // failures are recorded in the log
+    }
+
+    {
+      std::lock_guard<std::mutex> G(Lock);
+      --InFlight;
+    }
+    IdleCV.notify_all();
+  }
+}

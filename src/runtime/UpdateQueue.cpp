@@ -2,40 +2,47 @@
 
 #include "runtime/UpdateQueue.h"
 
-#include "support/Logging.h"
-
 using namespace dsu;
 
-void UpdateQueue::enqueue(std::string Name, Applier Apply) {
+bool UpdateQueue::enqueue(std::shared_ptr<UpdateTransaction> Tx) {
   std::lock_guard<std::mutex> G(Lock);
-  Items.push_back(Item{std::move(Name), std::move(Apply)});
-  Pending.store(true, std::memory_order_release);
+  if (Tx->Enqueued)
+    return false;
+  Tx->Enqueued = true;
+  Items.push_back(std::move(Tx));
+  refreshLocked();
+  return true;
 }
 
-UpdatePointOutcome UpdateQueue::drain() {
-  std::vector<Item> Work;
-  {
-    std::lock_guard<std::mutex> G(Lock);
-    Work.swap(Items);
-    Pending.store(false, std::memory_order_release);
+std::shared_ptr<UpdateTransaction> UpdateQueue::popActionable() {
+  std::lock_guard<std::mutex> G(Lock);
+  if (Items.empty() || !actionable(*Items.front())) {
+    refreshLocked();
+    return nullptr;
   }
+  std::shared_ptr<UpdateTransaction> Tx = std::move(Items.front());
+  Items.pop_front();
+  refreshLocked();
+  return Tx;
+}
 
-  UpdatePointOutcome Outcome;
-  for (Item &I : Work) {
-    if (Error E = I.Apply()) {
-      ++Outcome.Failed;
-      std::string Diag = I.Name + ": " + E.str();
-      DSU_LOG_WARN("update rejected: %s", Diag.c_str());
-      Outcome.Diagnostics.push_back(std::move(Diag));
-      continue;
-    }
-    ++Outcome.Applied;
-    DSU_LOG_INFO("update applied: %s", I.Name.c_str());
-  }
-  return Outcome;
+void UpdateQueue::refresh() {
+  std::lock_guard<std::mutex> G(Lock);
+  refreshLocked();
+}
+
+void UpdateQueue::refreshLocked() {
+  Pending.store(!Items.empty() && actionable(*Items.front()),
+                std::memory_order_release);
 }
 
 size_t UpdateQueue::depth() const {
   std::lock_guard<std::mutex> G(Lock);
   return Items.size();
+}
+
+std::vector<std::shared_ptr<UpdateTransaction>> UpdateQueue::snapshot() const {
+  std::lock_guard<std::mutex> G(Lock);
+  return std::vector<std::shared_ptr<UpdateTransaction>>(Items.begin(),
+                                                         Items.end());
 }

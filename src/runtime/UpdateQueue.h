@@ -1,67 +1,74 @@
 //===- runtime/UpdateQueue.h - Pending updates and update points -*- C++ -*-//
 ///
 /// \file
-/// The update-point mechanism.  Programs call updatePoint() at places
-/// they deem safe (the top of an event loop, between requests); the call
-/// is a single relaxed atomic flag test when no update is pending, so it
-/// can sit on hot paths — the same contract as the PLDI 2001 `update`
-/// primitive.
+/// The update-point mechanism over staged transactions.  Programs call
+/// updatePoint() at places they deem safe (the top of an event loop,
+/// between requests); the call is a single relaxed atomic flag test when
+/// no transaction is actionable, so it can sit on hot paths — the same
+/// contract as the PLDI 2001 `update` primitive.
 ///
-/// Updates are requested asynchronously (by an operator thread, a signal
-/// handler's deferred work, or the program itself) as closures queued on
-/// the UpdateQueue; the next updatePoint() drains the queue.
+/// The queue holds UpdateTransactions in submission order and preserves
+/// strict FIFO commit order: updatePoint() pops from the front only
+/// while the front transaction is actionable (ready to commit, or
+/// terminal and awaiting collection).  A transaction still staging
+/// blocks later — even already-ready — transactions, so updates commit
+/// in exactly the order operators submitted them.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef DSU_RUNTIME_UPDATEQUEUE_H
 #define DSU_RUNTIME_UPDATEQUEUE_H
 
-#include "support/Error.h"
+#include "runtime/UpdateTransaction.h"
 
 #include <atomic>
-#include <functional>
+#include <deque>
+#include <memory>
 #include <mutex>
-#include <string>
 #include <vector>
 
 namespace dsu {
 
-/// Result of draining one update point.
-struct UpdatePointOutcome {
-  unsigned Applied = 0;  ///< updates applied successfully
-  unsigned Failed = 0;   ///< updates rejected (verify/link/transform)
-  std::vector<std::string> Diagnostics; ///< one entry per failure
-};
-
-/// A queue of pending update actions plus the hot-path pending flag.
+/// FIFO of staged update transactions plus the hot-path pending flag.
 class UpdateQueue {
 public:
-  using Applier = std::function<Error()>;
-
-  /// True when at least one update awaits the next update point.  Hot
-  /// path: relaxed load, no fence, no branch beyond the test itself.
+  /// True when the front transaction is actionable at the next update
+  /// point.  Hot path: relaxed load, no fence, no branch beyond the test
+  /// itself.
   bool pending() const { return Pending.load(std::memory_order_relaxed); }
 
-  /// Enqueues an update action described by \p Name.
-  void enqueue(std::string Name, Applier Apply);
+  /// Appends \p Tx in submission order.  Returns false (and leaves the
+  /// queue unchanged) when \p Tx was already enqueued once.
+  bool enqueue(std::shared_ptr<UpdateTransaction> Tx);
 
-  /// Runs every queued update in FIFO order.  Failures are collected,
-  /// not thrown; a failed update is discarded (its Applier is
-  /// responsible for leaving the program unchanged on failure).
-  UpdatePointOutcome drain();
+  /// Pops and returns the front transaction if it is actionable —
+  /// ready to commit, or already terminal (failed, aborted, or
+  /// committed directly through its handle) and awaiting collection;
+  /// nullptr otherwise.  The FIFO guarantee lives here: a staging (or
+  /// mid-commit) front blocks everything behind it.
+  std::shared_ptr<UpdateTransaction> popActionable();
 
-  /// Number of updates waiting.
+  /// Recomputes the pending flag after a transaction phase transition
+  /// (staging finished, abort landed).
+  void refresh();
+
+  /// Number of transactions waiting (any phase).
   size_t depth() const;
 
+  /// Snapshot of the queued transactions, front first (introspection:
+  /// the admin endpoint's pending view).
+  std::vector<std::shared_ptr<UpdateTransaction>> snapshot() const;
+
 private:
-  struct Item {
-    std::string Name;
-    Applier Apply;
-  };
+  static bool actionable(const UpdateTransaction &Tx) {
+    UpdatePhase P = Tx.phase();
+    return P != UpdatePhase::Staging && P != UpdatePhase::Committing;
+  }
+  void refreshLocked();
 
   std::atomic<bool> Pending{false};
   mutable std::mutex Lock;
-  std::vector<Item> Items;
+  std::deque<std::shared_ptr<UpdateTransaction>> Items;
 };
 
 } // namespace dsu

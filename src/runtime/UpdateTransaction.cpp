@@ -1,0 +1,37 @@
+//===- runtime/UpdateTransaction.cpp --------------------------*- C++ -*-===//
+
+#include "runtime/UpdateTransaction.h"
+
+using namespace dsu;
+
+const char *dsu::updatePhaseName(UpdatePhase P) {
+  switch (P) {
+  case UpdatePhase::Staging:
+    return "staging";
+  case UpdatePhase::Ready:
+    return "ready";
+  case UpdatePhase::Committing:
+    return "committing";
+  case UpdatePhase::Committed:
+    return "committed";
+  case UpdatePhase::StageFailed:
+    return "stage-failed";
+  case UpdatePhase::CommitFailed:
+    return "commit-failed";
+  case UpdatePhase::Aborted:
+    return "aborted";
+  }
+  return "unknown";
+}
+
+std::string UpdateTransaction::patchId() const {
+  std::lock_guard<std::mutex> G(RecLock);
+  return Rec.PatchId;
+}
+
+UpdateRecord UpdateTransaction::record() const {
+  std::lock_guard<std::mutex> G(RecLock);
+  UpdateRecord R = Rec;
+  R.Phase = updatePhaseName(phase());
+  return R;
+}

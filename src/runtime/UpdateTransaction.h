@@ -1,0 +1,164 @@
+//===- runtime/UpdateTransaction.h - Staged update transactions -*- C++ -*-//
+///
+/// \file
+/// The transactional form of a dynamic update.  A patch no longer enters
+/// the runtime as an opaque closure: it becomes an UpdateTransaction
+/// with an explicit lifecycle
+///
+///     staging -> ready -> committing -> committed
+///                  \-> aborted          \-> commit-failed
+///        \-> stage-failed
+///
+/// *Staging* (verification, link preparation, state-transform builds)
+/// runs on any thread and performs no program mutation; *commit* runs at
+/// an update point on the update thread and is only the atomic binding
+/// swings plus the (generation-validated) state payload swaps — the
+/// split that shrinks the serving pause from full-pipeline cost to
+/// commit cost.  Every transaction is introspectable: id, patch id,
+/// phase, and the per-stage timing record the E3 experiment reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_RUNTIME_UPDATETRANSACTION_H
+#define DSU_RUNTIME_UPDATETRANSACTION_H
+
+#include "patch/Patch.h"
+#include "state/Transform.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace dsu {
+
+class Runtime;
+class UpdateController;
+class UpdateQueue;
+
+/// Lifecycle phase of one update transaction.
+enum class UpdatePhase {
+  Staging,      ///< queued or being verified/prepared/built
+  Ready,        ///< staged; awaiting commit at an update point
+  Committing,   ///< the update thread is swinging bindings
+  Committed,    ///< applied; the program runs the new code
+  StageFailed,  ///< rejected during staging (program untouched)
+  CommitFailed, ///< rejected at commit (rolled back, program untouched)
+  Aborted,      ///< withdrawn by the operator before commit
+};
+
+/// Stable lower-case name for \p P ("staging", "ready", "committed", ...).
+const char *updatePhaseName(UpdatePhase P);
+
+/// Timing and outcome of one update transaction, kept while it is in
+/// flight and appended to the runtime's update log when it reaches a
+/// terminal phase.
+struct UpdateRecord {
+  uint64_t TxId = 0;
+  std::string PatchId;
+  std::string Phase; ///< terminal (or current) phase name
+  bool Succeeded = false;
+  std::string FailureReason;
+
+  // The transactional split: what ran off-thread vs. what the program
+  // paused for.
+  double StageMs = 0;  ///< verify + link prepare + state build (any thread)
+  double CommitMs = 0; ///< pause at the update point (swings + swaps)
+
+  double VerifyMs = 0;    ///< VTAL verification (0 for native patches)
+  double PrepareMs = 0;   ///< link preparation within staging
+  double BuildMs = 0;     ///< state-transform build within staging
+  double LinkMs = 0;      ///< prepare + commit of the link unit
+  double TransformMs = 0; ///< state build + commit-time swap/rebuild
+  double TotalMs = 0;     ///< StageMs + CommitMs
+
+  /// True when the commit had to rebuild the state migration because a
+  /// cell mutated between staging and commit (the optimistic protocol's
+  /// slow path).
+  bool StateRebuilt = false;
+
+  size_t CodeBytes = 0; ///< artifact size
+  size_t InstructionsVerified = 0;
+  size_t CellsMigrated = 0;
+  size_t ProvidesLinked = 0;
+};
+
+/// One staged update in flight.  Created by Runtime::stage() (or the
+/// UpdateController's staging worker); owned via shared_ptr by the queue
+/// and any StagedUpdate handles.
+class UpdateTransaction {
+public:
+  uint64_t id() const { return Id; }
+  UpdatePhase phase() const { return Phase.load(std::memory_order_acquire); }
+
+  /// The patch id ("(loading)" until an asynchronously posted artifact
+  /// has been parsed).
+  std::string patchId() const;
+
+  /// Snapshot of the timing/outcome record (consistent copy).
+  UpdateRecord record() const;
+
+private:
+  friend class Runtime;
+  friend class UpdateController;
+  friend class UpdateQueue;
+
+  explicit UpdateTransaction(uint64_t Id) : Id(Id) {}
+
+  const uint64_t Id;
+  std::atomic<UpdatePhase> Phase{UpdatePhase::Staging};
+  std::atomic<bool> AbortRequested{false};
+  bool Enqueued = false; ///< on the runtime's update queue (set once)
+
+  /// The patch, consumed by staging.
+  Patch P;
+
+  // Staged artifacts, valid in phase Ready.
+  LinkPlan Plan;
+  std::vector<VersionBump> DeclaredBumps; ///< from the patch's new types
+  std::vector<VersionBump> Bumps;         ///< union with the plan's bumps
+  StagedStateSwap Swap;
+  uint64_t PreparedAtGeneration = 0; ///< runtime commit generation observed
+
+  mutable std::mutex RecLock; ///< guards Rec (read from other threads)
+  UpdateRecord Rec;
+};
+
+/// The operator's handle on a staged transaction: observe its phase,
+/// commit it at a safe point, or abort it.  Copyable; all copies refer
+/// to the same transaction.
+class StagedUpdate {
+public:
+  StagedUpdate() = default;
+
+  bool valid() const { return Tx != nullptr; }
+  uint64_t id() const { return Tx->id(); }
+  UpdatePhase phase() const { return Tx->phase(); }
+  UpdateRecord record() const { return Tx->record(); }
+
+  /// Commits this transaction now.  The caller asserts this is a safe
+  /// point on the update thread; refused with EC_Busy when updateable
+  /// code is active on this thread, and with EC_Invalid when the
+  /// transaction is not ready (already committed, aborted, or failed).
+  Error commit();
+
+  /// Withdraws the transaction: a ready transaction aborts immediately,
+  /// one still staging aborts when staging completes.  Fails with
+  /// EC_Invalid once the transaction is terminal.
+  Error abort();
+
+private:
+  friend class Runtime;
+  friend class UpdateController;
+
+  StagedUpdate(Runtime *RT, std::shared_ptr<UpdateTransaction> Tx)
+      : RT(RT), Tx(std::move(Tx)) {}
+
+  Runtime *RT = nullptr;
+  std::shared_ptr<UpdateTransaction> Tx;
+};
+
+} // namespace dsu
+
+#endif // DSU_RUNTIME_UPDATETRANSACTION_H

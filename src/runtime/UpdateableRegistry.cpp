@@ -64,7 +64,7 @@ Error UpdateableRegistry::rebind(const std::string &Name, const Type *NewTy,
                        Name.c_str());
   UpdateableSlot &Slot = *It->second;
 
-  ReplaceCheck Check = checkReplacement(Slot.FnTy, NewTy);
+  ReplaceCheck Check = checkReplacement(Slot.type(), NewTy);
   if (!Check.ok())
     return Error::make(ErrorCode::EC_TypeMismatch,
                        "rebinding '%s' rejected: %s", Name.c_str(),
@@ -83,9 +83,34 @@ Error UpdateableRegistry::rebind(const std::string &Name, const Type *NewTy,
   const Binding *Raw = Owned.get();
   Slot.History.push_back(std::move(Owned));
   Slot.TypeHistory.push_back(NewTy);
-  Slot.FnTy = NewTy;
+  Slot.FnTy.store(NewTy, std::memory_order_release);
   Slot.Current.store(Raw, std::memory_order_release);
   return Error::success();
+}
+
+void UpdateableRegistry::rebindPreparedSlot(
+    UpdateableSlot &Slot, const Type *NewTy,
+    std::unique_ptr<Binding> NewBinding) {
+  std::lock_guard<std::mutex> G(Lock);
+  if (NewBinding->Version <= Slot.current()->Version)
+    NewBinding->Version = Slot.current()->Version + 1;
+  const Binding *Raw = NewBinding.get();
+  Slot.History.push_back(std::move(NewBinding));
+  Slot.TypeHistory.push_back(NewTy);
+  Slot.FnTy.store(NewTy, std::memory_order_release);
+  Slot.Current.store(Raw, std::memory_order_release);
+}
+
+Expected<UpdateableSlot *> UpdateableRegistry::installPreparedSlot(
+    std::unique_ptr<UpdateableSlot> Slot) {
+  std::lock_guard<std::mutex> G(Lock);
+  const std::string &Name = Slot->name();
+  if (Slots.count(Name))
+    return Error::make(ErrorCode::EC_Invalid,
+                       "updateable '%s' is already defined", Name.c_str());
+  UpdateableSlot *Raw = Slot.get();
+  Slots.emplace(Name, std::move(Slot));
+  return Raw;
 }
 
 Error UpdateableRegistry::rollback(const std::string &Name) {
@@ -115,7 +140,7 @@ Error UpdateableRegistry::rollback(const std::string &Name) {
   const Type *PrevTy = Slot.TypeHistory[N - 2];
   Slot.History.push_back(std::move(Owned));
   Slot.TypeHistory.push_back(PrevTy);
-  Slot.FnTy = PrevTy;
+  Slot.FnTy.store(PrevTy, std::memory_order_release);
   Slot.Current.store(Raw, std::memory_order_release);
   return Error::success();
 }

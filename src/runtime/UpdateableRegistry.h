@@ -42,7 +42,10 @@ public:
   }
 
   const std::string &name() const { return Name; }
-  const Type *type() const { return FnTy; }
+
+  /// The slot's recorded type.  Atomic: link preparation reads it from
+  /// staging threads while the update thread rebinds.
+  const Type *type() const { return FnTy.load(std::memory_order_acquire); }
 
   /// The hot path: acquire-load of the current binding.
   const Binding *current() const {
@@ -58,7 +61,7 @@ private:
   friend class UpdateableRegistry;
 
   std::string Name;
-  const Type *FnTy; // may be rebound on version-bumped updates
+  std::atomic<const Type *> FnTy; // may be rebound on version-bumped updates
   std::atomic<const Binding *> Current;
   std::vector<std::unique_ptr<Binding>> History; // guarded by registry lock
   std::vector<const Type *> TypeHistory;         // parallel to History
@@ -88,6 +91,22 @@ public:
   /// update engine) must have transformers for.
   Error rebind(const std::string &Name, const Type *NewTy,
                Binding NewBinding, std::vector<VersionBump> *BumpsOut);
+
+  /// The commit half of the linker's prepare/commit split: installs a
+  /// binding the linker already validated and heap-allocated at prepare
+  /// time, into a slot it already resolved, so the update-point pause
+  /// pays neither the compatibility judgement, nor an allocation, nor a
+  /// name lookup — only the history push and two pointer swings.  Sound
+  /// only for plans validated by Linker::prepare() under the
+  /// single-updater discipline (stale plans are re-prepared before
+  /// commit); everyone else uses rebind().
+  void rebindPreparedSlot(UpdateableSlot &Slot, const Type *NewTy,
+                          std::unique_ptr<Binding> NewBinding);
+
+  /// rebindPreparedSlot()'s sibling for slots the plan *defines*: links
+  /// a slot the linker constructed at prepare time into the registry.
+  Expected<UpdateableSlot *>
+  installPreparedSlot(std::unique_ptr<UpdateableSlot> Slot);
 
   /// Reverts \p Name to the implementation (and recorded type) it had
   /// before its most recent rebind.  The rollback is itself an update:

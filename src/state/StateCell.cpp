@@ -44,9 +44,15 @@ Error StateRegistry::migrate(const std::string &Name, const Type *NewTy,
                        "cannot migrate unknown state cell '%s'",
                        Name.c_str());
   StateCell &Cell = *It->second;
-  Cell.Ty = NewTy;
-  Cell.Data = std::move(NewData);
-  ++Cell.Generation;
+  {
+    // The swap itself is a mutation: exclude concurrent staging readers
+    // and invalidate any other staged copy built from the old payload.
+    std::lock_guard<std::mutex> P(Cell.PayloadLock);
+    Cell.Ty = NewTy;
+    Cell.Data = std::move(NewData);
+    ++Cell.Generation;
+    Cell.MutGen.fetch_add(1, std::memory_order_release);
+  }
   return Error::success();
 }
 

@@ -22,6 +22,7 @@
 #include "support/Error.h"
 #include "types/Type.h"
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -31,6 +32,15 @@
 namespace dsu {
 
 /// One named, typed piece of program state.
+///
+/// Concurrency contract (the staged-update protocol): the program's
+/// mutator thread writes payloads in place while holding payloadLock()
+/// and calling noteMutation(); staging threads hold payloadLock() only
+/// while they read a payload to build a migrated copy on the side; the
+/// update thread validates the recorded mutation generation at commit
+/// and swaps the prebuilt payload in — or rebuilds it when the cell
+/// moved underneath the staged copy.  Type+payload pairs change only on
+/// the update thread, so reads from that thread never tear.
 class StateCell {
 public:
   StateCell(std::string Name, const Type *Ty, std::shared_ptr<void> Data)
@@ -47,6 +57,21 @@ public:
   /// descriptor denotes at its current version.
   template <typename T> T *get() const { return static_cast<T *>(Data.get()); }
 
+  /// Serializes in-place payload writes against staging reads.  Held by
+  /// mutators around writes, by staging threads around snapshot reads,
+  /// and by the migration commit around the swap itself.
+  std::mutex &payloadLock() const { return PayloadLock; }
+
+  /// Records one in-place payload mutation.  Every write a program
+  /// performs under payloadLock() must call this so a staged update
+  /// built from the previous contents is detected as stale at commit.
+  void noteMutation() { MutGen.fetch_add(1, std::memory_order_release); }
+
+  /// Monotonic count of noteMutation() calls plus migrations.
+  uint64_t mutationGeneration() const {
+    return MutGen.load(std::memory_order_acquire);
+  }
+
 private:
   friend class StateRegistry;
 
@@ -54,6 +79,8 @@ private:
   const Type *Ty;
   std::shared_ptr<void> Data;
   uint32_t Generation = 1; ///< bumped on every migration
+  mutable std::mutex PayloadLock;
+  std::atomic<uint64_t> MutGen{0};
 };
 
 /// Registry of all state cells of one runtime.

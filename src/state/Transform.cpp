@@ -8,12 +8,24 @@
 using namespace dsu;
 
 void TransformerRegistry::add(const VersionBump &Bump, TransformFn Fn) {
+  std::lock_guard<std::mutex> G(Lock);
   Fns[Key{Bump.From, Bump.To}] = std::move(Fn);
 }
 
-const TransformFn *TransformerRegistry::find(const VersionBump &Bump) const {
+TransformFn TransformerRegistry::lookup(const VersionBump &Bump) const {
+  std::lock_guard<std::mutex> G(Lock);
   auto It = Fns.find(Key{Bump.From, Bump.To});
-  return It == Fns.end() ? nullptr : &It->second;
+  return It == Fns.end() ? TransformFn() : It->second;
+}
+
+bool TransformerRegistry::has(const VersionBump &Bump) const {
+  std::lock_guard<std::mutex> G(Lock);
+  return Fns.count(Key{Bump.From, Bump.To}) != 0;
+}
+
+size_t TransformerRegistry::size() const {
+  std::lock_guard<std::mutex> G(Lock);
+  return Fns.size();
 }
 
 namespace {
@@ -24,14 +36,14 @@ namespace {
 Expected<std::vector<VersionBump>>
 expandBump(const TransformerRegistry &Xforms, const VersionBump &Bump) {
   std::vector<VersionBump> Steps;
-  if (Xforms.find(Bump)) {
+  if (Xforms.has(Bump)) {
     Steps.push_back(Bump);
     return Steps;
   }
   for (uint32_t V = Bump.From.Version; V != Bump.To.Version; ++V) {
     VersionBump Step{VersionedName{Bump.From.Name, V},
                      VersionedName{Bump.From.Name, V + 1}};
-    if (!Xforms.find(Step))
+    if (!Xforms.has(Step))
       return Error::make(
           ErrorCode::EC_Transform,
           "no state transformer for %s -> %s (needed for bump %s -> %s)",
@@ -42,15 +54,15 @@ expandBump(const TransformerRegistry &Xforms, const VersionBump &Bump) {
   return Steps;
 }
 
-} // namespace
-
-Error dsu::runStateTransform(TypeContext &Ctx, StateRegistry &State,
-                             const TransformerRegistry &Xforms,
-                             const std::vector<VersionBump> &Bumps,
-                             TransformStats *Stats) {
-  TransformStats Local;
-  TransformStats &S = Stats ? *Stats : Local;
-
+/// The shared build phase: computes every affected cell's new payload and
+/// type on the side, reading each payload under its lock so a staging
+/// thread can run concurrently with the program mutating other cells (or
+/// this one — staleness is the caller's problem, recorded per cell as
+/// ObservedMutation).  Nothing in the program observes the results.
+Expected<std::vector<StagedStateSwap::Planned>>
+buildMigrations(TypeContext &Ctx, StateRegistry &State,
+                const TransformerRegistry &Xforms,
+                const std::vector<VersionBump> &Bumps, TransformStats &S) {
   // Expand every bump into executable steps up front, so a missing
   // transformer rejects the update before any work happens.
   std::vector<VersionBump> Steps;
@@ -61,30 +73,29 @@ Error dsu::runStateTransform(TypeContext &Ctx, StateRegistry &State,
     for (VersionBump &Step : *Expanded)
       Steps.push_back(std::move(Step));
   }
-  if (Steps.empty())
-    return Error::success();
 
-  // Build phase: compute each affected cell's new payload and type on the
-  // side.  Nothing in the program observes these until commit.
-  struct PendingMigration {
-    StateCell *Cell;
-    const Type *NewTy;
-    std::shared_ptr<void> NewData;
-  };
-  std::vector<PendingMigration> PendingList;
+  std::vector<StagedStateSwap::Planned> PendingList;
+  if (Steps.empty())
+    return PendingList;
 
   for (StateCell *Cell : State.cells()) {
     ++S.CellsExamined;
+    // Hold the payload lock across the whole per-cell chain: the
+    // transformer reads the live payload, which the program may be
+    // writing in place from its own thread.  Transformers therefore run
+    // with the lock held and must not take it themselves.
+    std::lock_guard<std::mutex> P(Cell->payloadLock());
     const Type *Ty = Cell->type();
     std::shared_ptr<void> Data = Cell->raw();
+    uint64_t Observed = Cell->mutationGeneration();
     bool Touched = false;
 
     for (const VersionBump &Step : Steps) {
       if (!typeMentions(Ty, Step.From))
         continue;
-      const TransformFn *Fn = Xforms.find(Step);
+      TransformFn Fn = Xforms.lookup(Step);
       assert(Fn && "expandBump guaranteed a transformer");
-      Expected<std::shared_ptr<void>> NewData = (*Fn)(Data, *Cell);
+      Expected<std::shared_ptr<void>> NewData = Fn(Data, *Cell);
       if (!NewData)
         return NewData.takeError().withContext(
             "transforming state cell '" + Cell->name() + "' for " +
@@ -95,11 +106,21 @@ Error dsu::runStateTransform(TypeContext &Ctx, StateRegistry &State,
     }
 
     if (Touched)
-      PendingList.push_back(PendingMigration{Cell, Ty, std::move(Data)});
+      PendingList.push_back(
+          StagedStateSwap::Planned{Cell, Ty, std::move(Data), Observed});
   }
+  return PendingList;
+}
 
-  // Commit phase: swap everything.
-  for (PendingMigration &P : PendingList) {
+/// Swaps a built migration set in, capturing undo state.  Commit of the
+/// two-phase protocols: only reached once every build succeeded.
+Error swapAll(StateRegistry &State,
+              std::vector<StagedStateSwap::Planned> &PendingList,
+              TransformStats &S, StateSwapUndo *Undo) {
+  for (StagedStateSwap::Planned &P : PendingList) {
+    if (Undo)
+      Undo->Cells.push_back(
+          StateSwapUndo::Saved{P.Cell, P.Cell->type(), P.Cell->raw()});
     if (Error E = State.migrate(P.Cell->name(), P.NewTy, std::move(P.NewData)))
       return E.withContext("state migration commit");
     ++S.CellsMigrated;
@@ -107,4 +128,87 @@ Error dsu::runStateTransform(TypeContext &Ctx, StateRegistry &State,
                  P.Cell->name().c_str(), P.NewTy->str().c_str());
   }
   return Error::success();
+}
+
+} // namespace
+
+Error dsu::runStateTransform(TypeContext &Ctx, StateRegistry &State,
+                             const TransformerRegistry &Xforms,
+                             const std::vector<VersionBump> &Bumps,
+                             TransformStats *Stats) {
+  TransformStats Local;
+  TransformStats &S = Stats ? *Stats : Local;
+  Expected<std::vector<StagedStateSwap::Planned>> Pending =
+      buildMigrations(Ctx, State, Xforms, Bumps, S);
+  if (!Pending)
+    return Pending.takeError();
+  return swapAll(State, *Pending, S, nullptr);
+}
+
+Expected<StagedStateSwap>
+dsu::stageStateTransform(TypeContext &Ctx, StateRegistry &State,
+                         const TransformerRegistry &Xforms,
+                         const std::vector<VersionBump> &Bumps,
+                         TransformStats *Stats) {
+  TransformStats Local;
+  TransformStats &S = Stats ? *Stats : Local;
+  Expected<std::vector<StagedStateSwap::Planned>> Pending =
+      buildMigrations(Ctx, State, Xforms, Bumps, S);
+  if (!Pending)
+    return Pending.takeError();
+  StagedStateSwap Swap;
+  Swap.Cells = std::move(*Pending);
+  Swap.Bumps = Bumps;
+  return Swap;
+}
+
+Error dsu::commitStagedState(TypeContext &Ctx, StateRegistry &State,
+                             const TransformerRegistry &Xforms,
+                             StagedStateSwap Swap, TransformStats *Stats,
+                             bool *Rebuilt, StateSwapUndo *Undo) {
+  TransformStats Local;
+  TransformStats &S = Stats ? *Stats : Local;
+  if (Rebuilt)
+    *Rebuilt = false;
+  if (Swap.empty())
+    return Error::success();
+
+  // Validation: every staged payload must have been built from the
+  // cell's current contents.  We run on the single mutator thread, so a
+  // generation that matches here cannot change before the swap below.
+  bool Stale = false;
+  for (const StagedStateSwap::Planned &P : Swap.Cells) {
+    std::lock_guard<std::mutex> G(P.Cell->payloadLock());
+    if (P.Cell->mutationGeneration() != P.ObservedMutation) {
+      Stale = true;
+      break;
+    }
+  }
+
+  if (!Stale)
+    return swapAll(State, Swap.Cells, S, Undo);
+
+  // The program wrote to an affected cell since staging: the prebuilt
+  // payloads would lose those writes.  Rebuild from live state — this is
+  // the (timed, rare) slow path of the optimistic protocol.
+  if (Rebuilt)
+    *Rebuilt = true;
+  DSU_LOG_INFO("staged state swap stale (cell mutated since staging); "
+               "rebuilding %zu bump(s) at the update point",
+               Swap.Bumps.size());
+  Expected<std::vector<StagedStateSwap::Planned>> Pending =
+      buildMigrations(Ctx, State, Xforms, Swap.Bumps, S);
+  if (!Pending)
+    return Pending.takeError();
+  return swapAll(State, *Pending, S, Undo);
+}
+
+void dsu::revertStateSwap(StateRegistry &State, StateSwapUndo Undo) {
+  // Swap back in reverse order so chained migrations unwind cleanly.
+  for (auto It = Undo.Cells.rbegin(); It != Undo.Cells.rend(); ++It) {
+    if (Error E = State.migrate(It->Cell->name(), It->Ty,
+                                std::move(It->Data)))
+      DSU_LOG_WARN("state revert of '%s' failed: %s",
+                   It->Cell->name().c_str(), E.str().c_str());
+  }
 }

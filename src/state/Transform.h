@@ -36,17 +36,24 @@ namespace dsu {
 using TransformFn = std::function<Expected<std::shared_ptr<void>>(
     const std::shared_ptr<void> &Old, const StateCell &Cell)>;
 
-/// Transformers keyed by version bump.
+/// Transformers keyed by version bump.  Thread-safe: patches register
+/// transformers while they are staged on any thread, and the update
+/// thread looks them up at commit.
 class TransformerRegistry {
 public:
   /// Registers the transformer for \p Bump; replaces any previous one
   /// (a later patch may ship a corrected transformer).
   void add(const VersionBump &Bump, TransformFn Fn);
 
-  /// Finds the transformer for \p Bump, or nullptr.
-  const TransformFn *find(const VersionBump &Bump) const;
+  /// Returns a copy of the transformer for \p Bump, or an empty function
+  /// when absent.  A copy, not a pointer: the registry may be mutated by
+  /// a concurrent staging thread while the caller runs the transformer.
+  TransformFn lookup(const VersionBump &Bump) const;
 
-  size_t size() const { return Fns.size(); }
+  /// True when a transformer for \p Bump is registered.
+  bool has(const VersionBump &Bump) const;
+
+  size_t size() const;
 
 private:
   struct Key {
@@ -57,6 +64,7 @@ private:
       return A.To < B.To;
     }
   };
+  mutable std::mutex Lock;
   std::map<Key, TransformFn> Fns;
 };
 
@@ -76,6 +84,65 @@ Error runStateTransform(TypeContext &Ctx, StateRegistry &State,
                         const TransformerRegistry &Xforms,
                         const std::vector<VersionBump> &Bumps,
                         TransformStats *Stats = nullptr);
+
+/// A state migration built ahead of its commit: the new payload of every
+/// affected cell, computed on a staging thread from a snapshot taken
+/// under the cell's payload lock, together with the mutation generation
+/// each snapshot observed.  Committing validates those generations — a
+/// cell the program wrote to since staging invalidates its prebuilt
+/// payload and forces a rebuild at the update point (the correctness
+/// fallback of the optimistic protocol).
+struct StagedStateSwap {
+  struct Planned {
+    StateCell *Cell = nullptr;
+    const Type *NewTy = nullptr;
+    std::shared_ptr<void> NewData;
+    uint64_t ObservedMutation = 0;
+  };
+  std::vector<Planned> Cells;
+  /// The bumps this swap realizes; the commit-time rebuild fallback
+  /// re-runs them against the live payloads.
+  std::vector<VersionBump> Bumps;
+
+  bool empty() const { return Cells.empty(); }
+};
+
+/// What commitStagedState() swapped out, so a failure later in the same
+/// update transaction can put the old state back (all-or-nothing).
+struct StateSwapUndo {
+  struct Saved {
+    StateCell *Cell = nullptr;
+    const Type *Ty = nullptr;
+    std::shared_ptr<void> Data;
+  };
+  std::vector<Saved> Cells;
+};
+
+/// Stage-time half of the split migration: plans and builds the new
+/// payloads without mutating any cell.  Callable from any thread.
+Expected<StagedStateSwap>
+stageStateTransform(TypeContext &Ctx, StateRegistry &State,
+                    const TransformerRegistry &Xforms,
+                    const std::vector<VersionBump> &Bumps,
+                    TransformStats *Stats = nullptr);
+
+/// Commit-time half: validates every staged cell's mutation generation
+/// and swaps the prebuilt payloads in (O(cells) pointer swings).  When
+/// any cell mutated since staging the whole swap is rebuilt from live
+/// state instead (\p Rebuilt reports which path ran).  Two-phase like
+/// runStateTransform: a failure leaves every cell untouched.  \p Undo,
+/// when non-null, receives the pre-swap payloads for revertStateSwap().
+/// Must run on the update thread (the single mutator) so validation
+/// cannot race program writes.
+Error commitStagedState(TypeContext &Ctx, StateRegistry &State,
+                        const TransformerRegistry &Xforms,
+                        StagedStateSwap Swap, TransformStats *Stats = nullptr,
+                        bool *Rebuilt = nullptr,
+                        StateSwapUndo *Undo = nullptr);
+
+/// Reverts a committed swap (used when a later stage of the same update
+/// transaction fails and the state change must be unwound).
+void revertStateSwap(StateRegistry &State, StateSwapUndo Undo);
 
 } // namespace dsu
 

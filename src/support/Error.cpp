@@ -30,6 +30,8 @@ const char *dsu::errorCodeName(ErrorCode EC) {
     return "transform";
   case ErrorCode::EC_Invalid:
     return "invalid";
+  case ErrorCode::EC_Busy:
+    return "busy";
   case ErrorCode::EC_Unsupported:
     return "unsupported";
   }

@@ -37,6 +37,7 @@ enum class ErrorCode {
   EC_Link,           ///< unresolved symbol or loader failure
   EC_Transform,      ///< state transformer failed or missing
   EC_Invalid,        ///< API misuse that is recoverable (bad argument)
+  EC_Busy,           ///< thread-discipline violation; retry at a safe point
   EC_Unsupported,    ///< feature intentionally not supported
 };
 

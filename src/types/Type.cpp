@@ -44,6 +44,7 @@ const Type *TypeContext::makePrim(Type::KindTy K, const char *Spelling) {
 
 const Type *TypeContext::ptrType(const Type *Elem) {
   assert(Elem && "null element type");
+  std::lock_guard<std::mutex> G(Lock);
   auto T = std::unique_ptr<Type>(new Type());
   T->Kind = Type::TK_Ptr;
   T->Elem = Elem;
@@ -53,6 +54,7 @@ const Type *TypeContext::ptrType(const Type *Elem) {
 
 const Type *TypeContext::arrayType(const Type *Elem) {
   assert(Elem && "null element type");
+  std::lock_guard<std::mutex> G(Lock);
   auto T = std::unique_ptr<Type>(new Type());
   T->Kind = Type::TK_Array;
   T->Elem = Elem;
@@ -61,6 +63,7 @@ const Type *TypeContext::arrayType(const Type *Elem) {
 }
 
 const Type *TypeContext::structType(std::vector<Type::Field> Fields) {
+  std::lock_guard<std::mutex> G(Lock);
   auto T = std::unique_ptr<Type>(new Type());
   T->Kind = Type::TK_Struct;
   std::string S = "{";
@@ -81,6 +84,7 @@ const Type *TypeContext::structType(std::vector<Type::Field> Fields) {
 const Type *TypeContext::fnType(std::vector<const Type *> Params,
                                 const Type *Ret) {
   assert(Ret && "null return type");
+  std::lock_guard<std::mutex> G(Lock);
   auto T = std::unique_ptr<Type>(new Type());
   T->Kind = Type::TK_Fn;
   std::string S = "fn(";
@@ -100,6 +104,7 @@ const Type *TypeContext::fnType(std::vector<const Type *> Params,
 
 const Type *TypeContext::namedType(const VersionedName &Name) {
   assert(!Name.Name.empty() && "named type needs a name");
+  std::lock_guard<std::mutex> G(Lock);
   auto T = std::unique_ptr<Type>(new Type());
   T->Kind = Type::TK_Named;
   T->NamedName = Name;
@@ -109,6 +114,7 @@ const Type *TypeContext::namedType(const VersionedName &Name) {
 
 Error TypeContext::defineNamed(const VersionedName &Name, const Type *Def) {
   assert(Def && "null definition");
+  std::lock_guard<std::mutex> G(Lock);
   auto It = Definitions.find(Name);
   if (It != Definitions.end()) {
     if (It->second == Def)
@@ -123,11 +129,13 @@ Error TypeContext::defineNamed(const VersionedName &Name, const Type *Def) {
 }
 
 const Type *TypeContext::lookupDefinition(const VersionedName &Name) const {
+  std::lock_guard<std::mutex> G(Lock);
   auto It = Definitions.find(Name);
   return It == Definitions.end() ? nullptr : It->second;
 }
 
 uint32_t TypeContext::latestVersion(const std::string &Name) const {
+  std::lock_guard<std::mutex> G(Lock);
   uint32_t Best = 0;
   for (const auto &[VN, Def] : Definitions) {
     (void)Def;
@@ -135,4 +143,9 @@ uint32_t TypeContext::latestVersion(const std::string &Name) const {
       Best = VN.Version;
   }
   return Best;
+}
+
+size_t TypeContext::numInternedTypes() const {
+  std::lock_guard<std::mutex> G(Lock);
+  return Interned.size();
 }

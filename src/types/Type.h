@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -142,6 +143,12 @@ private:
 
 /// Owns and hash-conses Type nodes, and records definitions for named
 /// types.  All types flowing through one dsu::Runtime share one context.
+///
+/// Thread-safe: interning and definition lookups take an internal mutex,
+/// so update transactions may be staged (which parses and defines patch
+/// types) on any thread while the update thread links and commits.  Type
+/// nodes themselves are immutable once interned, so holding a const
+/// Type* never requires the lock.
 class TypeContext {
 public:
   TypeContext();
@@ -175,12 +182,13 @@ public:
   uint32_t latestVersion(const std::string &Name) const;
 
   /// Number of distinct interned types (monitoring/testing hook).
-  size_t numInternedTypes() const { return Interned.size(); }
+  size_t numInternedTypes() const;
 
 private:
   const Type *intern(std::unique_ptr<Type> T);
   const Type *makePrim(Type::KindTy K, const char *Spelling);
 
+  mutable std::mutex Lock;
   std::map<std::string, std::unique_ptr<Type>> Interned;
   std::map<VersionedName, const Type *> Definitions;
 

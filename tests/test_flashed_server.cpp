@@ -8,6 +8,7 @@
 #include "flashed/Client.h"
 #include "flashed/Patches.h"
 #include "flashed/Server.h"
+#include "runtime/UpdateController.h"
 
 #include <gtest/gtest.h>
 
@@ -427,6 +428,134 @@ TEST_F(FastServerTest, UpdateAppliesBetweenKeepAliveRequests) {
   // Both exchanges used one connection: the update really happened
   // mid-connection.
   EXPECT_EQ(Srv->connectionsAccepted(), 1u);
+}
+
+// --- The /admin control plane over the wire ------------------------------
+
+/// FastServerTest plus the admin surface: POSTed patch artifacts are
+/// staged off-thread and committed by the idle hook.
+class AdminServerTest : public FastServerTest {
+protected:
+  void SetUp() override {
+    // Enable the control plane before the event loop starts: the serve
+    // thread reads the admin pointer on every request.
+    App.enableAdmin(RT.controller());
+    FastServerTest::SetUp();
+  }
+};
+
+TEST_F(AdminServerTest, PatchPostedMidTrafficAppliesOnSameConnection) {
+  // The acceptance scenario end to end: one persistent connection
+  // observes the v1 bug, ships the fix through POST /admin/patches, and
+  // sees the patched behaviour — staging off-thread, commit at the idle
+  // hook, zero reconnects.
+  KeepAliveClient C;
+  ASSERT_FALSE(C.connectTo(Srv->port()));
+
+  Expected<FetchResult> Before = C.get("/doc.html?x=1");
+  ASSERT_TRUE(Before) << Before.takeError().str();
+  EXPECT_EQ(Before->Status, 404); // the seeded v1 query-string bug
+
+  Expected<FetchResult> Post =
+      C.post("/admin/patches", vtalParseFixPatchText(),
+             "application/x-dsu-patch");
+  ASSERT_TRUE(Post) << Post.takeError().str();
+  EXPECT_EQ(Post->Status, 202);
+  EXPECT_NE(Post->Body.find("\"tx\""), std::string::npos);
+
+  // The idle hook commits within a few poll cycles.
+  for (int Spin = 0; Spin != 500 && RT.updatesApplied() == 0; ++Spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_EQ(RT.updatesApplied(), 1u);
+
+  Expected<FetchResult> After = C.get("/doc.html?x=1");
+  ASSERT_TRUE(After) << After.takeError().str();
+  EXPECT_EQ(After->Status, 200);
+  EXPECT_EQ(After->Body, "<html>doc</html>");
+  // Every exchange — including the patch upload — rode one connection.
+  EXPECT_EQ(Srv->connectionsAccepted(), 1u);
+
+  // The update log reports the transaction with its stage/commit split.
+  Expected<FetchResult> LogR = C.get("/admin/updates");
+  ASSERT_TRUE(LogR) << LogR.takeError().str();
+  EXPECT_EQ(LogR->Status, 200);
+  EXPECT_NE(LogR->Body.find("\"phase\": \"committed\""),
+            std::string::npos);
+  EXPECT_NE(LogR->Body.find("P1-parse-query-fix-vtal"), std::string::npos);
+  EXPECT_NE(LogR->Body.find("\"stage_ms\""), std::string::npos);
+  EXPECT_NE(LogR->Body.find("\"commit_ms\""), std::string::npos);
+}
+
+TEST_F(AdminServerTest, MalformedArtifactSurfacesInUpdateLog) {
+  KeepAliveClient C;
+  ASSERT_FALSE(C.connectTo(Srv->port()));
+  Expected<FetchResult> Post =
+      C.post("/admin/patches", "(not a patch", "text/plain");
+  ASSERT_TRUE(Post) << Post.takeError().str();
+  EXPECT_EQ(Post->Status, 202); // accepted for staging...
+  for (int Spin = 0; Spin != 500; ++Spin) {
+    Expected<FetchResult> LogR = C.get("/admin/updates");
+    ASSERT_TRUE(LogR);
+    if (LogR->Body.find("stage-failed") != std::string::npos) {
+      EXPECT_NE(LogR->Body.find("\"failure\""), std::string::npos);
+      return; // ...and rejected by the staging worker, with a reason
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  FAIL() << "stage failure never surfaced in /admin/updates";
+}
+
+TEST_F(AdminServerTest, StatusAndRollbackEndpoints) {
+  KeepAliveClient C;
+  ASSERT_FALSE(C.connectTo(Srv->port()));
+
+  Expected<FetchResult> S = C.get("/admin/status");
+  ASSERT_TRUE(S) << S.takeError().str();
+  EXPECT_EQ(S->Status, 200);
+  EXPECT_NE(S->Body.find("\"updates_applied\": 0"), std::string::npos);
+
+  // Rolling back the initial version is a conflict (nothing prior)...
+  Expected<FetchResult> R1 =
+      C.post("/admin/rollback?name=flashed.mime_type", "");
+  ASSERT_TRUE(R1);
+  EXPECT_EQ(R1->Status, 409);
+  // ...an unknown updateable is a 404...
+  Expected<FetchResult> R2 = C.post("/admin/rollback?name=ghost", "");
+  ASSERT_TRUE(R2);
+  EXPECT_EQ(R2->Status, 404);
+
+  // ...and after an update, rollback over the wire restores v1.
+  Expected<Patch> P1 = makePatchP1(App);
+  ASSERT_TRUE(P1);
+  RT.requestUpdate(std::move(*P1));
+  for (int Spin = 0; Spin != 500 && RT.updatesApplied() == 0; ++Spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_EQ(RT.updatesApplied(), 1u);
+  ASSERT_EQ(C.get("/doc.html?x=1")->Status, 200);
+  Expected<FetchResult> R3 =
+      C.post("/admin/rollback?name=flashed.parse_target", "");
+  ASSERT_TRUE(R3);
+  EXPECT_EQ(R3->Status, 200);
+  EXPECT_EQ(C.get("/doc.html?x=1")->Status, 404); // v1 bug is back
+
+  // Unknown admin routes 404 without touching the updateable pipeline.
+  Expected<FetchResult> R4 = C.get("/admin/nope");
+  ASSERT_TRUE(R4);
+  EXPECT_EQ(R4->Status, 404);
+}
+
+TEST(AdminStatusMappingTest, BusyIsRetryable) {
+  // The EC_Busy -> 503 mapping the rollback endpoint relies on: busy is
+  // retryable, link failures are 404, other rejections conflict.
+  EXPECT_EQ(adminStatusForError(Error::success()), 200);
+  EXPECT_EQ(adminStatusForError(
+                Error::make(ErrorCode::EC_Busy, "active frames")),
+            503);
+  EXPECT_EQ(adminStatusForError(Error::make(ErrorCode::EC_Link, "none")),
+            404);
+  EXPECT_EQ(
+      adminStatusForError(Error::make(ErrorCode::EC_Invalid, "initial")),
+      409);
 }
 
 TEST(FastServerLimitsTest, BufferCapEnforcedOnPersistentConnection) {

@@ -6,6 +6,7 @@
 /// point, and the server's observable behaviour changes accordingly.
 
 #include "flashed/App.h"
+#include "flashed/Patches.h"
 #include "patch/PatchLoader.h"
 
 #include <gtest/gtest.h>
@@ -15,119 +16,9 @@ using namespace dsu::flashed;
 
 namespace {
 
-/// P1 expressed as verified VTAL: parse the request line and strip the
-/// query string, entirely in checked bytecode.
-const char *VtalP1 = R"dsu(
-(patch
-  (id "P1-parse-query-fix-vtal")
-  (description "query-string fix shipped as verified VTAL")
-  (provides
-    (fn (name "flashed.parse_target")
-        (type "fn(string) -> string")
-        (vtal-fn "parse_target")))
-  (vtal-module
-"module parse_mod
-func first_line (raw: string) -> string {
-  locals (nl: int)
-  load raw
-  push.s \"\\n\"
-  sfind
-  store nl
-  load nl
-  push.i 0
-  lt
-  brif whole
-  load raw
-  push.i 0
-  load nl
-  ssub
-  ret
-whole:
-  load raw
-  ret
-}
-func parse_target (raw: string) -> string {
-  locals (line: string, sp1: int, sp2: int, method: string, rest: string, q: int)
-  load raw
-  call first_line
-  store line
-  load line
-  push.s \" \"
-  sfind
-  store sp1
-  load sp1
-  push.i 1
-  lt
-  brif bad
-  load line
-  push.i 0
-  load sp1
-  ssub
-  store method
-  load method
-  push.s \"GET\"
-  seq
-  load method
-  push.s \"HEAD\"
-  seq
-  or
-  not
-  brif notallowed
-  load line
-  load sp1
-  push.i 1
-  add
-  load line
-  slen
-  ssub
-  store rest
-  load rest
-  push.s \" \"
-  sfind
-  store sp2
-  load sp2
-  push.i 0
-  lt
-  brif notrail
-  load rest
-  push.i 0
-  load sp2
-  ssub
-  store rest
-notrail:
-  load rest
-  slen
-  push.i 0
-  eq
-  brif bad
-  load rest
-  push.s \"?\"
-  sfind
-  store q
-  load q
-  push.i 0
-  lt
-  brif noquery
-  load rest
-  push.i 0
-  load q
-  ssub
-  store rest
-noquery:
-  load method
-  push.s \" \"
-  scat
-  load rest
-  scat
-  ret
-bad:
-  push.s \"!400 malformed request\"
-  ret
-notallowed:
-  push.s \"!405 method not allowed\"
-  ret
-}"))
-)dsu";
+// The canonical artifact lives beside the in-process patch series
+// (flashed/Patches.cpp) so the admin control plane, the tools, and
+// these tests all exercise the same bytes.
 
 TEST(FlashedVtalPatchTest, VerifiedParserDrivesTheServer) {
   Runtime RT;
@@ -140,7 +31,8 @@ TEST(FlashedVtalPatchTest, VerifiedParserDrivesTheServer) {
   std::string WithQuery = "GET /doc.html?v=2 HTTP/1.0\r\n\r\n";
   EXPECT_NE(App.handle(WithQuery).find("404"), std::string::npos);
 
-  Expected<Patch> P = loadVtalPatch(RT.types(), RT.exports(), VtalP1);
+  Expected<Patch> P =
+      loadVtalPatch(RT.types(), RT.exports(), vtalParseFixPatchText());
   ASSERT_TRUE(P) << P.takeError().str();
   ASSERT_TRUE(P->VtalMod);
   Error E = RT.applyNow(std::move(*P));
@@ -156,7 +48,7 @@ TEST(FlashedVtalPatchTest, VerifiedParserDrivesTheServer) {
   EXPECT_NE(App.handle("HEAD /doc.html HTTP/1.0\r\n\r\n").find("200 OK"),
             std::string::npos);
 
-  const UpdateRecord &Rec = RT.updateLog().at(0);
+  const UpdateRecord Rec = RT.updateLog().at(0);
   EXPECT_TRUE(Rec.Succeeded);
   EXPECT_GT(Rec.InstructionsVerified, 50u);
 }
@@ -181,7 +73,8 @@ TEST(FlashedVtalPatchTest, AgreesWithNativeParserOnASweep) {
   for (const std::string &R : Requests)
     Before.push_back(App.ParseTarget(R));
 
-  Patch P = cantFail(loadVtalPatch(RT.types(), RT.exports(), VtalP1),
+  Patch P = cantFail(loadVtalPatch(RT.types(), RT.exports(),
+                                   vtalParseFixPatchText()),
                      "load");
   cantFail(RT.applyNow(std::move(P)), "apply");
 

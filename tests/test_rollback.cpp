@@ -80,8 +80,15 @@ TEST_F(RollbackTest, RefusedInsideUpdateableCode) {
   Runtime *RTP = &RT;
   auto H = cantFail(RT.defineUpdateableFn<int64_t>(
       "app.inner", [RTP]() -> int64_t {
+        // Thread-discipline violations answer EC_Busy — a *retryable*
+        // category, distinct from EC_Invalid — naming what was violated.
         Error E = RTP->rollbackUpdateable("app.inner");
-        return E ? 1 : 0;
+        if (E.code() != ErrorCode::EC_Busy)
+          return 0;
+        if (E.message().find("single-updater discipline") ==
+            std::string::npos)
+          return 0;
+        return 1;
       }));
   (void)H;
   auto Probe = cantFail(bindUpdateable<int64_t()>(RT.updateables(),

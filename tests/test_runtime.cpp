@@ -1,5 +1,7 @@
 //===- tests/test_runtime.cpp - Updateable runtime tests ------*- C++ -*-===//
 
+#include "core/Runtime.h"
+#include "patch/PatchBuilder.h"
 #include "runtime/UpdateQueue.h"
 #include "runtime/Updateable.h"
 
@@ -176,50 +178,75 @@ TEST_F(RuntimeTest, ConcurrentReadersDuringRebind) {
   EXPECT_EQ(H.slot()->historySize(), 201u);
 }
 
-// --- UpdateQueue -----------------------------------------------------------
+// --- UpdateQueue (transaction FIFO, driven through a Runtime) --------------
+
+namespace {
+
+int64_t qv1(int64_t X) { return X + 1; }
+int64_t qv2(int64_t X) { return X + 2; }
+int64_t qv3(int64_t X) { return X + 3; }
 
 TEST(UpdateQueueTest, PendingFlagAndFifoDrain) {
-  UpdateQueue Q;
-  EXPECT_FALSE(Q.pending());
-  std::vector<int> Order;
-  Q.enqueue("a", [&] {
-    Order.push_back(1);
-    return Error::success();
-  });
-  Q.enqueue("b", [&] {
-    Order.push_back(2);
-    return Error::success();
-  });
-  EXPECT_TRUE(Q.pending());
-  EXPECT_EQ(Q.depth(), 2u);
+  Runtime RT;
+  auto H = cantFail(RT.defineUpdateable("q.f", &qv1));
+  EXPECT_FALSE(RT.updatePending());
+  RT.requestUpdate(cantFail(
+      PatchBuilder(RT.types(), "a").provide("q.f", &qv2).build()));
+  RT.requestUpdate(cantFail(
+      PatchBuilder(RT.types(), "b").provide("q.f", &qv3).build()));
+  EXPECT_TRUE(RT.updatePending());
+  EXPECT_EQ(RT.queueDepth(), 2u);
 
-  UpdatePointOutcome Out = Q.drain();
-  EXPECT_EQ(Out.Applied, 2u);
-  EXPECT_EQ(Out.Failed, 0u);
-  ASSERT_EQ(Order.size(), 2u);
-  EXPECT_EQ(Order[0], 1);
-  EXPECT_EQ(Order[1], 2);
-  EXPECT_FALSE(Q.pending());
-  EXPECT_EQ(Q.depth(), 0u);
+  // Both queued transactions are ready (staged synchronously) and
+  // introspectable before commit.
+  auto Pending = RT.pendingUpdates();
+  ASSERT_EQ(Pending.size(), 2u);
+  EXPECT_EQ(Pending[0].PatchId, "a");
+  EXPECT_EQ(Pending[0].Phase, "ready");
+  EXPECT_GT(Pending[0].StageMs, 0.0);
+  EXPECT_EQ(Pending[1].PatchId, "b");
+
+  EXPECT_EQ(RT.updatePoint(), 2u);
+  EXPECT_FALSE(RT.updatePending());
+  EXPECT_EQ(RT.queueDepth(), 0u);
+  // FIFO: "a" then "b", so the final behaviour is b's.
+  EXPECT_EQ(H(0), 3);
+  auto Log = RT.updateLog();
+  ASSERT_EQ(Log.size(), 2u);
+  EXPECT_EQ(Log[0].PatchId, "a");
+  EXPECT_EQ(Log[1].PatchId, "b");
 }
 
+std::string qWrongSig(std::string S) { return S; }
+
 TEST(UpdateQueueTest, FailuresCollected) {
-  UpdateQueue Q;
-  Q.enqueue("good", [] { return Error::success(); });
-  Q.enqueue("bad",
-            [] { return Error::make(ErrorCode::EC_Verify, "nope"); });
-  UpdatePointOutcome Out = Q.drain();
-  EXPECT_EQ(Out.Applied, 1u);
-  EXPECT_EQ(Out.Failed, 1u);
-  ASSERT_EQ(Out.Diagnostics.size(), 1u);
-  EXPECT_NE(Out.Diagnostics[0].find("bad"), std::string::npos);
-  EXPECT_NE(Out.Diagnostics[0].find("nope"), std::string::npos);
+  Runtime RT;
+  auto H = cantFail(RT.defineUpdateable("q.f", &qv1));
+  // The type-mismatched patch fails at *stage* time; the failed
+  // transaction is collected (not committed) at the update point and its
+  // diagnostic lands in the update log.
+  RT.requestUpdate(cantFail(
+      PatchBuilder(RT.types(), "bad").provide("q.f", &qWrongSig).build()));
+  RT.requestUpdate(cantFail(
+      PatchBuilder(RT.types(), "good").provide("q.f", &qv2).build()));
+  EXPECT_EQ(RT.updatePoint(), 1u);
+  EXPECT_EQ(H(0), 2);
+  auto Log = RT.updateLog();
+  ASSERT_EQ(Log.size(), 2u);
+  EXPECT_EQ(Log[0].PatchId, "bad");
+  EXPECT_EQ(Log[0].Phase, "stage-failed");
+  EXPECT_FALSE(Log[0].Succeeded);
+  EXPECT_NE(Log[0].FailureReason.find("type"), std::string::npos);
+  EXPECT_EQ(Log[1].Phase, "committed");
+  EXPECT_TRUE(Log[1].Succeeded);
 }
 
 TEST(UpdateQueueTest, DrainOnEmptyIsNoop) {
-  UpdateQueue Q;
-  UpdatePointOutcome Out = Q.drain();
-  EXPECT_EQ(Out.Applied + Out.Failed, 0u);
+  Runtime RT;
+  EXPECT_EQ(RT.updatePoint(), 0u);
+  EXPECT_FALSE(RT.updatePending());
 }
+
+} // namespace
 
 } // namespace

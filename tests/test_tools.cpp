@@ -4,14 +4,21 @@
 /// subprocesses, checking exit codes and artifacts — the offline half of
 /// the update workflow.
 
+#include "flashed/App.h"
+#include "flashed/Client.h"
+#include "flashed/Patches.h"
+#include "flashed/Server.h"
 #include "patch/Manifest.h"
+#include "runtime/UpdateController.h"
 #include "support/MemoryBuffer.h"
 #include "vtal/Bytecode.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 using namespace dsu;
 
@@ -160,6 +167,75 @@ TEST_F(ToolsTest, PatchgenRejectsMissingInput) {
   EXPECT_NE(run(toolPath("dsu-patchgen") + " /no/such.vm /no/such2.vm",
                 tmpPath("miss.out")),
             0);
+}
+
+TEST_F(ToolsTest, UpdatectlDrivesALiveServer) {
+  if (!fileExists(toolPath("dsu-updatectl")))
+    GTEST_SKIP() << "dsu-updatectl not built";
+
+  // A real FlashEd with the admin plane enabled; the CLI ships the VTAL
+  // query-fix artifact into it over HTTP — the build -> ship -> hot-load
+  // loop, end to end.
+  Runtime RT;
+  flashed::FlashedApp App(RT);
+  App.enableAdmin(RT.controller());
+  flashed::DocStore Docs;
+  Docs.put("/doc.html", "<html>doc</html>");
+  ASSERT_FALSE(App.init(std::move(Docs)));
+  flashed::Server Srv(
+      [&App](const flashed::RequestHead &Head, std::string_view Raw,
+             std::string &Out, flashed::SharedBody &Body) {
+        App.handleInto(Head, Raw, Out, Body);
+      });
+  Srv.setIdleHook([&RT] { RT.updatePoint(); });
+  ASSERT_FALSE(Srv.listenOn(0));
+  std::atomic<bool> Stop{false};
+  std::thread Loop([&] {
+    Error E = Srv.runUntil([&] { return Stop.load(); }, 5);
+    EXPECT_FALSE(E) << E.str();
+  });
+  std::string Port = std::to_string(Srv.port());
+
+  // v1 bug visible over the wire.
+  EXPECT_EQ(flashed::httpGet(Srv.port(), "/doc.html?x=1")->Status, 404);
+
+  std::string Artifact = tmpPath("p1.dsup");
+  ASSERT_FALSE(writeFile(Artifact, flashed::vtalParseFixPatchText()));
+  std::string Out = tmpPath("updatectl.out");
+  EXPECT_EQ(run(toolPath("dsu-updatectl") + " stage " + Port + " " +
+                    Artifact,
+                Out),
+            0);
+  Expected<std::string> Accepted = readFile(Out);
+  ASSERT_TRUE(Accepted);
+  EXPECT_NE(Accepted->find("\"tx\""), std::string::npos);
+
+  for (int Spin = 0; Spin != 500 && RT.updatesApplied() == 0; ++Spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_EQ(RT.updatesApplied(), 1u);
+  EXPECT_EQ(flashed::httpGet(Srv.port(), "/doc.html?x=1")->Status, 200);
+
+  // The log and status subcommands read back the transaction.
+  EXPECT_EQ(run(toolPath("dsu-updatectl") + " log " + Port, Out), 0);
+  Expected<std::string> Log = readFile(Out);
+  ASSERT_TRUE(Log);
+  EXPECT_NE(Log->find("committed"), std::string::npos);
+  EXPECT_EQ(run(toolPath("dsu-updatectl") + " status " + Port, Out), 0);
+
+  // Rollback over the wire restores the v1 behaviour; a second rollback
+  // of the initial version maps to a non-2xx exit.
+  EXPECT_EQ(run(toolPath("dsu-updatectl") + " rollback " + Port +
+                    " flashed.parse_target",
+                Out),
+            0);
+  EXPECT_EQ(flashed::httpGet(Srv.port(), "/doc.html?x=1")->Status, 404);
+  EXPECT_NE(run(toolPath("dsu-updatectl") + " rollback " + Port + " ghost",
+                Out),
+            0);
+
+  std::remove(Artifact.c_str());
+  Stop.store(true);
+  Loop.join();
 }
 
 } // namespace

@@ -1,0 +1,92 @@
+//===- tools/dsu-updatectl.cpp - Remote update control CLI ----*- C++ -*-===//
+///
+/// \file
+/// Drives a running FlashEd server's /admin control plane, closing the
+/// build -> ship -> hot-load loop end to end:
+///
+///   dsu-updatectl stage    <port> <patch-file>   POST the artifact; the
+///                                                server stages it off-thread
+///                                                and commits at its next
+///                                                idle update point
+///   dsu-updatectl log      <port>                GET the update log (JSON:
+///                                                phase, stage/commit timings,
+///                                                failure reasons)
+///   dsu-updatectl status   <port>                GET counters + queue depth
+///   dsu-updatectl rollback <port> <updateable>   roll one function back;
+///                                                a 503 means "busy, retry"
+///
+/// Exit status: 0 on 2xx, 2 on usage errors, 3 on transport errors, and
+/// the HTTP status class (4, 5) otherwise.
+///
+//===----------------------------------------------------------------------===//
+
+#include "flashed/Client.h"
+#include "support/MemoryBuffer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace dsu;
+using namespace dsu::flashed;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s stage <port> <patch-file>\n"
+               "       %s log <port>\n"
+               "       %s status <port>\n"
+               "       %s rollback <port> <updateable-name>\n",
+               Argv0, Argv0, Argv0, Argv0);
+  return 2;
+}
+
+int finish(Expected<FetchResult> R) {
+  if (!R) {
+    std::fprintf(stderr, "error: %s\n", R.error().str().c_str());
+    return 3;
+  }
+  std::printf("%s\n", R->Body.c_str());
+  if (R->Status >= 200 && R->Status < 300)
+    return 0;
+  std::fprintf(stderr, "HTTP %d\n", R->Status);
+  return R->Status / 100;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 3)
+    return usage(argv[0]);
+  const char *Cmd = argv[1];
+  uint16_t Port = static_cast<uint16_t>(std::atoi(argv[2]));
+  if (Port == 0) {
+    std::fprintf(stderr, "error: bad port '%s'\n", argv[2]);
+    return 2;
+  }
+
+  if (std::strcmp(Cmd, "stage") == 0) {
+    if (argc < 4)
+      return usage(argv[0]);
+    Expected<std::string> Artifact = readFile(argv[3]);
+    if (!Artifact) {
+      std::fprintf(stderr, "error: %s\n", Artifact.error().str().c_str());
+      return 2;
+    }
+    return finish(httpPost(Port, "/admin/patches", *Artifact,
+                           "application/x-dsu-patch"));
+  }
+  if (std::strcmp(Cmd, "log") == 0)
+    return finish(httpGet(Port, "/admin/updates"));
+  if (std::strcmp(Cmd, "status") == 0)
+    return finish(httpGet(Port, "/admin/status"));
+  if (std::strcmp(Cmd, "rollback") == 0) {
+    if (argc < 4)
+      return usage(argv[0]);
+    return finish(httpPost(Port,
+                           std::string("/admin/rollback?name=") + argv[3],
+                           "", "text/plain"));
+  }
+  return usage(argv[0]);
+}
