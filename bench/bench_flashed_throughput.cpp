@@ -12,8 +12,16 @@
 /// path).  Output: one row per (mode, reply size) with requests/s and
 /// Mb/s for both pipelines and the relative overhead.
 ///
+/// A third section appears with --threads N: the multi-core scaling
+/// matrix.  A net::ReactorPool serves the same workload with 1, 2, ...
+/// up to N workers (SO_REUSEPORT, one port) under a fixed offered load
+/// from concurrent persistent-connection client threads; the report is
+/// aggregate req/s per worker count and the speedup over one worker,
+/// for both the static and the updateable pipeline.
+///
 /// Flags:
 ///   <N>           requests per measured point (default 400)
+///   --threads T   add the reactor-pool scaling matrix up to T workers
 ///   --json        emit machine-readable JSON instead of the table
 ///   --out FILE    write the report to FILE instead of stdout
 ///
@@ -22,7 +30,9 @@
 #include "flashed/App.h"
 #include "flashed/Client.h"
 #include "flashed/Server.h"
+#include "net/ReactorPool.h"
 #include "support/StringUtil.h"
+#include "support/Timer.h"
 
 #include <atomic>
 #include <cstdio>
@@ -97,17 +107,97 @@ RunResult runOne(size_t Bytes, uint64_t Requests, bool Static,
   return RunResult{S.requestsPerSecond(), S.megabitsPerSecond()};
 }
 
+/// Serves `PerThread * ClientThreads` keep-alive GETs of one `Bytes`
+/// document from a reactor pool of `Workers` and returns the aggregate
+/// rates over wall-clock time.  The offered load (client threads and
+/// connections) is fixed by the caller across worker counts, so the
+/// speedup column isolates the serving plane.
+RunResult runPoolPoint(size_t Bytes, uint64_t PerThread, bool Static,
+                       unsigned Workers, unsigned ClientThreads) {
+  Runtime RT;
+  FlashedApp App(RT);
+  DocStore Docs;
+  Docs.put("/payload.html", syntheticBody(Bytes, Bytes));
+  cantFail(App.init(std::move(Docs)), "flashed init");
+
+  net::PoolOptions O;
+  O.Workers = Workers;
+  O.PollTimeoutMs = 2;
+  net::ReactorPool Pool(
+      [&App, Static](const RequestHead &Head, std::string_view Raw,
+                     std::string &Out, SharedBody &Body) {
+        if (Static)
+          App.handleStaticInto(Head, Raw, Out, Body);
+        else
+          App.handleInto(Head, Raw, Out, Body);
+      },
+      O);
+  Pool.setUpdateRuntime(RT);
+  cantFail(Pool.start(), "pool start");
+
+  // Warmup primes the document cache and one connection per worker.
+  Expected<LoadStats> Warm =
+      runLoadKeepAlive(Pool.port(), {"/payload.html"}, 32,
+                       Workers ? Workers : 1);
+  cantFail(std::move(Warm), "warmup");
+
+  std::vector<std::thread> Clients;
+  std::vector<LoadStats> PerClient(ClientThreads);
+  std::atomic<uint64_t> Failures{0};
+  Timer Wall;
+  for (unsigned T = 0; T != ClientThreads; ++T)
+    Clients.emplace_back([&, T] {
+      Expected<LoadStats> S = runLoadKeepAlive(
+          Pool.port(), {"/payload.html"}, PerThread, /*Connections=*/2);
+      if (S)
+        PerClient[T] = *S;
+      else
+        Failures.fetch_add(PerThread);
+    });
+  for (std::thread &T : Clients)
+    T.join();
+  double Seconds = Wall.elapsedNs() / 1e9;
+  Pool.stop();
+
+  uint64_t Served = 0, Bytes2 = 0;
+  for (const LoadStats &S : PerClient) {
+    Served += S.Requests - S.Failures;
+    Bytes2 += S.BytesReceived;
+    Failures.fetch_add(S.Failures);
+  }
+  if (Failures.load())
+    std::fprintf(stderr, "warning: %llu failed requests (pool, %u workers)\n",
+                 static_cast<unsigned long long>(Failures.load()), Workers);
+  RunResult R;
+  R.Rps = Seconds > 0 ? Served / Seconds : 0;
+  R.Mbps = Seconds > 0 ? Bytes2 * 8.0 / 1e6 / Seconds : 0;
+  return R;
+}
+
+/// The measured worker counts for a --threads T matrix: powers of two
+/// up to T, always including 1 and T.
+std::vector<unsigned> workerSeries(unsigned Max) {
+  std::vector<unsigned> S;
+  for (unsigned W = 1; W < Max; W *= 2)
+    S.push_back(W);
+  S.push_back(Max);
+  return S;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   uint64_t Requests = 400;
   bool Json = false;
+  unsigned Threads = 0;
   const char *OutPath = nullptr;
   for (int I = 1; I != argc; ++I) {
     if (std::strcmp(argv[I], "--json") == 0)
       Json = true;
     else if (std::strcmp(argv[I], "--out") == 0 && I + 1 < argc)
       OutPath = argv[++I];
+    else if (std::strcmp(argv[I], "--threads") == 0 && I + 1 < argc)
+      Threads = static_cast<unsigned>(std::atoi(argv[++I]));
     else
       Requests = std::strtoull(argv[I], nullptr, 10);
   }
@@ -175,7 +265,70 @@ int main(int argc, char **argv) {
     }
   }
 
-  if (Json) {
+  if (Threads > 0) {
+    // --- The multi-core scaling matrix (reactor pool) -------------------
+    constexpr size_t ScaleBytes = 4 << 10;
+    // Offered load is fixed across worker counts: enough concurrent
+    // blocking clients to keep Threads workers busy.
+    unsigned ClientThreads = 2 * Threads;
+    uint64_t PerThread = Requests;
+    std::vector<unsigned> Series = workerSeries(Threads);
+
+    if (Json)
+      std::fprintf(Out,
+                   "\n  ],\n  \"threads_max\": %u,\n"
+                   "  \"scaling_reply_bytes\": %zu,\n"
+                   "  \"scaling_client_threads\": %u,\n"
+                   "  \"scaling\": [",
+                   Threads, ScaleBytes, ClientThreads);
+    else {
+      std::fprintf(Out,
+                   "\nmode: reactor pool scaling (keep-alive, %zu-byte "
+                   "reply, %u client threads)\n",
+                   ScaleBytes, ClientThreads);
+      std::fprintf(Out, "%8s | %12s %10s | %12s %10s | %8s\n", "workers",
+                   "static", "", "updateable", "", "speedup");
+      std::fprintf(Out, "%8s | %12s %10s | %12s %10s | %8s\n", "", "req/s",
+                   "Mb/s", "req/s", "Mb/s", "vs 1");
+      std::fprintf(Out, "---------+------------------------+--------------"
+                        "----------+---------\n");
+    }
+    double BaseUpd = 0;
+    bool FirstScale = true;
+    for (unsigned W : Series) {
+      RunResult St =
+          runPoolPoint(ScaleBytes, PerThread, /*Static=*/true, W,
+                       ClientThreads);
+      RunResult Up =
+          runPoolPoint(ScaleBytes, PerThread, /*Static=*/false, W,
+                       ClientThreads);
+      if (BaseUpd == 0)
+        BaseUpd = Up.Rps;
+      double Speedup = BaseUpd > 0 ? Up.Rps / BaseUpd : 0;
+      if (Json) {
+        std::fprintf(Out,
+                     "%s\n    {\"workers\": %u, \"static_rps\": %.1f, "
+                     "\"static_mbps\": %.2f, \"updateable_rps\": %.1f, "
+                     "\"updateable_mbps\": %.2f, "
+                     "\"updateable_speedup_vs_1\": %.2f}",
+                     FirstScale ? "" : ",", W, St.Rps, St.Mbps, Up.Rps,
+                     Up.Mbps, Speedup);
+        FirstScale = false;
+      } else {
+        std::fprintf(Out, "%8u | %12.0f %10.1f | %12.0f %10.1f | %7.2fx\n",
+                     W, St.Rps, St.Mbps, Up.Rps, Up.Mbps, Speedup);
+      }
+    }
+    if (Json)
+      std::fprintf(Out, "\n  ]\n}\n");
+    else
+      std::fprintf(Out,
+                   "\nshape check: aggregate req/s grows near-linearly "
+                   "with workers until the\nmachine runs out of cores "
+                   "(this host: %u), updateable tracking static\n"
+                   "throughout.\n",
+                   std::thread::hardware_concurrency());
+  } else if (Json) {
     std::fprintf(Out, "\n  ]\n}\n");
   } else {
     std::fprintf(Out,

@@ -18,6 +18,12 @@
 /// so every loading path (in-process / dlopen / verified VTAL) appears
 /// in the same table.
 ///
+/// A second table reports the cross-worker update barrier: the same P1
+/// patch committed repeatedly into a live reactor pool (1/2/4 workers)
+/// under keep-alive load, with the per-worker park duration — the whole
+/// per-worker cost of one dynamic update on the multi-core serving
+/// plane — aggregated from the pool's pause histograms.
+///
 /// Usage: bench_update_duration [samples] [cache-entries] [--json]
 ///        [--out FILE]
 ///
@@ -25,14 +31,18 @@
 
 #include "core/Runtime.h"
 #include "flashed/App.h"
+#include "flashed/Client.h"
 #include "flashed/Patches.h"
+#include "net/ReactorPool.h"
 #include "support/Timer.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <functional>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace dsu;
@@ -159,6 +169,89 @@ void runSeries(std::map<std::string, Agg> &Table,
   }
 }
 
+/// Per-worker-count outcome of the barrier measurement.
+struct BarrierResult {
+  unsigned Workers = 0;
+  unsigned Commits = 0;
+  uint64_t Pauses = 0;      ///< parks recorded across all workers
+  double MeanPauseMs = 0;   ///< mean park duration
+  double MaxPauseMs = 0;    ///< worst single park on any worker
+  uint64_t BarrierRounds = 0;
+};
+
+/// Commits \p Commits patches through the cross-worker barrier of a
+/// \p Workers-wide reactor pool while keep-alive clients keep loading,
+/// then reports the pause histogram totals.
+BarrierResult runBarrier(unsigned Workers, unsigned Commits) {
+  using namespace dsu::net;
+  Runtime RT;
+  FlashedApp App(RT);
+  DocStore Docs;
+  Docs.fillSynthetic(8, 2048);
+  cantFail(App.init(std::move(Docs)), "init");
+
+  PoolOptions O;
+  O.Workers = Workers;
+  O.PollTimeoutMs = 2;
+  ReactorPool Pool(
+      [&App](const RequestHead &Head, std::string_view Raw,
+             std::string &Out, SharedBody &Body) {
+        App.handleInto(Head, Raw, Out, Body);
+      },
+      O);
+  Pool.setUpdateRuntime(RT);
+  cantFail(Pool.start(), "pool start");
+
+  // Background load: the barrier must form between requests of live
+  // persistent connections, not on an idle pool.
+  std::atomic<bool> Stop{false};
+  std::vector<std::thread> Loaders;
+  for (unsigned T = 0; T != Workers + 1; ++T)
+    Loaders.emplace_back([&] {
+      KeepAliveClient C;
+      if (C.connectTo(Pool.port()))
+        return;
+      unsigned I = 0;
+      while (!Stop.load()) {
+        if (!C.get("/doc" + std::to_string(I++ % 8) + ".html"))
+          break;
+      }
+    });
+
+  for (unsigned I = 0; I != Commits; ++I) {
+    Patch P = cantFail(makePatchP1(App), "P1");
+    RT.requestUpdate(std::move(P));
+    Pool.wake();
+    for (int Spin = 0; Spin != 5000 && RT.updatesApplied() < I + 1;
+         ++Spin)
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+  Stop.store(true);
+  for (std::thread &T : Loaders)
+    T.join();
+  // Read the histograms only after stop() has joined the workers: the
+  // non-committer workers of the final round record their park on the
+  // way out, and the stats survive stop (reactors are retained).
+  Pool.stop();
+  BarrierResult R;
+  R.Workers = Workers;
+  R.Commits = Commits;
+  R.BarrierRounds = Pool.barrierRounds();
+  uint64_t TotalUs = 0, MaxUs = 0;
+  for (unsigned W = 0; W != Pool.workers(); ++W) {
+    const WorkerStats &S = Pool.workerStats(W);
+    R.Pauses += S.Pauses.load();
+    TotalUs += S.PauseTotalUs.load();
+    uint64_t M = S.PauseMaxUs.load();
+    if (M > MaxUs)
+      MaxUs = M;
+  }
+  R.MeanPauseMs = R.Pauses ? TotalUs / 1e3 / R.Pauses : 0;
+  R.MaxPauseMs = MaxUs / 1e3;
+  return R;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -192,6 +285,13 @@ int main(int argc, char **argv) {
   for (unsigned I = 0; I != Samples; ++I)
     runSeries(Table, Order, CacheEntries);
 
+  // The barrier experiment: worker counts 1/2/4, a handful of commits
+  // each (scaled down with tiny --samples so smoke runs stay fast).
+  unsigned BarrierCommits = Samples < 6 ? 3 : 8;
+  std::vector<BarrierResult> Barrier;
+  for (unsigned W : {1u, 2u, 4u})
+    Barrier.push_back(runBarrier(W, BarrierCommits));
+
   if (Json) {
     std::fprintf(Out,
                  "{\n  \"bench\": \"update_duration\",\n"
@@ -215,6 +315,19 @@ int main(int argc, char **argv) {
                    A.Stage.mean(), A.Commit.mean(), A.Verify.mean(),
                    A.Prepare.mean(), A.Build.mean(), A.Total.mean(),
                    A.Migrated, PauseRatio);
+      First = false;
+    }
+    std::fprintf(Out, "\n  ],\n  \"barrier\": [");
+    First = true;
+    for (const BarrierResult &B : Barrier) {
+      std::fprintf(Out,
+                   "%s\n    {\"workers\": %u, \"commits\": %u, "
+                   "\"barrier_rounds\": %llu, \"pauses\": %llu, "
+                   "\"pause_mean_ms\": %.4f, \"pause_max_ms\": %.4f}",
+                   First ? "" : ",", B.Workers, B.Commits,
+                   static_cast<unsigned long long>(B.BarrierRounds),
+                   static_cast<unsigned long long>(B.Pauses),
+                   B.MeanPauseMs, B.MaxPauseMs);
       First = false;
     }
     std::fprintf(Out, "\n  ]\n}\n");
@@ -253,6 +366,23 @@ int main(int argc, char **argv) {
                  "a small fraction of the total —\nthe ratio column — "
                  "because only binding swings and validated state swaps\n"
                  "happen at the update point.\n");
+    std::fprintf(Out,
+                 "\ncross-worker update barrier (reactor pool under "
+                 "keep-alive load, %u commits):\n",
+                 BarrierCommits);
+    std::fprintf(Out, "%8s %8s %8s %14s %13s\n", "workers", "rounds",
+                 "pauses", "mean pause(ms)", "max pause(ms)");
+    for (const BarrierResult &B : Barrier)
+      std::fprintf(Out, "%8u %8llu %8llu %14.4f %13.4f\n", B.Workers,
+                   static_cast<unsigned long long>(B.BarrierRounds),
+                   static_cast<unsigned long long>(B.Pauses),
+                   B.MeanPauseMs, B.MaxPauseMs);
+    std::fprintf(Out,
+                 "\nshape check: the per-worker pause stays in "
+                 "microseconds at every worker\ncount — parking N "
+                 "workers costs wakeups, not work, and the commit "
+                 "itself\nis the same generation-validated swap as the "
+                 "single-threaded path.\n");
   }
   if (Out != stdout)
     std::fclose(Out);

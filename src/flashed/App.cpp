@@ -3,6 +3,7 @@
 #include "flashed/App.h"
 
 #include "flashed/Http.h"
+#include "net/ReactorPool.h"
 #include "runtime/UpdateController.h"
 #include "support/StringUtil.h"
 #include "types/TypeParser.h"
@@ -152,7 +153,9 @@ Error FlashedApp::init(DocStore InitialDocs) {
           Ctx.fnType({Ctx.stringType()}, Ctx.stringType()),
           [this](const std::vector<vtal::Value> &Args)
               -> Expected<vtal::Value> {
-            const std::string *Body = Docs.get(Args[0].asStr());
+            // Shared handle: patch code runs on any pool worker, and a
+            // raw get() pointer could be freed by a concurrent put().
+            SharedBody Body = Docs.getShared(Args[0].asStr());
             return vtal::Value::makeStr(Body ? *Body : "");
           }))
     return E;
@@ -173,7 +176,7 @@ template <typename HParse, typename HMap, typename HMime, typename HGet,
 std::string FlashedApp::handleWith(const std::string &RawRequest,
                                    HParse &&Parse, HMap &&Map, HMime &&Mime,
                                    HGet &&Get, HPut &&Put, HLog &&Log) {
-  ++Requests;
+  Requests.fetch_add(1, std::memory_order_relaxed);
 
   auto ErrorResponse = [&](const std::string &Tagged) {
     // "!404 not found" -> status 404.
@@ -201,7 +204,9 @@ std::string FlashedApp::handleWith(const std::string &RawRequest,
 
   std::string Body = Get(Path);
   if (Body.empty()) {
-    const std::string *Doc = Docs.get(Path);
+    // getShared, not get(): a raw pointer could be retired by a
+    // concurrent hot replacement of the same document.
+    SharedBody Doc = Docs.getShared(Path);
     if (!Doc)
       return ErrorResponse("!404 not found");
     Body = *Doc;
@@ -297,7 +302,7 @@ void FlashedApp::handleIntoWith(const RequestHead &Head,
                                 std::string_view Raw, std::string &Out,
                                 SharedBody &Body, HParse &&Parse,
                                 HMap &&Map, HMime &&Mime, HLog &&Log) {
-  ++Requests;
+  Requests.fetch_add(1, std::memory_order_relaxed);
   bool KeepAlive = Head.KeepAlive && !Head.Malformed;
 
   auto ErrorResponse = [&](const std::string &Tagged) {
@@ -337,7 +342,7 @@ void FlashedApp::handleIntoWith(const RequestHead &Head,
 void FlashedApp::handleInto(const RequestHead &Head, std::string_view Raw,
                             std::string &Out, SharedBody &Body) {
   if (Admin && !Head.Malformed && startsWith(Head.Target, "/admin/")) {
-    ++Requests;
+    Requests.fetch_add(1, std::memory_order_relaxed);
     handleAdmin(Head, Raw, Out);
     return;
   }
@@ -502,15 +507,55 @@ void FlashedApp::handleAdmin(const RequestHead &Head, std::string_view Raw,
   }
 
   if (Head.Method == "GET" && PathOnly == "/admin/status") {
-    return Respond(
-        200,
-        formatString("{\"updates_applied\": %u, \"queue_depth\": %zu, "
-                     "\"update_pending\": %s, \"staging_backlog\": %zu, "
-                     "\"requests_handled\": %llu}",
-                     RT.updatesApplied(), RT.queueDepth(),
-                     RT.updatePending() ? "true" : "false",
-                     Admin->backlog(),
-                     static_cast<unsigned long long>(Requests)));
+    std::string J = formatString(
+        "{\"updates_applied\": %u, \"queue_depth\": %zu, "
+        "\"update_pending\": %s, \"staging_backlog\": %zu, "
+        "\"requests_handled\": %llu",
+        RT.updatesApplied(), RT.queueDepth(),
+        RT.updatePending() ? "true" : "false", Admin->backlog(),
+        static_cast<unsigned long long>(requestsHandled()));
+    if (Pool) {
+      J += formatString(", \"workers\": %u, \"barrier_rounds\": %llu, "
+                        "\"worker_state\": [",
+                        Pool->workers(),
+                        static_cast<unsigned long long>(
+                            Pool->barrierRounds()));
+      for (unsigned I = 0; I != Pool->workers(); ++I) {
+        const net::WorkerStats &S = Pool->workerStats(I);
+        J += formatString(
+            "%s{\"worker\": %u, \"state\": \"%s\", \"requests\": %llu, "
+            "\"connections\": %llu, \"bytes_sent\": %llu, "
+            "\"pauses\": %llu, \"pause_max_us\": %llu}",
+            I ? ", " : "", I,
+            net::ReactorPool::workerStateName(Pool->workerState(I)),
+            static_cast<unsigned long long>(
+                S.Requests.load(std::memory_order_relaxed)),
+            static_cast<unsigned long long>(
+                S.Connections.load(std::memory_order_relaxed)),
+            static_cast<unsigned long long>(
+                S.BytesSent.load(std::memory_order_relaxed)),
+            static_cast<unsigned long long>(
+                S.Pauses.load(std::memory_order_relaxed)),
+            static_cast<unsigned long long>(
+                S.PauseMaxUs.load(std::memory_order_relaxed)));
+      }
+      J += ']';
+    }
+    J += '}';
+    return Respond(200, J);
+  }
+
+  if (Head.Method == "GET" && PathOnly == "/admin/metrics") {
+    std::string Text = renderMetrics();
+    Out += formatString("HTTP/1.1 200 OK\r\n"
+                        "Content-Type: text/plain; version=0.0.4\r\n"
+                        "Content-Length: %zu\r\n",
+                        Text.size());
+    Out += KeepAlive ? "Connection: keep-alive\r\n"
+                     : "Connection: close\r\n";
+    Out += "\r\n";
+    Out += Text;
+    return;
   }
 
   if (Head.Method == "POST" && PathOnly == "/admin/rollback") {
@@ -519,7 +564,13 @@ void FlashedApp::handleAdmin(const RequestHead &Head, std::string_view Raw,
       Name = std::string(Raw.substr(Head.HeadBytes));
     if (Name.empty())
       return Respond(400, "{\"error\": \"missing updateable name\"}");
-    Error E = RT.rollbackUpdateable(Name);
+    // With a pool attached the rollback is itself a cross-worker
+    // update: it executes at the barrier, with every worker quiescent,
+    // instead of swinging bindings under live traffic.  EC_Busy
+    // semantics carry over unchanged (503 + Retry-After below).
+    Error E = Pool ? Pool->runQuiescent(
+                         [&] { return RT.rollbackUpdateable(Name); })
+                   : RT.rollbackUpdateable(Name);
     if (!E) {
       std::string J = "{\"rolled_back\": \"";
       jsonEscapeTo(J, Name);
@@ -535,4 +586,103 @@ void FlashedApp::handleAdmin(const RequestHead &Head, std::string_view Raw,
   }
 
   Respond(404, "{\"error\": \"unknown admin endpoint\"}");
+}
+
+// --- GET /admin/metrics -------------------------------------------------
+
+namespace {
+
+/// Emits one labelled counter sample in the text exposition format.
+void metricLine(std::string &T, const char *Name, unsigned Worker,
+                uint64_t Value) {
+  T += formatString("%s{worker=\"%u\"} %llu\n", Name, Worker,
+                    static_cast<unsigned long long>(Value));
+}
+
+} // namespace
+
+std::string FlashedApp::renderMetrics() const {
+  std::string T;
+  T += "# HELP dsu_requests_total Requests handled by the app.\n"
+       "# TYPE dsu_requests_total counter\n";
+  T += formatString("dsu_requests_total %llu\n",
+                    static_cast<unsigned long long>(requestsHandled()));
+  T += "# HELP dsu_updates_applied_total Committed dynamic updates.\n"
+       "# TYPE dsu_updates_applied_total counter\n";
+  T += formatString("dsu_updates_applied_total %u\n", RT.updatesApplied());
+  if (!Pool)
+    return T;
+  T += formatString("# HELP dsu_barrier_rounds_total Completed "
+                    "cross-worker update barriers.\n"
+                    "# TYPE dsu_barrier_rounds_total counter\n"
+                    "dsu_barrier_rounds_total %llu\n",
+                    static_cast<unsigned long long>(
+                        Pool->barrierRounds()));
+  T += "# HELP dsu_worker_requests_total Requests served per worker.\n"
+       "# TYPE dsu_worker_requests_total counter\n";
+  for (unsigned I = 0; I != Pool->workers(); ++I)
+    metricLine(T, "dsu_worker_requests_total", I,
+               Pool->workerStats(I).Requests.load(
+                   std::memory_order_relaxed));
+  T += "# HELP dsu_worker_connections_total Connections accepted per "
+       "worker.\n# TYPE dsu_worker_connections_total counter\n";
+  for (unsigned I = 0; I != Pool->workers(); ++I)
+    metricLine(T, "dsu_worker_connections_total", I,
+               Pool->workerStats(I).Connections.load(
+                   std::memory_order_relaxed));
+  T += "# HELP dsu_worker_bytes_sent_total Bytes written per worker.\n"
+       "# TYPE dsu_worker_bytes_sent_total counter\n";
+  for (unsigned I = 0; I != Pool->workers(); ++I)
+    metricLine(T, "dsu_worker_bytes_sent_total", I,
+               Pool->workerStats(I).BytesSent.load(
+                   std::memory_order_relaxed));
+  T += "# HELP dsu_worker_commits_total Barrier rounds this worker "
+       "committed (it was the last arrival).\n"
+       "# TYPE dsu_worker_commits_total counter\n";
+  for (unsigned I = 0; I != Pool->workers(); ++I)
+    metricLine(T, "dsu_worker_commits_total", I,
+               Pool->workerStats(I).Commits.load(
+                   std::memory_order_relaxed));
+  T += "# HELP dsu_update_pause_us Update-barrier park duration per "
+       "worker, microseconds.\n"
+       "# TYPE dsu_update_pause_us histogram\n";
+  for (unsigned I = 0; I != Pool->workers(); ++I) {
+    const net::WorkerStats &S = Pool->workerStats(I);
+    uint64_t Cum = 0;
+    for (size_t B = 0; B != net::WorkerStats::NumPauseBuckets; ++B) {
+      Cum += S.PauseBuckets[B].load(std::memory_order_relaxed);
+      if (B + 1 == net::WorkerStats::NumPauseBuckets)
+        T += formatString(
+            "dsu_update_pause_us_bucket{worker=\"%u\",le=\"+Inf\"} "
+            "%llu\n",
+            I, static_cast<unsigned long long>(Cum));
+      else
+        T += formatString(
+            "dsu_update_pause_us_bucket{worker=\"%u\",le=\"%llu\"} "
+            "%llu\n",
+            I,
+            static_cast<unsigned long long>(
+                net::WorkerStats::PauseBucketUs[B]),
+            static_cast<unsigned long long>(Cum));
+    }
+    T += formatString("dsu_update_pause_us_sum{worker=\"%u\"} %llu\n", I,
+                      static_cast<unsigned long long>(S.PauseTotalUs.load(
+                          std::memory_order_relaxed)));
+    T += formatString("dsu_update_pause_us_count{worker=\"%u\"} %llu\n",
+                      I,
+                      static_cast<unsigned long long>(S.Pauses.load(
+                          std::memory_order_relaxed)));
+  }
+  return T;
+}
+
+void FlashedApp::wireUpdateWake() {
+  if (!Admin || !Pool)
+    return;
+  // A staged transaction turning ready is what makes updatePending()
+  // true; waking the workers lets the barrier form immediately instead
+  // of on the next poll timeout.  The controller's worker can outlive
+  // the pool (it lives with the Runtime), so the thunk must be the
+  // pool's lifetime-gated wakeCallback, never a raw pointer capture.
+  Admin->setOnStaged(Pool->wakeCallback());
 }

@@ -32,12 +32,17 @@
 #include "flashed/DocStore.h"
 #include "flashed/Http.h"
 
+#include <atomic>
 #include <string>
 #include <string_view>
 
 namespace dsu {
 
 class UpdateController;
+
+namespace net {
+class ReactorPool;
+}
 
 namespace flashed {
 
@@ -65,14 +70,31 @@ public:
   ///                              artifact); answers 202 with the tx id
   ///   GET  /admin/updates        the update log + queued transactions
   ///                              (phase, per-stage timings, failures)
-  ///   GET  /admin/status         counters and queue depth
+  ///   GET  /admin/status         counters, queue depth, and — with a
+  ///                              pool attached — per-worker state
+  ///   GET  /admin/metrics        text-format counters: per-worker
+  ///                              request/connection/bytes totals and
+  ///                              the update-pause histogram
   ///   POST /admin/rollback?name=F  roll one updateable back; EC_Busy
   ///                              surfaces as a retryable 503
   ///
   /// The admin surface is part of the control plane, not the updateable
   /// request pipeline: handleStatic*/the E2 baseline never see it.
-  void enableAdmin(UpdateController &Ctl) { Admin = &Ctl; }
+  void enableAdmin(UpdateController &Ctl) {
+    Admin = &Ctl;
+    wireUpdateWake();
+  }
   bool adminEnabled() const { return Admin != nullptr; }
+
+  /// Attaches the multi-core serving plane: /admin/status grows a
+  /// per-worker state array, /admin/metrics reports each worker's
+  /// counters and pause histogram, and POST /admin/rollback executes
+  /// through the pool's update barrier (all workers quiescent) instead
+  /// of directly on the serving thread.
+  void attachPool(net::ReactorPool &P) {
+    Pool = &P;
+    wireUpdateWake();
+  }
 
   /// Serves one request through the updateable pipeline.
   std::string handle(const std::string &RawRequest);
@@ -98,7 +120,9 @@ public:
   DocStore &docs() { return Docs; }
   StateCell *cacheCell() { return Cache; }
 
-  uint64_t requestsHandled() const { return Requests; }
+  uint64_t requestsHandled() const {
+    return Requests.load(std::memory_order_relaxed);
+  }
 
   // Typed pipeline handles (valid after init()).
   Updateable<std::string(std::string)> ParseTarget;
@@ -139,11 +163,24 @@ private:
   void handleAdmin(const RequestHead &Head, std::string_view Raw,
                    std::string &Out);
 
+  /// Renders the GET /admin/metrics exposition text.
+  std::string renderMetrics() const;
+
+  /// When both the controller and the pool are attached, a freshly
+  /// staged update wakes every worker so the barrier forms without
+  /// waiting out a poll timeout.
+  void wireUpdateWake();
+
   Runtime &RT;
   DocStore Docs;
   StateCell *Cache = nullptr;
   UpdateController *Admin = nullptr;
-  uint64_t Requests = 0;
+  net::ReactorPool *Pool = nullptr;
+  /// Serving now happens on N reactor workers concurrently; the request
+  /// counter is the only pipeline state the app itself mutates per
+  /// request, so it is a relaxed atomic (cache/state cells have their
+  /// own payload locks).
+  std::atomic<uint64_t> Requests{0};
 };
 
 } // namespace flashed

@@ -4,20 +4,29 @@
 
 #include "support/StringUtil.h"
 
+#include <mutex>
+
 using namespace dsu;
 using namespace dsu::flashed;
 
 void DocStore::put(const std::string &Path, std::string Body) {
-  Docs[Path] = std::make_shared<const std::string>(std::move(Body));
+  auto Shared = std::make_shared<const std::string>(std::move(Body));
+  std::unique_lock<std::shared_mutex> G(Mu);
+  Docs[Path] = std::move(Shared);
 }
 
 const std::string *DocStore::get(const std::string &Path) const {
+  // The returned pointer is kept alive by the body's shared_ptr in the
+  // map; a concurrent put() to the SAME path may retire it, so live
+  // replacement flows use getShared().
+  std::shared_lock<std::shared_mutex> G(Mu);
   auto It = Docs.find(Path);
   return It == Docs.end() ? nullptr : It->second.get();
 }
 
 std::shared_ptr<const std::string>
 DocStore::getShared(const std::string &Path) const {
+  std::shared_lock<std::shared_mutex> G(Mu);
   auto It = Docs.find(Path);
   return It == Docs.end() ? nullptr : It->second;
 }
@@ -27,6 +36,7 @@ bool DocStore::isUnsafePath(const std::string &Path) {
 }
 
 std::vector<std::string> DocStore::paths() const {
+  std::shared_lock<std::shared_mutex> G(Mu);
   std::vector<std::string> Out;
   Out.reserve(Docs.size());
   for (const auto &[Path, Body] : Docs) {

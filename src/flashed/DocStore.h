@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -25,8 +26,22 @@ namespace flashed {
 /// Path -> document body map with simple traversal protection.  Bodies
 /// are held as shared_ptr<const string> so the serving fast path can
 /// hand them to the socket layer without copying.
+///
+/// Reads and writes are internally synchronized (reader/writer lock):
+/// the store is shared by every reactor worker of a pool, and documents
+/// may be added or replaced while the pool serves (hot content reload).
+/// The lock is off the steady-state hot path — cached documents are
+/// served from the typed cache cell without touching the store.
 class DocStore {
 public:
+  DocStore() = default;
+  /// Move transfers the tree only; moves happen during single-threaded
+  /// setup (App::init), never while serving.
+  DocStore(DocStore &&Other) noexcept : Docs(std::move(Other.Docs)) {}
+  DocStore &operator=(DocStore &&Other) noexcept {
+    Docs = std::move(Other.Docs);
+    return *this;
+  }
   /// Adds or replaces a document at \p Path (must start with '/').
   void put(const std::string &Path, std::string Body);
 
@@ -40,7 +55,10 @@ public:
   /// True for paths attempting directory traversal ("..").
   static bool isUnsafePath(const std::string &Path);
 
-  size_t size() const { return Docs.size(); }
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> G(Mu);
+    return Docs.size();
+  }
   std::vector<std::string> paths() const;
 
   /// Fills the store with deterministic synthetic documents named
@@ -48,6 +66,7 @@ public:
   void fillSynthetic(unsigned Count, size_t Bytes);
 
 private:
+  mutable std::shared_mutex Mu;
   std::map<std::string, std::shared_ptr<const std::string>> Docs;
 };
 

@@ -1,155 +1,102 @@
 //===- flashed/Server.h - Event-driven HTTP server ------------*- C++ -*-===//
 ///
 /// \file
-/// FlashEd's event loop: a single-threaded, epoll-based, nonblocking
-/// server in the architectural style of the Flash web server the PLDI
-/// 2001 evaluation retrofits.  The loop invokes an injected handler per
-/// complete request and an idle hook once per iteration — the natural
-/// update point, exactly where FlashEd places its `update` call.
+/// FlashEd's single-threaded server: one net::Reactor driven inline (the
+/// caller owns the loop thread), in the architectural style of the Flash
+/// web server the PLDI 2001 evaluation retrofits.  The loop invokes an
+/// injected handler per complete request and an idle hook once per
+/// iteration — the natural update point, exactly where FlashEd places
+/// its `update` call.
 ///
-/// The serving hot path is allocation- and lookup-free in steady state:
-/// connections are pooled objects reached directly through
-/// `epoll_event.data.ptr` (no fd->connection map), their input/output
-/// buffers are recycled through a free list, and responses can carry a
-/// `shared_ptr<const string>` body that is written to the socket with
-/// writev() and never copied.  Persistent (HTTP/1.1 keep-alive)
-/// connections are drained request by request, including pipelined
-/// requests arriving in one read; the idle hook — the update point —
-/// still runs once per poll iteration, i.e. between requests of a
-/// persistent connection.
+/// All event-loop mechanics — the pooled O(1) connection table, recycled
+/// buffers, zero-copy writev tail, keep-alive/pipelined draining,
+/// accept backoff — live in net/Reactor.h; this class is the
+/// single-worker facade that preserves FlashEd's original embedding API.
+/// The multi-core serving plane is net::ReactorPool, which replicates
+/// the same reactor per worker and adds the cross-worker update barrier.
+///
+/// stop() is the graceful shutdown: buffered pipelined requests are
+/// served, backpressured output is flushed, idle keep-alive connections
+/// close, and runUntil() then returns — it never races the event loop.
+/// shutdown() remains the immediate teardown.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef DSU_FLASHED_SERVER_H
 #define DSU_FLASHED_SERVER_H
 
-#include "flashed/Http.h"
-#include "support/Error.h"
-
-#include <chrono>
-#include <cstdint>
-#include <functional>
-#include <memory>
-#include <string>
-#include <string_view>
-#include <vector>
+#include "net/Reactor.h"
 
 namespace dsu {
 namespace flashed {
 
-/// Single-threaded epoll HTTP server.
+/// Single-threaded HTTP server over one reactor.
 class Server {
 public:
-  /// Legacy one-shot handler: maps one complete raw request to raw
-  /// response bytes.  Connections served through it close after each
-  /// response (HTTP/1.0 semantics, the pre-keep-alive behaviour).
-  using Handler = std::function<std::string(const std::string &)>;
+  using Handler = net::Reactor::Handler;
+  using FastHandler = net::Reactor::FastHandler;
+  using IdleHook = net::Reactor::IdleHook;
 
-  /// Writer-style handler for the persistent-connection fast path.  The
-  /// handler serializes the response head (and any inline body) into
-  /// \p Out — the connection's reusable output buffer — and may set
-  /// \p Body to a shared payload the server writes after \p Out without
-  /// copying it.  \p Req is the framing scan of the request; the
-  /// response's Connection header should match Req.KeepAlive.
-  using FastHandler = std::function<void(
-      const RequestHead &Req, std::string_view Raw, std::string &Out,
-      std::shared_ptr<const std::string> &Body)>;
-
-  /// Called once per event-loop iteration (FlashEd installs the dsu
-  /// update point here).
-  using IdleHook = std::function<void()>;
-
-  explicit Server(Handler H) : Handle(std::move(H)) {}
-  explicit Server(FastHandler H) : Fast(std::move(H)) {}
-  ~Server();
+  explicit Server(Handler H) : R(std::move(H)) {}
+  explicit Server(FastHandler H) : R(std::move(H)) {}
   Server(const Server &) = delete;
   Server &operator=(const Server &) = delete;
 
   /// Binds and listens on 127.0.0.1:\p Port (0 picks an ephemeral port).
   /// Fails with EC_IO when the server is already listening.
-  Error listenOn(uint16_t Port = 0);
+  Error listenOn(uint16_t Port = 0) {
+    net::ReactorOptions O;
+    O.Port = Port;
+    O.MaxRequestBytes = MaxRequestBytes;
+    return R.open(O);
+  }
 
   /// The bound port (valid after listenOn()).
-  uint16_t port() const { return BoundPort; }
+  uint16_t port() const { return R.port(); }
 
-  void setIdleHook(IdleHook Hook) { Idle = std::move(Hook); }
+  void setIdleHook(IdleHook Hook) { R.setIdleHook(std::move(Hook)); }
 
-  /// Caps per-connection buffering: a connection whose pending input
-  /// exceeds \p Bytes without forming a servable request — or that keeps
-  /// pipelining past the cap while its output is backpressured — is
-  /// closed, so a client that streams bytes forever cannot grow memory
-  /// without bound.  Default 1 MiB.
-  void setMaxRequestBytes(size_t Bytes) { MaxRequestBytes = Bytes; }
+  /// Caps per-connection buffering (default 1 MiB).
+  void setMaxRequestBytes(size_t Bytes) {
+    MaxRequestBytes = Bytes;
+    R.setMaxRequestBytes(Bytes);
+  }
 
   /// Runs one event-loop iteration with the given poll timeout.
-  /// Returns the number of events processed.
-  Expected<int> pollOnce(int TimeoutMs);
+  Expected<int> pollOnce(int TimeoutMs) { return R.pollOnce(TimeoutMs); }
 
-  /// Loops until \p Stop returns true.
-  Error runUntil(const std::function<bool()> &Stop, int TimeoutMs = 10);
+  /// Loops until \p Stop returns true or a stop() drain completes.
+  Error runUntil(const std::function<bool()> &Stop, int TimeoutMs = 10) {
+    return R.runUntil(Stop, TimeoutMs);
+  }
 
-  uint64_t requestsServed() const { return Served; }
-  uint64_t bytesSent() const { return Sent; }
-  uint64_t connectionsAccepted() const { return Accepted; }
+  /// Graceful stop (thread-safe): drains in-flight pipelined requests,
+  /// flushes pending output, closes idle keep-alive connections, then
+  /// runUntil() returns.
+  void stop() { R.requestStop(); }
 
-  /// Closes all sockets; listenOn() may be called again afterwards.
-  void shutdown();
+  /// True once a stop() drain has finished.
+  bool drained() const { return R.drainComplete(); }
+
+  /// Bounds how long stop() waits for stalled connections (default
+  /// 5000 ms) before force-closing them.
+  void setDrainTimeout(int Ms) { R.setDrainTimeout(Ms); }
+
+  uint64_t requestsServed() const { return R.requestsServed(); }
+  uint64_t bytesSent() const { return R.bytesSent(); }
+  uint64_t connectionsAccepted() const {
+    return R.connectionsAccepted();
+  }
+
+  /// The reactor's serving counters (lock-free; see net/WorkerStats.h).
+  const net::WorkerStats &stats() const { return R.stats(); }
+
+  /// Closes all sockets immediately; listenOn() may be called again.
+  void shutdown() { R.close(); }
 
 private:
-  /// One pooled connection.  Reached via epoll_event.data.ptr; buffers
-  /// keep their capacity across tenants (free-list recycling).
-  struct Conn {
-    int Fd = -1;
-    std::string In; ///< inbound bytes; [InPos, size) not yet consumed
-    size_t InPos = 0;
-    std::string Out; ///< serialized output; [OutPos, size) unwritten
-    size_t OutPos = 0;
-    std::shared_ptr<const std::string> Tail; ///< zero-copy body after Out
-    size_t TailPos = 0;
-    bool WriteArmed = false;
-    bool CloseAfter = false;
-    bool PeerClosed = false; ///< read side saw EOF (client half-close)
-    Conn *NextFree = nullptr;
-
-    bool hasPendingOutput() const {
-      return OutPos < Out.size() || (Tail && TailPos < Tail->size());
-    }
-  };
-
-  Conn *allocConn(int Fd);
-  void acceptPending();
-  void pauseAccepting();
-  void resumeAcceptingIfDue();
-  void handleReadable(Conn *C);
-  /// Serves every buffered request backpressure allows, then flushes.
-  void processConn(Conn *C);
-  void serveOne(Conn *C, const RequestHead &Head, std::string_view Raw);
-  /// Returns false when the connection was closed by a write error.
-  bool flushOutput(Conn *C);
-  void closeConn(Conn *C);
-  void armWrite(Conn *C, bool Enable);
-
-  Handler Handle;
-  FastHandler Fast;
-  IdleHook Idle;
-  int EpollFd = -1;
-  int ListenFd = -1;
-  uint16_t BoundPort = 0;
+  net::Reactor R;
   size_t MaxRequestBytes = 1 << 20;
-
-  std::vector<std::unique_ptr<Conn>> Pool;
-  Conn *FreeList = nullptr;
-  /// Conns closed mid-batch; recycled only after the batch so stale
-  /// events in the same epoll_wait return cannot hit a reused object.
-  std::vector<Conn *> PendingRelease;
-
-  bool AcceptPaused = false;
-  bool AcceptErrorLogged = false;
-  std::chrono::steady_clock::time_point AcceptResumeAt{};
-
-  uint64_t Served = 0;
-  uint64_t Sent = 0;
-  uint64_t Accepted = 0;
 };
 
 } // namespace flashed

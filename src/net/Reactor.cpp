@@ -1,6 +1,6 @@
-//===- flashed/Server.cpp -------------------------------------*- C++ -*-===//
+//===- net/Reactor.cpp ----------------------------------------*- C++ -*-===//
 
-#include "flashed/Server.h"
+#include "net/Reactor.h"
 
 #include "support/Logging.h"
 
@@ -11,12 +11,15 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/uio.h>
 #include <unistd.h>
 
 using namespace dsu;
-using namespace dsu::flashed;
+using namespace dsu::net;
+using dsu::flashed::RequestHead;
+using dsu::flashed::scanRequestHead;
 
 namespace {
 
@@ -31,20 +34,28 @@ constexpr std::chrono::milliseconds AcceptBackoffMs{100};
 
 } // namespace
 
-Server::~Server() { shutdown(); }
+Reactor::~Reactor() { close(); }
 
-void Server::shutdown() {
+void Reactor::close() {
   for (const std::unique_ptr<Conn> &C : Pool)
     if (C->Fd >= 0)
       ::close(C->Fd);
   Pool.clear();
   FreeList = nullptr;
   PendingRelease.clear();
+  ActiveConns = 0;
   AcceptPaused = false;
   AcceptErrorLogged = false;
+  Draining = false;
+  StopRequested.store(false, std::memory_order_release);
+  DrainDone.store(false, std::memory_order_release);
   if (ListenFd >= 0) {
     ::close(ListenFd);
     ListenFd = -1;
+  }
+  if (WakeFd >= 0) {
+    ::close(WakeFd);
+    WakeFd = -1;
   }
   if (EpollFd >= 0) {
     ::close(EpollFd);
@@ -52,18 +63,29 @@ void Server::shutdown() {
   }
 }
 
-Error Server::listenOn(uint16_t Port) {
+Error Reactor::open(const ReactorOptions &O) {
   if (ListenFd >= 0)
     return Error::make(ErrorCode::EC_IO,
                        "listenOn: server is already listening on port %u",
                        BoundPort);
+  // A completed graceful drain closes only the listener and the
+  // connections; reclaim the epoll/wake fds (and reset drain state)
+  // before building new ones, or a stop()-then-listenOn() cycle leaks
+  // two fds per iteration.
+  if (EpollFd >= 0 || WakeFd >= 0)
+    close();
+  MaxRequestBytes = O.MaxRequestBytes;
   // Unwind partial setup on failure so a failed listen neither leaks
-  // fds nor leaves the server claiming to be listening.
+  // fds nor leaves the reactor claiming to be listening.
   auto Fail = [this](const char *What) {
     Error E = sysError(What);
     if (ListenFd >= 0) {
       ::close(ListenFd);
       ListenFd = -1;
+    }
+    if (WakeFd >= 0) {
+      ::close(WakeFd);
+      WakeFd = -1;
     }
     if (EpollFd >= 0) {
       ::close(EpollFd);
@@ -77,11 +99,15 @@ Error Server::listenOn(uint16_t Port) {
     return Fail("socket");
   int One = 1;
   ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  if (O.ReusePort &&
+      ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEPORT, &One, sizeof(One)) <
+          0)
+    return Fail("setsockopt(SO_REUSEPORT)");
 
   sockaddr_in Addr{};
   Addr.sin_family = AF_INET;
   Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  Addr.sin_port = htons(Port);
+  Addr.sin_port = htons(O.Port);
   if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
       0)
     return Fail("bind");
@@ -101,11 +127,36 @@ Error Server::listenOn(uint16_t Port) {
   if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, ListenFd, &Ev) < 0)
     return Fail("epoll_ctl(listen)");
 
-  DSU_LOG_INFO("flashed listening on 127.0.0.1:%u", BoundPort);
+  WakeFd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (WakeFd < 0)
+    return Fail("eventfd");
+  Ev.events = EPOLLIN;
+  Ev.data.ptr = &WakeFd; // sentinel distinct from listener and conns
+  if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, WakeFd, &Ev) < 0)
+    return Fail("epoll_ctl(wake)");
+
+  Draining = false;
+  StopRequested.store(false, std::memory_order_release);
+  DrainDone.store(false, std::memory_order_release);
+  DSU_LOG_INFO("reactor listening on 127.0.0.1:%u%s", BoundPort,
+               O.ReusePort ? " (SO_REUSEPORT)" : "");
   return Error::success();
 }
 
-Server::Conn *Server::allocConn(int Fd) {
+void Reactor::wake() {
+  if (WakeFd < 0)
+    return;
+  uint64_t One = 1;
+  ssize_t N = ::write(WakeFd, &One, sizeof(One));
+  (void)N; // EAGAIN means the counter is already nonzero: wakeup pending
+}
+
+void Reactor::requestStop() {
+  StopRequested.store(true, std::memory_order_release);
+  wake();
+}
+
+Reactor::Conn *Reactor::allocConn(int Fd) {
   Conn *C;
   if (FreeList) {
     C = FreeList;
@@ -128,14 +179,15 @@ Server::Conn *Server::allocConn(int Fd) {
   return C;
 }
 
-void Server::pauseAccepting() {
+void Reactor::pauseAccepting() {
   ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, ListenFd, nullptr);
   AcceptPaused = true;
   AcceptResumeAt = std::chrono::steady_clock::now() + AcceptBackoffMs;
 }
 
-void Server::resumeAcceptingIfDue() {
-  if (!AcceptPaused || std::chrono::steady_clock::now() < AcceptResumeAt)
+void Reactor::resumeAcceptingIfDue() {
+  if (!AcceptPaused || ListenFd < 0 ||
+      std::chrono::steady_clock::now() < AcceptResumeAt)
     return;
   epoll_event Ev{};
   Ev.events = EPOLLIN;
@@ -144,7 +196,7 @@ void Server::resumeAcceptingIfDue() {
     AcceptPaused = false;
 }
 
-void Server::acceptPending() {
+void Reactor::acceptPending() {
   while (true) {
     int Fd = ::accept4(ListenFd, nullptr, nullptr, SOCK_NONBLOCK);
     if (Fd < 0) {
@@ -156,7 +208,7 @@ void Server::acceptPending() {
       // a level-triggered listener would peg the loop, so log once and
       // take the listener out of the epoll set for a short backoff.
       if (!AcceptErrorLogged) {
-        DSU_LOG_WARN("flashed accept: %s; backing off",
+        DSU_LOG_WARN("reactor accept: %s; backing off",
                      std::strerror(errno));
         AcceptErrorLogged = true;
       }
@@ -177,11 +229,12 @@ void Server::acceptPending() {
       FreeList = C;
       continue;
     }
-    ++Accepted;
+    ++ActiveConns;
+    Stats.noteConnection();
   }
 }
 
-void Server::armWrite(Conn *C, bool Enable) {
+void Reactor::armWrite(Conn *C, bool Enable) {
   if (C->WriteArmed == Enable)
     return;
   epoll_event Ev{};
@@ -191,20 +244,22 @@ void Server::armWrite(Conn *C, bool Enable) {
   C->WriteArmed = Enable;
 }
 
-void Server::closeConn(Conn *C) {
+void Reactor::closeConn(Conn *C) {
   ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, C->Fd, nullptr);
   ::close(C->Fd);
   C->Fd = -1;
   C->Tail.reset();
+  assert(ActiveConns > 0 && "closing more conns than were accepted");
+  --ActiveConns;
   // Deferred recycling: a stale event for this conn may still sit later
   // in the current epoll_wait batch.
   PendingRelease.push_back(C);
 }
 
-void Server::serveOne(Conn *C, const RequestHead &Head,
-                      std::string_view Raw) {
+void Reactor::serveOne(Conn *C, const RequestHead &Head,
+                       std::string_view Raw) {
   assert(!C->hasPendingOutput() && "serving while output is pending");
-  ++Served;
+  Stats.noteRequest();
   if (Fast) {
     Fast(Head, Raw, C->Out, C->Tail);
     C->CloseAfter = Head.Malformed || !Head.KeepAlive;
@@ -215,7 +270,7 @@ void Server::serveOne(Conn *C, const RequestHead &Head,
   }
 }
 
-bool Server::flushOutput(Conn *C) {
+bool Reactor::flushOutput(Conn *C) {
   while (C->hasPendingOutput()) {
     iovec Iov[2];
     int NIov = 0;
@@ -239,7 +294,7 @@ bool Server::flushOutput(Conn *C) {
       closeConn(C);
       return false;
     }
-    Sent += static_cast<uint64_t>(N);
+    Stats.noteBytesSent(static_cast<uint64_t>(N));
     size_t Left = static_cast<size_t>(N);
     size_t HeadLeft = C->Out.size() - C->OutPos;
     size_t Adv = Left < HeadLeft ? Left : HeadLeft;
@@ -255,7 +310,7 @@ bool Server::flushOutput(Conn *C) {
   return true;
 }
 
-void Server::processConn(Conn *C) {
+void Reactor::processConn(Conn *C) {
   while (true) {
     if (C->hasPendingOutput()) {
       if (!flushOutput(C))
@@ -284,8 +339,10 @@ void Server::processConn(Conn *C) {
     if (!Head.Complete ||
         (!Head.Malformed && Pending.size() < Head.totalBytes())) {
       // Need more input.  A half-closed peer cannot send any, so the
-      // connection is done (its buffered requests were served above).
-      if (C->PeerClosed) {
+      // connection is done (its buffered requests were served above);
+      // a draining reactor likewise serves only what is buffered and
+      // closes instead of waiting for a next request.
+      if (C->PeerClosed || Draining) {
         closeConn(C);
         return;
       }
@@ -309,7 +366,7 @@ void Server::processConn(Conn *C) {
   }
 }
 
-void Server::handleReadable(Conn *C) {
+void Reactor::handleReadable(Conn *C) {
   char Buf[1 << 16];
   while (true) {
     ssize_t N = ::read(C->Fd, Buf, sizeof(Buf));
@@ -335,9 +392,52 @@ void Server::handleReadable(Conn *C) {
   processConn(C);
 }
 
-Expected<int> Server::pollOnce(int TimeoutMs) {
+void Reactor::beginDrain() {
+  Draining = true;
+  DrainDeadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(DrainTimeoutMs);
+  // Stop accepting: the listener leaves the epoll set and closes, so
+  // the port frees up while existing connections drain.
+  if (ListenFd >= 0) {
+    if (!AcceptPaused)
+      ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, ListenFd, nullptr);
+    ::close(ListenFd);
+    ListenFd = -1;
+    AcceptPaused = false;
+  }
+  // Sweep every live connection once: idle keep-alive conns close here;
+  // conns with buffered requests serve them; conns with backpressured
+  // output stay armed for EPOLLOUT and finish via the loop.
+  for (const std::unique_ptr<Conn> &C : Pool)
+    if (C->Fd >= 0)
+      processConn(C.get());
+}
+
+Expected<int> Reactor::pollOnce(int TimeoutMs) {
   if (EpollFd < 0)
     return Error::make(ErrorCode::EC_IO, "pollOnce before listenOn");
+  if (StopRequested.load(std::memory_order_acquire) && !Draining)
+    beginDrain();
+  if (Draining && ActiveConns != 0 &&
+      std::chrono::steady_clock::now() >= DrainDeadline) {
+    // A stalled peer (never reads its backpressured response, never
+    // sends the rest of a request) must not wedge shutdown forever.
+    DSU_LOG_WARN("reactor drain deadline: force-closing %zu conn(s)",
+                 ActiveConns);
+    for (const std::unique_ptr<Conn> &C : Pool)
+      if (C->Fd >= 0)
+        closeConn(C.get());
+  }
+  if (Draining && ActiveConns == 0) {
+    DrainDone.store(true, std::memory_order_release);
+    if (Idle)
+      Idle();
+    return 0;
+  }
+  // While draining, poll in short slices so the deadline is honored
+  // even when the caller passed a long (or infinite) timeout.
+  if (Draining && (TimeoutMs < 0 || TimeoutMs > 50))
+    TimeoutMs = 50;
   resumeAcceptingIfDue();
   if (AcceptPaused) {
     // The paused listener generates no events; cap the wait so the
@@ -359,11 +459,18 @@ Expected<int> Server::pollOnce(int TimeoutMs) {
       return sysError("epoll_wait");
   }
   for (int I = 0; I != N; ++I) {
-    Conn *C = static_cast<Conn *>(Events[I].data.ptr);
-    if (!C) {
+    void *P = Events[I].data.ptr;
+    if (!P) {
       acceptPending();
       continue;
     }
+    if (P == &WakeFd) {
+      uint64_t X;
+      while (::read(WakeFd, &X, sizeof(X)) > 0)
+        ;
+      continue;
+    }
+    Conn *C = static_cast<Conn *>(P);
     if (C->Fd < 0)
       continue; // closed earlier in this batch
     if (Events[I].events & (EPOLLHUP | EPOLLERR)) {
@@ -383,13 +490,15 @@ Expected<int> Server::pollOnce(int TimeoutMs) {
     FreeList = C;
   }
   PendingRelease.clear();
+  if (Draining && ActiveConns == 0)
+    DrainDone.store(true, std::memory_order_release);
   if (Idle)
     Idle();
   return N;
 }
 
-Error Server::runUntil(const std::function<bool()> &Stop, int TimeoutMs) {
-  while (!Stop()) {
+Error Reactor::runUntil(const std::function<bool()> &Stop, int TimeoutMs) {
+  while (!Stop() && !drainComplete()) {
     Expected<int> N = pollOnce(TimeoutMs);
     if (!N)
       return N.takeError();

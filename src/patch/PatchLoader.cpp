@@ -53,11 +53,55 @@ Expected<VersionBump> parseBump(const ManifestTransformer &X) {
   return VersionBump{std::move(*From), std::move(*To)};
 }
 
-/// A VTAL module plus the interpreter executing it; shared into every
+/// A VTAL module plus the interpreters executing it; shared into every
 /// binding the patch creates so the code outlives the Patch value.
+///
+/// One interpreter instance is NOT reentrant (its frame stack and value
+/// arena are reused across calls — the PR 1 allocation-free design), and
+/// with the multi-core reactor pool the same updateable binding runs on
+/// N workers concurrently.  call() therefore checks an interpreter out
+/// of a free pool per invocation — each concurrent caller gets a
+/// private frame arena, steady state recycles instances, and the lock
+/// covers only the pool pop/push, never execution.
 struct VtalInstance {
   vtal::Module Mod;
+  /// Import resolution captured at load time, replayed onto every
+  /// pooled interpreter.
+  std::vector<std::pair<std::string, vtal::HostFn>> Imports;
+  /// Load-time instance: single-threaded use (functionIndex queries,
+  /// import type checks) while the patch is being constructed; retired
+  /// into the pool once loading completes.
   std::unique_ptr<vtal::Interpreter> Interp;
+
+  std::mutex PoolMu;
+  std::vector<std::unique_ptr<vtal::Interpreter>> Pool;
+
+  Expected<vtal::Value> call(uint32_t FnIdx,
+                             const std::vector<vtal::Value> &Args) {
+    std::unique_ptr<vtal::Interpreter> I;
+    {
+      std::lock_guard<std::mutex> G(PoolMu);
+      if (!Pool.empty()) {
+        I = std::move(Pool.back());
+        Pool.pop_back();
+      }
+    }
+    if (!I) {
+      // Pool ran dry (first call on this concurrency level): link a
+      // fresh instance.  The module already linked and type-checked at
+      // load, so this is deterministic setup, not re-verification.
+      I = std::make_unique<vtal::Interpreter>(Mod);
+      for (const auto &[Name, Fn] : Imports)
+        if (Error E = I->bindImport(Name, Fn))
+          return std::move(E);
+    }
+    Expected<vtal::Value> R = I->callIndex(FnIdx, Args);
+    {
+      std::lock_guard<std::mutex> G(PoolMu);
+      Pool.push_back(std::move(I));
+    }
+    return R;
+  }
 };
 
 } // namespace
@@ -182,6 +226,7 @@ Expected<Patch> dsu::loadVtalPatch(TypeContext &Ctx, const SymbolTable &Syms,
                          WantTy->str().c_str(), Def->Ty->str().c_str());
     if (Error E = Inst->Interp->bindImport(Imp.Name, Def->Host))
       return E;
+    Inst->Imports.emplace_back(Imp.Name, Def->Host);
     // Record for the linker's typed re-check at prepare time.
     P.Unit.Imports.push_back(ImportRequest{Imp.Name, WantTy});
   }
@@ -212,7 +257,7 @@ Expected<Patch> dsu::loadVtalPatch(TypeContext &Ctx, const SymbolTable &Syms,
     // straight to the function index.
     vtal::HostFn Impl =
         [Inst, Idx = *FnIdx](const std::vector<vtal::Value> &Args) {
-          return Inst->Interp->callIndex(Idx, Args);
+          return Inst->call(Idx, Args);
         };
     // Note: the binding's KeepAlive is the closure box created by the
     // bridge; the interpreter instance stays alive because the closure
@@ -259,7 +304,7 @@ Expected<Patch> dsu::loadVtalPatch(TypeContext &Ctx, const SymbolTable &Syms,
       else
         Args.push_back(
             vtal::Value::makeStr(*static_cast<std::string *>(Old.get())));
-      Expected<vtal::Value> Res = Inst->Interp->callIndex(XfIdx, Args);
+      Expected<vtal::Value> Res = Inst->call(XfIdx, Args);
       if (!Res)
         return Res.takeError().withContext("VTAL transformer on cell '" +
                                            Cell.name() + "'");
@@ -272,6 +317,10 @@ Expected<Patch> dsu::loadVtalPatch(TypeContext &Ctx, const SymbolTable &Syms,
     P.Transformers.push_back(
         PatchTransformer{std::move(*Bump), std::move(Xf)});
   }
+
+  // Loading is done: retire the load-time interpreter into the call
+  // pool so the first invocation reuses it instead of linking anew.
+  Inst->Pool.push_back(std::move(Inst->Interp));
 
   P.CodeBytes = ManifestText.size() + vtal::encodeModule(Inst->Mod).size();
   DSU_LOG_INFO("loaded VTAL patch '%s' (%zu provides, %zu instructions)",

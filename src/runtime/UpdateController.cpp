@@ -60,6 +60,11 @@ StagedUpdate UpdateController::stageArtifactFile(std::string Path) {
   return submit(std::move(J));
 }
 
+void UpdateController::setOnStaged(std::function<void()> Fn) {
+  std::lock_guard<std::mutex> G(Lock);
+  OnStaged = std::move(Fn);
+}
+
 size_t UpdateController::backlog() const {
   std::lock_guard<std::mutex> G(Lock);
   return Jobs.size() + InFlight;
@@ -131,10 +136,14 @@ void UpdateController::workerMain() {
       (void)RT.stageInto(*J.Tx); // failures are recorded in the log
     }
 
+    std::function<void()> Notify;
     {
       std::lock_guard<std::mutex> G(Lock);
       --InFlight;
+      Notify = OnStaged;
     }
     IdleCV.notify_all();
+    if (Notify)
+      Notify(); // the staged tx may now be committable: wake listeners
   }
 }

@@ -18,6 +18,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <thread>
 
@@ -47,6 +48,13 @@ public:
   /// Submits a patch artifact by path (.so native or .dsup VTAL).
   StagedUpdate stageArtifactFile(std::string Path);
 
+  /// Installs a notification fired (on the worker thread) every time a
+  /// submitted job finishes staging — i.e. whenever a transaction may
+  /// have become ready to commit.  The multi-core serving plane uses it
+  /// to wake parked reactors so the update barrier forms without
+  /// waiting out a poll timeout.  Pass nullptr to clear.
+  void setOnStaged(std::function<void()> Fn);
+
   /// Jobs accepted but not yet fully staged.
   size_t backlog() const;
 
@@ -71,6 +79,7 @@ private:
   std::condition_variable CV;
   std::condition_variable IdleCV;
   std::deque<Job> Jobs;
+  std::function<void()> OnStaged; ///< guarded by Lock; invoked unlocked
   bool Stopping = false;
   unsigned InFlight = 0; ///< jobs popped but still staging
   std::thread Worker;

@@ -627,6 +627,126 @@ TEST(FastServerLimitsTest, BufferCapEnforcedOnPersistentConnection) {
   Loop.join();
 }
 
+TEST_F(FastServerTest, GracefulStopDrainsBackpressuredPipelinedRequests) {
+  // Four pipelined requests for a large body against a tiny client
+  // receive window: at stop() time the server is guaranteed to hold
+  // both unsent output and buffered not-yet-served requests.  A
+  // graceful stop must serve and flush all of it before closing —
+  // the old shutdown() raced the loop and dropped them.
+  App.docs().put("/big.bin", syntheticBody(1u << 20, 7));
+
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  int Tiny = 4096;
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVBUF, &Tiny, sizeof(Tiny));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Srv->port());
+  ASSERT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                      sizeof(Addr)),
+            0);
+  std::string Burst;
+  for (int I = 0; I != 4; ++I)
+    Burst += "GET /big.bin HTTP/1.1\r\nHost: h\r\n\r\n";
+  ASSERT_EQ(::send(Fd, Burst.data(), Burst.size(), 0),
+            static_cast<ssize_t>(Burst.size()));
+
+  // Wait until at least one response started flowing, then stop while
+  // later pipelined requests are still queued behind backpressure.
+  for (int Spin = 0; Spin != 1000 && Srv->requestsServed() == 0; ++Spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_GT(Srv->requestsServed(), 0u);
+  Srv->stop();
+
+  // Every byte of all four responses arrives, then EOF.
+  std::string Raw;
+  char Buf[8192];
+  while (true) {
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N <= 0)
+      break;
+    Raw.append(Buf, static_cast<size_t>(N));
+  }
+  ::close(Fd);
+  size_t Hits = 0;
+  for (size_t Pos = Raw.find("HTTP/1.1 200 OK"); Pos != std::string::npos;
+       Pos = Raw.find("HTTP/1.1 200 OK", Pos + 1))
+    ++Hits;
+  EXPECT_EQ(Hits, 4u);
+  EXPECT_EQ(Raw.size(), 4 * ((1u << 20) + Raw.find("\r\n\r\n") + 4));
+
+  // The loop thread exits on its own once the drain completes.
+  Loop.join();
+  EXPECT_TRUE(Srv->drained());
+}
+
+TEST_F(FastServerTest, GracefulStopClosesIdleKeepAliveConnections) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Srv->port());
+  ASSERT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                      sizeof(Addr)),
+            0);
+  std::string Req = "GET /doc.html HTTP/1.1\r\nHost: h\r\n\r\n";
+  ASSERT_EQ(::send(Fd, Req.data(), Req.size(), 0),
+            static_cast<ssize_t>(Req.size()));
+  std::string Raw;
+  char Buf[4096];
+  while (Raw.find("</html>") == std::string::npos) {
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    ASSERT_GT(N, 0);
+    Raw.append(Buf, static_cast<size_t>(N));
+  }
+
+  // The connection is now an idle keep-alive conn; stop() must close
+  // it instead of leaving the client hanging.
+  Srv->stop();
+  ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+  EXPECT_EQ(N, 0); // clean EOF, not a timeout or reset
+  ::close(Fd);
+  Loop.join();
+  EXPECT_TRUE(Srv->drained());
+}
+
+TEST_F(FastServerTest, DrainDeadlineForceClosesStalledPeer) {
+  // A client that requests a large body and then never reads it keeps
+  // unsent output pending forever; the drain deadline must force-close
+  // it so stop() cannot be wedged by one stalled peer.
+  App.docs().put("/big.bin", syntheticBody(4u << 20, 9));
+  Srv->setDrainTimeout(100);
+
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  int Tiny = 4096;
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVBUF, &Tiny, sizeof(Tiny));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Srv->port());
+  ASSERT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                      sizeof(Addr)),
+            0);
+  std::string Req = "GET /big.bin HTTP/1.1\r\nHost: h\r\n\r\n";
+  ASSERT_EQ(::send(Fd, Req.data(), Req.size(), 0),
+            static_cast<ssize_t>(Req.size()));
+  for (int Spin = 0; Spin != 1000 && Srv->requestsServed() == 0; ++Spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  auto Begin = std::chrono::steady_clock::now();
+  Srv->stop();
+  Loop.join(); // must return: the stalled conn is cut at the deadline
+  auto Ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - Begin)
+                .count();
+  EXPECT_TRUE(Srv->drained());
+  EXPECT_LT(Ms, 3000);
+  ::close(Fd);
+}
+
 TEST(ServerLifecycleTest, DoubleListenIsARealError) {
   Runtime RT;
   FlashedApp App(RT);
