@@ -226,6 +226,15 @@ Error Runtime::stageInto(UpdateTransaction &Tx) {
     Tx.Rec.TotalMs = Tx.Rec.StageMs;
   }
 
+  // Classify for the commit path: a patch that migrates no state, bumps
+  // no types and ships no transformers is the paper's cheap common case
+  // — a pure code swap — and commits as a *rolling* update, per-worker
+  // at each worker's own quiescent point, with no cross-worker barrier.
+  Tx.CodeOnly.store(Tx.Bumps.empty() && Tx.Swap.empty() &&
+                        Tx.P.Transformers.empty(),
+                    std::memory_order_release);
+  Tx.ReadyAt = std::chrono::steady_clock::now();
+
   // Publish-then-check handshake with abortStagedTx (both sides
   // seq_cst, Dekker-style): either that store of Ready is visible to an
   // aborter's phase load, or the abort flag is visible here — an abort
@@ -287,6 +296,13 @@ Error Runtime::requestUpdateFromFile(const std::string &Path) {
 
 
 Error Runtime::commitStagedTx(const std::shared_ptr<UpdateTransaction> &TxP) {
+  std::lock_guard<std::mutex> G(CommitLock);
+  return commitStagedTxLocked(TxP, /*Rolling=*/false, nullptr);
+}
+
+Error Runtime::commitStagedTxLocked(
+    const std::shared_ptr<UpdateTransaction> &TxP, bool Rolling,
+    bool *NeedsBarrier) {
   UpdateTransaction &Tx = *TxP;
   if (ActivationTracker::currentDepth() != 0)
     return Error::make(
@@ -347,6 +363,22 @@ Error Runtime::commitStagedTx(const std::shared_ptr<UpdateTransaction> &TxP) {
     }
   }
 
+  // A rolling commit must still be code-only after revalidation; if a
+  // commit that landed in between changed the required bumps, demote the
+  // transaction back to Ready and let the caller arm the barrier —
+  // nothing has been mutated yet.
+  if (Rolling && (!Tx.Bumps.empty() || !Tx.Swap.empty())) {
+    Tx.CodeOnly.store(false, std::memory_order_release);
+    Tx.Phase.store(UpdatePhase::Ready, std::memory_order_release);
+    if (NeedsBarrier)
+      *NeedsBarrier = true;
+    return Error::make(ErrorCode::EC_Busy,
+                       "tx %llu reclassified at commit: revalidation "
+                       "requires state migration, deferring to the "
+                       "cross-worker barrier",
+                       static_cast<unsigned long long>(Tx.id()));
+  }
+
   // State commit: generation-validated payload swaps, or a rebuild from
   // live state when a cell mutated since staging.  Two-phase inside —
   // a failure leaves every cell untouched.  One timer, cumulative marks:
@@ -372,15 +404,25 @@ Error Runtime::commitStagedTx(const std::shared_ptr<UpdateTransaction> &TxP) {
   // a no-op.
   size_t Provides = Tx.Plan.Unit.Provides.size();
   {
-    Error E = TheLinker.commit(std::move(Tx.Plan));
+    Error E = TheLinker.commit(std::move(Tx.Plan), Rolling);
     if (E) {
       revertStateSwap(State, std::move(Undo));
       return FailCommit(std::move(E));
     }
   }
   CommitGeneration.fetch_add(1, std::memory_order_release);
+  if (Rolling)
+    RollingCommits.fetch_add(1, std::memory_order_relaxed);
 
   double CommitMs = CommitTimer.elapsedMs(); // measurement ends here
+  uint64_t StageToCommitUs = 0;
+  if (Tx.ReadyAt.time_since_epoch().count() != 0) {
+    StageToCommitUs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - Tx.ReadyAt)
+            .count());
+    StageToCommit.note(StageToCommitUs);
+  }
   UpdateRecord Done;
   {
     std::lock_guard<std::mutex> G(Tx.RecLock);
@@ -391,15 +433,81 @@ Error Runtime::commitStagedTx(const std::shared_ptr<UpdateTransaction> &TxP) {
     Tx.Rec.CommitMs = CommitMs;
     Tx.Rec.TotalMs = Tx.Rec.StageMs + CommitMs;
     Tx.Rec.TransformMs = Tx.Rec.BuildMs + StateMark;
+    Tx.Rec.CommitMode = Rolling ? "rolling" : "barrier";
+    Tx.Rec.StageToCommitUs = StageToCommitUs;
     Done = Tx.Rec;
   }
   finalize(Tx, UpdatePhase::Committed, nullptr);
-  DSU_LOG_INFO("patch %s committed: staged %.3fms (verify %.3f, prepare "
-               "%.3f, build %.3f) + pause %.3fms%s",
-               PatchId.c_str(), Done.StageMs, Done.VerifyMs, Done.PrepareMs,
-               Done.BuildMs, Done.CommitMs,
+  DSU_LOG_INFO("patch %s committed (%s): staged %.3fms (verify %.3f, "
+               "prepare %.3f, build %.3f) + pause %.3fms%s",
+               PatchId.c_str(), Rolling ? "rolling" : "barrier",
+               Done.StageMs, Done.VerifyMs, Done.PrepareMs, Done.BuildMs,
+               Done.CommitMs,
                Done.StateRebuilt ? " [state rebuilt at commit]" : "");
   return Error::success();
+}
+
+// --- Rolling (barrier-free) commits of code-only patches -----------------
+
+Runtime::PendingCommit Runtime::pendingCommitMode() const {
+  std::shared_ptr<UpdateTransaction> Front = Queue.front();
+  if (!Front)
+    return PendingCommit::None;
+  UpdatePhase P = Front->phase();
+  if (P == UpdatePhase::Staging || P == UpdatePhase::Committing)
+    return PendingCommit::None;
+  if (P != UpdatePhase::Ready)
+    return PendingCommit::Rolling; // terminal: collection needs no barrier
+  return Front->CodeOnly.load(std::memory_order_acquire)
+             ? PendingCommit::Rolling
+             : PendingCommit::Barrier;
+}
+
+unsigned Runtime::commitRollingFront() {
+  std::lock_guard<std::mutex> G(CommitLock);
+  if (ActivationTracker::currentDepth() != 0)
+    return 0; // not a quiescent point on this thread; try again later
+  flushRetiredBindingsLocked();
+  unsigned Committed = 0;
+  while (true) {
+    std::shared_ptr<UpdateTransaction> Tx =
+        Queue.popActionableIf([](const UpdateTransaction &T) {
+          return T.phase() != UpdatePhase::Ready ||
+                 T.CodeOnly.load(std::memory_order_acquire);
+        });
+    if (!Tx)
+      break;
+    if (Tx->phase() != UpdatePhase::Ready)
+      continue; // terminal (failed/aborted): already logged, collect
+    bool NeedsBarrier = false;
+    Error E = commitStagedTxLocked(Tx, /*Rolling=*/true, &NeedsBarrier);
+    if (NeedsBarrier) {
+      // Reclassified at revalidation: back to the front, in its
+      // original commit-order position, for the barrier to take.
+      Queue.pushFront(std::move(Tx));
+      break;
+    }
+    if (E)
+      DSU_LOG_WARN("rolling update rejected: tx %llu (%s): %s",
+                   static_cast<unsigned long long>(Tx->id()),
+                   Tx->patchId().c_str(), E.str().c_str());
+    else
+      ++Committed;
+  }
+  return Committed;
+}
+
+void Runtime::flushRetiredBindings() {
+  std::lock_guard<std::mutex> G(CommitLock);
+  flushRetiredBindingsLocked();
+}
+
+void Runtime::flushRetiredBindingsLocked() {
+  std::vector<RollEntry *> Detached;
+  Updateables.flushGracedRolls(epoch::domain().minObservedEpoch(),
+                               Detached);
+  for (RollEntry *R : Detached)
+    epoch::retireObject(R);
 }
 
 Error Runtime::abortStagedTx(const std::shared_ptr<UpdateTransaction> &TxP) {
@@ -476,6 +584,7 @@ Error Runtime::applyNow(Patch P) {
 }
 
 Error Runtime::rollbackUpdateable(const std::string &Name) {
+  std::lock_guard<std::mutex> G(CommitLock);
   if (ActivationTracker::currentDepth() != 0)
     return Error::make(
         ErrorCode::EC_Busy,

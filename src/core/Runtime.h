@@ -39,6 +39,7 @@
 #include "runtime/Updateable.h"
 #include "state/StateCell.h"
 #include "state/Transform.h"
+#include "support/Histogram.h"
 #include "types/Type.h"
 
 #include <memory>
@@ -144,6 +145,38 @@ public:
   /// True when a transaction awaits the next update point.
   bool updatePending() const { return Queue.pending(); }
 
+  /// How the next actionable transaction wants to commit: Rolling for
+  /// code-only patches (and terminal transactions awaiting collection)
+  /// — no global quiescence needed — Barrier for anything that migrates
+  /// state or bumps types, None when nothing is actionable.  The
+  /// multi-core serving plane consults this at each worker's idle point
+  /// to decide between commitRollingFront() and arming the barrier.
+  enum class PendingCommit { None, Rolling, Barrier };
+  PendingCommit pendingCommitMode() const;
+
+  /// Commits every code-only transaction at the queue front as rolling
+  /// updates — bindings swing behind epoch redirection, each reader
+  /// thread adopts the new code at its own quiescent point, no worker
+  /// parks.  Stops at the first transaction that needs the barrier
+  /// (left at the front).  Callable from any quiescent thread; commits
+  /// are serialized internally.  Returns transactions committed.
+  unsigned commitRollingFront();
+
+  /// Successfully committed rolling (barrier-free) updates.
+  uint64_t rollingCommits() const {
+    return RollingCommits.load(std::memory_order_relaxed);
+  }
+
+  /// Detaches and epoch-retires every fully graced rolling-redirection
+  /// chain, restoring the slots' single-load fast path.  Runs
+  /// automatically at commit points; exposed for tests and teardown.
+  void flushRetiredBindings();
+
+  /// Stage->commit latency of committed updates (microseconds).
+  const LatencyHistogram &stageToCommitLatency() const {
+    return StageToCommit;
+  }
+
   /// Reverts one updateable to its previous implementation (code-only;
   /// see UpdateableRegistry::rollback for the state caveat).  Refused
   /// with EC_Busy while updateable code is active on this thread, like
@@ -179,8 +212,20 @@ private:
   /// Commits one ready transaction on the calling (update) thread.
   Error commitStagedTx(const std::shared_ptr<UpdateTransaction> &Tx);
 
+  /// The commit body, with committers already serialized by CommitLock.
+  /// With \p Rolling set, the binding swings go through the epoch
+  /// redirection instead of assuming global quiescence; if commit-time
+  /// revalidation discovers the plan is no longer code-only, the
+  /// transaction is returned to Ready, *NeedsBarrier is set, and no
+  /// program state changes.
+  Error commitStagedTxLocked(const std::shared_ptr<UpdateTransaction> &Tx,
+                             bool Rolling, bool *NeedsBarrier);
+
   /// Registers an abort request; see StagedUpdate::abort().
   Error abortStagedTx(const std::shared_ptr<UpdateTransaction> &Tx);
+
+  /// flushRetiredBindings() with CommitLock already held.
+  void flushRetiredBindingsLocked();
 
   /// Appends \p Tx's record to the log with terminal phase \p Phase.
   void finalize(UpdateTransaction &Tx, UpdatePhase Phase, const Error *E);
@@ -196,6 +241,15 @@ private:
   /// Serializes staging pipelines (prepare reads registries that commit
   /// writes; type/transformer definitions are append-only but ordered).
   std::mutex StageLock;
+
+  /// Serializes committers: the barrier's designated committer and any
+  /// worker performing a rolling commit at its idle point.  Commit-time
+  /// plan revalidation re-reads registries another commit could be
+  /// writing, so commits must not interleave.  Never taken by staging.
+  std::mutex CommitLock;
+
+  std::atomic<uint64_t> RollingCommits{0};
+  LatencyHistogram StageToCommit;
 
   /// Bumped on every commit; a transaction prepared against an older
   /// generation revalidates its link plan before committing.

@@ -2,6 +2,7 @@
 
 #include "flashed/App.h"
 
+#include "epoch/Epoch.h"
 #include "flashed/Http.h"
 #include "net/ReactorPool.h"
 #include "runtime/UpdateController.h"
@@ -50,21 +51,25 @@ std::string FlashedApp::mimeTypeV1(std::string Path) {
 }
 
 std::string FlashedApp::cacheGetV1(std::string Path) {
-  // Cache payload accesses hold the cell's payload lock so an update
-  // transaction may snapshot the cache for its state-transform build on
-  // another thread while requests are served.
-  std::lock_guard<std::mutex> G(Cache->payloadLock());
-  auto *C = Cache->get<CacheV1>();
+  // Lock-free read of the published cache snapshot: one atomic load
+  // inside the request's epoch scope.  No mutex anywhere on the cache
+  // read path — a staging thread snapshots the same immutable payload.
+  epoch::Guard G;
+  auto *C = Cache->live<const CacheV1>();
   auto It = C->Entries.find(Path);
   return It == C->Entries.end() ? std::string() : *It->second;
 }
 
 void FlashedApp::cachePutV1(std::string Path,
                             std::string Body) {
+  // Copy-update-publish: writers serialize on the payload lock (the
+  // miss path, not the hot path), readers never block, and the old
+  // snapshot drains through the epoch domain.
+  auto Shared = std::make_shared<const std::string>(std::move(Body));
   std::lock_guard<std::mutex> G(Cache->payloadLock());
-  Cache->get<CacheV1>()->Entries[Path] =
-      std::make_shared<const std::string>(std::move(Body));
-  Cache->noteMutation();
+  auto Next = std::make_shared<CacheV1>(*Cache->get<CacheV1>());
+  Next->Entries[Path] = std::move(Shared);
+  Cache->publish(std::move(Next));
 }
 
 void FlashedApp::logAccessV1(std::string Path, int64_t Status) {
@@ -176,6 +181,12 @@ template <typename HParse, typename HMap, typename HMime, typename HGet,
 std::string FlashedApp::handleWith(const std::string &RawRequest,
                                    HParse &&Parse, HMap &&Map, HMime &&Mime,
                                    HGet &&Get, HPut &&Put, HLog &&Log) {
+  // One epoch scope per request: pins non-worker callers (tests, the
+  // embedding program's own threads) to a single code generation across
+  // all six pipeline stages — a rolling update can never split one
+  // request across two generations — and keeps every epoch-published
+  // payload touched below alive.  Free on a reactor worker thread.
+  epoch::Guard EpochScope;
   Requests.fetch_add(1, std::memory_order_relaxed);
 
   auto ErrorResponse = [&](const std::string &Tagged) {
@@ -242,30 +253,54 @@ std::string FlashedApp::handleStatic(const std::string &RawRequest) {
 
 // --- The zero-copy fast path -------------------------------------------
 
+void FlashedApp::fillCache(const std::string &Path, const SharedBody &Doc) {
+  // The miss path: copy-update-publish under the writer lock.  The
+  // version is re-read under the lock — a migration cannot slip between
+  // the dispatch and the publish.
+  std::lock_guard<std::mutex> G(Cache->payloadLock());
+  const Type *Ty = Cache->type();
+  uint32_t Version = Ty->isNamed() ? Ty->name().Version : 0;
+  if (Version == 1) {
+    auto Next = std::make_shared<CacheV1>(*Cache->get<CacheV1>());
+    Next->Entries[Path] = Doc;
+    Cache->publish(std::move(Next));
+  } else if (Version == 2) {
+    auto Next = std::make_shared<CacheV2>(*Cache->get<CacheV2>());
+    CacheEntryV2 E;
+    E.Body = Doc;
+    E.LastAccessMs.store(nowMs(), std::memory_order_relaxed);
+    Next->Entries[Path] = std::move(E);
+    Cache->publish(std::move(Next));
+  }
+}
+
 SharedBody FlashedApp::lookupBody(const std::string &Path) {
   // The updateable cache_get stage keeps its fn(string)->string signature
   // and therefore returns bodies by value; the fast path reads the same
   // cell directly, switching on the cell's live type version so it keeps
   // working after P3 migrates %flashed_cache@1 -> @2.  Hit accounting
   // matches what the version's cache_get implementation would do.
-  // Type+payload pairs change only on this (the update) thread, so the
-  // version read cannot tear; payload accesses take the cell lock so a
-  // concurrent staging build sees consistent contents.
-  const Type *Ty = Cache->type();
-  uint32_t Version = Ty->isNamed() ? Ty->name().Version : 0;
+  //
+  // The read is lock-free: the published (type, payload) pair is one
+  // atomic load inside the request's epoch scope (a no-op for reactor
+  // workers), entry hit counters are relaxed atomics bumped on the
+  // shared immutable snapshot, and the mutex appears only on the miss
+  // path's copy-update-publish.
+  epoch::Guard G;
+  const StateCell::LivePayload *LP = Cache->livePayload();
+  uint32_t Version = LP->Ty->isNamed() ? LP->Ty->name().Version : 0;
   if (Version == 1) {
-    std::lock_guard<std::mutex> G(Cache->payloadLock());
-    auto *C = Cache->get<CacheV1>();
+    auto *C = static_cast<const CacheV1 *>(LP->Data.get());
     auto It = C->Entries.find(Path);
     if (It != C->Entries.end())
       return It->second;
   } else if (Version == 2) {
-    std::lock_guard<std::mutex> G(Cache->payloadLock());
-    auto *C = Cache->get<CacheV2>();
+    auto *C = static_cast<const CacheV2 *>(LP->Data.get());
     auto It = C->Entries.find(Path);
     if (It != C->Entries.end()) {
-      ++It->second.Hits;
-      It->second.LastAccessMs = nowMs();
+      const_cast<CacheEntryV2 &>(It->second).noteHit(nowMs());
+      // Statistics mutated: a migration staged from an older snapshot
+      // must still rebuild at commit, as the locked path always did.
       Cache->noteMutation();
       return It->second.Body;
     }
@@ -280,20 +315,10 @@ SharedBody FlashedApp::lookupBody(const std::string &Path) {
   SharedBody Doc = Docs.getShared(Path);
   if (!Doc)
     return nullptr;
-  if (Version == 1) {
-    std::lock_guard<std::mutex> G(Cache->payloadLock());
-    Cache->get<CacheV1>()->Entries[Path] = Doc;
-    Cache->noteMutation();
-  } else if (Version == 2) {
-    CacheEntryV2 E;
-    E.Body = Doc;
-    E.LastAccessMs = nowMs();
-    std::lock_guard<std::mutex> G(Cache->payloadLock());
-    Cache->get<CacheV2>()->Entries[Path] = std::move(E);
-    Cache->noteMutation();
-  } else {
+  if (Version == 1 || Version == 2)
+    fillCache(Path, Doc);
+  else
     CachePut(Path, *Doc);
-  }
   return Doc;
 }
 
@@ -302,6 +327,8 @@ void FlashedApp::handleIntoWith(const RequestHead &Head,
                                 std::string_view Raw, std::string &Out,
                                 SharedBody &Body, HParse &&Parse,
                                 HMap &&Map, HMime &&Mime, HLog &&Log) {
+  // Same request-scope epoch pin as handleWith (no-op on workers).
+  epoch::Guard EpochScope;
   Requests.fetch_add(1, std::memory_order_relaxed);
   bool KeepAlive = Head.KeepAlive && !Head.Malformed;
 
@@ -408,6 +435,11 @@ void appendRecordJson(std::string &J, const UpdateRecord &R) {
       "\"cells_migrated\": %zu, \"provides\": %zu, \"state_rebuilt\": %s",
       R.StageMs, R.CommitMs, R.VerifyMs, R.PrepareMs, R.BuildMs, R.TotalMs,
       R.CellsMigrated, R.ProvidesLinked, R.StateRebuilt ? "true" : "false");
+  if (!R.CommitMode.empty())
+    J += formatString(", \"commit_mode\": \"%s\", "
+                      "\"stage_to_commit_us\": %llu",
+                      R.CommitMode.c_str(),
+                      static_cast<unsigned long long>(R.StageToCommitUs));
   if (!R.FailureReason.empty()) {
     J += ", \"failure\": \"";
     jsonEscapeTo(J, R.FailureReason);
@@ -507,12 +539,27 @@ void FlashedApp::handleAdmin(const RequestHead &Head, std::string_view Raw,
   }
 
   if (Head.Method == "GET" && PathOnly == "/admin/status") {
+    const char *PendingMode = "none";
+    switch (RT.pendingCommitMode()) {
+    case Runtime::PendingCommit::Rolling:
+      PendingMode = "rolling";
+      break;
+    case Runtime::PendingCommit::Barrier:
+      PendingMode = "barrier";
+      break;
+    case Runtime::PendingCommit::None:
+      break;
+    }
+    uint64_t GlobalEpoch = epoch::domain().globalEpoch();
     std::string J = formatString(
         "{\"updates_applied\": %u, \"queue_depth\": %zu, "
-        "\"update_pending\": %s, \"staging_backlog\": %zu, "
-        "\"requests_handled\": %llu",
+        "\"update_pending\": %s, \"pending_commit\": \"%s\", "
+        "\"rolling_commits\": %llu, \"epoch_global\": %llu, "
+        "\"staging_backlog\": %zu, \"requests_handled\": %llu",
         RT.updatesApplied(), RT.queueDepth(),
-        RT.updatePending() ? "true" : "false", Admin->backlog(),
+        RT.updatePending() ? "true" : "false", PendingMode,
+        static_cast<unsigned long long>(RT.rollingCommits()),
+        static_cast<unsigned long long>(GlobalEpoch), Admin->backlog(),
         static_cast<unsigned long long>(requestsHandled()));
     if (Pool) {
       J += formatString(", \"workers\": %u, \"barrier_rounds\": %llu, "
@@ -522,10 +569,15 @@ void FlashedApp::handleAdmin(const RequestHead &Head, std::string_view Raw,
                             Pool->barrierRounds()));
       for (unsigned I = 0; I != Pool->workers(); ++I) {
         const net::WorkerStats &S = Pool->workerStats(I);
+        uint64_t WEpoch = Pool->workerEpoch(I);
+        uint64_t Lag = WEpoch && GlobalEpoch > WEpoch
+                           ? GlobalEpoch - WEpoch
+                           : 0;
         J += formatString(
             "%s{\"worker\": %u, \"state\": \"%s\", \"requests\": %llu, "
             "\"connections\": %llu, \"bytes_sent\": %llu, "
-            "\"pauses\": %llu, \"pause_max_us\": %llu}",
+            "\"pauses\": %llu, \"pause_max_us\": %llu, "
+            "\"epoch\": %llu, \"epoch_lag\": %llu, \"cpu\": %d}",
             I ? ", " : "", I,
             net::ReactorPool::workerStateName(Pool->workerState(I)),
             static_cast<unsigned long long>(
@@ -537,7 +589,9 @@ void FlashedApp::handleAdmin(const RequestHead &Head, std::string_view Raw,
             static_cast<unsigned long long>(
                 S.Pauses.load(std::memory_order_relaxed)),
             static_cast<unsigned long long>(
-                S.PauseMaxUs.load(std::memory_order_relaxed)));
+                S.PauseMaxUs.load(std::memory_order_relaxed)),
+            static_cast<unsigned long long>(WEpoch),
+            static_cast<unsigned long long>(Lag), Pool->workerCpu(I));
       }
       J += ']';
     }
@@ -610,6 +664,41 @@ std::string FlashedApp::renderMetrics() const {
   T += "# HELP dsu_updates_applied_total Committed dynamic updates.\n"
        "# TYPE dsu_updates_applied_total counter\n";
   T += formatString("dsu_updates_applied_total %u\n", RT.updatesApplied());
+  T += "# HELP dsu_rolling_commits_total Code-only updates committed "
+       "without the cross-worker barrier.\n"
+       "# TYPE dsu_rolling_commits_total counter\n";
+  T += formatString("dsu_rolling_commits_total %llu\n",
+                    static_cast<unsigned long long>(RT.rollingCommits()));
+  T += "# HELP dsu_epoch_global The reclamation domain's global epoch.\n"
+       "# TYPE dsu_epoch_global gauge\n";
+  T += formatString("dsu_epoch_global %llu\n",
+                    static_cast<unsigned long long>(
+                        epoch::domain().globalEpoch()));
+  {
+    const LatencyHistogram &H = RT.stageToCommitLatency();
+    T += "# HELP dsu_stage_to_commit_us Staging-complete to commit "
+         "latency of dynamic updates, microseconds.\n"
+         "# TYPE dsu_stage_to_commit_us histogram\n";
+    uint64_t Cum = 0;
+    for (size_t B = 0; B != LatencyHistogram::NumBuckets; ++B) {
+      Cum += H.Buckets[B].load(std::memory_order_relaxed);
+      if (B + 1 == LatencyHistogram::NumBuckets)
+        T += formatString("dsu_stage_to_commit_us_bucket{le=\"+Inf\"} "
+                          "%llu\n",
+                          static_cast<unsigned long long>(Cum));
+      else
+        T += formatString(
+            "dsu_stage_to_commit_us_bucket{le=\"%llu\"} %llu\n",
+            static_cast<unsigned long long>(LatencyHistogram::BucketUs[B]),
+            static_cast<unsigned long long>(Cum));
+    }
+    T += formatString("dsu_stage_to_commit_us_sum %llu\n",
+                      static_cast<unsigned long long>(
+                          H.TotalUs.load(std::memory_order_relaxed)));
+    T += formatString("dsu_stage_to_commit_us_count %llu\n",
+                      static_cast<unsigned long long>(
+                          H.Count.load(std::memory_order_relaxed)));
+  }
   if (!Pool)
     return T;
   T += formatString("# HELP dsu_barrier_rounds_total Completed "
@@ -636,6 +725,16 @@ std::string FlashedApp::renderMetrics() const {
     metricLine(T, "dsu_worker_bytes_sent_total", I,
                Pool->workerStats(I).BytesSent.load(
                    std::memory_order_relaxed));
+  T += "# HELP dsu_worker_epoch_lag How far each worker's announced "
+       "epoch trails the global epoch (rises while a worker is stuck "
+       "mid-request).\n"
+       "# TYPE dsu_worker_epoch_lag gauge\n";
+  uint64_t GlobalEpoch = epoch::domain().globalEpoch();
+  for (unsigned I = 0; I != Pool->workers(); ++I) {
+    uint64_t WEpoch = Pool->workerEpoch(I);
+    metricLine(T, "dsu_worker_epoch_lag", I,
+               WEpoch && GlobalEpoch > WEpoch ? GlobalEpoch - WEpoch : 0);
+  }
   T += "# HELP dsu_worker_commits_total Barrier rounds this worker "
        "committed (it was the last arrival).\n"
        "# TYPE dsu_worker_commits_total counter\n";

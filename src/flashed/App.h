@@ -154,10 +154,13 @@ private:
                       std::string &Out, SharedBody &Body, HParse &&Parse,
                       HMap &&Map, HMime &&Mime, HLog &&Log);
 
-  /// Version-aware zero-copy body lookup: reads the live cache cell
-  /// directly (bumping V2 hit counters), falling back to the document
-  /// store and filling the cache on a miss.
+  /// Version-aware zero-copy body lookup: reads the published cache
+  /// snapshot lock-free (bumping V2 hit counters in place), falling
+  /// back to the document store and filling the cache on a miss.
   SharedBody lookupBody(const std::string &Path);
+
+  /// The miss path's copy-update-publish of the cache snapshot.
+  void fillCache(const std::string &Path, const SharedBody &Doc);
 
   /// Serves one /admin request into \p Out.
   void handleAdmin(const RequestHead &Head, std::string_view Raw,

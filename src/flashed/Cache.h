@@ -17,6 +17,7 @@
 #ifndef DSU_FLASHED_CACHE_H
 #define DSU_FLASHED_CACHE_H
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -33,11 +34,50 @@ struct CacheV1 {
   std::map<std::string, SharedBody> Entries;
 };
 
-/// One entry of %flashed_cache@2.
+/// One entry of %flashed_cache@2.  The statistics fields are relaxed
+/// atomics: the cache payload is published as an immutable snapshot
+/// (StateCell::publish / live()), and a hit on the lock-free serving
+/// path bumps the counters of the shared snapshot in place — structure
+/// immutable, statistics concurrent, no mutex.  Copying (snapshot
+/// forks, state-transformer builds) reads the counters relaxed.
 struct CacheEntryV2 {
   SharedBody Body;
-  int64_t Hits = 0;
-  int64_t LastAccessMs = 0;
+  std::atomic<int64_t> Hits{0};
+  std::atomic<int64_t> LastAccessMs{0};
+
+  CacheEntryV2() = default;
+  CacheEntryV2(const CacheEntryV2 &O)
+      : Body(O.Body), Hits(O.Hits.load(std::memory_order_relaxed)),
+        LastAccessMs(O.LastAccessMs.load(std::memory_order_relaxed)) {}
+  CacheEntryV2(CacheEntryV2 &&O) noexcept
+      : Body(std::move(O.Body)),
+        Hits(O.Hits.load(std::memory_order_relaxed)),
+        LastAccessMs(O.LastAccessMs.load(std::memory_order_relaxed)) {}
+  CacheEntryV2 &operator=(const CacheEntryV2 &O) {
+    Body = O.Body;
+    Hits.store(O.Hits.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    LastAccessMs.store(O.LastAccessMs.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    return *this;
+  }
+  CacheEntryV2 &operator=(CacheEntryV2 &&O) noexcept {
+    Body = std::move(O.Body);
+    Hits.store(O.Hits.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    LastAccessMs.store(O.LastAccessMs.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    return *this;
+  }
+
+  int64_t hits() const { return Hits.load(std::memory_order_relaxed); }
+  int64_t lastAccessMs() const {
+    return LastAccessMs.load(std::memory_order_relaxed);
+  }
+  void noteHit(int64_t NowMs) {
+    Hits.fetch_add(1, std::memory_order_relaxed);
+    LastAccessMs.store(NowMs, std::memory_order_relaxed);
+  }
 };
 
 /// %flashed_cache@2 :

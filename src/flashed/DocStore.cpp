@@ -4,42 +4,59 @@
 
 #include "support/StringUtil.h"
 
-#include <mutex>
+#include <algorithm>
 
 using namespace dsu;
 using namespace dsu::flashed;
 
+template <typename Fn> void DocStore::updateTree(Fn &&Mutate) {
+  std::lock_guard<std::mutex> G(WriteMu);
+  // The write lock is the only retirer of the live snapshot, so reading
+  // it here without a guard is safe: it cannot be freed under us.
+  const Map *Cur = Tree.load();
+  auto *Next = new Map(*Cur);
+  Mutate(*Next);
+  Tree.publish(Next);
+}
+
 void DocStore::put(const std::string &Path, std::string Body) {
   auto Shared = std::make_shared<const std::string>(std::move(Body));
-  std::unique_lock<std::shared_mutex> G(Mu);
-  Docs[Path] = std::move(Shared);
+  updateTree([&](Map &M) { M[Path] = std::move(Shared); });
 }
 
 const std::string *DocStore::get(const std::string &Path) const {
   // The returned pointer is kept alive by the body's shared_ptr in the
-  // map; a concurrent put() to the SAME path may retire it, so live
-  // replacement flows use getShared().
-  std::shared_lock<std::shared_mutex> G(Mu);
-  auto It = Docs.find(Path);
-  return It == Docs.end() ? nullptr : It->second.get();
+  // snapshot; a concurrent put() to the SAME path can retire it after
+  // the caller's epoch scope, so live replacement flows use getShared().
+  epoch::Guard G;
+  const Map *M = Tree.load();
+  auto It = M->find(Path);
+  return It == M->end() ? nullptr : It->second.get();
 }
 
 std::shared_ptr<const std::string>
 DocStore::getShared(const std::string &Path) const {
-  std::shared_lock<std::shared_mutex> G(Mu);
-  auto It = Docs.find(Path);
-  return It == Docs.end() ? nullptr : It->second;
+  epoch::Guard G;
+  const Map *M = Tree.load();
+  auto It = M->find(Path);
+  return It == M->end() ? nullptr : It->second;
 }
 
 bool DocStore::isUnsafePath(const std::string &Path) {
   return Path.find("..") != std::string::npos;
 }
 
+size_t DocStore::size() const {
+  epoch::Guard G;
+  return Tree.load()->size();
+}
+
 std::vector<std::string> DocStore::paths() const {
-  std::shared_lock<std::shared_mutex> G(Mu);
+  epoch::Guard G;
+  const Map *M = Tree.load();
   std::vector<std::string> Out;
-  Out.reserve(Docs.size());
-  for (const auto &[Path, Body] : Docs) {
+  Out.reserve(M->size());
+  for (const auto &[Path, Body] : *M) {
     (void)Body;
     Out.push_back(Path);
   }
@@ -47,8 +64,11 @@ std::vector<std::string> DocStore::paths() const {
 }
 
 void DocStore::fillSynthetic(unsigned Count, size_t Bytes) {
-  for (unsigned I = 0; I != Count; ++I)
-    put(formatString("/doc%u.html", I), syntheticBody(Bytes, I));
+  updateTree([&](Map &M) {
+    for (unsigned I = 0; I != Count; ++I)
+      M[formatString("/doc%u.html", I)] =
+          std::make_shared<const std::string>(syntheticBody(Bytes, I));
+  });
 }
 
 std::string dsu::flashed::syntheticBody(size_t Bytes, uint64_t Seed) {

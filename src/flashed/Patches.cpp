@@ -110,40 +110,42 @@ Expected<Patch> dsu::flashed::makePatchP3(FlashedApp &App) {
     return std::shared_ptr<void>(std::move(V2));
   };
 
-  // Like every cache payload access, the V2 stages hold the cell's
-  // payload lock and mark mutations, so a *later* staged transaction can
-  // snapshot the cache from another thread while requests are served.
+  // The V2 stages follow the epoch publication discipline: reads are
+  // lock-free loads of the published snapshot (hit statistics are
+  // relaxed atomics bumped in place), writes copy-update-publish under
+  // the payload lock — so a *later* staged transaction can snapshot the
+  // cache from another thread while requests are served, and the
+  // serving path never takes a mutex.
   FlashedApp *AppPtr = &App;
   auto CacheGetV2 = [AppPtr](std::string Path) -> std::string {
     StateCell *Cell = AppPtr->cacheCell();
-    std::lock_guard<std::mutex> G(Cell->payloadLock());
-    auto *C = Cell->get<CacheV2>();
+    epoch::Guard G;
+    auto *C = Cell->live<const CacheV2>();
     auto It = C->Entries.find(Path);
     if (It == C->Entries.end())
       return "";
-    ++It->second.Hits;
-    It->second.LastAccessMs = nowMs();
+    const_cast<CacheEntryV2 &>(It->second).noteHit(nowMs());
     Cell->noteMutation();
     return *It->second.Body;
   };
   auto CachePutV2 = [AppPtr](std::string Path, std::string Body) {
     CacheEntryV2 E;
     E.Body = std::make_shared<const std::string>(std::move(Body));
-    E.Hits = 0;
-    E.LastAccessMs = nowMs();
+    E.LastAccessMs.store(nowMs(), std::memory_order_relaxed);
     StateCell *Cell = AppPtr->cacheCell();
     std::lock_guard<std::mutex> G(Cell->payloadLock());
-    Cell->get<CacheV2>()->Entries[Path] = std::move(E);
-    Cell->noteMutation();
+    auto Next = std::make_shared<CacheV2>(*Cell->get<CacheV2>());
+    Next->Entries[Path] = std::move(E);
+    Cell->publish(std::move(Next));
   };
   auto CacheStats = [AppPtr]() -> std::string {
     StateCell *Cell = AppPtr->cacheCell();
-    std::lock_guard<std::mutex> G(Cell->payloadLock());
-    auto *C = Cell->get<CacheV2>();
+    epoch::Guard G;
+    auto *C = Cell->live<const CacheV2>();
     int64_t Hits = 0;
     for (const auto &[Path, E] : C->Entries) {
       (void)Path;
-      Hits += E.Hits;
+      Hits += E.hits();
     }
     return formatString("entries=%zu hits=%lld", C->Entries.size(),
                         static_cast<long long>(Hits));

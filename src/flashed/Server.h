@@ -25,6 +25,7 @@
 #ifndef DSU_FLASHED_SERVER_H
 #define DSU_FLASHED_SERVER_H
 
+#include "epoch/Epoch.h"
 #include "net/Reactor.h"
 
 namespace dsu {
@@ -65,9 +66,19 @@ public:
   /// Runs one event-loop iteration with the given poll timeout.
   Expected<int> pollOnce(int TimeoutMs) { return R.pollOnce(TimeoutMs); }
 
-  /// Loops until \p Stop returns true or a stop() drain completes.
+  /// Loops until \p Stop returns true or a stop() drain completes.  The
+  /// loop thread is registered as an epoch worker for the duration: its
+  /// per-iteration quiescent point ticks the reclamation domain, so the
+  /// single-worker facade gets the same lock-free DocStore/cache reads
+  /// as the pool.
   Error runUntil(const std::function<bool()> &Stop, int TimeoutMs = 10) {
-    return R.runUntil(Stop, TimeoutMs);
+    epoch::WorkerReg Epoch;
+    return R.runUntil(
+        [&] {
+          Epoch.quiesce();
+          return Stop();
+        },
+        TimeoutMs);
   }
 
   /// Graceful stop (thread-safe): drains in-flight pipelined requests,

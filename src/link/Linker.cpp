@@ -81,7 +81,9 @@ Expected<LinkPlan> Linker::prepare(LinkUnit Unit) const {
   return Plan;
 }
 
-Error Linker::commit(LinkPlan Plan) {
+Error Linker::commit(LinkPlan Plan, bool Rolling) {
+  if (Rolling)
+    return commitRolling(std::move(Plan));
   // On a mid-way failure every slot swung so far — the replacements in
   // Provides[0, I) — is unwound.  (A slot *defined* by this commit
   // cannot be removed — handles may already name it — but a dangling new
@@ -122,5 +124,64 @@ Error Linker::commit(LinkPlan Plan) {
   DSU_LOG_DEBUG("%s: linked %zu provide(s), %zu import(s)",
                 Plan.Unit.Name.c_str(), Plan.Unit.Provides.size(),
                 Plan.Unit.Imports.size());
+  return Error::success();
+}
+
+Error Linker::commitRolling(LinkPlan Plan) {
+  assert(Plan.PreparedCode.size() == Plan.Unit.Provides.size() &&
+         "commit needs the plan prepare() produced");
+
+  // New definitions first: they are the only fallible installs, and a
+  // name nobody references yet has no readers to keep consistent — so a
+  // failure here rejects the patch before any replacement swings.
+  for (size_t I = 0; I != Plan.Unit.Provides.size(); ++I) {
+    if (Plan.IsReplacement[I])
+      continue;
+    Expected<UpdateableSlot *> Slot =
+        Registry.installPreparedSlot(std::move(Plan.PreparedSlots[I]));
+    if (!Slot)
+      return Slot.takeError().withContext(
+          Plan.Unit.Name + ": rolling commit rejected before any binding "
+                           "swung");
+  }
+
+  // Replacements: swing every slot behind still-unpublished RollEntries
+  // (all readers keep resolving to the old binding), then lower every
+  // entry's epoch to E inside one advanceWith — the instant E becomes
+  // observable, all of them switch together.  A reader therefore sees
+  // the whole patch or none of it, decided by its own quiescent point.
+  uint64_t MinObserved = epoch::domain().minObservedEpoch();
+  std::vector<RollEntry *> NewEntries;
+  std::vector<RollEntry *> Detached;
+  for (size_t I = 0; I != Plan.Unit.Provides.size(); ++I) {
+    if (!Plan.IsReplacement[I])
+      continue;
+    RollEntry *E = Registry.rebindPreparedSlotRolling(
+        *Plan.ResolvedSlots[I], Plan.Unit.Provides[I].Ty,
+        std::move(Plan.PreparedCode[I]), MinObserved, Detached);
+    NewEntries.push_back(E);
+  }
+
+  if (!NewEntries.empty()) {
+    struct InstallCtx {
+      std::vector<RollEntry *> *Entries;
+    } Ctx{&NewEntries};
+    epoch::domain().advanceWith(
+        [](uint64_t E, void *Raw) {
+          auto *C = static_cast<InstallCtx *>(Raw);
+          for (RollEntry *R : *C->Entries)
+            R->Epoch.store(E, std::memory_order_release);
+        },
+        &Ctx);
+  }
+
+  // Superseded redirection records from earlier rolls whose grace
+  // period has fully passed: retired, not freed — an in-flight chain
+  // traversal may still touch them.
+  for (RollEntry *R : Detached)
+    epoch::retireObject(R);
+
+  DSU_LOG_DEBUG("%s: rolling-linked %zu provide(s) without a barrier",
+                Plan.Unit.Name.c_str(), Plan.Unit.Provides.size());
   return Error::success();
 }

@@ -96,9 +96,18 @@ public:
   /// nothing: if an install fails mid-way, every slot already swung by
   /// this commit is rolled back to its pre-commit binding before the
   /// error returns, so the program is never left half-updated.
-  Error commit(LinkPlan Plan);
+  ///
+  /// With \p Rolling set (code-only patches, no global quiescence), the
+  /// replacements swing through per-slot RollEntries and one epoch
+  /// advance: a reader thread adopts the whole patch at its own next
+  /// quiescent point, never mid-request, and the superseded redirection
+  /// records are epoch-retired instead of freed.  Callers guarantee a
+  /// rolling plan migrates no state and bumps no types.
+  Error commit(LinkPlan Plan, bool Rolling = false);
 
 private:
+  Error commitRolling(LinkPlan Plan);
+
   UpdateableRegistry &Registry;
   SymbolTable &Symbols;
 };

@@ -7,6 +7,11 @@
 
 #include <chrono>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 using namespace dsu;
 using namespace dsu::net;
 
@@ -23,6 +28,27 @@ uint64_t elapsedUs(std::chrono::steady_clock::time_point Since) {
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - Since)
           .count());
+}
+
+/// Pins \p T to CPU (Idx mod cores).  Returns the CPU, or -1 when the
+/// host has one core (nothing to spread) or the affinity call failed.
+int pinWorkerThread(std::thread &T, unsigned Idx) {
+#if defined(__linux__)
+  unsigned Cores = std::thread::hardware_concurrency();
+  if (Cores <= 1)
+    return -1;
+  cpu_set_t Set;
+  CPU_ZERO(&Set);
+  int Cpu = static_cast<int>(Idx % Cores);
+  CPU_SET(Cpu, &Set);
+  if (pthread_setaffinity_np(T.native_handle(), sizeof(Set), &Set) != 0)
+    return -1;
+  return Cpu;
+#else
+  (void)T;
+  (void)Idx;
+  return -1;
+#endif
 }
 
 } // namespace
@@ -63,6 +89,9 @@ Error ReactorPool::start() {
     return Error::make(ErrorCode::EC_IO, "reactor pool already running");
   std::vector<std::unique_ptr<Reactor>> NewReactors;
   std::vector<std::unique_ptr<std::atomic<int>>> NewStates;
+  std::vector<std::unique_ptr<std::atomic<epoch::Domain::Slot *>>>
+      NewEpochSlots;
+  std::vector<std::unique_ptr<std::atomic<int>>> NewCpus;
   BoundPort = Options.Port;
   for (unsigned I = 0; I != Options.Workers; ++I) {
     auto R = std::make_unique<Reactor>(Handler);
@@ -78,11 +107,16 @@ Error ReactorPool::start() {
     NewReactors.push_back(std::move(R));
     NewStates.push_back(std::make_unique<std::atomic<int>>(
         static_cast<int>(WorkerState::Idle)));
+    NewEpochSlots.push_back(
+        std::make_unique<std::atomic<epoch::Domain::Slot *>>(nullptr));
+    NewCpus.push_back(std::make_unique<std::atomic<int>>(-1));
   }
   {
     std::lock_guard<std::mutex> G(WakeMu);
     Reactors = std::move(NewReactors);
     States = std::move(NewStates);
+    EpochSlots = std::move(NewEpochSlots);
+    Cpus = std::move(NewCpus);
   }
   {
     std::lock_guard<std::mutex> L(BarrierMu);
@@ -92,11 +126,24 @@ Error ReactorPool::start() {
     ParkedCount = 0;
     Active = Options.Workers;
   }
-  for (unsigned I = 0; I != Options.Workers; ++I)
+  for (unsigned I = 0; I != Options.Workers; ++I) {
     Threads.emplace_back([this, I] { workerMain(I); });
+    if (Options.PinWorkers)
+      Cpus[I]->store(pinWorkerThread(Threads.back(), I),
+                     std::memory_order_relaxed);
+  }
+  if (Options.PinWorkers && Cpus[0]->load(std::memory_order_relaxed) < 0)
+    DSU_LOG_INFO("worker pinning requested but skipped "
+                 "(single-core host or setaffinity failed)");
   DSU_LOG_INFO("reactor pool serving on 127.0.0.1:%u with %u worker(s)",
                BoundPort, Options.Workers);
   return Error::success();
+}
+
+uint64_t ReactorPool::workerEpoch(unsigned I) const {
+  epoch::Domain::Slot *S =
+      EpochSlots[I]->load(std::memory_order_acquire);
+  return S ? epoch::domain().slotEpoch(S) : 0;
 }
 
 void ReactorPool::stop() {
@@ -179,6 +226,11 @@ uint64_t ReactorPool::connectionsAccepted() const {
 void ReactorPool::workerMain(unsigned Idx) {
   CurrentPool = this;
   CurrentWorkerIdx = static_cast<int>(Idx);
+  // Register with the epoch domain: this worker's quiesce() at each
+  // idle point is what retires grace periods and what lets rolling
+  // updates swing this worker's bindings without parking it.
+  epoch::WorkerReg Epoch;
+  EpochSlots[Idx]->store(Epoch.slot(), std::memory_order_release);
   Reactor &R = *Reactors[Idx];
   while (!R.drainComplete()) {
     setState(Idx, WorkerState::Serving);
@@ -188,10 +240,14 @@ void ReactorPool::workerMain(unsigned Idx) {
                    N.takeError().str().c_str());
       break;
     }
-    // The idle point: no request is mid-handler on this worker.
+    // The idle point: no request is mid-handler on this worker.  The
+    // epoch tick publishes that fact; a rolling update committed since
+    // the last tick takes effect for this worker's next request here.
+    Epoch.quiesce();
     maybeEnterBarrier(Idx);
   }
   setState(Idx, WorkerState::Stopped);
+  EpochSlots[Idx]->store(nullptr, std::memory_order_release);
   {
     std::lock_guard<std::mutex> L(BarrierMu);
     --Active;
@@ -220,11 +276,27 @@ void ReactorPool::workerMain(unsigned Idx) {
 
 void ReactorPool::maybeEnterBarrier(unsigned Idx) {
   if (!ArmedHint.load(std::memory_order_relaxed)) {
-    // Nothing armed: arm only when a staged update is actionable.  The
+    // Nothing armed: act only when a staged update is actionable.  The
     // pending flag is a relaxed atomic load — the hot-path cost of
     // updateability at each worker's update point.
     if (!TheRuntime || !TheRuntime->updatePending())
       return;
+    // The rolling/barrier decision.  A code-only front commits right
+    // here, on whichever worker noticed it first, with *zero* parking:
+    // bindings swing behind epoch redirection and every worker (this
+    // one included) adopts them at its own next quiescent point.  Only
+    // a state-migrating front arms the barrier.
+    switch (TheRuntime->pendingCommitMode()) {
+    case Runtime::PendingCommit::None:
+      return;
+    case Runtime::PendingCommit::Rolling:
+      TheRuntime->commitRollingFront();
+      // Anything left at the front now needs the barrier; the next
+      // idle point (any worker's) arms it.
+      return;
+    case Runtime::PendingCommit::Barrier:
+      break;
+    }
     {
       std::lock_guard<std::mutex> L(BarrierMu);
       if (Stopping)

@@ -43,6 +43,7 @@
 #ifndef DSU_NET_REACTORPOOL_H
 #define DSU_NET_REACTORPOOL_H
 
+#include "epoch/Epoch.h"
 #include "net/Reactor.h"
 
 #include <condition_variable>
@@ -63,6 +64,9 @@ struct PoolOptions {
   uint16_t Port = 0;    ///< 0 picks an ephemeral port (shared by all)
   size_t MaxRequestBytes = 1 << 20;
   int PollTimeoutMs = 5; ///< per-iteration epoll timeout
+  /// Pin worker I to CPU (I mod cores) via pthread_setaffinity_np;
+  /// skipped gracefully (reported as cpu -1) on 1-core hosts.
+  bool PinWorkers = false;
 };
 
 /// N reactor workers behind one port, with the cross-worker update
@@ -136,6 +140,18 @@ public:
     return Rounds.load(std::memory_order_relaxed);
   }
 
+  /// The epoch worker \p I last announced at its quiescent point (0
+  /// before the worker registered / after it stopped).  Together with
+  /// epoch::domain().globalEpoch() this is the per-worker epoch lag the
+  /// admin plane reports.
+  uint64_t workerEpoch(unsigned I) const;
+
+  /// CPU worker \p I is pinned to, or -1 when unpinned (PinWorkers off,
+  /// 1-core host, or affinity call failed).
+  int workerCpu(unsigned I) const {
+    return Cpus[I]->load(std::memory_order_relaxed);
+  }
+
   uint64_t requestsServed() const;
   uint64_t bytesSent() const;
   uint64_t connectionsAccepted() const;
@@ -150,8 +166,9 @@ private:
   };
 
   void workerMain(unsigned Idx);
-  /// Barrier entry from a worker's idle point: arms on pending updates,
-  /// then parks until the round completes.
+  /// The per-worker update point: commits code-only fronts as rolling
+  /// updates (no parking), or arms the barrier and parks for
+  /// state-migrating ones.
   void maybeEnterBarrier(unsigned Idx);
   /// Parks worker \p Idx until the current round is committed.  Caller
   /// must not hold BarrierMu.
@@ -183,6 +200,12 @@ private:
   /// unique_ptr so the atomics have stable addresses across vector
   /// growth during setup.
   std::vector<std::unique_ptr<std::atomic<int>>> States;
+  /// Each worker's epoch announcement cell (set by the worker thread
+  /// after it registers with the default domain; null when stopped).
+  std::vector<std::unique_ptr<std::atomic<epoch::Domain::Slot *>>>
+      EpochSlots;
+  /// Pinned CPU per worker (-1 = unpinned), written by start().
+  std::vector<std::unique_ptr<std::atomic<int>>> Cpus;
   std::shared_ptr<WakeGate> Gate;
 
   // Barrier state (all guarded by BarrierMu unless noted).

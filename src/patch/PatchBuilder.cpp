@@ -50,3 +50,20 @@ Expected<Patch> PatchBuilder::build() {
   P.Unit.Name = "patch:" + P.Id;
   return std::move(P);
 }
+
+Expected<Patch> dsu::makeIdentityBumpPatch(TypeContext &Ctx,
+                                           const VersionedName &From,
+                                           const Type *Repr) {
+  VersionBump Bump{From, VersionedName{From.Name, From.Version + 1}};
+  return PatchBuilder(Ctx, From.Name + "-bump-v" +
+                               std::to_string(Bump.To.Version))
+      .describe("identity migration of %" + From.Name +
+                " (state-migrating no-op)")
+      .defineType(Bump.To, Repr)
+      .transformer(Bump,
+                   [](const std::shared_ptr<void> &Old,
+                      const StateCell &) -> Expected<std::shared_ptr<void>> {
+                     return Old; // same payload, new type version
+                   })
+      .build();
+}

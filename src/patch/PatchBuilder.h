@@ -81,6 +81,16 @@ private:
   Patch P;
 };
 
+/// Builds a patch that declares version \p From.Version+1 of named type
+/// \p From with representation \p Repr and an identity transformer (the
+/// payload object carries over unchanged).  The no-op *state-migrating*
+/// patch: it forces the full global-quiescence commit path without
+/// changing behaviour — used by benchmarks, the pool test suites, and
+/// operator update drills.
+Expected<Patch> makeIdentityBumpPatch(TypeContext &Ctx,
+                                      const VersionedName &From,
+                                      const Type *Repr);
+
 } // namespace dsu
 
 #endif // DSU_PATCH_PATCHBUILDER_H

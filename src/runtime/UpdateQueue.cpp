@@ -26,6 +26,31 @@ std::shared_ptr<UpdateTransaction> UpdateQueue::popActionable() {
   return Tx;
 }
 
+std::shared_ptr<UpdateTransaction>
+UpdateQueue::popActionableIf(bool (*Accept)(const UpdateTransaction &)) {
+  std::lock_guard<std::mutex> G(Lock);
+  if (Items.empty() || !actionable(*Items.front()) ||
+      !Accept(*Items.front())) {
+    refreshLocked();
+    return nullptr;
+  }
+  std::shared_ptr<UpdateTransaction> Tx = std::move(Items.front());
+  Items.pop_front();
+  refreshLocked();
+  return Tx;
+}
+
+std::shared_ptr<UpdateTransaction> UpdateQueue::front() const {
+  std::lock_guard<std::mutex> G(Lock);
+  return Items.empty() ? nullptr : Items.front();
+}
+
+void UpdateQueue::pushFront(std::shared_ptr<UpdateTransaction> Tx) {
+  std::lock_guard<std::mutex> G(Lock);
+  Items.push_front(std::move(Tx));
+  refreshLocked();
+}
+
 void UpdateQueue::refresh() {
   std::lock_guard<std::mutex> G(Lock);
   refreshLocked();

@@ -48,6 +48,22 @@ public:
   /// mid-commit) front blocks everything behind it.
   std::shared_ptr<UpdateTransaction> popActionable();
 
+  /// popActionable() gated by an extra predicate, evaluated on the front
+  /// transaction under the queue lock: pops only when the front is both
+  /// actionable and accepted by \p Accept.  The rolling-commit path uses
+  /// it to take code-only (or terminal) fronts while leaving a
+  /// state-migrating front in place for the barrier.
+  std::shared_ptr<UpdateTransaction>
+  popActionableIf(bool (*Accept)(const UpdateTransaction &));
+
+  /// The front transaction without popping (nullptr when empty).
+  std::shared_ptr<UpdateTransaction> front() const;
+
+  /// Returns \p Tx to the *front* of the queue (commit-order position),
+  /// used when a popped transaction turns out to need the barrier after
+  /// all (its plan was reclassified during commit-time revalidation).
+  void pushFront(std::shared_ptr<UpdateTransaction> Tx);
+
   /// Recomputes the pending flag after a transaction phase transition
   /// (staging finished, abort landed).
   void refresh();

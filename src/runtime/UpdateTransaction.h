@@ -26,6 +26,7 @@
 #include "state/Transform.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -78,6 +79,17 @@ struct UpdateRecord {
   /// slow path).
   bool StateRebuilt = false;
 
+  /// How the commit landed: "rolling" (code-only, barrier-free — every
+  /// worker swings at its own quiescent point) or "barrier" (global
+  /// quiescence; required whenever state migrates or types bump).
+  /// Empty until the transaction commits.
+  std::string CommitMode;
+
+  /// Interval from staging-complete (phase Ready) to the commit landing
+  /// at an update point — the operator-visible update-latency SLO
+  /// (dsu_stage_to_commit_us in /admin/metrics).
+  uint64_t StageToCommitUs = 0;
+
   size_t CodeBytes = 0; ///< artifact size
   size_t InstructionsVerified = 0;
   size_t CellsMigrated = 0;
@@ -110,6 +122,16 @@ private:
   std::atomic<UpdatePhase> Phase{UpdatePhase::Staging};
   std::atomic<bool> AbortRequested{false};
   bool Enqueued = false; ///< on the runtime's update queue (set once)
+
+  /// Staging-time classification: true when the patch migrates no state,
+  /// bumps no types and ships no transformers — the cheap common case
+  /// the paper identifies, committable as a rolling (barrier-free)
+  /// update.  Commit-time revalidation may demote it to false.
+  std::atomic<bool> CodeOnly{false};
+
+  /// When staging completed (phase turned Ready); start of the
+  /// stage->commit latency interval.
+  std::chrono::steady_clock::time_point ReadyAt{};
 
   /// The patch, consumed by staging.
   Patch P;

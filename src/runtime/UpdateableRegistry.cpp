@@ -12,6 +12,14 @@ size_t UpdateableSlot::historySize() const {
   return History.size();
 }
 
+size_t UpdateableSlot::rollDepth() const {
+  size_t N = 0;
+  for (const RollEntry *R = Roll.load(std::memory_order_acquire); R;
+       R = R->Prev.load(std::memory_order_acquire))
+    ++N;
+  return N;
+}
+
 Expected<UpdateableSlot *>
 UpdateableRegistry::define(const std::string &Name, const Type *FnTy,
                            Binding Initial) {
@@ -73,11 +81,11 @@ Error UpdateableRegistry::rebind(const std::string &Name, const Type *NewTy,
     *BumpsOut = Check.Bumps;
 
   auto Owned = std::make_unique<Binding>(std::move(NewBinding));
-  if (Owned->Version <= Slot.current()->Version)
-    Owned->Version = Slot.current()->Version + 1;
+  if (Owned->Version <= Slot.newest()->Version)
+    Owned->Version = Slot.newest()->Version + 1;
 
   DSU_LOG_INFO("rebind '%s' v%u -> v%u (%s)", Name.c_str(),
-               Slot.current()->Version, Owned->Version,
+               Slot.newest()->Version, Owned->Version,
                Owned->Origin.c_str());
 
   const Binding *Raw = Owned.get();
@@ -92,13 +100,62 @@ void UpdateableRegistry::rebindPreparedSlot(
     UpdateableSlot &Slot, const Type *NewTy,
     std::unique_ptr<Binding> NewBinding) {
   std::lock_guard<std::mutex> G(Lock);
-  if (NewBinding->Version <= Slot.current()->Version)
-    NewBinding->Version = Slot.current()->Version + 1;
+  if (NewBinding->Version <= Slot.newest()->Version)
+    NewBinding->Version = Slot.newest()->Version + 1;
   const Binding *Raw = NewBinding.get();
   Slot.History.push_back(std::move(NewBinding));
   Slot.TypeHistory.push_back(NewTy);
   Slot.FnTy.store(NewTy, std::memory_order_release);
   Slot.Current.store(Raw, std::memory_order_release);
+}
+
+RollEntry *UpdateableRegistry::rebindPreparedSlotRolling(
+    UpdateableSlot &Slot, const Type *NewTy,
+    std::unique_ptr<Binding> NewBinding, uint64_t MinObservedEpoch,
+    std::vector<RollEntry *> &DetachedOut) {
+  std::lock_guard<std::mutex> G(Lock);
+  if (NewBinding->Version <= Slot.newest()->Version)
+    NewBinding->Version = Slot.newest()->Version + 1;
+
+  // Flush any chain whose whole redirection window has passed: no
+  // reader's epoch can still be below a fully graced head, so future
+  // resolutions never *enter* those entries — but an in-flight
+  // traversal may still hold pointers to them, hence epoch-retirement
+  // (by the caller) instead of free.
+  RollEntry *OldHead = Slot.Roll.load(std::memory_order_relaxed);
+  if (OldHead) {
+    uint64_t HeadEpoch = OldHead->Epoch.load(std::memory_order_relaxed);
+    if (HeadEpoch != UINT64_MAX && HeadEpoch <= MinObservedEpoch) {
+      for (RollEntry *R = OldHead; R;
+           R = R->Prev.load(std::memory_order_relaxed))
+        DetachedOut.push_back(R);
+      OldHead = nullptr;
+    }
+  }
+
+  // The current binding stays reachable two ways: through the slot's
+  // history (rollback support, "old code stays resident") and through
+  // the RollEntry for readers still inside an older epoch.
+  const Binding *Old = Slot.Current.load(std::memory_order_relaxed);
+  auto *Entry = new RollEntry();
+  Entry->Old = Old;
+  Entry->Prev.store(OldHead, std::memory_order_relaxed);
+  // Epoch stays kUnpublished (UINT64_MAX): every reader resolves to Old
+  // until the caller lowers it inside Domain::advanceWith.
+
+  const Binding *Raw = NewBinding.get();
+  Slot.History.push_back(std::move(NewBinding));
+  Slot.TypeHistory.push_back(NewTy);
+  // Entry before Current: a reader that sees the new Current is
+  // guaranteed (release/acquire on Current) to also see the entry and
+  // be redirected while its epoch predates the swing.
+  Slot.Roll.store(Entry, std::memory_order_release);
+  Slot.FnTy.store(NewTy, std::memory_order_release);
+  Slot.Current.store(Raw, std::memory_order_release);
+
+  DSU_LOG_INFO("rolling rebind '%s' -> v%u (%s)", Slot.Name.c_str(),
+               Raw->Version, Raw->Origin.c_str());
+  return Entry;
 }
 
 Expected<UpdateableSlot *> UpdateableRegistry::installPreparedSlot(
@@ -111,6 +168,23 @@ Expected<UpdateableSlot *> UpdateableRegistry::installPreparedSlot(
   UpdateableSlot *Raw = Slot.get();
   Slots.emplace(Name, std::move(Slot));
   return Raw;
+}
+
+void UpdateableRegistry::flushGracedRolls(
+    uint64_t MinObservedEpoch, std::vector<RollEntry *> &DetachedOut) {
+  std::lock_guard<std::mutex> G(Lock);
+  for (auto &[Name, Slot] : Slots) {
+    (void)Name;
+    RollEntry *Head = Slot->Roll.load(std::memory_order_relaxed);
+    if (!Head)
+      continue;
+    uint64_t E = Head->Epoch.load(std::memory_order_relaxed);
+    if (E == UINT64_MAX || E > MinObservedEpoch)
+      continue; // swing mid-publication, or readers may still need it
+    for (RollEntry *R = Head; R; R = R->Prev.load(std::memory_order_relaxed))
+      DetachedOut.push_back(R);
+    Slot->Roll.store(nullptr, std::memory_order_release);
+  }
 }
 
 Error UpdateableRegistry::rollback(const std::string &Name) {
@@ -130,7 +204,7 @@ Error UpdateableRegistry::rollback(const std::string &Name) {
   // Reinstall the previous implementation as a *new* version.
   const Binding &Prev = *Slot.History[N - 2];
   auto Owned = std::make_unique<Binding>(Prev);
-  Owned->Version = Slot.current()->Version + 1;
+  Owned->Version = Slot.newest()->Version + 1;
   Owned->Origin = "rollback-of:" + Slot.History[N - 1]->Origin;
 
   DSU_LOG_INFO("rollback '%s' to the v%u implementation (as v%u)",

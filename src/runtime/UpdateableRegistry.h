@@ -17,6 +17,7 @@
 #ifndef DSU_RUNTIME_UPDATEABLEREGISTRY_H
 #define DSU_RUNTIME_UPDATEABLEREGISTRY_H
 
+#include "epoch/Epoch.h"
 #include "runtime/Binding.h"
 #include "support/Error.h"
 #include "types/Compat.h"
@@ -28,6 +29,21 @@
 #include <vector>
 
 namespace dsu {
+
+/// The per-epoch redirection record of one rolling (barrier-free)
+/// binding swing: readers whose default-domain epoch predates Epoch are
+/// routed to the superseded binding, so a worker mid-request keeps one
+/// consistent code generation and switches only at its own quiescent
+/// point.  Entries chain (Prev) when rolls outpace grace periods; a
+/// fully graced chain is detached at the next swing and epoch-retired.
+struct RollEntry {
+  const Binding *Old = nullptr;
+  /// Readers with epoch < Epoch use Old.  Installed as kUnpublished
+  /// (everyone -> Old) and lowered to the real swing epoch inside
+  /// Domain::advanceWith, before that epoch becomes observable.
+  std::atomic<uint64_t> Epoch{UINT64_MAX};
+  std::atomic<RollEntry *> Prev{nullptr};
+};
 
 /// One updateable function's slot.  Created by UpdateableRegistry and
 /// never destroyed before the registry, so raw Slot pointers handed to
@@ -41,21 +57,68 @@ public:
     TypeHistory.push_back(FnTy);
   }
 
+  ~UpdateableSlot() {
+    // Any remaining roll chain is torn down with the registry; no
+    // reader can outlive it.
+    RollEntry *R = Roll.load(std::memory_order_relaxed);
+    while (R) {
+      RollEntry *P = R->Prev.load(std::memory_order_relaxed);
+      delete R;
+      R = P;
+    }
+  }
+
   const std::string &name() const { return Name; }
 
   /// The slot's recorded type.  Atomic: link preparation reads it from
   /// staging threads while the update thread rebinds.
   const Type *type() const { return FnTy.load(std::memory_order_acquire); }
 
-  /// The hot path: acquire-load of the current binding.
+  /// The hot path: acquire-load of the current binding, plus — only
+  /// while a rolling update's grace period is open on this slot — the
+  /// per-epoch redirection that keeps an in-flight request on the code
+  /// generation it started with.  Steady-state cost over the original
+  /// single load is one predictable null check.
+  ///
+  /// Only epoch participants (a registered worker, or a thread inside
+  /// an epoch::Guard) walk the redirection chain: their pin is what
+  /// keeps detached entries alive, and their pinned epoch is the
+  /// consistency anchor.  An unpinned thread is invisible to grace
+  /// periods, so it must not touch the chain — it takes the newest
+  /// binding directly (adopting new code immediately, exactly the
+  /// semantics an unanchored thread had all along), which keeps this
+  /// callable from any thread, as before the epoch subsystem.
   const Binding *current() const {
-    return Current.load(std::memory_order_acquire);
+    const Binding *B = Current.load(std::memory_order_acquire);
+    const RollEntry *R = Roll.load(std::memory_order_acquire);
+    if (R) {
+      uint64_t E = epoch::threadPinnedEpoch();
+      if (E != 0)
+        while (R && E < R->Epoch.load(std::memory_order_acquire)) {
+          B = R->Old;
+          R = R->Prev.load(std::memory_order_acquire);
+        }
+    }
+    return B;
   }
 
   uint32_t currentVersion() const { return current()->Version; }
 
+  /// The newest installed binding, ignoring any epoch redirection.
+  /// Registry internals derive version numbers from this — the
+  /// epoch-aware current() could return a superseded binding on a
+  /// thread still pinned inside an older epoch (e.g. a rollback
+  /// executing at the barrier on a worker whose epoch predates a
+  /// rolling commit), minting a duplicate version.
+  const Binding *newest() const {
+    return Current.load(std::memory_order_acquire);
+  }
+
   /// Number of bindings ever installed (including the initial one).
   size_t historySize() const;
+
+  /// Live entries of the rolling redirection chain (0 in steady state).
+  size_t rollDepth() const;
 
 private:
   friend class UpdateableRegistry;
@@ -63,6 +126,7 @@ private:
   std::string Name;
   std::atomic<const Type *> FnTy; // may be rebound on version-bumped updates
   std::atomic<const Binding *> Current;
+  std::atomic<RollEntry *> Roll{nullptr}; ///< newest rolling swing first
   std::vector<std::unique_ptr<Binding>> History; // guarded by registry lock
   std::vector<const Type *> TypeHistory;         // parallel to History
 };
@@ -107,6 +171,27 @@ public:
   /// a slot the linker constructed at prepare time into the registry.
   Expected<UpdateableSlot *>
   installPreparedSlot(std::unique_ptr<UpdateableSlot> Slot);
+
+  /// The rolling (barrier-free) variant of rebindPreparedSlot: swings
+  /// the slot *and* installs a RollEntry (epoch still unpublished) that
+  /// keeps every reader pinned at an older epoch on the superseded
+  /// binding.  Any fully graced older chain — entries whose epoch is <=
+  /// \p MinObservedEpoch — is detached and appended to \p DetachedOut
+  /// for epoch-retirement by the caller.  The caller (Linker::commit in
+  /// rolling mode) later lowers the new entries' epochs inside
+  /// Domain::advanceWith, which is what makes the swing observable.
+  RollEntry *rebindPreparedSlotRolling(UpdateableSlot &Slot,
+                                       const Type *NewTy,
+                                       std::unique_ptr<Binding> NewBinding,
+                                       uint64_t MinObservedEpoch,
+                                       std::vector<RollEntry *> &DetachedOut);
+
+  /// Detaches every slot's rolling-redirection chain whose newest entry
+  /// has been fully graced (epoch <= \p MinObservedEpoch), restoring the
+  /// single-load fast path; the detached entries are appended to
+  /// \p DetachedOut for epoch-retirement by the caller.
+  void flushGracedRolls(uint64_t MinObservedEpoch,
+                        std::vector<RollEntry *> &DetachedOut);
 
   /// Reverts \p Name to the implementation (and recorded type) it had
   /// before its most recent rebind.  The rollback is itself an update:

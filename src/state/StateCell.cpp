@@ -4,6 +4,14 @@
 
 using namespace dsu;
 
+void StateCell::publish(std::shared_ptr<void> NewData) {
+  // Caller holds payloadLock(): the copy that produced NewData and this
+  // swap must be one atomic step against other writers and staging.
+  Data = NewData;
+  Live.publish(new LivePayload{Ty, std::move(NewData)});
+  MutGen.fetch_add(1, std::memory_order_release);
+}
+
 Expected<StateCell *> StateRegistry::define(const std::string &Name,
                                             const Type *Ty,
                                             std::shared_ptr<void> Data) {
@@ -49,7 +57,12 @@ Error StateRegistry::migrate(const std::string &Name, const Type *NewTy,
     // and invalidate any other staged copy built from the old payload.
     std::lock_guard<std::mutex> P(Cell.PayloadLock);
     Cell.Ty = NewTy;
-    Cell.Data = std::move(NewData);
+    Cell.Data = NewData;
+    // Republish the (type, payload) pair as one unit: a lock-free
+    // reader racing the migration sees the old pair or the new pair,
+    // never a mix; the old box drains through the epoch domain.
+    Cell.Live.publish(
+        new StateCell::LivePayload{NewTy, std::move(NewData)});
     ++Cell.Generation;
     Cell.MutGen.fetch_add(1, std::memory_order_release);
   }

@@ -19,6 +19,7 @@
 #ifndef DSU_STATE_STATECELL_H
 #define DSU_STATE_STATECELL_H
 
+#include "epoch/Epoch.h"
 #include "support/Error.h"
 #include "types/Type.h"
 
@@ -41,10 +42,27 @@ namespace dsu {
 /// and swaps the prebuilt payload in — or rebuilds it when the cell
 /// moved underneath the staged copy.  Type+payload pairs change only on
 /// the update thread, so reads from that thread never tear.
+///
+/// For serving hot paths, the cell additionally *publishes* an
+/// immutable (type, payload) pair through an epoch'd pointer: readers
+/// inside an epoch scope call livePayload()/live<T>() — one atomic
+/// load, no mutex — and writers that adopt the copy-update-publish
+/// discipline (publish()) replace the whole payload instead of mutating
+/// it in place.  The two disciplines interoperate: publish() runs under
+/// payloadLock() and counts as a mutation, and migrations republish.
 class StateCell {
 public:
+  /// The published (type, payload) pair: reading it as a unit means a
+  /// lock-free reader can never see a version-2 payload under a
+  /// version-1 type descriptor mid-migration.
+  struct LivePayload {
+    const Type *Ty = nullptr;
+    std::shared_ptr<void> Data;
+  };
+
   StateCell(std::string Name, const Type *Ty, std::shared_ptr<void> Data)
-      : Name(std::move(Name)), Ty(Ty), Data(std::move(Data)) {}
+      : Name(std::move(Name)), Ty(Ty), Data(Data),
+        Live(new LivePayload{Ty, std::move(Data)}) {}
 
   const std::string &name() const { return Name; }
   const Type *type() const { return Ty; }
@@ -56,6 +74,25 @@ public:
   /// Typed payload access; T must be the C++ representation this cell's
   /// descriptor denotes at its current version.
   template <typename T> T *get() const { return static_cast<T *>(Data.get()); }
+
+  /// The published (type, payload) pair.  Caller must hold an
+  /// epoch::Guard (or be a reactor worker) for the pair's lifetime; no
+  /// lock is taken.
+  const LivePayload *livePayload() const { return Live.load(); }
+
+  /// Typed lock-free payload access through the publication.
+  template <typename T> T *live() const {
+    return static_cast<T *>(livePayload()->Data.get());
+  }
+
+  /// Copy-update-publish: replaces the payload with \p NewData (same
+  /// type), retiring the superseded (type, payload) box into the epoch
+  /// domain.  The caller must hold payloadLock() across building
+  /// \p NewData (typically a mutated copy of the current payload) and
+  /// this call — that lock is what serializes writers against each
+  /// other, staging snapshots and migrations; readers never take it.
+  /// Counts as a mutation for commit-time staleness validation.
+  void publish(std::shared_ptr<void> NewData);
 
   /// Serializes in-place payload writes against staging reads.  Held by
   /// mutators around writes, by staging threads around snapshot reads,
@@ -78,6 +115,7 @@ private:
   std::string Name;
   const Type *Ty;
   std::shared_ptr<void> Data;
+  epoch::Ptr<const LivePayload> Live;
   uint32_t Generation = 1; ///< bumped on every migration
   mutable std::mutex PayloadLock;
   std::atomic<uint64_t> MutGen{0};

@@ -76,9 +76,11 @@ TEST_F(FlashedAppTest, HeadOmitsBody) {
 }
 
 TEST_F(FlashedAppTest, CachePopulates) {
-  auto *C = App.cacheCell()->get<CacheV1>();
-  EXPECT_TRUE(C->Entries.empty());
+  EXPECT_TRUE(App.cacheCell()->get<CacheV1>()->Entries.empty());
   App.handle(get("/doc.html"));
+  // The fill is a copy-update-publish: it replaces the snapshot rather
+  // than mutating it, so re-read the cell for the post-fill payload.
+  auto *C = App.cacheCell()->get<CacheV1>();
   EXPECT_EQ(C->Entries.count("/doc.html"), 1u);
 }
 

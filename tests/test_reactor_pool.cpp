@@ -32,6 +32,26 @@ namespace {
 
 constexpr unsigned kWorkers = 3;
 
+/// A repeatable *state-migrating* patch: declares %<name>@(V+1) with an
+/// identity transformer over an int cell, so the commit is forced onto
+/// the cross-worker barrier (code-only patches now commit rolling).
+Expected<Patch> makeMigratingPatch(Runtime &RT, const std::string &TyName,
+                                   uint32_t FromV) {
+  return makeIdentityBumpPatch(RT.types(), VersionedName{TyName, FromV},
+                               RT.types().intType());
+}
+
+/// Defines the int cell makeMigratingPatch() migrates.
+void defineMigratableCell(Runtime &RT, const std::string &TyName,
+                          const std::string &CellName) {
+  ASSERT_FALSE(
+      RT.defineNamedType(VersionedName{TyName, 1}, RT.types().intType()));
+  Expected<StateCell *> Cell = RT.defineState(
+      CellName, RT.types().namedType(TyName, 1),
+      std::make_shared<int64_t>(7));
+  ASSERT_TRUE(Cell) << Cell.takeError().str();
+}
+
 /// Connects a raw blocking socket to 127.0.0.1:Port; returns the fd.
 int rawConnect(uint16_t Port) {
   int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -179,9 +199,15 @@ TEST_F(ReactorPoolTest, PatchCommitsExactlyOnceUnderConcurrentLoad) {
   EXPECT_EQ(Post->Status, 202);
 
   waitForApplied(1);
-  // Commit happened exactly once.
+  // Commit happened exactly once — and, being code-only, as a
+  // *rolling* commit: no barrier round formed and no worker parked.
   EXPECT_EQ(RT.updatesApplied(), 1u);
-  EXPECT_GE(Pool->barrierRounds(), 1u);
+  EXPECT_EQ(RT.rollingCommits(), 1u);
+  EXPECT_EQ(Pool->barrierRounds(), 0u);
+  uint64_t Parks = 0;
+  for (unsigned I = 0; I != Pool->workers(); ++I)
+    Parks += Pool->workerStats(I).Pauses.load();
+  EXPECT_EQ(Parks, 0u);
 
   // Every worker observes the new generation on its next request: keep
   // loading briefly and require fresh 200s with zero stragglers after.
@@ -233,10 +259,12 @@ TEST_F(ReactorPoolTest, MetricsAndStatusReportPerWorkerState) {
   Expected<LoadStats> Load =
       runLoadKeepAlive(Pool->port(), {"/doc0.html"}, 32, 2);
   ASSERT_TRUE(Load) << Load.takeError().str();
-  // Force one barrier round so the pause histogram is populated.
-  Expected<Patch> P1 = makePatchP1(App);
-  ASSERT_TRUE(P1);
-  RT.requestUpdate(std::move(*P1));
+  // Force one barrier round so the pause histogram is populated: a
+  // code-only patch would commit rolling, so ship a state migration.
+  defineMigratableCell(RT, "mcell", "m.cell");
+  Expected<Patch> P = makeMigratingPatch(RT, "mcell", 1);
+  ASSERT_TRUE(P) << P.takeError().str();
+  RT.requestUpdate(std::move(*P));
   Pool->wake();
   waitForApplied(1);
 
@@ -246,7 +274,12 @@ TEST_F(ReactorPoolTest, MetricsAndStatusReportPerWorkerState) {
   EXPECT_NE(Status->Body.find("\"workers\": 3"), std::string::npos);
   EXPECT_NE(Status->Body.find("\"worker_state\""), std::string::npos);
   EXPECT_NE(Status->Body.find("\"barrier_rounds\""), std::string::npos);
+  EXPECT_NE(Status->Body.find("\"rolling_commits\""), std::string::npos);
+  EXPECT_NE(Status->Body.find("\"pending_commit\""), std::string::npos);
+  EXPECT_NE(Status->Body.find("\"epoch_global\""), std::string::npos);
   EXPECT_EQ(countOccurrences(Status->Body, "\"state\": "), kWorkers);
+  EXPECT_EQ(countOccurrences(Status->Body, "\"epoch\": "), kWorkers);
+  EXPECT_EQ(countOccurrences(Status->Body, "\"cpu\": "), kWorkers);
 
   Expected<FetchResult> Metrics = httpGet(Pool->port(), "/admin/metrics");
   ASSERT_TRUE(Metrics) << Metrics.takeError().str();
@@ -264,6 +297,12 @@ TEST_F(ReactorPoolTest, MetricsAndStatusReportPerWorkerState) {
   EXPECT_NE(Metrics->Body.find("dsu_update_pause_us_bucket"),
             std::string::npos);
   EXPECT_NE(Metrics->Body.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(Metrics->Body.find("dsu_rolling_commits_total"),
+            std::string::npos);
+  EXPECT_NE(Metrics->Body.find("dsu_stage_to_commit_us_count"),
+            std::string::npos);
+  EXPECT_NE(Metrics->Body.find("dsu_worker_epoch_lag"),
+            std::string::npos);
   // One committed barrier: every live worker recorded a pause.
   uint64_t Pauses = 0;
   for (unsigned I = 0; I != kWorkers; ++I)
@@ -279,7 +318,10 @@ int64_t firstV2(int64_t) { return 2; }
 int64_t secondV2(int64_t) { return 2; }
 
 /// A pool whose handler calls TWO updateables per request; a patch that
-/// swings both must never be observed half-applied.
+/// swings both must never be observed half-applied.  The patch is
+/// code-only, so it commits *rolling* — each worker's view swings at
+/// its own quiescent point, with zero barrier rounds and zero parks —
+/// and the atomicity guarantee must survive without the barrier.
 TEST(ReactorPoolBarrierTest, NoRequestObservesAHalfCommittedBinding) {
   Runtime RT;
   auto First = RT.defineUpdateable("pair.first", &firstV1);
@@ -342,14 +384,23 @@ TEST(ReactorPoolBarrierTest, NoRequestObservesAHalfCommittedBinding) {
   EXPECT_GT(OldOld.load(), 0u);
   EXPECT_GT(NewNew.load(), 0u);
   EXPECT_EQ(Torn.load(), 0u);
+  // The commit was rolling: no barrier, no parked worker.
+  EXPECT_EQ(RT.rollingCommits(), 1u);
+  EXPECT_EQ(Pool.barrierRounds(), 0u);
+  uint64_t Parks = 0;
+  for (unsigned I = 0; I != Pool.workers(); ++I)
+    Parks += Pool.workerStats(I).Pauses.load();
+  EXPECT_EQ(Parks, 0u);
 }
 
 /// A worker stuck mid-request must DELAY the barrier (the update waits
-/// for quiescence), never be skipped over.
+/// for quiescence), never be skipped over.  The patch ships a state
+/// migration: code-only patches no longer need the barrier at all.
 TEST(ReactorPoolBarrierTest, StuckWorkerDelaysTheBarrier) {
   Runtime RT;
   auto Fn = RT.defineUpdateable("slow.fn", &firstV1);
   ASSERT_TRUE(Fn);
+  defineMigratableCell(RT, "slowcell", "slow.cell");
 
   std::mutex GateMu;
   std::condition_variable GateCV;
@@ -382,10 +433,9 @@ TEST(ReactorPoolBarrierTest, StuckWorkerDelaysTheBarrier) {
   });
   WAIT_FOR(HandlerEntered.load());
 
-  // Queue an update: it must NOT commit while the worker is stuck.
-  Expected<Patch> P = PatchBuilder(RT.types(), "slow-v2")
-                          .provide("slow.fn", &firstV2)
-                          .build();
+  // Queue a state-migrating update: it must NOT commit while the
+  // worker is stuck (the barrier waits for quiescence).
+  Expected<Patch> P = makeMigratingPatch(RT, "slowcell", 1);
   ASSERT_TRUE(P);
   RT.requestUpdate(std::move(*P));
   Pool.wake();

@@ -8,6 +8,7 @@
 #include "flashed/Client.h"
 #include "flashed/Patches.h"
 #include "flashed/Server.h"
+#include "net/ReactorPool.h"
 #include "patch/Manifest.h"
 #include "runtime/UpdateController.h"
 #include "support/MemoryBuffer.h"
@@ -221,6 +222,18 @@ TEST_F(ToolsTest, UpdatectlDrivesALiveServer) {
   ASSERT_TRUE(Log);
   EXPECT_NE(Log->find("committed"), std::string::npos);
   EXPECT_EQ(run(toolPath("dsu-updatectl") + " status " + Port, Out), 0);
+  // The single-worker facade has no pool: `status --workers` must say so.
+  EXPECT_EQ(run(toolPath("dsu-updatectl") + " status " + Port +
+                    " --workers",
+                Out),
+            1);
+  // The metrics subcommand works against any admin-enabled server.
+  EXPECT_EQ(run(toolPath("dsu-updatectl") + " metrics " + Port, Out), 0);
+  Expected<std::string> Metrics = readFile(Out);
+  ASSERT_TRUE(Metrics);
+  EXPECT_NE(Metrics->find("dsu_updates_applied_total"), std::string::npos);
+  EXPECT_NE(Metrics->find("dsu_stage_to_commit_us_count"),
+            std::string::npos);
 
   // Rollback over the wire restores the v1 behaviour; a second rollback
   // of the initial version maps to a non-2xx exit.
@@ -236,6 +249,53 @@ TEST_F(ToolsTest, UpdatectlDrivesALiveServer) {
   std::remove(Artifact.c_str());
   Stop.store(true);
   Loop.join();
+}
+
+TEST_F(ToolsTest, UpdatectlSurfacesPerWorkerStateAndMetrics) {
+  if (!fileExists(toolPath("dsu-updatectl")))
+    GTEST_SKIP() << "dsu-updatectl not built";
+
+  // A FlashedApp on a real reactor pool: `status --workers` must render
+  // the per-worker state array and `metrics` the text exposition.
+  Runtime RT;
+  flashed::FlashedApp App(RT);
+  App.enableAdmin(RT.controller());
+  flashed::DocStore Docs;
+  Docs.put("/doc.html", "<html>doc</html>");
+  ASSERT_FALSE(App.init(std::move(Docs)));
+  net::PoolOptions O;
+  O.Workers = 2;
+  O.PollTimeoutMs = 2;
+  net::ReactorPool Pool(
+      [&App](const flashed::RequestHead &Head, std::string_view Raw,
+             std::string &Out, flashed::SharedBody &Body) {
+        App.handleInto(Head, Raw, Out, Body);
+      },
+      O);
+  Pool.setUpdateRuntime(RT);
+  App.attachPool(Pool);
+  ASSERT_FALSE(Pool.start());
+  std::string Port = std::to_string(Pool.port());
+
+  std::string Out = tmpPath("updatectl_pool.out");
+  EXPECT_EQ(run(toolPath("dsu-updatectl") + " status " + Port +
+                    " --workers",
+                Out),
+            0);
+  Expected<std::string> Status = readFile(Out);
+  ASSERT_TRUE(Status);
+  EXPECT_NE(Status->find("\"worker_state\""), std::string::npos);
+  EXPECT_NE(Status->find("\"epoch\""), std::string::npos);
+
+  EXPECT_EQ(run(toolPath("dsu-updatectl") + " metrics " + Port, Out), 0);
+  Expected<std::string> Metrics = readFile(Out);
+  ASSERT_TRUE(Metrics);
+  EXPECT_NE(Metrics->find("dsu_worker_requests_total"), std::string::npos);
+  EXPECT_NE(Metrics->find("dsu_update_pause_us_bucket"),
+            std::string::npos);
+  EXPECT_NE(Metrics->find("dsu_worker_epoch_lag"), std::string::npos);
+
+  Pool.stop();
 }
 
 } // namespace

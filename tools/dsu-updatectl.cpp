@@ -11,12 +11,21 @@
 ///   dsu-updatectl log      <port>                GET the update log (JSON:
 ///                                                phase, stage/commit timings,
 ///                                                failure reasons)
-///   dsu-updatectl status   <port>                GET counters + queue depth
+///   dsu-updatectl status   <port> [--workers]    GET counters + queue depth;
+///                                                --workers requires the
+///                                                per-worker state array (a
+///                                                reactor pool attached) and
+///                                                fails when absent
+///   dsu-updatectl metrics  <port>                GET /admin/metrics (the
+///                                                text exposition: per-worker
+///                                                counters, pause + epoch +
+///                                                stage->commit histograms)
 ///   dsu-updatectl rollback <port> <updateable>   roll one function back;
 ///                                                a 503 means "busy, retry"
 ///
 /// Exit status: 0 on 2xx, 2 on usage errors, 3 on transport errors, and
-/// the HTTP status class (4, 5) otherwise.
+/// the HTTP status class (4, 5) otherwise; `status --workers` against a
+/// poolless server exits 1.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -36,9 +45,10 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s stage <port> <patch-file>\n"
                "       %s log <port>\n"
-               "       %s status <port>\n"
+               "       %s status <port> [--workers]\n"
+               "       %s metrics <port>\n"
                "       %s rollback <port> <updateable-name>\n",
-               Argv0, Argv0, Argv0, Argv0);
+               Argv0, Argv0, Argv0, Argv0, Argv0);
   return 2;
 }
 
@@ -79,8 +89,25 @@ int main(int argc, char **argv) {
   }
   if (std::strcmp(Cmd, "log") == 0)
     return finish(httpGet(Port, "/admin/updates"));
-  if (std::strcmp(Cmd, "status") == 0)
-    return finish(httpGet(Port, "/admin/status"));
+  if (std::strcmp(Cmd, "status") == 0) {
+    bool WantWorkers = argc > 3 && std::strcmp(argv[3], "--workers") == 0;
+    Expected<FetchResult> R = httpGet(Port, "/admin/status");
+    // --workers asserts the multi-core serving plane is attached: the
+    // per-worker state array is how operators see parked/stuck workers
+    // and per-worker epoch lag.
+    bool MissingWorkers =
+        WantWorkers && R &&
+        R->Body.find("\"worker_state\"") == std::string::npos;
+    int Code = finish(std::move(R));
+    if (Code == 0 && MissingWorkers) {
+      std::fprintf(stderr,
+                   "error: no per-worker state (no reactor pool attached)\n");
+      return 1;
+    }
+    return Code;
+  }
+  if (std::strcmp(Cmd, "metrics") == 0)
+    return finish(httpGet(Port, "/admin/metrics"));
   if (std::strcmp(Cmd, "rollback") == 0) {
     if (argc < 4)
       return usage(argv[0]);
