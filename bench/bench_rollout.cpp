@@ -1,0 +1,261 @@
+//===- bench/bench_rollout.cpp - Canary rollout reaction times -*- C++ -*-===//
+///
+/// The rollout control plane's reaction-time table: for each injected
+/// fault class (every-response-500, trap-on-call), a bad patch is
+/// canaried on 1 worker of a 4-worker FlashEd pool under live keep-alive
+/// load and auto-rolled-back by its health gate.  Reported per class:
+///
+///   detect_ms   canary commit -> gate verdict (time-to-detect)
+///   revert_ms   gate trip -> rollback complete (time-to-rollback)
+///   bad_serves  requests the bad binding served before the revert
+///               (5xx responses for the error patch, traps for the
+///               trapping patch)
+///   control_5xx responses the *control* group botched — the blast-
+///               radius invariant; must be 0
+///
+/// The numbers quantify the paper's availability argument one level up:
+/// not only is the update pause sub-millisecond, but a *bad* update is
+/// contained to one worker's traffic for well under a window.
+///
+/// Usage: bench_rollout [samples] [--json] [--out FILE] [--merge FILE]
+///
+/// --merge injects the rollout table into an existing BENCH_update.json
+/// (written by bench_update_duration) as a top-level "rollout" array.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Runtime.h"
+#include "flashed/App.h"
+#include "flashed/Client.h"
+#include "net/ReactorPool.h"
+#include "runtime/RolloutController.h"
+#include "runtime/UpdateController.h"
+#include "support/FaultInject.h"
+#include "support/MemoryBuffer.h"
+#include "support/Timer.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace dsu;
+using namespace dsu::flashed;
+
+namespace {
+
+constexpr unsigned kWorkers = 4;
+constexpr uint64_t kWindowMs = 600;
+
+struct FaultAgg {
+  std::string Kind;
+  RunningStat DetectMs, RevertMs, BadServes, Control5xx;
+  unsigned RolledBack = 0;
+  unsigned Samples = 0;
+};
+
+/// One rollout of \p PatchText through a live pool; returns the record.
+RolloutRecord runOne(const std::string &PatchText) {
+  Runtime RT;
+  FlashedApp App(RT);
+  DocStore Docs;
+  Docs.fillSynthetic(8, 2048);
+  cantFail(App.init(std::move(Docs)), "init");
+  App.enableAdmin(RT.controller());
+
+  net::PoolOptions O;
+  O.Workers = kWorkers;
+  O.PollTimeoutMs = 2;
+  net::ReactorPool Pool(
+      [&App](const RequestHead &Head, std::string_view Raw, std::string &Out,
+             SharedBody &Body) { App.handleInto(Head, Raw, Out, Body); },
+      O);
+  Pool.setUpdateRuntime(RT);
+  App.attachPool(Pool);
+  cantFail(Pool.start(), "pool start");
+
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> Served{0};
+  std::vector<std::thread> Loaders;
+  for (unsigned T = 0; T != 2 * kWorkers; ++T)
+    Loaders.emplace_back([&] {
+      KeepAliveClient C;
+      if (C.connectTo(Pool.port()))
+        return;
+      unsigned I = 0;
+      while (!Stop.load()) {
+        // Per-worker SO_REUSEPORT listeners hash connections to
+        // workers; re-rolling the connection keeps every worker —
+        // canary included — in the traffic mix.
+        if (I % 100 == 99)
+          C.disconnect();
+        if (C.get("/doc" + std::to_string(I++ % 8) + ".html"))
+          Served.fetch_add(1);
+      }
+    });
+  // Warm: the gates compare rates, so give both groups a baseline.
+  while (Served.load() < 200)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  RolloutOptions RO;
+  RO.CanaryWorkers = 1;
+  RO.WindowMs = kWindowMs;
+  RO.MinSamples = 5;
+  uint64_t Id = cantFail(
+      App.rollouts().startArtifactText(PatchText, "bench_rollout", RO),
+      "start rollout");
+  App.rollouts().waitIdle();
+  RolloutRecord Rec = cantFail(App.rollouts().rollout(Id), "record");
+
+  Stop.store(true);
+  for (std::thread &T : Loaders)
+    T.join();
+  Pool.stop();
+  return Rec;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Samples = 5;
+  bool Json = false;
+  const char *OutPath = nullptr;
+  const char *MergePath = nullptr;
+  unsigned Positional = 0;
+  for (int I = 1; I != argc; ++I) {
+    if (std::strcmp(argv[I], "--json") == 0)
+      Json = true;
+    else if (std::strcmp(argv[I], "--out") == 0 && I + 1 < argc)
+      OutPath = argv[++I];
+    else if (std::strcmp(argv[I], "--merge") == 0 && I + 1 < argc)
+      MergePath = argv[++I];
+    else if (Positional++ == 0)
+      Samples = static_cast<unsigned>(std::atoi(argv[I]));
+  }
+
+  struct FaultCase {
+    const char *Kind;
+    std::string Text;
+    bool TrapsNotErrors; ///< bad serves counted as traps, not 5xxs
+  };
+  std::vector<FaultCase> Cases = {
+      {"error-500", faultinject::error500PatchText(), false},
+      {"trap-on-call", faultinject::trapPatchText(), true},
+  };
+
+  std::vector<FaultAgg> Table;
+  for (const FaultCase &C : Cases) {
+    FaultAgg A;
+    A.Kind = C.Kind;
+    for (unsigned I = 0; I != Samples; ++I) {
+      RolloutRecord Rec = runOne(C.Text);
+      ++A.Samples;
+      if (Rec.Verdict != "rolled-back")
+        continue; // an idle window can promote; count only real verdicts
+      ++A.RolledBack;
+      A.DetectMs.addSample(Rec.DetectMs);
+      A.RevertMs.addSample(Rec.RevertMs);
+      A.BadServes.addSample(static_cast<double>(
+          C.TrapsNotErrors ? Rec.CanaryTraps : Rec.CanaryErrors));
+      A.Control5xx.addSample(static_cast<double>(Rec.ControlErrors));
+    }
+    Table.push_back(std::move(A));
+  }
+
+  FILE *Out = stdout;
+  if (OutPath) {
+    Out = std::fopen(OutPath, "w");
+    if (!Out) {
+      std::fprintf(stderr, "cannot open %s\n", OutPath);
+      return 1;
+    }
+  }
+
+  auto appendRows = [&](std::string &J) {
+    bool First = true;
+    for (const FaultAgg &A : Table) {
+      char Row[512];
+      std::snprintf(
+          Row, sizeof(Row),
+          "%s\n    {\"fault\": \"%s\", \"samples\": %u, "
+          "\"rolled_back\": %u, \"window_ms\": %llu, "
+          "\"detect_ms_mean\": %.2f, \"detect_ms_max\": %.2f, "
+          "\"revert_ms_mean\": %.3f, \"revert_ms_max\": %.3f, "
+          "\"bad_serves_mean\": %.1f, \"bad_serves_max\": %.0f, "
+          "\"control_5xx_max\": %.0f}",
+          First ? "" : ",", A.Kind.c_str(), A.Samples, A.RolledBack,
+          static_cast<unsigned long long>(kWindowMs), A.DetectMs.mean(),
+          A.DetectMs.max(), A.RevertMs.mean(), A.RevertMs.max(),
+          A.BadServes.mean(), A.BadServes.max(), A.Control5xx.max());
+      J += Row;
+      First = false;
+    }
+  };
+
+  if (Json) {
+    std::string J = "{\n  \"bench\": \"rollout\",\n  \"workers\": " +
+                    std::to_string(kWorkers) + ",\n  \"rollout\": [";
+    appendRows(J);
+    J += "\n  ]\n}\n";
+    std::fprintf(Out, "%s", J.c_str());
+  } else {
+    std::fprintf(Out,
+                 "canary rollout reaction times (%u samples/fault, %u "
+                 "workers, 1 canary,\n%llums window, live keep-alive "
+                 "load)\n\n",
+                 Samples, kWorkers,
+                 static_cast<unsigned long long>(kWindowMs));
+    std::fprintf(Out, "%-14s %6s %10s %10s %10s %10s %11s %11s\n", "fault",
+                 "rolled", "detect(ms)", "max", "revert(ms)", "max",
+                 "bad serves", "control 5xx");
+    for (const FaultAgg &A : Table)
+      std::fprintf(Out,
+                   "%-14s %3u/%-3u %10.2f %10.2f %10.3f %10.3f %11.1f "
+                   "%11.0f\n",
+                   A.Kind.c_str(), A.RolledBack, A.Samples,
+                   A.DetectMs.mean(), A.DetectMs.max(), A.RevertMs.mean(),
+                   A.RevertMs.max(), A.BadServes.mean(),
+                   A.Control5xx.max());
+    std::fprintf(Out,
+                 "\nshape check: every fault class is detected within one "
+                 "observation window\nand reverted in milliseconds; the "
+                 "bad binding serves only the canary's\nshare of traffic "
+                 "before the revert, and the control group's 5xx count "
+                 "is 0\n— the blast radius of a bad patch is one worker "
+                 "for under a window.\n");
+  }
+  if (Out != stdout)
+    std::fclose(Out);
+
+  // Graft the table into bench_update_duration's JSON so the rollout
+  // reaction times travel with the rest of the update-cost trajectory.
+  if (MergePath) {
+    Expected<std::string> Existing = readFile(MergePath);
+    if (!Existing) {
+      std::fprintf(stderr, "cannot merge into %s: %s\n", MergePath,
+                   Existing.error().str().c_str());
+      return 1;
+    }
+    size_t Close = Existing->rfind('}');
+    if (Close == std::string::npos) {
+      std::fprintf(stderr, "cannot merge into %s: not a JSON object\n",
+                   MergePath);
+      return 1;
+    }
+    std::string Merged = Existing->substr(0, Close);
+    while (!Merged.empty() &&
+           (Merged.back() == '\n' || Merged.back() == ' '))
+      Merged.pop_back();
+    Merged += ",\n  \"rollout\": [";
+    appendRows(Merged);
+    Merged += "\n  ]\n}\n";
+    if (Error E = writeFile(MergePath, Merged)) {
+      std::fprintf(stderr, "cannot write %s: %s\n", MergePath,
+                   E.str().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

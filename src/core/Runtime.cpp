@@ -3,9 +3,13 @@
 #include "core/Runtime.h"
 
 #include "runtime/UpdateController.h"
+#include "support/FaultInject.h"
 #include "support/Logging.h"
 #include "support/Timer.h"
 #include "vtal/Verifier.h"
+
+#include <algorithm>
+#include <thread>
 
 using namespace dsu;
 
@@ -58,6 +62,12 @@ std::shared_ptr<UpdateTransaction>
 Runtime::makeTransaction(std::string PatchId) {
   auto Tx = std::shared_ptr<UpdateTransaction>(
       new UpdateTransaction(NextTxId.fetch_add(1)));
+  // The watchdog deadline covers the whole staging pipeline — queueing
+  // in the controller included — so a pathological patch cannot
+  // head-of-line-block the FIFO update queue indefinitely.
+  if (uint64_t Ms = StagingDeadlineMs.load(std::memory_order_relaxed))
+    Tx->StageDeadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(Ms);
   std::lock_guard<std::mutex> G(Tx->RecLock);
   Tx->Rec.TxId = Tx->id();
   Tx->Rec.PatchId = std::move(PatchId);
@@ -149,6 +159,31 @@ Error Runtime::stageInto(UpdateTransaction &Tx) {
     return E;
   };
 
+  // Staging watchdog: cooperative deadline checks between pipeline
+  // stages.  A transaction that exceeds its deadline is finalized as
+  // TimedOut — a terminal, collectable phase — instead of holding the
+  // head of the FIFO queue while every later update waits behind it.
+  auto Overdue = [&] {
+    return Tx.StageDeadline.time_since_epoch().count() != 0 &&
+           std::chrono::steady_clock::now() > Tx.StageDeadline;
+  };
+  auto FailTimedOut = [&](const char *Stage) {
+    Error E = Error::make(
+        ErrorCode::EC_Timeout,
+        "tx %llu (%s) staging exceeded its watchdog deadline during %s; "
+        "aborted so it cannot head-of-line-block the update queue",
+        static_cast<unsigned long long>(Tx.id()), PatchId.c_str(), Stage);
+    {
+      std::lock_guard<std::mutex> G(Tx.RecLock);
+      Tx.Rec.StageMs = Total.elapsedMs();
+      Tx.Rec.TotalMs = Tx.Rec.StageMs;
+    }
+    finalize(Tx, UpdatePhase::TimedOut, &E);
+    return E;
+  };
+  if (Overdue())
+    return FailTimedOut("queueing");
+
   // Stage 1: verification.  VTAL-backed patches are machine-checked;
   // native patches arrive as trusted-compiler output (the paper's TAL
   // verification corresponds to the VTAL path).
@@ -164,6 +199,19 @@ Error Runtime::stageInto(UpdateTransaction &Tx) {
     std::lock_guard<std::mutex> G(Tx.RecLock);
     Tx.Rec.VerifyMs = T.elapsedMs();
   }
+
+  // Fault injection: an operator-armed stall between verification and
+  // linking models a wedged pipeline stage.  Sleep in small slices so
+  // the watchdog deadline above is still honoured mid-stall.
+  for (uint64_t Left = faultinject::stageStallMs(); Left != 0;) {
+    uint64_t Slice = std::min<uint64_t>(Left, 5);
+    std::this_thread::sleep_for(std::chrono::milliseconds(Slice));
+    Left -= Slice;
+    if (Overdue())
+      break;
+  }
+  if (Overdue())
+    return FailTimedOut("verification");
 
   // Stage 2: introduce the patch's new named types and transformers.
   // Both registries are append-only, so this mutates nothing the running
@@ -198,6 +246,8 @@ Error Runtime::stageInto(UpdateTransaction &Tx) {
       return Fail(PlanOrErr.takeError());
     Tx.Plan = std::move(*PlanOrErr);
   }
+  if (Overdue())
+    return FailTimedOut("link preparation");
 
   // Union of bumps demanded by signature changes and bumps declared via
   // new type versions.
@@ -219,6 +269,8 @@ Error Runtime::stageInto(UpdateTransaction &Tx) {
       return Fail(Swap.takeError().withContext("patch " + PatchId));
     Tx.Swap = std::move(*Swap);
   }
+  if (Overdue())
+    return FailTimedOut("the state-transform build");
 
   {
     std::lock_guard<std::mutex> G(Tx.RecLock);
@@ -302,7 +354,8 @@ Error Runtime::commitStagedTx(const std::shared_ptr<UpdateTransaction> &TxP) {
 
 Error Runtime::commitStagedTxLocked(
     const std::shared_ptr<UpdateTransaction> &TxP, bool Rolling,
-    bool *NeedsBarrier) {
+    bool *NeedsBarrier, uint64_t CanaryMask,
+    std::vector<RollEntry *> *GatedOut) {
   UpdateTransaction &Tx = *TxP;
   if (ActivationTracker::currentDepth() != 0)
     return Error::make(
@@ -404,7 +457,8 @@ Error Runtime::commitStagedTxLocked(
   // a no-op.
   size_t Provides = Tx.Plan.Unit.Provides.size();
   {
-    Error E = TheLinker.commit(std::move(Tx.Plan), Rolling);
+    Error E =
+        TheLinker.commit(std::move(Tx.Plan), Rolling, CanaryMask, GatedOut);
     if (E) {
       revertStateSwap(State, std::move(Undo));
       return FailCommit(std::move(E));
@@ -433,7 +487,9 @@ Error Runtime::commitStagedTxLocked(
     Tx.Rec.CommitMs = CommitMs;
     Tx.Rec.TotalMs = Tx.Rec.StageMs + CommitMs;
     Tx.Rec.TransformMs = Tx.Rec.BuildMs + StateMark;
-    Tx.Rec.CommitMode = Rolling ? "rolling" : "barrier";
+    Tx.Rec.CommitMode = CanaryMask != UINT64_MAX ? "canary"
+                        : Rolling                ? "rolling"
+                                                 : "barrier";
     Tx.Rec.StageToCommitUs = StageToCommitUs;
     Done = Tx.Rec;
   }
@@ -450,8 +506,16 @@ Error Runtime::commitStagedTxLocked(
 // --- Rolling (barrier-free) commits of code-only patches -----------------
 
 Runtime::PendingCommit Runtime::pendingCommitMode() const {
+  // While a canary rollout is in flight the rollout controller owns the
+  // commit pipeline: workers must not commit (or collect) anything, or
+  // a stacked commit would corrupt the rollback history the controller
+  // relies on for auto-revert.
+  if (RolloutActive.load(std::memory_order_acquire))
+    return PendingCommit::None;
   std::shared_ptr<UpdateTransaction> Front = Queue.front();
   if (!Front)
+    return PendingCommit::None;
+  if (Front->HeldForRollout.load(std::memory_order_acquire))
     return PendingCommit::None;
   UpdatePhase P = Front->phase();
   if (P == UpdatePhase::Staging || P == UpdatePhase::Committing)
@@ -464,6 +528,8 @@ Runtime::PendingCommit Runtime::pendingCommitMode() const {
 }
 
 unsigned Runtime::commitRollingFront() {
+  if (RolloutActive.load(std::memory_order_acquire))
+    return 0; // a canary rollout owns the commit pipeline
   std::lock_guard<std::mutex> G(CommitLock);
   if (ActivationTracker::currentDepth() != 0)
     return 0; // not a quiescent point on this thread; try again later
@@ -472,6 +538,8 @@ unsigned Runtime::commitRollingFront() {
   while (true) {
     std::shared_ptr<UpdateTransaction> Tx =
         Queue.popActionableIf([](const UpdateTransaction &T) {
+          if (T.HeldForRollout.load(std::memory_order_acquire))
+            return false; // the rollout controller commits this one
           return T.phase() != UpdatePhase::Ready ||
                  T.CodeOnly.load(std::memory_order_acquire);
         });
@@ -500,6 +568,53 @@ unsigned Runtime::commitRollingFront() {
 void Runtime::flushRetiredBindings() {
   std::lock_guard<std::mutex> G(CommitLock);
   flushRetiredBindingsLocked();
+}
+
+void Runtime::maybeFlushRetiredBindings() {
+  // Idle-time roll-chain hygiene: without this, a graced redirection
+  // chain only drains when the *next* commit happens to flush it —
+  // i.e. never, on a quiet system.  Relaxed fast-out so the common
+  // no-chains case costs one load, and try_lock so an idle worker never
+  // blocks behind a commit in progress.
+  if (!Updateables.hasLiveRolls())
+    return;
+  std::unique_lock<std::mutex> G(CommitLock, std::try_to_lock);
+  if (!G.owns_lock())
+    return;
+  if (ActivationTracker::currentDepth() != 0)
+    return;
+  flushRetiredBindingsLocked();
+}
+
+Error Runtime::commitCanaryFront(const std::shared_ptr<UpdateTransaction> &Tx,
+                                 uint64_t CanaryMask,
+                                 std::vector<RollEntry *> &GatedOut,
+                                 bool *NeedsBarrier) {
+  std::lock_guard<std::mutex> G(CommitLock);
+  return commitStagedTxLocked(Tx, /*Rolling=*/true, NeedsBarrier, CanaryMask,
+                              &GatedOut);
+}
+
+void Runtime::annotateRollout(const std::shared_ptr<UpdateTransaction> &Tx,
+                              const std::string &Verdict,
+                              const std::string &Reason) {
+  {
+    std::lock_guard<std::mutex> G(Tx->RecLock);
+    Tx->Rec.Rollout = Verdict;
+    if (!Reason.empty())
+      Tx->Rec.FailureReason = Reason;
+  }
+  // The commit already appended this transaction's log entry; patch the
+  // verdict in after the fact (search from the back — the entry is
+  // almost always the most recent).
+  std::lock_guard<std::mutex> G(LogLock);
+  for (size_t I = Log.size(); I-- > 0;)
+    if (Log[I].TxId == Tx->id()) {
+      Log[I].Rollout = Verdict;
+      if (!Reason.empty())
+        Log[I].FailureReason = Reason;
+      break;
+    }
 }
 
 void Runtime::flushRetiredBindingsLocked() {
@@ -547,6 +662,8 @@ Error Runtime::abortStagedTx(const std::shared_ptr<UpdateTransaction> &TxP) {
 unsigned Runtime::updatePoint() {
   if (!Queue.pending())
     return 0;
+  if (RolloutActive.load(std::memory_order_acquire))
+    return 0; // a canary rollout owns the commit pipeline
   if (ActivationTracker::currentDepth() != 0) {
     // Updateable code is active on this thread: not a safe point.  The
     // transactions stay queued for the next (quiescent) update point,
@@ -556,7 +673,10 @@ unsigned Runtime::updatePoint() {
     return 0;
   }
   unsigned Committed = 0;
-  while (std::shared_ptr<UpdateTransaction> Tx = Queue.popActionable()) {
+  while (std::shared_ptr<UpdateTransaction> Tx =
+             Queue.popActionableIf([](const UpdateTransaction &T) {
+               return !T.HeldForRollout.load(std::memory_order_acquire);
+             })) {
     if (Tx->phase() != UpdatePhase::Ready)
       continue; // stage-failed or aborted: already recorded, just collect
     if (Error E = commitStagedTx(Tx))

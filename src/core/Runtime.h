@@ -48,6 +48,7 @@
 namespace dsu {
 
 class UpdateController;
+class RolloutController;
 
 /// The updating runtime.  One per program.
 class Runtime {
@@ -172,6 +173,13 @@ public:
   /// automatically at commit points; exposed for tests and teardown.
   void flushRetiredBindings();
 
+  /// The idle-time form of flushRetiredBindings(), cheap enough for a
+  /// reactor worker's poll loop: a single relaxed load when no slot
+  /// carries a chain, and a try_lock — never a blocking wait in the
+  /// serving path — when one does.  This is how a slot's single-load
+  /// fast path recovers without waiting for another commit.
+  void maybeFlushRetiredBindings();
+
   /// Stage->commit latency of committed updates (microseconds).
   const LatencyHistogram &stageToCommitLatency() const {
     return StageToCommit;
@@ -182,6 +190,25 @@ public:
   /// with EC_Busy while updateable code is active on this thread, like
   /// any update.
   Error rollbackUpdateable(const std::string &Name);
+
+  /// Staging watchdog: a transaction whose verify/link/state-build
+  /// pipeline (including its wait in the staging backlog) exceeds this
+  /// deadline is aborted with the TimedOut outcome, so a pathological
+  /// patch cannot head-of-line-block the FIFO update queue.  0 disables
+  /// the watchdog (the default).
+  void setStagingDeadlineMs(uint64_t Ms) {
+    StagingDeadlineMs.store(Ms, std::memory_order_relaxed);
+  }
+  uint64_t stagingDeadlineMs() const {
+    return StagingDeadlineMs.load(std::memory_order_relaxed);
+  }
+
+  /// True while a canary rollout owns the commit plane (workers neither
+  /// commit nor arm the barrier; the RolloutController drives every
+  /// commit and revert itself).
+  bool rolloutActive() const {
+    return RolloutActive.load(std::memory_order_acquire);
+  }
 
   // -- Introspection -------------------------------------------------------
 
@@ -201,8 +228,32 @@ public:
 private:
   friend class StagedUpdate;
   friend class UpdateController;
+  friend class RolloutController;
 
   std::shared_ptr<UpdateTransaction> makeTransaction(std::string PatchId);
+
+  /// Commits a held-for-rollout transaction as a canary-gated rolling
+  /// update: only workers in \p CanaryMask adopt the new bindings; the
+  /// published (gated) RollEntries are appended to \p GatedOut for the
+  /// RolloutController to resolve.  Demotes to *NeedsBarrier exactly
+  /// like a plain rolling commit when revalidation discovers state
+  /// migration.
+  Error commitCanaryFront(const std::shared_ptr<UpdateTransaction> &Tx,
+                          uint64_t CanaryMask,
+                          std::vector<RollEntry *> &GatedOut,
+                          bool *NeedsBarrier);
+
+  /// Records a rollout verdict ("promoted" / "rolled-back") on \p Tx's
+  /// live record and on its already-appended update-log entry, so the
+  /// verdict is visible in GET /admin/updates.
+  void annotateRollout(const std::shared_ptr<UpdateTransaction> &Tx,
+                       const std::string &Verdict,
+                       const std::string &Reason);
+
+  /// Rollout latch (see rolloutActive()).
+  void setRolloutActive(bool Active) {
+    RolloutActive.store(Active, std::memory_order_release);
+  }
 
   /// Runs the staging pipeline into \p Tx (serialized across stagers).
   /// On success the phase becomes Ready; on failure StageFailed with the
@@ -217,9 +268,12 @@ private:
   /// redirection instead of assuming global quiescence; if commit-time
   /// revalidation discovers the plan is no longer code-only, the
   /// transaction is returned to Ready, *NeedsBarrier is set, and no
-  /// program state changes.
+  /// program state changes.  \p CanaryMask / \p GatedOut thread the
+  /// canary gate through to Linker::commit (see commitCanaryFront).
   Error commitStagedTxLocked(const std::shared_ptr<UpdateTransaction> &Tx,
-                             bool Rolling, bool *NeedsBarrier);
+                             bool Rolling, bool *NeedsBarrier,
+                             uint64_t CanaryMask = UINT64_MAX,
+                             std::vector<RollEntry *> *GatedOut = nullptr);
 
   /// Registers an abort request; see StagedUpdate::abort().
   Error abortStagedTx(const std::shared_ptr<UpdateTransaction> &Tx);
@@ -250,6 +304,15 @@ private:
 
   std::atomic<uint64_t> RollingCommits{0};
   LatencyHistogram StageToCommit;
+
+  /// Staging watchdog deadline (ms; 0 = off), applied to transactions at
+  /// creation time.
+  std::atomic<uint64_t> StagingDeadlineMs{0};
+
+  /// Set while a RolloutController drives the commit plane; worker-side
+  /// commit paths (updatePoint, commitRollingFront, pendingCommitMode)
+  /// stand down so no commit can stack on an unresolved canary gate.
+  std::atomic<bool> RolloutActive{false};
 
   /// Bumped on every commit; a transaction prepared against an older
   /// generation revalidates its link plan before committing.

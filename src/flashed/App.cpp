@@ -440,9 +440,50 @@ void appendRecordJson(std::string &J, const UpdateRecord &R) {
                       "\"stage_to_commit_us\": %llu",
                       R.CommitMode.c_str(),
                       static_cast<unsigned long long>(R.StageToCommitUs));
+  if (!R.Rollout.empty()) {
+    J += ", \"rollout\": \"";
+    jsonEscapeTo(J, R.Rollout);
+    J += '"';
+  }
   if (!R.FailureReason.empty()) {
     J += ", \"failure\": \"";
     jsonEscapeTo(J, R.FailureReason);
+    J += '"';
+  }
+  J += '}';
+}
+
+void appendRolloutJson(std::string &J, const RolloutRecord &R) {
+  J += formatString("{\"id\": %llu, \"tx\": %llu, \"patch\": \"",
+                    static_cast<unsigned long long>(R.Id),
+                    static_cast<unsigned long long>(R.TxId));
+  jsonEscapeTo(J, R.PatchId);
+  J += "\", \"state\": \"";
+  jsonEscapeTo(J, R.State);
+  J += "\", \"mode\": \"";
+  jsonEscapeTo(J, R.Mode);
+  J += "\", \"verdict\": \"";
+  jsonEscapeTo(J, R.Verdict);
+  J += formatString(
+      "\", \"canary_mask\": %llu, \"window_ms\": %llu, "
+      "\"detect_ms\": %.2f, \"revert_ms\": %.2f, "
+      "\"canary\": {\"requests\": %llu, \"serves\": %llu, "
+      "\"errors_5xx\": %llu, \"traps\": %llu, \"error_rate\": %.5f}, "
+      "\"control\": {\"requests\": %llu, \"serves\": %llu, "
+      "\"errors_5xx\": %llu, \"error_rate\": %.5f}",
+      static_cast<unsigned long long>(R.CanaryMask),
+      static_cast<unsigned long long>(R.WindowMs), R.DetectMs, R.RevertMs,
+      static_cast<unsigned long long>(R.CanaryRequests),
+      static_cast<unsigned long long>(R.CanaryServes),
+      static_cast<unsigned long long>(R.CanaryErrors),
+      static_cast<unsigned long long>(R.CanaryTraps), R.CanaryErrorRate,
+      static_cast<unsigned long long>(R.ControlRequests),
+      static_cast<unsigned long long>(R.ControlServes),
+      static_cast<unsigned long long>(R.ControlErrors),
+      R.ControlErrorRate);
+  if (!R.Reason.empty()) {
+    J += ", \"reason\": \"";
+    jsonEscapeTo(J, R.Reason);
     J += '"';
   }
   J += '}';
@@ -612,6 +653,73 @@ void FlashedApp::handleAdmin(const RequestHead &Head, std::string_view Raw,
     return;
   }
 
+  if (Head.Method == "POST" && PathOnly == "/admin/rollout") {
+    std::string_view Body =
+        Raw.size() > Head.HeadBytes ? Raw.substr(Head.HeadBytes)
+                                    : std::string_view();
+    if (Body.empty())
+      return Respond(400, "{\"error\": \"empty patch artifact\"}");
+    RolloutOptions O;
+    uint64_t V;
+    if (parseUInt(queryParam(Target, "canary_workers"), V))
+      O.CanaryWorkers = static_cast<unsigned>(V);
+    if (parseUInt(queryParam(Target, "window_ms"), V))
+      O.WindowMs = V;
+    if (parseUInt(queryParam(Target, "min_samples"), V))
+      O.MinSamples = V;
+    if (parseUInt(queryParam(Target, "max_canary_traps"), V))
+      O.MaxCanaryTraps = V;
+    if (parseUInt(queryParam(Target, "stage_timeout_ms"), V))
+      O.StageTimeoutMs = V;
+    std::string_view Delta = queryParam(Target, "max_error_delta");
+    if (!Delta.empty())
+      O.MaxErrorDelta = atof(std::string(Delta).c_str());
+    std::string_view Lat = queryParam(Target, "max_latency_delta_us");
+    if (!Lat.empty())
+      O.MaxLatencyDeltaUs = atof(std::string(Lat).c_str());
+    Expected<uint64_t> Id = rollouts().startArtifactText(
+        std::string(Body), "POST /admin/rollout", O);
+    if (!Id) {
+      Error E = Id.takeError();
+      int Code = adminStatusForError(E);
+      std::string J = "{\"error\": \"";
+      jsonEscapeTo(J, E.str());
+      J += formatString("\", \"retryable\": %s}",
+                        E.code() == ErrorCode::EC_Busy ? "true" : "false");
+      return Respond(Code, J, Code == 503 ? "Retry-After: 0" : nullptr);
+    }
+    return Respond(202, formatString(
+                            "{\"rollout\": %llu}",
+                            static_cast<unsigned long long>(*Id)));
+  }
+
+  if (Head.Method == "GET" && PathOnly == "/admin/rollouts") {
+    std::string_view IdStr = queryParam(Target, "id");
+    uint64_t Id = 0;
+    if (parseUInt(IdStr, Id)) {
+      Expected<RolloutRecord> R = rollouts().rollout(Id);
+      if (!R) {
+        std::string J = "{\"error\": \"";
+        jsonEscapeTo(J, R.takeError().str());
+        J += "\"}";
+        return Respond(404, J);
+      }
+      std::string J;
+      appendRolloutJson(J, *R);
+      return Respond(200, J);
+    }
+    std::string J = "{\"rollouts\": [";
+    bool First = true;
+    for (const RolloutRecord &R : rollouts().rollouts()) {
+      if (!First)
+        J += ", ";
+      First = false;
+      appendRolloutJson(J, R);
+    }
+    J += "]}";
+    return Respond(200, J);
+  }
+
   if (Head.Method == "POST" && PathOnly == "/admin/rollback") {
     std::string Name(queryParam(Target, "name"));
     if (Name.empty() && Raw.size() > Head.HeadBytes)
@@ -773,6 +881,29 @@ std::string FlashedApp::renderMetrics() const {
                           std::memory_order_relaxed)));
   }
   return T;
+}
+
+RolloutController &FlashedApp::rollouts() {
+  std::lock_guard<std::mutex> G(RolloutLock);
+  if (!Rollout) {
+    // The controller gets the serving plane as hooks: worker counters
+    // to gate on and the pool's barrier to revert under.  Without a
+    // pool the hooks stay empty and every rollout takes the degenerate
+    // barrier form with direct (single-threaded) commits.
+    RolloutController::Hooks H;
+    if (net::ReactorPool *P = Pool) {
+      H.WorkerCount = [P] { return static_cast<size_t>(P->workers()); };
+      H.Stats = [P](size_t I) {
+        return &P->workerStats(static_cast<unsigned>(I));
+      };
+      H.RunQuiescent = [P](const std::function<Error()> &Fn) {
+        return P->runQuiescent(Fn);
+      };
+      H.Wake = [P] { P->wake(); };
+    }
+    Rollout = std::make_unique<RolloutController>(RT, std::move(H));
+  }
+  return *Rollout;
 }
 
 void FlashedApp::wireUpdateWake() {

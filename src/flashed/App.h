@@ -31,8 +31,11 @@
 #include "flashed/Cache.h"
 #include "flashed/DocStore.h"
 #include "flashed/Http.h"
+#include "runtime/RolloutController.h"
 
 #include <atomic>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -77,6 +80,15 @@ public:
   ///                              the update-pause histogram
   ///   POST /admin/rollback?name=F  roll one updateable back; EC_Busy
   ///                              surfaces as a retryable 503
+  ///   POST /admin/rollout        stage the body and drive it through a
+  ///                              metric-gated canary rollout; query
+  ///                              params canary_workers, window_ms,
+  ///                              max_error_delta, max_latency_delta_us,
+  ///                              min_samples, max_canary_traps; answers
+  ///                              202 with the rollout id
+  ///   GET  /admin/rollouts       every rollout's state, verdict, gate
+  ///                              reason and group counters (?id=N for
+  ///                              one)
   ///
   /// The admin surface is part of the control plane, not the updateable
   /// request pipeline: handleStatic*/the E2 baseline never see it.
@@ -95,6 +107,12 @@ public:
     Pool = &P;
     wireUpdateWake();
   }
+
+  /// The canary rollout control plane behind POST /admin/rollout,
+  /// created lazily from the attached pool's worker stats and quiescent
+  /// runner (or degenerate hooks when no pool is attached).  Valid only
+  /// after enableAdmin().
+  RolloutController &rollouts();
 
   /// Serves one request through the updateable pipeline.
   std::string handle(const std::string &RawRequest);
@@ -179,6 +197,8 @@ private:
   StateCell *Cache = nullptr;
   UpdateController *Admin = nullptr;
   net::ReactorPool *Pool = nullptr;
+  std::mutex RolloutLock; ///< guards lazy Rollout creation
+  std::unique_ptr<RolloutController> Rollout;
   /// Serving now happens on N reactor workers concurrently; the request
   /// counter is the only pipeline state the app itself mutates per
   /// request, so it is a relaxed atomic (cache/state cells have their

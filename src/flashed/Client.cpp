@@ -6,15 +6,20 @@
 #include "support/StringUtil.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <arpa/inet.h>
 #include <cctype>
 #include <cerrno>
 #include <charconv>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <random>
 #include <sys/socket.h>
+#include <sys/time.h>
+#include <thread>
 #include <unistd.h>
 
 using namespace dsu;
@@ -43,6 +48,21 @@ Expected<int> connectLoopback(uint16_t Port) {
   return Fd;
 }
 
+/// Applies SO_SNDTIMEO/SO_RCVTIMEO so a wedged peer bounds every
+/// blocking send/receive instead of hanging the caller forever.
+void applySocketTimeout(int Fd, uint64_t Ms) {
+  timeval Tv{};
+  Tv.tv_sec = static_cast<time_t>(Ms / 1000);
+  Tv.tv_usec = static_cast<suseconds_t>((Ms % 1000) * 1000);
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+  ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &Tv, sizeof(Tv));
+}
+
+/// True when errno says the socket timeout (not the peer) ended the
+/// call — the EC_Timeout vs EC_IO distinction dsu-updatectl maps to
+/// different exit codes.
+bool isTimeoutErrno(int E) { return E == EAGAIN || E == EWOULDBLOCK; }
+
 Error writeAll(int Fd, const std::string &Bytes) {
   size_t Off = 0;
   while (Off < Bytes.size()) {
@@ -50,6 +70,8 @@ Error writeAll(int Fd, const std::string &Bytes) {
     if (N <= 0) {
       if (N < 0 && errno == EINTR)
         continue;
+      if (N < 0 && isTimeoutErrno(errno))
+        return Error::make(ErrorCode::EC_Timeout, "write timed out");
       return Error::make(ErrorCode::EC_IO, "write: %s",
                          std::strerror(errno));
     }
@@ -103,7 +125,44 @@ Expected<ResponseFrame> scanResponse(std::string_view Buf) {
   return F;
 }
 
+/// Backoff before retry attempt \p Attempt (0-based count of failures
+/// so far): capped exponential on the policy's base, stretched to the
+/// server's Retry-After hint when that is longer, plus up to 25%
+/// jitter so a herd of retrying operators decorrelates.
+uint64_t backoffMs(const RetryPolicy &P, unsigned Attempt,
+                   int64_t RetryAfterHintMs) {
+  uint64_t Delay = P.BaseDelayMs;
+  for (unsigned I = 0; I != Attempt && Delay < P.MaxDelayMs; ++I)
+    Delay *= 2;
+  Delay = std::min(Delay, P.MaxDelayMs);
+  if (RetryAfterHintMs > 0)
+    Delay = std::min(std::max(Delay, static_cast<uint64_t>(RetryAfterHintMs)),
+                     P.MaxDelayMs);
+  static thread_local std::minstd_rand Rng(static_cast<unsigned>(
+      std::chrono::steady_clock::now().time_since_epoch().count()));
+  if (Delay > 0)
+    Delay += Rng() % (Delay / 4 + 1);
+  return Delay;
+}
+
 } // namespace
+
+int64_t dsu::flashed::retryAfterMs(const FetchResult &R) {
+  std::string_view Rest = R.Headers;
+  while (!Rest.empty()) {
+    std::string_view Line = popHeaderLine(Rest);
+    size_t Colon = Line.find(':');
+    if (Colon == std::string_view::npos)
+      continue;
+    if (!asciiCaseEqual(trim(Line.substr(0, Colon)), "retry-after"))
+      continue;
+    uint64_t Seconds = 0;
+    if (!parseUInt(trim(Line.substr(Colon + 1)), Seconds))
+      return -1;
+    return static_cast<int64_t>(Seconds * 1000);
+  }
+  return -1;
+}
 
 Expected<FetchResult> dsu::flashed::httpGet(uint16_t Port,
                                             const std::string &Target) {
@@ -172,7 +231,15 @@ Error KeepAliveClient::connectTo(uint16_t ToPort) {
     return NewFd.takeError();
   Fd = *NewFd;
   Port = ToPort;
+  if (TimeoutMs != 0)
+    applySocketTimeout(Fd, TimeoutMs);
   return Error::success();
+}
+
+void KeepAliveClient::setTimeoutMs(uint64_t Ms) {
+  TimeoutMs = Ms;
+  if (Fd >= 0 && Ms != 0)
+    applySocketTimeout(Fd, Ms);
 }
 
 void KeepAliveClient::disconnect() {
@@ -215,10 +282,11 @@ Expected<FetchResult> KeepAliveClient::readResponse() {
       continue;
     int E = N < 0 ? errno : 0;
     disconnect();
-    return N == 0 ? Error::make(ErrorCode::EC_IO,
-                                "connection closed mid-response")
-                  : Error::make(ErrorCode::EC_IO, "read: %s",
-                                std::strerror(E));
+    if (N == 0)
+      return Error::make(ErrorCode::EC_IO, "connection closed mid-response");
+    if (isTimeoutErrno(E))
+      return Error::make(ErrorCode::EC_Timeout, "read timed out");
+    return Error::make(ErrorCode::EC_IO, "read: %s", std::strerror(E));
   }
 }
 
@@ -266,13 +334,40 @@ Expected<FetchResult> KeepAliveClient::roundTrip(const std::string &Request,
         disconnect();
       return R;
     }
-    if (Attempt == 1)
+    // A timeout means the server is wedged, not that it dropped an idle
+    // connection — retrying would just double the operator's wait.
+    if (Attempt == 1 || R.error().code() == ErrorCode::EC_Timeout)
       return R.takeError();
     R.takeError(); // swallow; reconnect and retry
     if (Error E2 = connectTo(Port))
       return E2;
   }
   return Error::make(ErrorCode::EC_IO, "keep-alive request failed");
+}
+
+Expected<FetchResult> KeepAliveClient::getWithRetry(const std::string &Target,
+                                                    const RetryPolicy &P) {
+  for (unsigned Attempt = 0;; ++Attempt) {
+    Expected<FetchResult> R = get(Target);
+    if (!R || R->Status != 503 || Attempt + 1 >= P.MaxAttempts)
+      return R;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(backoffMs(P, Attempt, retryAfterMs(*R))));
+  }
+}
+
+Expected<FetchResult>
+KeepAliveClient::postWithRetry(const std::string &Target,
+                               const std::string &Body,
+                               const std::string &ContentType,
+                               const RetryPolicy &P) {
+  for (unsigned Attempt = 0;; ++Attempt) {
+    Expected<FetchResult> R = post(Target, Body, ContentType);
+    if (!R || R->Status != 503 || Attempt + 1 >= P.MaxAttempts)
+      return R;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(backoffMs(P, Attempt, retryAfterMs(*R))));
+  }
 }
 
 Expected<std::vector<FetchResult>>

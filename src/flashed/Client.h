@@ -42,6 +42,19 @@ Expected<FetchResult> httpPost(uint16_t Port, const std::string &Target,
                                const std::string &ContentType =
                                    "application/octet-stream");
 
+/// Retry pacing for requests the server answers with 503 (EC_Busy, e.g.
+/// an update barrier forming or a rollout in flight): capped exponential
+/// backoff with jitter, honouring any Retry-After the server sent.
+struct RetryPolicy {
+  unsigned MaxAttempts = 5;  ///< total tries, including the first
+  uint64_t BaseDelayMs = 10; ///< first backoff step
+  uint64_t MaxDelayMs = 1000;
+};
+
+/// Parses a Retry-After header (delta-seconds form) out of a response's
+/// raw head; returns -1 when absent or malformed.
+int64_t retryAfterMs(const FetchResult &R);
+
 /// A persistent-connection HTTP/1.1 client: one TCP connection, many
 /// sequential (or pipelined) requests framed by Content-Length.
 class KeepAliveClient {
@@ -56,6 +69,12 @@ public:
 
   bool connected() const { return Fd >= 0; }
 
+  /// Bounds every socket send/receive (SO_SNDTIMEO/SO_RCVTIMEO): a
+  /// server that wedges mid-response fails the request with EC_Timeout
+  /// instead of hanging the operator.  0 (default) = no timeout.
+  /// Applies to the current connection and any reconnect.
+  void setTimeoutMs(uint64_t Ms);
+
   /// One GET over the persistent connection.  When \p Close is set the
   /// request carries "Connection: close" and the connection is torn
   /// down after the response.  Reconnects transparently (once) when the
@@ -69,6 +88,20 @@ public:
                              const std::string &ContentType =
                                  "application/octet-stream",
                              bool Close = false);
+
+  /// get()/post() with RetryPolicy backoff on 503 responses: retries
+  /// with capped exponential backoff plus jitter, using the server's
+  /// Retry-After hint when it is longer than the computed backoff.
+  /// Non-503 responses (including other errors) return immediately;
+  /// transport failures are NOT retried beyond roundTrip()'s single
+  /// reconnect — a dead server should fail fast and distinctly.
+  Expected<FetchResult> getWithRetry(const std::string &Target,
+                                     const RetryPolicy &P = {});
+  Expected<FetchResult> postWithRetry(const std::string &Target,
+                                      const std::string &Body,
+                                      const std::string &ContentType =
+                                          "application/octet-stream",
+                                      const RetryPolicy &P = {});
 
   /// Writes GETs for all \p Targets in one burst, then reads all
   /// responses — the pipelined client the server's drain loop exists
@@ -89,6 +122,7 @@ private:
 
   int Fd = -1;
   uint16_t Port = 0;
+  uint64_t TimeoutMs = 0;
   std::string Buf; ///< bytes read beyond previously consumed responses
 };
 

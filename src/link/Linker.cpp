@@ -81,9 +81,10 @@ Expected<LinkPlan> Linker::prepare(LinkUnit Unit) const {
   return Plan;
 }
 
-Error Linker::commit(LinkPlan Plan, bool Rolling) {
+Error Linker::commit(LinkPlan Plan, bool Rolling, uint64_t CanaryMask,
+                     std::vector<RollEntry *> *GatedOut) {
   if (Rolling)
-    return commitRolling(std::move(Plan));
+    return commitRolling(std::move(Plan), CanaryMask, GatedOut);
   // On a mid-way failure every slot swung so far — the replacements in
   // Provides[0, I) — is unwound.  (A slot *defined* by this commit
   // cannot be removed — handles may already name it — but a dangling new
@@ -127,7 +128,8 @@ Error Linker::commit(LinkPlan Plan, bool Rolling) {
   return Error::success();
 }
 
-Error Linker::commitRolling(LinkPlan Plan) {
+Error Linker::commitRolling(LinkPlan Plan, uint64_t CanaryMask,
+                            std::vector<RollEntry *> *GatedOut) {
   assert(Plan.PreparedCode.size() == Plan.Unit.Provides.size() &&
          "commit needs the plan prepare() produced");
 
@@ -161,6 +163,16 @@ Error Linker::commitRolling(LinkPlan Plan) {
         std::move(Plan.PreparedCode[I]), MinObserved, Detached);
     NewEntries.push_back(E);
   }
+
+  // Canary gating: arm the gate while each entry's epoch is still
+  // unpublished (everyone resolves to Old regardless of mask), so no
+  // reader can observe a swing epoch without also observing the gate.
+  if (CanaryMask != UINT64_MAX)
+    for (RollEntry *R : NewEntries)
+      R->CanaryMask.store(CanaryMask, std::memory_order_release);
+  if (GatedOut)
+    GatedOut->insert(GatedOut->end(), NewEntries.begin(),
+                     NewEntries.end());
 
   if (!NewEntries.empty()) {
     struct InstallCtx {

@@ -103,10 +103,21 @@ public:
   /// quiescent point, never mid-request, and the superseded redirection
   /// records are epoch-retired instead of freed.  Callers guarantee a
   /// rolling plan migrates no state and bumps no types.
-  Error commit(LinkPlan Plan, bool Rolling = false);
+  ///
+  /// \p CanaryMask gates a rolling commit on worker identity: with a
+  /// mask other than UINT64_MAX, only workers whose bit is set adopt the
+  /// new bindings — every other reader stays redirected to the old code
+  /// until the rollout controller resolves the gate (promotion lowers
+  /// each entry's PromoteEpoch; rollback reverts the slots first).  The
+  /// published entries are appended to \p GatedOut, the controller's
+  /// handle for resolving them.
+  Error commit(LinkPlan Plan, bool Rolling = false,
+               uint64_t CanaryMask = UINT64_MAX,
+               std::vector<RollEntry *> *GatedOut = nullptr);
 
 private:
-  Error commitRolling(LinkPlan Plan);
+  Error commitRolling(LinkPlan Plan, uint64_t CanaryMask,
+                      std::vector<RollEntry *> *GatedOut);
 
   UpdateableRegistry &Registry;
   SymbolTable &Symbols;

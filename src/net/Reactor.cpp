@@ -256,12 +256,45 @@ void Reactor::closeConn(Conn *C) {
   PendingRelease.push_back(C);
 }
 
+namespace {
+
+/// Status code of the response serialized at \p At in \p Out ("HTTP/1.1
+/// NNN ..."), or 0 when the bytes there are not a status line (raw
+/// handlers may emit anything).
+int responseStatusAt(const std::string &Out, size_t At) {
+  if (Out.size() < At + 12 || Out.compare(At, 5, "HTTP/") != 0)
+    return 0;
+  size_t Sp = Out.find(' ', At);
+  if (Sp == std::string::npos || Out.size() < Sp + 4)
+    return 0;
+  int Status = 0;
+  for (size_t I = Sp + 1; I != Sp + 4; ++I) {
+    char Ch = Out[I];
+    if (Ch < '0' || Ch > '9')
+      return 0;
+    Status = Status * 10 + (Ch - '0');
+  }
+  return Status;
+}
+
+} // namespace
+
 void Reactor::serveOne(Conn *C, const RequestHead &Head,
                        std::string_view Raw) {
   assert(!C->hasPendingOutput() && "serving while output is pending");
   Stats.noteRequest();
   if (Fast) {
+    // Time the handler and classify its response so per-worker health
+    // (5xx rate, mean serve latency) is attributable to this worker —
+    // the signals a canary rollout's gates compare across workers.
+    size_t Pre = C->Out.size();
+    auto T0 = std::chrono::steady_clock::now();
     Fast(Head, Raw, C->Out, C->Tail);
+    auto Us = std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - T0)
+                  .count();
+    int Status = responseStatusAt(C->Out, Pre);
+    Stats.noteServe(static_cast<uint64_t>(Us), Status >= 500);
     C->CloseAfter = Head.Malformed || !Head.KeepAlive;
   } else {
     // Legacy one-shot handler: string in, string out, close after.

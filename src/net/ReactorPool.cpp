@@ -4,6 +4,7 @@
 
 #include "core/Runtime.h"
 #include "support/Logging.h"
+#include "support/WorkerId.h"
 
 #include <chrono>
 
@@ -226,6 +227,9 @@ uint64_t ReactorPool::connectionsAccepted() const {
 void ReactorPool::workerMain(unsigned Idx) {
   CurrentPool = this;
   CurrentWorkerIdx = static_cast<int>(Idx);
+  // Publish the worker's identity to the runtime layer: canary-gated
+  // RollEntries resolve their mask against it on every slot read.
+  setCurrentWorkerId(static_cast<int>(Idx));
   // Register with the epoch domain: this worker's quiesce() at each
   // idle point is what retires grace periods and what lets rolling
   // updates swing this worker's bindings without parking it.
@@ -245,6 +249,10 @@ void ReactorPool::workerMain(unsigned Idx) {
     // the last tick takes effect for this worker's next request here.
     Epoch.quiesce();
     maybeEnterBarrier(Idx);
+    // Idle-time hygiene: drain graced redirection chains even when no
+    // further commit ever arrives (try-lock inside; never blocks).
+    if (TheRuntime)
+      TheRuntime->maybeFlushRetiredBindings();
   }
   setState(Idx, WorkerState::Stopped);
   EpochSlots[Idx]->store(nullptr, std::memory_order_release);
@@ -272,6 +280,7 @@ void ReactorPool::workerMain(unsigned Idx) {
   BarrierCV.notify_all();
   CurrentPool = nullptr;
   CurrentWorkerIdx = -1;
+  setCurrentWorkerId(-1);
 }
 
 void ReactorPool::maybeEnterBarrier(unsigned Idx) {

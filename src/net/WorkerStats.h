@@ -32,6 +32,13 @@ struct alignas(64) WorkerStats {
   std::atomic<uint64_t> Connections{0}; ///< connections accepted
   std::atomic<uint64_t> BytesSent{0};   ///< payload bytes written
 
+  // Health signals a canary rollout gates on: server-fault responses and
+  // handler latency, both attributable to one worker so a rollout can
+  // compare its canary group against the control group.
+  std::atomic<uint64_t> Errors5xx{0};    ///< responses with status >= 500
+  std::atomic<uint64_t> ServeTotalUs{0}; ///< sum of handler durations
+  std::atomic<uint64_t> Serves{0};       ///< handler invocations timed
+
   /// Upper bounds (microseconds) of the update-pause histogram buckets;
   /// the final bucket is +Inf.
   static constexpr size_t NumPauseBuckets = 8;
@@ -60,6 +67,16 @@ struct alignas(64) WorkerStats {
   }
 
   void noteRequest() { Requests.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Records one handler invocation: its duration and whether it
+  /// produced a server fault.
+  void noteServe(uint64_t Us, bool ServerError) {
+    Serves.fetch_add(1, std::memory_order_relaxed);
+    ServeTotalUs.fetch_add(Us, std::memory_order_relaxed);
+    if (ServerError)
+      Errors5xx.fetch_add(1, std::memory_order_relaxed);
+  }
+
   void noteConnection() {
     Connections.fetch_add(1, std::memory_order_relaxed);
   }

@@ -59,13 +59,15 @@ template <> std::string fromValue<std::string>(const Value &V) {
 template <typename R, typename... Args>
 Binding makeValueBindingTyped(vtal::HostFn Impl, uint32_t Version,
                               std::string Origin) {
-  return makeClosureBinding<R, Args...>(
-      [Impl = std::move(Impl)](Args... As) -> R {
+  auto Traps = std::make_shared<std::atomic<uint64_t>>(0);
+  Binding B = makeClosureBinding<R, Args...>(
+      [Impl = std::move(Impl), Traps](Args... As) -> R {
         std::vector<Value> Vs;
         Vs.reserve(sizeof...(Args));
         (Vs.push_back(toValue<std::decay_t<Args>>(As)), ...);
         Expected<Value> Res = Impl(Vs);
         if (!Res) {
+          Traps->fetch_add(1, std::memory_order_relaxed);
           DSU_LOG_ERROR("patch code trapped: %s",
                         Res.error().str().c_str());
           if constexpr (std::is_void_v<R>)
@@ -79,6 +81,8 @@ Binding makeValueBindingTyped(vtal::HostFn Impl, uint32_t Version,
           return fromValue<R>(*Res);
       },
       Version, std::move(Origin));
+  B.Traps = std::move(Traps);
+  return B;
 }
 
 using Factory =

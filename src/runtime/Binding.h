@@ -17,6 +17,7 @@
 #ifndef DSU_RUNTIME_BINDING_H
 #define DSU_RUNTIME_BINDING_H
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -43,6 +44,20 @@ struct Binding {
   /// Keeps the code's owner alive: a LoadedLibrary for dlopen'd patches,
   /// an interpreter instance for VTAL patches, a closure box for lambdas.
   std::shared_ptr<void> KeepAlive;
+
+  /// Runtime traps observed in this implementation (division by zero,
+  /// fuel exhaustion, call-depth overflow in VTAL patch code).  Shared —
+  /// bindings are copied through the prepare and rollback paths and all
+  /// copies must report one counter; null for native bindings, which
+  /// cannot trap.  A rollout's canary health gate reads this: traps
+  /// surface to callers as zero values rather than HTTP errors, so the
+  /// error-rate gate alone would miss them.
+  std::shared_ptr<std::atomic<uint64_t>> Traps;
+
+  /// Trap count (0 when this binding cannot trap).
+  uint64_t trapCount() const {
+    return Traps ? Traps->load(std::memory_order_relaxed) : 0;
+  }
 };
 
 namespace detail {

@@ -43,9 +43,12 @@ StagedUpdate UpdateController::stagePatch(Patch P) {
 }
 
 StagedUpdate UpdateController::stageArtifactText(std::string Text,
-                                                 std::string SourceName) {
+                                                 std::string SourceName,
+                                                 bool HoldForRollout) {
   Job J;
   J.Tx = RT.makeTransaction("(loading " + SourceName + ")");
+  if (HoldForRollout)
+    J.Tx->HeldForRollout.store(true, std::memory_order_release);
   J.Kind = Job::Text;
   J.Artifact = std::move(Text);
   J.SourceName = std::move(SourceName);
@@ -95,6 +98,26 @@ void UpdateController::workerMain() {
       if (J.Tx->Phase.compare_exchange_strong(Expect, UpdatePhase::Aborted,
                                               std::memory_order_acq_rel))
         RT.finalize(*J.Tx, UpdatePhase::Aborted, nullptr);
+      std::lock_guard<std::mutex> G(Lock);
+      --InFlight;
+      IdleCV.notify_all();
+      continue;
+    }
+
+    // The staging watchdog also covers backlog time: a job whose
+    // deadline passed while it queued behind a slow patch is timed out
+    // here rather than staged pointlessly.
+    if (J.Tx->StageDeadline.time_since_epoch().count() != 0 &&
+        std::chrono::steady_clock::now() > J.Tx->StageDeadline) {
+      UpdatePhase Expect = UpdatePhase::Staging;
+      if (J.Tx->Phase.compare_exchange_strong(Expect, UpdatePhase::TimedOut,
+                                              std::memory_order_acq_rel)) {
+        Error E = Error::make(
+            ErrorCode::EC_Timeout,
+            "tx %llu timed out in the staging backlog before work began",
+            static_cast<unsigned long long>(J.Tx->id()));
+        RT.finalize(*J.Tx, UpdatePhase::TimedOut, &E);
+      }
       std::lock_guard<std::mutex> G(Lock);
       --InFlight;
       IdleCV.notify_all();

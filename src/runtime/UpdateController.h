@@ -43,7 +43,12 @@ public:
   /// e.g. the body of POST /admin/patches).  Parsing, verification and
   /// preparation all happen on the worker; a malformed artifact becomes
   /// a stage-failed transaction visible in the update log.
-  StagedUpdate stageArtifactText(std::string Text, std::string SourceName);
+  /// With \p HoldForRollout set, the transaction is marked
+  /// HeldForRollout *before* it is enqueued, so no pool worker can
+  /// commit it at an update point — the rollout controller owns its
+  /// commit and verdict.
+  StagedUpdate stageArtifactText(std::string Text, std::string SourceName,
+                                 bool HoldForRollout = false);
 
   /// Submits a patch artifact by path (.so native or .dsup VTAL).
   StagedUpdate stageArtifactFile(std::string Path);

@@ -20,6 +20,8 @@ const char *dsu::updatePhaseName(UpdatePhase P) {
     return "commit-failed";
   case UpdatePhase::Aborted:
     return "aborted";
+  case UpdatePhase::TimedOut:
+    return "timed-out";
   }
   return "unknown";
 }

@@ -47,6 +47,8 @@ enum class UpdatePhase {
   StageFailed,  ///< rejected during staging (program untouched)
   CommitFailed, ///< rejected at commit (rolled back, program untouched)
   Aborted,      ///< withdrawn by the operator before commit
+  TimedOut,     ///< staging exceeded the watchdog deadline (aborted so it
+                ///< cannot head-of-line-block the FIFO update queue)
 };
 
 /// Stable lower-case name for \p P ("staging", "ready", "committed", ...).
@@ -94,6 +96,12 @@ struct UpdateRecord {
   size_t InstructionsVerified = 0;
   size_t CellsMigrated = 0;
   size_t ProvidesLinked = 0;
+
+  /// Canary rollout verdict, when this transaction was committed through
+  /// the rollout controller: "promoted" (health gates passed; the patch
+  /// reached the whole fleet) or "rolled-back" (a gate tripped and the
+  /// canary was reverted).  Empty for updates committed directly.
+  std::string Rollout;
 };
 
 /// One staged update in flight.  Created by Runtime::stage() (or the
@@ -115,6 +123,7 @@ private:
   friend class Runtime;
   friend class UpdateController;
   friend class UpdateQueue;
+  friend class RolloutController;
 
   explicit UpdateTransaction(uint64_t Id) : Id(Id) {}
 
@@ -122,6 +131,18 @@ private:
   std::atomic<UpdatePhase> Phase{UpdatePhase::Staging};
   std::atomic<bool> AbortRequested{false};
   bool Enqueued = false; ///< on the runtime's update queue (set once)
+
+  /// Reserved by a rollout: pool workers must not commit this
+  /// transaction at their quiescent points — the RolloutController
+  /// commits it itself, canary-gated, and drives the verdict.  Atomic
+  /// because workers read it from UpdateQueue acceptance predicates.
+  std::atomic<bool> HeldForRollout{false};
+
+  /// Absolute staging deadline (steady clock); zero (the epoch) = no
+  /// watchdog.  Set before the transaction is handed to the staging
+  /// pipeline; stageInto() checks it between stages and the staged
+  /// controller checks it while the job queues.
+  std::chrono::steady_clock::time_point StageDeadline{};
 
   /// Staging-time classification: true when the patch migrates no state,
   /// bumps no types and ships no transformers — the cheap common case
@@ -173,6 +194,7 @@ public:
 private:
   friend class Runtime;
   friend class UpdateController;
+  friend class RolloutController;
 
   StagedUpdate(Runtime *RT, std::shared_ptr<UpdateTransaction> Tx)
       : RT(RT), Tx(std::move(Tx)) {}

@@ -6,6 +6,21 @@
 
 using namespace dsu;
 
+namespace {
+
+/// A chain is detachable only when *every* entry is graced: epochs are
+/// monotonically older down the chain, but a canary gate anywhere in it
+/// may still be redirecting control workers regardless of age.
+bool chainGraced(const RollEntry *Head, uint64_t MinObservedEpoch) {
+  for (const RollEntry *R = Head; R;
+       R = R->Prev.load(std::memory_order_relaxed))
+    if (!R->graced(MinObservedEpoch))
+      return false;
+  return true;
+}
+
+} // namespace
+
 size_t UpdateableSlot::historySize() const {
   // History is only appended under the registry lock; size() is a benign
   // race used for reporting only.
@@ -123,14 +138,11 @@ RollEntry *UpdateableRegistry::rebindPreparedSlotRolling(
   // traversal may still hold pointers to them, hence epoch-retirement
   // (by the caller) instead of free.
   RollEntry *OldHead = Slot.Roll.load(std::memory_order_relaxed);
-  if (OldHead) {
-    uint64_t HeadEpoch = OldHead->Epoch.load(std::memory_order_relaxed);
-    if (HeadEpoch != UINT64_MAX && HeadEpoch <= MinObservedEpoch) {
-      for (RollEntry *R = OldHead; R;
-           R = R->Prev.load(std::memory_order_relaxed))
-        DetachedOut.push_back(R);
-      OldHead = nullptr;
-    }
+  if (OldHead && chainGraced(OldHead, MinObservedEpoch)) {
+    for (RollEntry *R = OldHead; R;
+         R = R->Prev.load(std::memory_order_relaxed))
+      DetachedOut.push_back(R);
+    OldHead = nullptr;
   }
 
   // The current binding stays reachable two ways: through the slot's
@@ -146,6 +158,8 @@ RollEntry *UpdateableRegistry::rebindPreparedSlotRolling(
   const Binding *Raw = NewBinding.get();
   Slot.History.push_back(std::move(NewBinding));
   Slot.TypeHistory.push_back(NewTy);
+  if (!Slot.Roll.load(std::memory_order_relaxed))
+    LiveRollChains.fetch_add(1, std::memory_order_relaxed);
   // Entry before Current: a reader that sees the new Current is
   // guaranteed (release/acquire on Current) to also see the entry and
   // be redirected while its epoch predates the swing.
@@ -178,12 +192,15 @@ void UpdateableRegistry::flushGracedRolls(
     RollEntry *Head = Slot->Roll.load(std::memory_order_relaxed);
     if (!Head)
       continue;
-    uint64_t E = Head->Epoch.load(std::memory_order_relaxed);
-    if (E == UINT64_MAX || E > MinObservedEpoch)
-      continue; // swing mid-publication, or readers may still need it
+    // Mid-publication, within a reader's grace window, or carrying an
+    // unresolved canary gate (control workers still depend on the
+    // redirection): the chain must stay.
+    if (!chainGraced(Head, MinObservedEpoch))
+      continue;
     for (RollEntry *R = Head; R; R = R->Prev.load(std::memory_order_relaxed))
       DetachedOut.push_back(R);
     Slot->Roll.store(nullptr, std::memory_order_release);
+    LiveRollChains.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 

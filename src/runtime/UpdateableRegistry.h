@@ -20,6 +20,7 @@
 #include "epoch/Epoch.h"
 #include "runtime/Binding.h"
 #include "support/Error.h"
+#include "support/WorkerId.h"
 #include "types/Compat.h"
 #include "types/Type.h"
 
@@ -43,6 +44,45 @@ struct RollEntry {
   /// Domain::advanceWith, before that epoch becomes observable.
   std::atomic<uint64_t> Epoch{UINT64_MAX};
   std::atomic<RollEntry *> Prev{nullptr};
+
+  /// Canary gate.  UINT64_MAX = ungated (the common case; every reader
+  /// past Epoch adopts the new binding).  Otherwise bit i grants worker
+  /// i the new binding while the rollout observes; every other reader —
+  /// control workers and unidentified threads alike — stays on Old
+  /// until PromoteEpoch resolves the gate.
+  std::atomic<uint64_t> CanaryMask{UINT64_MAX};
+
+  /// Epoch at which a canary gate resolved.  UINT64_MAX while the
+  /// rollout is still observing; lowered inside Domain::advanceWith on
+  /// promotion (and after the Current swing on rollback), so gate
+  /// resolution is per-reader atomic at the reader's next quiesce.
+  std::atomic<uint64_t> PromoteEpoch{UINT64_MAX};
+
+  /// Whether a reader pinned at epoch \p E must be redirected to Old.
+  bool redirects(uint64_t E) const {
+    if (E < Epoch.load(std::memory_order_acquire))
+      return true; // swing not yet observable for this reader
+    uint64_t Mask = CanaryMask.load(std::memory_order_acquire);
+    if (Mask == UINT64_MAX)
+      return false; // ungated: the pre-canary fast answer
+    if (E >= PromoteEpoch.load(std::memory_order_acquire))
+      return false; // gate resolved; everyone adopts Current
+    int W = currentWorkerId();
+    return W < 0 || W >= 64 || !((Mask >> W) & 1);
+  }
+
+  /// Whether every reader is past this entry: the swing epoch has been
+  /// graced AND any canary gate has resolved and been graced.  Only then
+  /// may the entry be detached from its slot's chain.
+  bool graced(uint64_t MinObservedEpoch) const {
+    uint64_t E = Epoch.load(std::memory_order_relaxed);
+    if (E == UINT64_MAX || E > MinObservedEpoch)
+      return false;
+    if (CanaryMask.load(std::memory_order_relaxed) == UINT64_MAX)
+      return true;
+    uint64_t P = PromoteEpoch.load(std::memory_order_relaxed);
+    return P != UINT64_MAX && P <= MinObservedEpoch;
+  }
 };
 
 /// One updateable function's slot.  Created by UpdateableRegistry and
@@ -94,7 +134,7 @@ public:
     if (R) {
       uint64_t E = epoch::threadPinnedEpoch();
       if (E != 0)
-        while (R && E < R->Epoch.load(std::memory_order_acquire)) {
+        while (R && R->redirects(E)) {
           B = R->Old;
           R = R->Prev.load(std::memory_order_acquire);
         }
@@ -187,11 +227,19 @@ public:
                                        std::vector<RollEntry *> &DetachedOut);
 
   /// Detaches every slot's rolling-redirection chain whose newest entry
-  /// has been fully graced (epoch <= \p MinObservedEpoch), restoring the
-  /// single-load fast path; the detached entries are appended to
-  /// \p DetachedOut for epoch-retirement by the caller.
+  /// has been fully graced (epoch <= \p MinObservedEpoch, and any canary
+  /// gate resolved), restoring the single-load fast path; the detached
+  /// entries are appended to \p DetachedOut for epoch-retirement by the
+  /// caller.
   void flushGracedRolls(uint64_t MinObservedEpoch,
                         std::vector<RollEntry *> &DetachedOut);
+
+  /// Whether any slot still carries a rolling-redirection chain.  Lock
+  /// free (one relaxed load): the reactor idle hook polls this every
+  /// poll iteration, and must not contend with the serving path.
+  bool hasLiveRolls() const {
+    return LiveRollChains.load(std::memory_order_relaxed) != 0;
+  }
 
   /// Reverts \p Name to the implementation (and recorded type) it had
   /// before its most recent rebind.  The rollback is itself an update:
@@ -211,6 +259,9 @@ public:
 private:
   mutable std::mutex Lock;
   std::map<std::string, std::unique_ptr<UpdateableSlot>> Slots;
+  /// Number of slots whose Roll pointer is non-null; maintained under
+  /// Lock, read lock-free by hasLiveRolls().
+  std::atomic<size_t> LiveRollChains{0};
 };
 
 /// Thread-local count of updateable activations on the current thread's

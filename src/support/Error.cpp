@@ -34,6 +34,8 @@ const char *dsu::errorCodeName(ErrorCode EC) {
     return "busy";
   case ErrorCode::EC_Unsupported:
     return "unsupported";
+  case ErrorCode::EC_Timeout:
+    return "timeout";
   }
   return "unknown";
 }

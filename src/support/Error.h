@@ -39,6 +39,7 @@ enum class ErrorCode {
   EC_Invalid,        ///< API misuse that is recoverable (bad argument)
   EC_Busy,           ///< thread-discipline violation; retry at a safe point
   EC_Unsupported,    ///< feature intentionally not supported
+  EC_Timeout,        ///< watchdog deadline exceeded (staged too long)
 };
 
 /// Returns a stable human-readable name for \p EC ("verify", "link", ...).

@@ -1,0 +1,99 @@
+//===- support/FaultInject.cpp --------------------------------*- C++ -*-===//
+
+#include "support/FaultInject.h"
+
+#include "support/StringUtil.h"
+
+#include <atomic>
+
+using namespace dsu;
+
+namespace {
+std::atomic<uint64_t> StageStallMs{0};
+} // namespace
+
+void faultinject::setStageStallMs(uint64_t Ms) {
+  StageStallMs.store(Ms, std::memory_order_relaxed);
+}
+
+uint64_t faultinject::stageStallMs() {
+  return StageStallMs.load(std::memory_order_relaxed);
+}
+
+std::string faultinject::trapPatchText() {
+  return R"dsu(
+(patch
+  (id "FI-trap-on-call")
+  (description "fault injection: map_url divides by zero on every call")
+  (provides
+    (fn (name "flashed.map_url")
+        (type "fn(string) -> string")
+        (vtal-fn "map_url")))
+  (vtal-module
+"module fi_trap
+func map_url (target: string) -> string {
+  push.i 1
+  push.i 0
+  div
+  pop
+  load target
+  ret
+}"))
+)dsu";
+}
+
+std::string faultinject::error500PatchText() {
+  return R"dsu(
+(patch
+  (id "FI-error-500")
+  (description "fault injection: map_url turns every request into a 500")
+  (provides
+    (fn (name "flashed.map_url")
+        (type "fn(string) -> string")
+        (vtal-fn "map_url")))
+  (vtal-module
+"module fi_error500
+func map_url (target: string) -> string {
+  push.s \"!500 injected\"
+  ret
+}"))
+)dsu";
+}
+
+std::string faultinject::fuelBurnPatchText(uint64_t Iterations) {
+  // ~6 interpreted instructions per iteration; the default fuel budget
+  // is 64M instructions, so anything beyond ~11M iterations exhausts
+  // fuel (and traps) instead of merely running slowly.
+  return formatString(R"dsu(
+(patch
+  (id "FI-fuel-burn-%llu")
+  (description "fault injection: mime_type burns %llu loop iterations")
+  (provides
+    (fn (name "flashed.mime_type")
+        (type "fn(string) -> string")
+        (vtal-fn "mime_type")))
+  (vtal-module
+"module fi_fuel_burn
+func mime_type (path: string) -> string {
+  locals (n: int)
+  push.i %llu
+  store n
+loop:
+  load n
+  push.i 0
+  le
+  brif done
+  load n
+  push.i 1
+  sub
+  store n
+  br loop
+done:
+  push.s \"text/plain\"
+  ret
+}"))
+)dsu",
+                      (unsigned long long)Iterations,
+                      (unsigned long long)Iterations,
+                      (unsigned long long)Iterations);
+}

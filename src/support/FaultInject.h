@@ -1,0 +1,62 @@
+//===- support/FaultInject.h - Fault-injection harness --------*- C++ -*-===//
+///
+/// \file
+/// Deliberately broken inputs for exercising the update pipeline's
+/// failure paths: patches that trap, patches that exhaust their fuel
+/// budget, patches that turn every response into a 500, and a staging
+/// stall knob that makes a patch linger in the verify/link pipeline so
+/// the staging watchdog (and the rollout controller's observation of a
+/// stalled canary) can be driven deterministically from tests and the
+/// bench_rollout harness.
+///
+/// Everything here is inert unless a test reaches for it: the stall
+/// knob defaults to zero and the patch generators only produce artifact
+/// text — the production pipeline treats their output like any other
+/// operator-submitted .dsup artifact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_SUPPORT_FAULTINJECT_H
+#define DSU_SUPPORT_FAULTINJECT_H
+
+#include <cstdint>
+#include <string>
+
+namespace dsu {
+namespace faultinject {
+
+/// Staging stall injection: when non-zero, Runtime::stageInto() sleeps
+/// this many milliseconds between verification and link preparation —
+/// in small increments, so the staging watchdog deadline is still
+/// honoured mid-stall.  Models a pathological patch whose verification
+/// or transformer build wedges.
+void setStageStallMs(uint64_t Ms);
+uint64_t stageStallMs();
+
+/// A patch whose replacement for `flashed.map_url` executes a division
+/// by zero on every call: the VTAL interpreter traps, the binding's
+/// trap counter increments, and the caller receives the string type's
+/// zero value ("") — which surfaces as a 404, *not* a 5xx.  Exercises
+/// the rollout controller's trap gate (error-rate gates alone would
+/// miss it).
+std::string trapPatchText();
+
+/// A patch whose replacement for `flashed.map_url` returns the tagged
+/// error "!500 injected" for every request, so every canary response
+/// becomes an HTTP 500.  Exercises the error-delta gate.
+std::string error500PatchText();
+
+/// A patch whose replacement for `flashed.mime_type` burns
+/// \p Iterations loop iterations (~6 instructions each) before
+/// returning a valid MIME type.  Small counts model a latency
+/// regression (latency-delta gate); counts beyond the interpreter's
+/// fuel budget (64M instructions) exhaust fuel on every call, which
+/// traps without ever completing a request — the rollout controller's
+/// stall gate catches the case where the canary stops producing
+/// responses inside the observation window.
+std::string fuelBurnPatchText(uint64_t Iterations);
+
+} // namespace faultinject
+} // namespace dsu
+
+#endif // DSU_SUPPORT_FAULTINJECT_H

@@ -1,0 +1,15 @@
+//===- support/WorkerId.cpp - Thread-local serving worker id --------------===//
+
+#include "support/WorkerId.h"
+
+namespace {
+thread_local int TLWorkerId = -1;
+} // namespace
+
+namespace dsu {
+
+void setCurrentWorkerId(int Id) { TLWorkerId = Id; }
+
+int currentWorkerId() { return TLWorkerId; }
+
+} // namespace dsu

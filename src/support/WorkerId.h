@@ -1,0 +1,30 @@
+//===- support/WorkerId.h - Thread-local serving worker id ----*- C++ -*-===//
+///
+/// \file
+/// Identifies the serving worker a thread belongs to, for canary-gated
+/// rollouts: a RollEntry published with a worker-id mask redirects
+/// non-canary workers to the old binding until the rollout promotes.
+/// The id is process-local (set by ReactorPool::workerMain) and -1 on
+/// every thread that is not a pool worker; such threads always count as
+/// control-group readers.
+///
+/// Exposed as accessor functions rather than an extern thread_local so
+/// cross-TU TLS access stays within one translation unit (the same
+/// idiom epoch/Epoch.cpp uses for the pinned-epoch TLS).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_SUPPORT_WORKERID_H
+#define DSU_SUPPORT_WORKERID_H
+
+namespace dsu {
+
+/// Tags the calling thread as serving worker \p Id (or -1 to clear).
+void setCurrentWorkerId(int Id);
+
+/// The calling thread's worker id, or -1 when it is not a pool worker.
+int currentWorkerId();
+
+} // namespace dsu
+
+#endif // DSU_SUPPORT_WORKERID_H

@@ -1,0 +1,461 @@
+//===- tests/test_rollout.cpp - Canary rollout control plane --------------===//
+///
+/// The metric-gated rollout state machine end to end, driven by the
+/// fault-injection harness: a benign patch canaries on one worker and
+/// promotes to the fleet; an injected-500 patch trips the error gate and
+/// auto-rolls-back with the control group never serving the bad binding;
+/// a trapping patch trips the trap gate (its faults surface as 404s, so
+/// the error gate alone would miss it); a fuel bomb wedges the canary
+/// and is caught; the staging watchdog aborts a stalled patch so it
+/// cannot head-of-line-block the FIFO queue; graced redirection chains
+/// drain from reactor idle without another commit; and the hardened
+/// client/ctl retry a busy control plane with Retry-After-aware backoff.
+///
+/// Run alone with `ctest -L rollout`.
+
+#include "flashed/App.h"
+#include "flashed/Client.h"
+#include "flashed/DocStore.h"
+#include "flashed/Http.h"
+#include "net/ReactorPool.h"
+#include "runtime/RolloutController.h"
+#include "runtime/UpdateController.h"
+#include "support/FaultInject.h"
+#include "support/MemoryBuffer.h"
+#include "support/StringUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace dsu;
+using namespace dsu::flashed;
+
+namespace {
+
+constexpr unsigned kWorkers = 4;
+
+#define WAIT_FOR(Pred)                                                     \
+  do {                                                                     \
+    int Spin_ = 0;                                                         \
+    while (!(Pred) && Spin_++ != 5000)                                     \
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));           \
+    ASSERT_TRUE(Pred) << "timed out waiting for: " #Pred;                  \
+  } while (0)
+
+/// A benign code-only patch: map_url becomes a straight passthrough
+/// (the fixture never requests "/", the only target v1 rewrites).
+const char *GoodMapUrlPatch = R"dsu(
+(patch
+  (id "rollout-good-map-url")
+  (description "benign map_url passthrough")
+  (provides
+    (fn (name "flashed.map_url")
+        (type "fn(string) -> string")
+        (vtal-fn "map_url")))
+  (vtal-module
+"module rollout_good
+func map_url (target: string) -> string {
+  load target
+  ret
+}"))
+)dsu";
+
+/// FlashEd on a 4-worker pool with the admin control plane: the smallest
+/// production-shaped deployment a canary (1 of 4) makes sense on.
+class RolloutPoolTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    DocStore Docs;
+    Docs.put("/doc.html", "<html>rollout</html>");
+    Docs.put("/index.html", "<html>index</html>");
+    ASSERT_FALSE(App.init(std::move(Docs)));
+    App.enableAdmin(RT.controller());
+
+    net::PoolOptions O;
+    O.Workers = kWorkers;
+    O.PollTimeoutMs = 2;
+    Pool = std::make_unique<net::ReactorPool>(
+        [this](const RequestHead &Head, std::string_view Raw,
+               std::string &Out, SharedBody &Body) {
+          App.handleInto(Head, Raw, Out, Body);
+        },
+        O);
+    Pool->setUpdateRuntime(RT);
+    App.attachPool(*Pool);
+    ASSERT_FALSE(Pool->start());
+  }
+
+  void TearDown() override {
+    stopLoad();
+    App.rollouts().waitIdle(); // never tear the pool down under a rollout
+    Pool->stop();
+    faultinject::setStageStallMs(0);
+  }
+
+  void startLoad(unsigned Threads) {
+    Stop.store(false);
+    for (unsigned T = 0; T != Threads; ++T)
+      Loaders.emplace_back([this] {
+        KeepAliveClient C;
+        if (C.connectTo(Pool->port()))
+          return;
+        unsigned N = 0;
+        while (!Stop.load()) {
+          // Workers accept on per-worker SO_REUSEPORT sockets, so the
+          // connection->worker mapping is a kernel hash; re-rolling it
+          // periodically guarantees the canary worker sees traffic.
+          if (++N % 100 == 0)
+            C.disconnect();
+          Expected<FetchResult> R = C.get("/doc.html");
+          if (!R)
+            continue; // reconnects transparently on the next round trip
+          if (R->Status == 200)
+            Ok.fetch_add(1);
+          else if (R->Status >= 500)
+            Err5xx.fetch_add(1);
+          else
+            Other.fetch_add(1);
+        }
+      });
+  }
+
+  void stopLoad() {
+    Stop.store(true);
+    for (std::thread &T : Loaders)
+      T.join();
+    Loaders.clear();
+  }
+
+  bool terminal(uint64_t Id) {
+    Expected<RolloutRecord> R = App.rollouts().rollout(Id);
+    return R && (R->State == "promoted" || R->State == "rolled-back" ||
+                 R->State == "failed");
+  }
+
+  RolloutRecord record(uint64_t Id) {
+    Expected<RolloutRecord> R = App.rollouts().rollout(Id);
+    EXPECT_TRUE(R);
+    return R ? *R : RolloutRecord{};
+  }
+
+  Runtime RT;
+  FlashedApp App{RT};
+  std::unique_ptr<net::ReactorPool> Pool;
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> Ok{0}, Err5xx{0}, Other{0};
+  std::vector<std::thread> Loaders;
+};
+
+/// A healthy patch canaries on one worker, observes an (idle) window,
+/// and promotes to the whole fleet without a barrier.
+TEST_F(RolloutPoolTest, GoodPatchCanariesThenPromotes) {
+  RolloutOptions O;
+  O.WindowMs = 120;
+  Expected<uint64_t> Id =
+      App.rollouts().startArtifactText(GoodMapUrlPatch, "test", O);
+  ASSERT_TRUE(Id) << Id.takeError().str();
+
+  WAIT_FOR(terminal(*Id));
+  RolloutRecord Rec = record(*Id);
+  EXPECT_EQ(Rec.State, "promoted");
+  EXPECT_EQ(Rec.Verdict, "promoted");
+  EXPECT_EQ(Rec.Mode, "canary");
+  EXPECT_EQ(Rec.CanaryMask, 1u) << "canary group should be worker 0 only";
+  EXPECT_EQ(Pool->barrierRounds(), 0u) << "a canary rollout armed the barrier";
+
+  // The verdict is annotated into the regular update log too.
+  std::vector<UpdateRecord> Log = RT.updateLog();
+  ASSERT_FALSE(Log.empty());
+  EXPECT_EQ(Log.back().Rollout, "promoted");
+  EXPECT_EQ(Log.back().CommitMode, "canary");
+
+  // The fleet serves the promoted binding.
+  for (unsigned I = 0; I != 2 * kWorkers; ++I) {
+    Expected<FetchResult> R = httpGet(Pool->port(), "/doc.html");
+    ASSERT_TRUE(R);
+    EXPECT_EQ(R->Status, 200);
+  }
+}
+
+/// The acceptance bar: an injected-500 patch canaried on 1 of 4 workers
+/// under live keep-alive load trips the error gate within the window and
+/// auto-rolls-back; the control group never serves the bad binding.
+TEST_F(RolloutPoolTest, Error500PatchAutoRollsBackUnderLoad) {
+  startLoad(2 * kWorkers);
+  WAIT_FOR(Ok.load() >= 100);
+
+  // Drive it over the wire, exactly as an operator would.
+  KeepAliveClient C;
+  ASSERT_FALSE(C.connectTo(Pool->port()));
+  Expected<FetchResult> Posted = C.post(
+      "/admin/rollout?canary_workers=1&window_ms=600&min_samples=5",
+      faultinject::error500PatchText(), "application/x-dsu-patch");
+  ASSERT_TRUE(Posted);
+  ASSERT_EQ(Posted->Status, 202) << Posted->Body;
+  uint64_t Id = 0;
+  {
+    size_t At = Posted->Body.find(": ");
+    ASSERT_NE(At, std::string::npos) << Posted->Body;
+    Id = std::strtoull(Posted->Body.c_str() + At + 2, nullptr, 10);
+  }
+  ASSERT_NE(Id, 0u);
+
+  WAIT_FOR(terminal(Id));
+  RolloutRecord Rec = record(Id);
+  EXPECT_EQ(Rec.Verdict, "rolled-back");
+  EXPECT_EQ(Rec.Mode, "canary");
+  EXPECT_NE(Rec.Reason.find("error gate"), std::string::npos) << Rec.Reason;
+  EXPECT_GE(Rec.CanaryErrors, 1u) << "the canary never served the bad binding";
+  EXPECT_EQ(Rec.ControlErrors, 0u)
+      << "a control worker served the bad binding";
+  EXPECT_LE(Rec.DetectMs, 600.0 + 200.0)
+      << "the error gate should trip within one window";
+
+  // The verdict is visible over the wire too.
+  Expected<FetchResult> Wire =
+      C.get("/admin/rollouts?id=" + std::to_string(Id));
+  ASSERT_TRUE(Wire);
+  EXPECT_EQ(Wire->Status, 200);
+  EXPECT_NE(Wire->Body.find("\"verdict\": \"rolled-back\""),
+            std::string::npos)
+      << Wire->Body;
+
+  stopLoad();
+  EXPECT_GE(Err5xx.load(), 1u) << "load never observed the canary's 500s";
+
+  // Rolled back: the whole fleet serves the old (healthy) binding again.
+  for (unsigned I = 0; I != 2 * kWorkers; ++I) {
+    Expected<FetchResult> R = httpGet(Pool->port(), "/doc.html");
+    ASSERT_TRUE(R);
+    EXPECT_EQ(R->Status, 200);
+  }
+  std::vector<UpdateRecord> Log = RT.updateLog();
+  ASSERT_FALSE(Log.empty());
+  EXPECT_EQ(Log.back().Rollout, "rolled-back");
+}
+
+/// A trapping patch's faults surface as zero values (404s), not 5xxs —
+/// only the trap gate catches it.
+TEST_F(RolloutPoolTest, TrapPatchTripsTheTrapGate) {
+  startLoad(2 * kWorkers);
+  WAIT_FOR(Ok.load() >= 50);
+
+  RolloutOptions O;
+  O.WindowMs = 800;
+  O.MinSamples = 1u << 20; // starve the error gate: only traps may trip
+  Expected<uint64_t> Id = App.rollouts().startArtifactText(
+      faultinject::trapPatchText(), "test", O);
+  ASSERT_TRUE(Id) << Id.takeError().str();
+
+  WAIT_FOR(terminal(*Id));
+  RolloutRecord Rec = record(*Id);
+  stopLoad();
+  EXPECT_EQ(Rec.Verdict, "rolled-back");
+  EXPECT_NE(Rec.Reason.find("trap gate"), std::string::npos) << Rec.Reason;
+  EXPECT_GE(Rec.CanaryTraps, 1u);
+  EXPECT_EQ(Rec.ControlErrors, 0u);
+}
+
+/// A fuel bomb never completes a request: depending on how fast the
+/// interpreter burns the budget relative to the window, either the trap
+/// gate (fuel exhausted -> trap) or the stall gate (requests entered,
+/// none completed) catches it — but it must never promote.
+TEST_F(RolloutPoolTest, FuelBombIsCaughtByTrapOrStallGate) {
+  startLoad(2 * kWorkers);
+  WAIT_FOR(Ok.load() >= 50);
+
+  RolloutOptions O;
+  O.WindowMs = 3000;
+  O.MinSamples = 1u << 20;
+  Expected<uint64_t> Id = App.rollouts().startArtifactText(
+      faultinject::fuelBurnPatchText(30'000'000), "test", O);
+  ASSERT_TRUE(Id) << Id.takeError().str();
+
+  WAIT_FOR(terminal(*Id));
+  RolloutRecord Rec = record(*Id);
+  stopLoad();
+  EXPECT_EQ(Rec.Verdict, "rolled-back");
+  EXPECT_NE(Rec.Reason.find("gate"), std::string::npos) << Rec.Reason;
+}
+
+/// Satellite: graced redirection chains drain from reactor idle — no
+/// further commit needed to flush a fully-graced roll chain.
+TEST_F(RolloutPoolTest, RollChainsDrainFromReactorIdle) {
+  StagedUpdate S =
+      RT.controller().stageArtifactText(GoodMapUrlPatch, "idle-drain");
+  Pool->wake();
+  WAIT_FOR(RT.updatesApplied() >= 1);
+  EXPECT_EQ(RT.rollingCommits(), 1u);
+
+  // No more commits, no explicit flush: the workers' idle hook detaches
+  // the chain once every registered worker has quiesced past it.
+  WAIT_FOR(App.MapUrl.slot()->rollDepth() == 0);
+}
+
+/// Satellite: the hardened client retries a busy control plane (503 +
+/// Retry-After) with backoff until the in-flight rollout resolves.
+TEST_F(RolloutPoolTest, BusyControlPlaneIsRetriedWithBackoff) {
+  RolloutOptions O;
+  O.WindowMs = 400;
+  Expected<uint64_t> First =
+      App.rollouts().startArtifactText(GoodMapUrlPatch, "first", O);
+  ASSERT_TRUE(First);
+
+  KeepAliveClient C;
+  ASSERT_FALSE(C.connectTo(Pool->port()));
+  C.setTimeoutMs(5000);
+
+  // A bare POST while busy gets the retryable answer with its hint.
+  Expected<FetchResult> Busy = C.post("/admin/rollout?window_ms=100",
+                                      GoodMapUrlPatch,
+                                      "application/x-dsu-patch");
+  ASSERT_TRUE(Busy);
+  EXPECT_EQ(Busy->Status, 503);
+  EXPECT_GE(retryAfterMs(*Busy), 0) << "503 without a Retry-After hint";
+
+  // postWithRetry outlasts the first rollout's window and lands.
+  RetryPolicy P;
+  P.MaxAttempts = 100;
+  P.BaseDelayMs = 20;
+  P.MaxDelayMs = 100;
+  Expected<FetchResult> Second = C.postWithRetry(
+      "/admin/rollout?window_ms=100", GoodMapUrlPatch,
+      "application/x-dsu-patch", P);
+  ASSERT_TRUE(Second);
+  EXPECT_EQ(Second->Status, 202) << Second->Body;
+
+  WAIT_FOR(!App.rollouts().busy());
+  std::vector<RolloutRecord> All = App.rollouts().rollouts();
+  ASSERT_EQ(All.size(), 2u);
+  EXPECT_EQ(All[0].Verdict, "promoted");
+  EXPECT_EQ(All[1].Verdict, "promoted");
+}
+
+/// dsu-updatectl rollout drives the whole loop from outside the process:
+/// POST, poll, verdict, exit code.
+TEST_F(RolloutPoolTest, UpdatectlRolloutCommandReportsTheVerdict) {
+  std::string Tool = std::string(DSU_BIN_DIR) + "/tools/dsu-updatectl";
+  if (!fileExists(Tool))
+    GTEST_SKIP() << "dsu-updatectl not built";
+  std::string PatchFile = ::testing::TempDir() + "dsu_rollout_good.dsup";
+  ASSERT_FALSE(writeFile(PatchFile, GoodMapUrlPatch));
+  std::string OutFile = ::testing::TempDir() + "dsu_rollout_ctl.out";
+
+  std::string Cmd = Tool + " rollout " + std::to_string(Pool->port()) +
+                    " " + PatchFile +
+                    " --canary-workers 1 --window-ms 150 --timeout-ms 5000" +
+                    " > " + OutFile + " 2>&1";
+  int Status = std::system(Cmd.c_str());
+  ASSERT_TRUE(WIFEXITED(Status));
+  EXPECT_EQ(WEXITSTATUS(Status), 0);
+
+  Expected<std::string> Out = readFile(OutFile);
+  ASSERT_TRUE(Out);
+  EXPECT_NE(Out->find("promoted"), std::string::npos) << *Out;
+  std::remove(PatchFile.c_str());
+  std::remove(OutFile.c_str());
+}
+
+/// A single-worker fleet cannot hold back a control group: the rollout
+/// degenerates to commit-then-observe under the barrier, gated on
+/// absolute rates — and a healthy patch still promotes.
+TEST(RolloutBarrierModeTest, SingleWorkerFallsBackToBarrierMode) {
+  Runtime RT;
+  FlashedApp App(RT);
+  DocStore Docs;
+  Docs.put("/doc.html", "<html>one</html>");
+  ASSERT_FALSE(App.init(std::move(Docs)));
+  App.enableAdmin(RT.controller());
+
+  net::PoolOptions O;
+  O.Workers = 1;
+  O.PollTimeoutMs = 2;
+  net::ReactorPool Pool(
+      [&App](const RequestHead &Head, std::string_view Raw, std::string &Out,
+             SharedBody &Body) { App.handleInto(Head, Raw, Out, Body); },
+      O);
+  Pool.setUpdateRuntime(RT);
+  App.attachPool(Pool);
+  ASSERT_FALSE(Pool.start());
+
+  RolloutOptions RO;
+  RO.WindowMs = 100;
+  Expected<uint64_t> Id =
+      App.rollouts().startArtifactText(GoodMapUrlPatch, "test", RO);
+  ASSERT_TRUE(Id) << Id.takeError().str();
+  App.rollouts().waitIdle();
+
+  Expected<RolloutRecord> Rec = App.rollouts().rollout(*Id);
+  ASSERT_TRUE(Rec);
+  EXPECT_EQ(Rec->Mode, "barrier");
+  EXPECT_EQ(Rec->Verdict, "promoted");
+  Expected<FetchResult> R = httpGet(Pool.port(), "/doc.html");
+  ASSERT_TRUE(R);
+  EXPECT_EQ(R->Status, 200);
+  Pool.stop();
+}
+
+/// Satellite: the staging watchdog.  A patch wedged in verification is
+/// aborted at the deadline with the TimedOut outcome, and the queue
+/// behind it is not head-of-line-blocked.
+TEST(StagingWatchdogTest, StalledStagingTimesOutAndUnblocksTheQueue) {
+  Runtime RT;
+  FlashedApp App(RT);
+  DocStore Docs;
+  Docs.put("/doc.html", "<html>wd</html>");
+  ASSERT_FALSE(App.init(std::move(Docs)));
+
+  RT.setStagingDeadlineMs(60);
+  faultinject::setStageStallMs(5000);
+  StagedUpdate S1 = RT.controller().stageArtifactText(
+      faultinject::error500PatchText(), "stalled");
+  // A second patch queued behind the stalled one inherits the deadline
+  // and is timed out from the staging backlog.
+  StagedUpdate S2 = RT.controller().stageArtifactText(
+      faultinject::trapPatchText(), "backlogged");
+
+  WAIT_FOR(S1.record().Phase == "timed-out");
+  WAIT_FOR(S2.record().Phase == "timed-out");
+  EXPECT_NE(S1.record().FailureReason.find("watchdog deadline"),
+            std::string::npos)
+      << S1.record().FailureReason;
+
+  // The queue is clear: with the stall gone, a healthy patch stages and
+  // commits normally.
+  faultinject::setStageStallMs(0);
+  RT.setStagingDeadlineMs(0);
+  StagedUpdate S3 =
+      RT.controller().stageArtifactText(GoodMapUrlPatch, "healthy");
+  WAIT_FOR(S3.record().Phase == "ready");
+  EXPECT_FALSE(S3.commit());
+  EXPECT_EQ(RT.updatesApplied(), 1u);
+
+  std::vector<UpdateRecord> Log = RT.updateLog();
+  unsigned TimedOut = 0;
+  for (const UpdateRecord &R : Log)
+    if (R.Phase == "timed-out")
+      ++TimedOut;
+  EXPECT_EQ(TimedOut, 2u);
+}
+
+/// Unit coverage for the client's Retry-After parser.
+TEST(ClientRetryTest, RetryAfterParsing) {
+  FetchResult R;
+  R.Headers = "HTTP/1.1 503 Service Unavailable\r\n"
+              "Retry-After: 2\r\nContent-Length: 0";
+  EXPECT_EQ(retryAfterMs(R), 2000);
+  R.Headers = "HTTP/1.1 503 Service Unavailable\r\nretry-after: 0\r\n";
+  EXPECT_EQ(retryAfterMs(R), 0);
+  R.Headers = "HTTP/1.1 200 OK\r\nContent-Length: 0";
+  EXPECT_EQ(retryAfterMs(R), -1);
+  R.Headers = "HTTP/1.1 503 X\r\nRetry-After: soon\r\n";
+  EXPECT_EQ(retryAfterMs(R), -1);
+}
+
+} // namespace
