@@ -2,6 +2,7 @@
 
 #include "core/Runtime.h"
 
+#include "persist/Journal.h"
 #include "runtime/UpdateController.h"
 #include "support/FaultInject.h"
 #include "support/Logging.h"
@@ -85,6 +86,28 @@ void Runtime::finalize(UpdateTransaction &Tx, UpdatePhase Phase,
     if (E)
       Tx.Rec.FailureReason = E->str();
     RecCopy = Tx.Rec;
+  }
+  // Seal the transaction's durable-journal Intent with the terminal
+  // outcome.  This is the single point every terminal phase funnels
+  // through, so an Intent can only stay unsealed if the process dies —
+  // which is exactly what the next boot's crash accounting keys on.
+  // The armed crash point sits *between* the commit landing and the
+  // Committed seal reaching disk: the widest window of the two-phase
+  // protocol, where recovery must come up on the last-good chain.
+  if (Tx.JournalSeq != 0) {
+    if (persist::UpdateJournal *J = Journal.load(std::memory_order_acquire)) {
+      if (Phase == UpdatePhase::Committed)
+        faultinject::maybeCrash(faultinject::CrashPoint::AfterCommitPreSeal,
+                                RecCopy.PatchId);
+      persist::SealOutcome Outcome = Phase == UpdatePhase::Committed
+                                         ? persist::SealOutcome::Committed
+                                         : persist::SealOutcome::RolledBack;
+      if (Error SE = J->appendSeal(Tx.JournalSeq, Outcome, RecCopy.CommitMode,
+                                   RecCopy.FailureReason))
+        DSU_LOG_WARN("journal: sealing intent %llu failed: %s",
+                     static_cast<unsigned long long>(Tx.JournalSeq),
+                     SE.str().c_str());
+    }
   }
   {
     std::lock_guard<std::mutex> G(LogLock);
@@ -310,6 +333,18 @@ Error Runtime::stageInto(UpdateTransaction &Tx) {
 
 Expected<StagedUpdate> Runtime::stage(Patch P) {
   std::shared_ptr<UpdateTransaction> Tx = makeTransaction(P.Id);
+  Tx->P = std::move(P);
+  if (Error E = stageInto(*Tx))
+    return E;
+  return StagedUpdate(this, std::move(Tx));
+}
+
+Expected<StagedUpdate> Runtime::stageJournaled(Patch P, uint64_t JournalSeq) {
+  std::shared_ptr<UpdateTransaction> Tx = makeTransaction(P.Id);
+  // The Intent sequence must be on the transaction before stageInto
+  // runs: a staging failure finalizes inside the pipeline, and that
+  // finalize must already see the seal target.
+  Tx->JournalSeq = JournalSeq;
   Tx->P = std::move(P);
   if (Error E = stageInto(*Tx))
     return E;
@@ -603,6 +638,30 @@ void Runtime::annotateRollout(const std::shared_ptr<UpdateTransaction> &Tx,
     Tx->Rec.Rollout = Verdict;
     if (!Reason.empty())
       Tx->Rec.FailureReason = Reason;
+  }
+  // The canary verdict supersedes the commit-time seal: a rollout first
+  // commits (sealed Committed via finalize), then the health gates
+  // decide.  A rolled-back canary gets a later RolledBack seal for the
+  // same Intent — latest seal wins in the journal's chain derivation —
+  // so a reverted patch is never replayed at the next boot; a promotion
+  // re-seals Committed carrying the verdict for the history surface.
+  if (Tx->JournalSeq != 0) {
+    if (persist::UpdateJournal *J = Journal.load(std::memory_order_acquire)) {
+      persist::SealOutcome Outcome = Verdict == "promoted"
+                                         ? persist::SealOutcome::Committed
+                                         : persist::SealOutcome::RolledBack;
+      std::string Mode;
+      {
+        std::lock_guard<std::mutex> G(Tx->RecLock);
+        Mode = Tx->Rec.CommitMode;
+      }
+      if (Error SE =
+              J->appendSeal(Tx->JournalSeq, Outcome, Mode, Reason, Verdict))
+        DSU_LOG_WARN("journal: rollout verdict seal for intent %llu "
+                     "failed: %s",
+                     static_cast<unsigned long long>(Tx->JournalSeq),
+                     SE.str().c_str());
+    }
   }
   // The commit already appended this transaction's log entry; patch the
   // verdict in after the fact (search from the back — the entry is

@@ -50,6 +50,10 @@ namespace dsu {
 class UpdateController;
 class RolloutController;
 
+namespace persist {
+class UpdateJournal;
+}
+
 /// The updating runtime.  One per program.
 class Runtime {
 public:
@@ -118,6 +122,13 @@ public:
   /// or abort() completes the transaction.  A staging failure is
   /// recorded in the update log and returned.  Callable from any thread.
   Expected<StagedUpdate> stage(Patch P);
+
+  /// stage() for boot-time replay: pins the durable journal Intent
+  /// \p JournalSeq on the transaction *before* the pipeline runs, so
+  /// finalize() seals that Intent whatever the outcome — a staging
+  /// failure and a crash mid-pipeline are both accounted against the
+  /// journal's two-phase protocol.
+  Expected<StagedUpdate> stageJournaled(Patch P, uint64_t JournalSeq);
 
   /// Queues a staged transaction for the next update point (FIFO with
   /// everything else queued).
@@ -208,6 +219,21 @@ public:
   /// commit and revert itself).
   bool rolloutActive() const {
     return RolloutActive.load(std::memory_order_acquire);
+  }
+
+  // -- Durable journal -----------------------------------------------------
+
+  /// Attaches the durable update journal: finalize() seals journaled
+  /// transactions (Committed / RolledBack) and the staging plane writes
+  /// Intents + refuses quarantined artifacts.  The journal must outlive
+  /// the runtime's update activity; pass nullptr to detach.  Updates
+  /// staged while no journal is attached are simply not persisted (the
+  /// seed-compatible in-memory mode every test and bench keeps).
+  void attachJournal(persist::UpdateJournal *J) {
+    Journal.store(J, std::memory_order_release);
+  }
+  persist::UpdateJournal *journal() const {
+    return Journal.load(std::memory_order_acquire);
   }
 
   // -- Introspection -------------------------------------------------------
@@ -319,6 +345,9 @@ private:
   std::atomic<uint64_t> CommitGeneration{0};
 
   std::atomic<uint64_t> NextTxId{1};
+
+  /// The attached durable journal (nullptr = in-memory only).
+  std::atomic<persist::UpdateJournal *> Journal{nullptr};
 
   mutable std::mutex LogLock;
   std::vector<UpdateRecord> Log;

@@ -5,6 +5,7 @@
 #include "epoch/Epoch.h"
 #include "flashed/Http.h"
 #include "net/ReactorPool.h"
+#include "persist/Journal.h"
 #include "runtime/UpdateController.h"
 #include "support/StringUtil.h"
 #include "types/TypeParser.h"
@@ -633,6 +634,111 @@ void FlashedApp::handleAdmin(const RequestHead &Head, std::string_view Raw,
                 S.PauseMaxUs.load(std::memory_order_relaxed)),
             static_cast<unsigned long long>(WEpoch),
             static_cast<unsigned long long>(Lag), Pool->workerCpu(I));
+      }
+      J += ']';
+    }
+    if (Journal) {
+      persist::JournalStatus S = Journal->status();
+      J += formatString(
+          ", \"journal\": {\"boots\": %llu, \"prev_boot\": \"%s\", "
+          "\"chain_length\": %llu, \"quarantined\": %llu, "
+          "\"replayed\": %u, \"replay_failed\": %u, \"replay_ms\": %llu}",
+          static_cast<unsigned long long>(S.Boots),
+          S.Boots <= 1 ? "first" : S.PrevCrashed ? "crash" : "clean",
+          static_cast<unsigned long long>(S.ChainLength),
+          static_cast<unsigned long long>(S.QuarantinedCount),
+          S.ReplayCommitted, S.ReplayFailed,
+          static_cast<unsigned long long>(S.ReplayMs));
+    }
+    J += '}';
+    return Respond(200, J);
+  }
+
+  if (Head.Method == "GET" && PathOnly == "/admin/journal") {
+    if (!Journal)
+      return Respond(404, "{\"error\": \"no update journal attached\"}");
+    persist::JournalStatus S = Journal->status();
+    std::string J = formatString(
+        "{\"boots\": %llu, \"prev_boot\": \"%s\", \"chain_length\": %llu, "
+        "\"quarantined_count\": %llu, \"replay\": {\"attempted\": %u, "
+        "\"committed\": %u, \"failed\": %u, \"duration_ms\": %llu}, "
+        "\"quarantined\": [",
+        static_cast<unsigned long long>(S.Boots),
+        S.Boots <= 1 ? "first" : S.PrevCrashed ? "crash" : "clean",
+        static_cast<unsigned long long>(S.ChainLength),
+        static_cast<unsigned long long>(S.QuarantinedCount),
+        S.ReplayAttempted, S.ReplayCommitted, S.ReplayFailed,
+        static_cast<unsigned long long>(S.ReplayMs));
+    bool First = true;
+    for (const persist::QuarantineInfo &Q : Journal->quarantined()) {
+      if (!First)
+        J += ", ";
+      First = false;
+      J += "{\"patch\": \"";
+      jsonEscapeTo(J, Q.PatchId);
+      J += "\", \"hash\": \"";
+      jsonEscapeTo(J, Q.Hash);
+      J += formatString("\", \"crashes\": %u, \"seal_seq\": %llu}",
+                        Q.CrashCount,
+                        static_cast<unsigned long long>(Q.SealSeq));
+    }
+    J += ']';
+    // The full record history is large; ?quarantined=1 serves only the
+    // containment table (what `dsu-updatectl quarantine` reads).
+    if (queryParam(Target, "quarantined") != "1") {
+      J += ", \"records\": [";
+      First = true;
+      for (const persist::JournalRecord &R : Journal->records()) {
+        if (!First)
+          J += ", ";
+        First = false;
+        J += formatString("{\"seq\": %llu, \"kind\": \"%s\", "
+                          "\"wall_ms\": %llu",
+                          static_cast<unsigned long long>(R.Seq),
+                          persist::recordKindName(R.Kind),
+                          static_cast<unsigned long long>(R.WallMs));
+        switch (R.Kind) {
+        case persist::RecordKind::BootStart:
+          if (!R.PrevExit.empty()) {
+            J += ", \"prev_exit\": \"";
+            jsonEscapeTo(J, R.PrevExit);
+            J += '"';
+          }
+          break;
+        case persist::RecordKind::Intent:
+          J += ", \"patch\": \"";
+          jsonEscapeTo(J, R.PatchId);
+          J += "\", \"hash\": \"";
+          jsonEscapeTo(J, R.Hash);
+          J += formatString("\", \"origin\": \"%s\", \"attempt\": %u, "
+                            "\"bytes\": %llu",
+                            persist::intentOriginName(R.Origin), R.Attempt,
+                            static_cast<unsigned long long>(R.SizeBytes));
+          break;
+        case persist::RecordKind::Seal:
+          J += formatString(", \"intent\": %llu, \"outcome\": \"%s\"",
+                            static_cast<unsigned long long>(R.IntentSeq),
+                            persist::sealOutcomeName(R.Outcome));
+          if (!R.CommitMode.empty()) {
+            J += ", \"mode\": \"";
+            jsonEscapeTo(J, R.CommitMode);
+            J += '"';
+          }
+          if (!R.Verdict.empty()) {
+            J += ", \"verdict\": \"";
+            jsonEscapeTo(J, R.Verdict);
+            J += '"';
+          }
+          if (!R.Reason.empty()) {
+            J += ", \"reason\": \"";
+            jsonEscapeTo(J, R.Reason);
+            J += '"';
+          }
+          break;
+        case persist::RecordKind::CleanShutdown:
+          break;
+        }
+        J += '}';
       }
       J += ']';
     }

@@ -108,6 +108,15 @@ public:
     wireUpdateWake();
   }
 
+  /// Attaches the durable update journal's admin surface:
+  /// /admin/status grows a "journal" object (boots, clean-vs-crash
+  /// previous boot, chain length, quarantine and replay counters) and
+  /// GET /admin/journal serves the decoded record history —
+  /// ?quarantined=1 narrows it to the quarantine table.  The journal is
+  /// attached to the runtime separately (Runtime::attachJournal); this
+  /// only wires the read side.
+  void attachJournal(persist::UpdateJournal &J) { Journal = &J; }
+
   /// The canary rollout control plane behind POST /admin/rollout,
   /// created lazily from the attached pool's worker stats and quiescent
   /// runner (or degenerate hooks when no pool is attached).  Valid only
@@ -197,6 +206,7 @@ private:
   StateCell *Cache = nullptr;
   UpdateController *Admin = nullptr;
   net::ReactorPool *Pool = nullptr;
+  persist::UpdateJournal *Journal = nullptr;
   std::mutex RolloutLock; ///< guards lazy Rollout creation
   std::unique_ptr<RolloutController> Rollout;
   /// Serving now happens on N reactor workers concurrently; the request

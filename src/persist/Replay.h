@@ -1,0 +1,59 @@
+//===- persist/Replay.h - Boot-time chain replay --------------*- C++ -*-===//
+///
+/// \file
+/// Reconstructs a runtime's committed patch chain from the durable
+/// journal at boot, before the reactor pool opens its listeners: each
+/// chain entry's artifact is read back from the content-addressed store
+/// (fingerprint-verified), re-parsed, and driven through the *ordinary*
+/// stage->commit pipeline — replay is not a privileged restore path, so
+/// every verification, link-preparation and state-build invariant holds
+/// for replayed patches exactly as it did when they first landed.
+///
+/// Replay writes its own journal Intents (origin = replay) before each
+/// commit.  That is what makes crash-loop containment work: a patch that
+/// kills the process *during replay* leaves an unsealed replay Intent,
+/// the next boot seals it Crashed, and after QuarantineAfter consecutive
+/// crashes the hash is quarantined and dropped from the chain — the
+/// server comes up healthy on the last-good prefix.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_PERSIST_REPLAY_H
+#define DSU_PERSIST_REPLAY_H
+
+#include "persist/Journal.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dsu {
+
+class Runtime;
+
+namespace persist {
+
+/// Outcome of one boot-time replay pass.
+struct ReplayStats {
+  unsigned Attempted = 0; ///< chain entries driven through the pipeline
+  unsigned Committed = 0; ///< entries that landed again
+  unsigned Failed = 0;    ///< entries rejected (sealed RolledBack)
+  uint64_t DurationMs = 0;
+  std::vector<std::string> FailedIds;
+};
+
+/// Replays \p J's committed chain into \p RT on the calling thread
+/// (which must be the update thread, quiescent, with no pool serving
+/// yet).  \p J must already be attached to \p RT (Runtime::attachJournal)
+/// so stage/commit outcomes seal their replay Intents, and beginBoot()
+/// must have run so the chain excludes freshly quarantined hashes.
+/// Individual entry failures are sealed and counted, not fatal: the
+/// server always comes up, on the longest chain prefix that still
+/// applies.  The stats are also recorded on the journal for the admin
+/// plane (UpdateJournal::noteReplay).
+ReplayStats replayJournal(Runtime &RT, UpdateJournal &J);
+
+} // namespace persist
+} // namespace dsu
+
+#endif // DSU_PERSIST_REPLAY_H

@@ -3,6 +3,8 @@
 #include "runtime/UpdateController.h"
 
 #include "core/Runtime.h"
+#include "persist/Journal.h"
+#include "support/FaultInject.h"
 #include "support/Logging.h"
 
 using namespace dsu;
@@ -149,6 +151,37 @@ void UpdateController::workerMain() {
         LoadErr = P.takeError();
       break;
     }
+    }
+
+    // Durable journal, phase one: for operator-submitted artifact text
+    // the Intent — and the content-addressed artifact it names — must
+    // be synced to disk *before* the staging pipeline touches the
+    // runtime, so a crash anywhere between here and the terminal seal
+    // is observable (and attempt-counted) at the next boot.  The same
+    // call refuses artifacts whose hash tripped the crash-loop
+    // quarantine; a journal append failure also refuses the update
+    // rather than applying it unpersisted.  In-memory Patch values and
+    // file paths are not journaled (documented in DESIGN.md §14).
+    if (!LoadErr && J.Kind == Job::Text) {
+      if (persist::UpdateJournal *Journal = RT.journal()) {
+        // The artifact parsed, so the patch's own id is known — record
+        // that (not the "(loading ...)" placeholder) so journal history
+        // and quarantine reports name the patch the operator shipped.
+        std::string PatchId = J.Tx->P.Id;
+        {
+          std::lock_guard<std::mutex> G(J.Tx->RecLock);
+          J.Tx->Rec.PatchId = PatchId;
+        }
+        Expected<uint64_t> Seq = Journal->appendIntent(
+            PatchId, J.Artifact, persist::IntentOrigin::Operator);
+        if (Seq) {
+          J.Tx->JournalSeq = *Seq;
+          faultinject::maybeCrash(faultinject::CrashPoint::AfterIntent,
+                                  PatchId);
+        } else {
+          LoadErr = Seq.takeError();
+        }
+      }
     }
 
     if (LoadErr) {

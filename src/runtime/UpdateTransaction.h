@@ -154,6 +154,13 @@ private:
   /// stage->commit latency interval.
   std::chrono::steady_clock::time_point ReadyAt{};
 
+  /// Sequence number of this transaction's durable-journal Intent, or 0
+  /// when the update is not journaled.  Set before the transaction
+  /// enters the staging pipeline (by the controller worker or
+  /// Runtime::stageJournaled), read by Runtime::finalize to seal the
+  /// Intent with the terminal outcome.
+  uint64_t JournalSeq = 0;
+
   /// The patch, consumed by staging.
   Patch P;
 

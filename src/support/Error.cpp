@@ -36,6 +36,8 @@ const char *dsu::errorCodeName(ErrorCode EC) {
     return "unsupported";
   case ErrorCode::EC_Timeout:
     return "timeout";
+  case ErrorCode::EC_Corrupt:
+    return "corrupt";
   }
   return "unknown";
 }

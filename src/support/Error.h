@@ -40,6 +40,7 @@ enum class ErrorCode {
   EC_Busy,           ///< thread-discipline violation; retry at a safe point
   EC_Unsupported,    ///< feature intentionally not supported
   EC_Timeout,        ///< watchdog deadline exceeded (staged too long)
+  EC_Corrupt,        ///< persisted data failed a checksum / framing check
 };
 
 /// Returns a stable human-readable name for \p EC ("verify", "link", ...).

@@ -2,15 +2,101 @@
 
 #include "support/FaultInject.h"
 
+#include "support/Logging.h"
 #include "support/StringUtil.h"
 
 #include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include <signal.h>
+#include <unistd.h>
 
 using namespace dsu;
 
 namespace {
 std::atomic<uint64_t> StageStallMs{0};
+
+std::mutex CrashMu;
+faultinject::CrashPoint ArmedPoint = faultinject::CrashPoint::None;
+std::string ArmedPatchId; ///< empty = any patch
+bool EnvRead = false;
+
+const char *crashPointName(faultinject::CrashPoint P) {
+  switch (P) {
+  case faultinject::CrashPoint::AfterIntent:
+    return "crash_after_intent";
+  case faultinject::CrashPoint::AfterCommitPreSeal:
+    return "crash_after_commit_pre_seal";
+  case faultinject::CrashPoint::MidReplay:
+    return "crash_mid_replay";
+  case faultinject::CrashPoint::None:
+    break;
+  }
+  return "none";
+}
+
+/// Parses "point[:patch-id]"; CrashMu held by the caller.
+bool armLocked(const std::string &Spec) {
+  std::string Point = Spec, Filter;
+  size_t Colon = Spec.find(':');
+  if (Colon != std::string::npos) {
+    Point = Spec.substr(0, Colon);
+    Filter = Spec.substr(Colon + 1);
+  }
+  faultinject::CrashPoint P;
+  if (Point.empty() || Point == "none")
+    P = faultinject::CrashPoint::None;
+  else if (Point == "crash_after_intent")
+    P = faultinject::CrashPoint::AfterIntent;
+  else if (Point == "crash_after_commit_pre_seal")
+    P = faultinject::CrashPoint::AfterCommitPreSeal;
+  else if (Point == "crash_mid_replay")
+    P = faultinject::CrashPoint::MidReplay;
+  else
+    return false;
+  ArmedPoint = P;
+  ArmedPatchId = P == faultinject::CrashPoint::None ? std::string() : Filter;
+  return true;
+}
+
+/// Lazily folds DSU_FAULT_CRASH_POINT into the armed state, so a server
+/// exec'd by a crash-recovery test is armed before it serves anything.
+/// CrashMu held by the caller.
+void readEnvLocked() {
+  if (EnvRead)
+    return;
+  EnvRead = true;
+  if (const char *Spec = std::getenv("DSU_FAULT_CRASH_POINT"))
+    if (*Spec && !armLocked(Spec))
+      DSU_LOG_WARN("DSU_FAULT_CRASH_POINT: unknown crash point '%s'", Spec);
+}
 } // namespace
+
+bool faultinject::armCrashPoint(const std::string &Spec) {
+  std::lock_guard<std::mutex> G(CrashMu);
+  EnvRead = true; // an explicit arm overrides the environment
+  return armLocked(Spec);
+}
+
+void faultinject::maybeCrash(CrashPoint P, const std::string &PatchId) {
+  {
+    std::lock_guard<std::mutex> G(CrashMu);
+    readEnvLocked();
+    if (ArmedPoint != P)
+      return;
+    if (!ArmedPatchId.empty() && ArmedPatchId != PatchId)
+      return;
+  }
+  // A real crash, not an exit path: SIGKILL skips atexit handlers,
+  // destructors and stdio flushes, exactly like the power-loss /
+  // segfault cases the durable journal exists to survive.
+  DSU_LOG_WARN("fault injection: killing process at %s (patch %s)",
+               crashPointName(P), PatchId.c_str());
+  ::kill(::getpid(), SIGKILL);
+  for (;;)
+    ::pause(); // unreachable; SIGKILL cannot be handled
+}
 
 void faultinject::setStageStallMs(uint64_t Ms) {
   StageStallMs.store(Ms, std::memory_order_relaxed);

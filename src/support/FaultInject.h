@@ -25,6 +25,42 @@
 namespace dsu {
 namespace faultinject {
 
+/// Crash-point injection: the update pipeline asks maybeCrash() at the
+/// instants where a real crash is most damaging to the durable journal's
+/// two-phase protocol, and an armed point kills the process with SIGKILL
+/// (no destructors, no flushes — a genuine crash, not an exit path).
+/// Points:
+///
+///   crash_after_intent           the Intent record is synced, staging
+///                                has not begun
+///   crash_after_commit_pre_seal  the commit landed (bindings swung)
+///                                but the Committed seal is not yet on
+///                                disk
+///   crash_mid_replay             boot-time replay wrote its Intent for
+///                                a chain entry and dies before the
+///                                entry commits (the crash-loop case)
+///
+/// Armed via armCrashPoint("point[:patch-id]") or — so a freshly
+/// exec'd server under test can be armed from outside — the environment
+/// variable DSU_FAULT_CRASH_POINT with the same syntax, read once on
+/// first use.  The optional patch-id suffix restricts the crash to one
+/// patch, letting a test replay a chain of good patches and kill only
+/// on the bad one.
+enum class CrashPoint {
+  None = 0,
+  AfterIntent,
+  AfterCommitPreSeal,
+  MidReplay,
+};
+
+/// Arms \p Spec ("crash_after_intent", "crash_mid_replay:patch-7", ...).
+/// An empty spec or "none" disarms.  Returns false for an unknown point.
+bool armCrashPoint(const std::string &Spec);
+
+/// Kills the process (SIGKILL) when \p P is the armed point and the
+/// armed patch-id filter (if any) matches \p PatchId.  No-op otherwise.
+void maybeCrash(CrashPoint P, const std::string &PatchId);
+
 /// Staging stall injection: when non-zero, Runtime::stageInto() sleeps
 /// this many milliseconds between verification and link preparation —
 /// in small increments, so the staging watchdog deadline is still

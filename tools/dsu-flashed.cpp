@@ -1,0 +1,228 @@
+//===- tools/dsu-flashed.cpp - The FlashEd server binary ------*- C++ -*-===//
+///
+/// \file
+/// FlashEd as a standalone, restartable process — the deployment shape
+/// the durable update journal exists for.  Boot order is the crash-safe
+/// sequence the persist subsystem specifies:
+///
+///   1. open the journal directory (flock'd: a second live instance is
+///      refused with a clear EC_IO error instead of interleaving
+///      appends),
+///   2. beginBoot(): seal intents the previous run left open (Crashed
+///      on a crash, RolledBack after a clean stop), apply the
+///      crash-loop quarantine policy, record this boot,
+///   3. replay the committed patch chain through the ordinary
+///      stage->commit pipeline,
+///   4. only then open the listeners.
+///
+/// SIGTERM/SIGINT drain the reactor pool gracefully and seal a
+/// CleanShutdown record, so the next boot can tell a deliberate stop
+/// from a crash.  Run under tools/dsu-supervise to close the loop: the
+/// supervisor restarts crashes with capped backoff and reports the
+/// previous exit status via DSU_SUPERVISE_LAST_EXIT, which beginBoot
+/// weaves into the Crashed seals' reasons.
+///
+//===----------------------------------------------------------------------===//
+
+#include "flashed/App.h"
+#include "net/ReactorPool.h"
+#include "persist/Journal.h"
+#include "persist/Replay.h"
+#include "runtime/UpdateController.h"
+#include "support/MemoryBuffer.h"
+#include "support/StringUtil.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include <unistd.h>
+
+using namespace dsu;
+using namespace dsu::flashed;
+
+namespace {
+
+/// Async-signal-safe stop flag: the handlers only set it; the main loop
+/// polls it and runs the orderly shutdown outside signal context.
+volatile std::sig_atomic_t StopRequested = 0;
+
+void onStopSignal(int) { StopRequested = 1; }
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --journal-dir DIR [options]\n"
+      "\n"
+      "  --journal-dir DIR      durable update journal directory "
+      "(required;\n"
+      "                         created if missing, flock'd while "
+      "running)\n"
+      "  --port N               listen port (default 0 = ephemeral)\n"
+      "  --port-file PATH       write the bound port here once "
+      "listening\n"
+      "  --workers N            reactor pool workers (default 2)\n"
+      "  --quarantine-after N   consecutive crashes before quarantine "
+      "(default 3)\n"
+      "  --no-sync              skip fsync on journal appends (tests "
+      "only)\n",
+      Argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string JournalDir;
+  std::string PortFile;
+  uint16_t Port = 0;
+  unsigned Workers = 2;
+  persist::UpdateJournal::Options JOpts;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto Value = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    uint64_t V;
+    if (A == "--journal-dir") {
+      const char *P = Value();
+      if (!P)
+        return usage(argv[0]);
+      JournalDir = P;
+    } else if (A == "--port-file") {
+      const char *P = Value();
+      if (!P)
+        return usage(argv[0]);
+      PortFile = P;
+    } else if (A == "--port") {
+      const char *P = Value();
+      if (!P || !parseUInt(P, V) || V > 65535)
+        return usage(argv[0]);
+      Port = static_cast<uint16_t>(V);
+    } else if (A == "--workers") {
+      const char *P = Value();
+      if (!P || !parseUInt(P, V) || V == 0 || V > 64)
+        return usage(argv[0]);
+      Workers = static_cast<unsigned>(V);
+    } else if (A == "--quarantine-after") {
+      const char *P = Value();
+      if (!P || !parseUInt(P, V) || V == 0)
+        return usage(argv[0]);
+      JOpts.QuarantineAfter = static_cast<unsigned>(V);
+    } else if (A == "--no-sync") {
+      JOpts.Sync = false;
+    } else {
+      std::fprintf(stderr, "dsu-flashed: unknown argument '%s'\n",
+                   A.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (JournalDir.empty())
+    return usage(argv[0]);
+
+  // 1. The journal first: if the directory is locked by a live process
+  // this must fail fast and loud, before any serving state exists.
+  Expected<std::unique_ptr<persist::UpdateJournal>> JournalOrErr =
+      persist::UpdateJournal::open(JournalDir, JOpts);
+  if (!JournalOrErr) {
+    std::fprintf(stderr, "dsu-flashed: %s\n",
+                 JournalOrErr.error().str().c_str());
+    return 1;
+  }
+  persist::UpdateJournal &Journal = **JournalOrErr;
+
+  // 2. Crash accounting + quarantine policy.  The supervisor (if any)
+  // reports how the previous run ended; its absence just means the
+  // Crashed seals carry no exit status.
+  const char *PrevExit = std::getenv("DSU_SUPERVISE_LAST_EXIT");
+  persist::BootInfo Boot = Journal.beginBoot(PrevExit ? PrevExit : "");
+  if (Boot.PrevCrashed)
+    std::fprintf(stderr,
+                 "dsu-flashed: previous run crashed (boot %llu; %u "
+                 "unsealed intent(s) sealed crashed)\n",
+                 static_cast<unsigned long long>(Boot.Boots),
+                 Boot.CrashSealed);
+  for (const std::string &Id : Boot.NewlyQuarantined)
+    std::fprintf(stderr, "dsu-flashed: QUARANTINED patch %s\n", Id.c_str());
+
+  // The app's document set is deterministic so crash-recovery tests can
+  // assert byte-identical responses across a restart.
+  Runtime RT;
+  FlashedApp App(RT);
+  DocStore Docs;
+  Docs.put("/index.html", "<html><h1>dsu-flashed</h1></html>");
+  Docs.put("/doc.html", "<html>Dynamic Software Updating, durably</html>");
+  Docs.put("/style.css", "h1 { color: teal }");
+  if (Error E = App.init(std::move(Docs))) {
+    std::fprintf(stderr, "dsu-flashed: init: %s\n", E.str().c_str());
+    return 1;
+  }
+
+  // 3. Replay the committed chain through the ordinary pipeline before
+  // any listener opens: requests never observe a half-restored chain.
+  RT.attachJournal(&Journal);
+  App.attachJournal(Journal);
+  persist::ReplayStats Replay = persist::replayJournal(RT, Journal);
+  std::printf("dsu-flashed: boot %llu, chain %u/%u replayed in %llums%s\n",
+              static_cast<unsigned long long>(Boot.Boots), Replay.Committed,
+              Replay.Attempted,
+              static_cast<unsigned long long>(Replay.DurationMs),
+              Boot.NewlyQuarantined.empty() ? "" : " [quarantine applied]");
+
+  // 4. Open the listeners.
+  App.enableAdmin(RT.controller());
+  net::PoolOptions O;
+  O.Workers = Workers;
+  O.Port = Port;
+  O.PollTimeoutMs = 2;
+  net::ReactorPool Pool(
+      [&App](const RequestHead &Head, std::string_view Raw, std::string &Out,
+             SharedBody &Body) { App.handleInto(Head, Raw, Out, Body); },
+      O);
+  Pool.setUpdateRuntime(RT);
+  App.attachPool(Pool);
+  if (Error E = Pool.start()) {
+    std::fprintf(stderr, "dsu-flashed: listen: %s\n", E.str().c_str());
+    return 1;
+  }
+
+  // Publish the bound port (write-to-temp + rename, so a reader never
+  // sees a half-written file), then install the graceful-stop handlers.
+  if (!PortFile.empty()) {
+    std::string Tmp = PortFile + ".tmp";
+    if (Error E = writeFile(Tmp, formatString("%u\n", Pool.port())))
+      std::fprintf(stderr, "dsu-flashed: port file: %s\n", E.str().c_str());
+    else
+      (void)::rename(Tmp.c_str(), PortFile.c_str());
+  }
+  std::printf("dsu-flashed: serving on 127.0.0.1:%u (%u workers, journal "
+              "%s)\n",
+              Pool.port(), Workers, JournalDir.c_str());
+  std::fflush(stdout);
+
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onStopSignal;
+  ::sigaction(SIGTERM, &SA, nullptr);
+  ::sigaction(SIGINT, &SA, nullptr);
+
+  while (!StopRequested)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  // Graceful stop: drain the pool (buffered pipelined requests are
+  // served, backpressured output flushed), then seal CleanShutdown so
+  // the next boot knows this was deliberate — a staged-but-uncommitted
+  // intent left behind is sealed RolledBack there, not Crashed.
+  std::printf("dsu-flashed: draining (signal)\n");
+  std::fflush(stdout);
+  Pool.stop();
+  if (Error E = Journal.sealCleanShutdown())
+    std::fprintf(stderr, "dsu-flashed: shutdown seal: %s\n",
+                 E.str().c_str());
+  std::printf("dsu-flashed: clean shutdown\n");
+  return 0;
+}

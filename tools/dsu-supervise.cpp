@@ -1,0 +1,164 @@
+//===- tools/dsu-supervise.cpp - Crash-restart supervisor -----*- C++ -*-===//
+///
+/// \file
+/// A minimal fork/exec restart loop for dsu-flashed (or any server whose
+/// update journal needs crash accounting): restarts a child that exits
+/// abnormally, with capped exponential backoff, and reports *how* the
+/// previous run ended to the next one via two environment variables:
+///
+///   DSU_SUPERVISE_LAST_EXIT   "exit:<code>" or "signal:<signo>"
+///   DSU_SUPERVISE_BOOTS       1-based count of launches by this
+///                             supervisor
+///
+/// dsu-flashed passes DSU_SUPERVISE_LAST_EXIT into
+/// UpdateJournal::beginBoot(), which weaves it into the Crashed seals of
+/// intents the dead run left open — so `dsu-updatectl history` shows not
+/// just *that* a patch killed the server but what the kill looked like
+/// (signal:9, signal:11, exit:134, ...).
+///
+/// A child that exits 0 ends the loop with exit 0: clean shutdown is a
+/// success, not a restart.  SIGTERM/SIGINT are forwarded to the child so
+/// `kill <supervisor>` drains the server instead of orphaning it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtil.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace dsu;
+
+namespace {
+
+/// The running child's pid, for signal forwarding (0 = none).  Written
+/// only between fork and waitpid on the main flow; the handler reads it.
+volatile pid_t ChildPid = 0;
+volatile std::sig_atomic_t ForwardedSignal = 0;
+
+void onForwardSignal(int Sig) {
+  ForwardedSignal = Sig;
+  pid_t P = ChildPid;
+  if (P > 0)
+    ::kill(P, Sig);
+}
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--max-restarts N] [--backoff-ms N] "
+               "[--backoff-max-ms N] -- command [args...]\n"
+               "\n"
+               "Restarts the command while it exits abnormally (capped\n"
+               "exponential backoff between attempts); exits 0 when the\n"
+               "command does.  The child sees DSU_SUPERVISE_LAST_EXIT\n"
+               "(\"exit:N\" / \"signal:N\") and DSU_SUPERVISE_BOOTS.\n",
+               Argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  uint64_t MaxRestarts = 10;
+  uint64_t BackoffMs = 50;
+  uint64_t BackoffMaxMs = 2000;
+  int CmdStart = -1;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--") {
+      CmdStart = I + 1;
+      break;
+    }
+    const char *P = I + 1 < argc ? argv[I + 1] : nullptr;
+    if (A == "--max-restarts" && P && parseUInt(P, MaxRestarts))
+      ++I;
+    else if (A == "--backoff-ms" && P && parseUInt(P, BackoffMs))
+      ++I;
+    else if (A == "--backoff-max-ms" && P && parseUInt(P, BackoffMaxMs))
+      ++I;
+    else
+      return usage(argv[0]);
+  }
+  if (CmdStart < 0 || CmdStart >= argc)
+    return usage(argv[0]);
+
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onForwardSignal;
+  ::sigaction(SIGTERM, &SA, nullptr);
+  ::sigaction(SIGINT, &SA, nullptr);
+
+  std::string LastExit; ///< empty on the first boot
+  uint64_t Boots = 0;
+  uint64_t Delay = BackoffMs;
+
+  while (true) {
+    ++Boots;
+    pid_t Pid = ::fork();
+    if (Pid < 0) {
+      std::fprintf(stderr, "dsu-supervise: fork: %s\n",
+                   std::strerror(errno));
+      return 1;
+    }
+    if (Pid == 0) {
+      // Child: report the previous run's fate, then become the server.
+      if (!LastExit.empty())
+        ::setenv("DSU_SUPERVISE_LAST_EXIT", LastExit.c_str(), 1);
+      ::setenv("DSU_SUPERVISE_BOOTS",
+               formatString("%llu", static_cast<unsigned long long>(Boots))
+                   .c_str(),
+               1);
+      ::execvp(argv[CmdStart], argv + CmdStart);
+      std::fprintf(stderr, "dsu-supervise: exec %s: %s\n", argv[CmdStart],
+                   std::strerror(errno));
+      _exit(127);
+    }
+
+    ChildPid = Pid;
+    int Status = 0;
+    while (::waitpid(Pid, &Status, 0) < 0 && errno == EINTR)
+      ; // a forwarded signal interrupts waitpid; keep reaping
+    ChildPid = 0;
+
+    if (WIFEXITED(Status)) {
+      int Code = WEXITSTATUS(Status);
+      if (Code == 0) {
+        std::fprintf(stderr,
+                     "dsu-supervise: clean exit after %llu boot(s)\n",
+                     static_cast<unsigned long long>(Boots));
+        return 0;
+      }
+      if (Code == 127)
+        return 127; // exec failed: restarting cannot help
+      LastExit = formatString("exit:%d", Code);
+    } else if (WIFSIGNALED(Status)) {
+      LastExit = formatString("signal:%d", WTERMSIG(Status));
+    } else {
+      LastExit = "unknown";
+    }
+
+    if (Boots > MaxRestarts) {
+      std::fprintf(stderr,
+                   "dsu-supervise: giving up after %llu boot(s) (%s)\n",
+                   static_cast<unsigned long long>(Boots),
+                   LastExit.c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "dsu-supervise: child died (%s); restart %llu in %llums\n",
+                 LastExit.c_str(),
+                 static_cast<unsigned long long>(Boots),
+                 static_cast<unsigned long long>(Delay));
+    ::usleep(static_cast<useconds_t>(Delay * 1000));
+    Delay = Delay * 2 > BackoffMaxMs ? BackoffMaxMs : Delay * 2;
+  }
+}

@@ -22,6 +22,16 @@
 ///                                                stage->commit histograms)
 ///   dsu-updatectl rollback <port> <updateable>   roll one function back;
 ///                                                a 503 means "busy, retry"
+///   dsu-updatectl history  <port>                GET /admin/journal — the
+///                                                durable update journal's
+///                                                decoded record history
+///                                                (boots, intents, seals,
+///                                                replay + quarantine state);
+///                                                404 when the server runs
+///                                                without a journal
+///   dsu-updatectl quarantine <port>              GET /admin/journal
+///                                                ?quarantined=1 — just the
+///                                                crash-loop quarantine table
 ///   dsu-updatectl rollout  <port> <patch-file>   drive the patch through a
 ///                                                metric-gated canary rollout
 ///                                                and wait for the verdict;
@@ -70,13 +80,15 @@ int usage(const char *Argv0) {
       "       %s log <port>\n"
       "       %s status <port> [--workers]\n"
       "       %s metrics <port>\n"
+      "       %s history <port>\n"
+      "       %s quarantine <port>\n"
       "       %s rollback <port> <updateable-name>\n"
       "       %s rollout <port> <patch-file> [--canary-workers N]\n"
       "           [--window-ms N] [--max-error-delta F]\n"
       "           [--max-latency-delta-us F] [--min-samples N]\n"
       "           [--max-canary-traps N]\n"
       "common flags: --timeout-ms N\n",
-      Argv0, Argv0, Argv0, Argv0, Argv0, Argv0);
+      Argv0, Argv0, Argv0, Argv0, Argv0, Argv0, Argv0, Argv0);
   return 2;
 }
 
@@ -247,6 +259,10 @@ int main(int argc, char **argv) {
   }
   if (std::strcmp(Cmd, "metrics") == 0)
     return finish(C.get("/admin/metrics"), /*MidCommand=*/true);
+  if (std::strcmp(Cmd, "history") == 0)
+    return finish(C.get("/admin/journal"), /*MidCommand=*/true);
+  if (std::strcmp(Cmd, "quarantine") == 0)
+    return finish(C.get("/admin/journal?quarantined=1"), /*MidCommand=*/true);
   if (std::strcmp(Cmd, "rollback") == 0) {
     if (Args.empty())
       return usage(argv[0]);
