@@ -59,6 +59,9 @@ struct FaultAgg {
 /// One rollout of \p PatchText through a live pool; returns the record.
 RolloutRecord runOne(const std::string &PatchText) {
   Runtime RT;
+  // This bench measures the *dynamic* gates' detect/revert latency; the
+  // static analyzer would refuse the trap patch before it ever canaries.
+  RT.setAnalysisGate(false);
   FlashedApp App(RT);
   DocStore Docs;
   Docs.fillSynthetic(8, 2048);

@@ -8,12 +8,20 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/PatchAnalyzer.h"
+#include "link/SymbolTable.h"
+#include "patch/Patch.h"
+#include "runtime/UpdateableRegistry.h"
+#include "state/StateCell.h"
+#include "state/Transform.h"
 #include "support/StringUtil.h"
+#include "types/Type.h"
 #include "vtal/Assembler.h"
 #include "vtal/Bytecode.h"
 #include "vtal/Verifier.h"
 
 #include <benchmark/benchmark.h>
+#include <memory>
 
 using namespace dsu;
 using namespace dsu::vtal;
@@ -96,6 +104,33 @@ void BM_Assemble(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_Assemble)->Arg(4)->Arg(64);
+
+void BM_Analyze(benchmark::State &State) {
+  // The update-safety analyzer over the same modules BM_Verify checks:
+  // the staging pipeline runs both back to back, and the acceptance
+  // budget for the analyzer is < 10% of verify time.  The loop-heavy
+  // synthesized functions are its worst case (every back edge gets the
+  // counted-loop pattern match).
+  Patch P;
+  P.Id = "bench-analyze";
+  P.VtalMod =
+      std::make_shared<Module>(synthesize(static_cast<unsigned>(State.range(0))));
+  TypeContext Types;
+  TransformerRegistry Transformers;
+  SymbolTable Exports;
+  UpdateableRegistry Updateables;
+  StateRegistry StateReg;
+  analysis::AnalyzerEnv Env{Types, Transformers, Exports, Updateables,
+                            StateReg};
+  for (auto _ : State) {
+    analysis::AnalysisReport R = analysis::analyzePatch(P, Env);
+    benchmark::DoNotOptimize(R.Findings.size());
+  }
+  State.counters["inst/s"] = benchmark::Counter(
+      static_cast<double>(P.VtalMod->totalInstructions()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_Analyze)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 
 } // namespace
 

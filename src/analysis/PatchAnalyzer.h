@@ -1,0 +1,77 @@
+//===- analysis/PatchAnalyzer.h - Whole-patch static analysis -*- C++ -*-===//
+///
+/// \file
+/// The whole-patch update-safety analyzer.  Where the VTAL verifier
+/// proves each module well-typed in isolation, analyzePatch() checks the
+/// *patch* against the *live program*: the staging pipeline runs it
+/// between manifest parse and link-prepare, and `dsu-patchlint` runs it
+/// standalone over artifacts in CI.
+///
+/// Passes (details in DESIGN.md §15):
+///
+///   1. Cross-version type diff: every changed named type needs a
+///      reachable transformer chain; every declared transformer's
+///      from/to versions must exist (coverage + orphan detection).
+///   2. Classification prediction: code-only vs state-migrating,
+///      computed from manifest + live registries, so the runtime can
+///      cross-check the barrier decision instead of being surprised.
+///   3. VTAL abstract interpretation: a bounded constant-propagation
+///      pass flags guaranteed traps on must-execute paths (div-by-zero,
+///      out-of-range ordinal calls), unreachable code, and counted
+///      loops whose trip count exhausts the interpreter's fuel budget
+///      ("fuel bombs" — the shape PR 6 only catches via the stall gate).
+///   4. Import/provide signature audit against the live SymbolTable and
+///      updateable registry, including provides that shadow an existing
+///      host export under a different type.
+///
+/// The analyzer never mutates anything: it reads registries that the
+/// staging pipeline is about to write, so it must run *before* stage 2
+/// (type/transformer definitions) to see the pre-patch world.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_ANALYSIS_PATCHANALYZER_H
+#define DSU_ANALYSIS_PATCHANALYZER_H
+
+#include "analysis/Finding.h"
+
+#include <cstdint>
+
+namespace dsu {
+
+class TypeContext;
+class TransformerRegistry;
+class SymbolTable;
+class UpdateableRegistry;
+class StateRegistry;
+struct Patch;
+
+namespace analysis {
+
+/// The live program state the analyzer reads.  Deliberately not a
+/// Runtime&: `dsu-patchlint` assembles one of these from a scratch
+/// runtime (or an empty environment) without pulling in the commit
+/// plane.
+struct AnalyzerEnv {
+  TypeContext &Types;
+  const TransformerRegistry &Transformers;
+  const SymbolTable &Exports;
+  const UpdateableRegistry &Updateables;
+  StateRegistry &State;
+};
+
+/// Runs every pass over \p P against \p Env.  Read-only with respect to
+/// the environment (type interning aside, which is append-only and
+/// idempotent).  \p FuelBudget is the interpreter budget the fuel-bomb
+/// pass compares loop trip counts against; 0 selects the interpreter's
+/// default (64M instructions).
+///
+/// The report's AnalysisMs is NOT filled here — callers time the call
+/// (the staging pipeline charges it to the update record).
+AnalysisReport analyzePatch(const Patch &P, const AnalyzerEnv &Env,
+                            uint64_t FuelBudget = 0);
+
+} // namespace analysis
+} // namespace dsu
+
+#endif // DSU_ANALYSIS_PATCHANALYZER_H

@@ -6,6 +6,7 @@
 #include "runtime/UpdateController.h"
 #include "support/FaultInject.h"
 #include "support/Logging.h"
+#include "support/StringUtil.h"
 #include "support/Timer.h"
 #include "vtal/Verifier.h"
 
@@ -216,6 +217,8 @@ Error Runtime::stageInto(UpdateTransaction &Tx) {
       vtal::VerifyStats VS;
       if (Error E = vtal::verifyModule(*P.VtalMod, &VS))
         return Fail(E.withContext("patch " + PatchId));
+      VerifyFunctionsTotal.fetch_add(VS.FunctionsChecked,
+                                     std::memory_order_relaxed);
       std::lock_guard<std::mutex> G(Tx.RecLock);
       Tx.Rec.InstructionsVerified = VS.InstructionsChecked;
     }
@@ -305,9 +308,36 @@ Error Runtime::stageInto(UpdateTransaction &Tx) {
   // no types and ships no transformers is the paper's cheap common case
   // — a pure code swap — and commits as a *rolling* update, per-worker
   // at each worker's own quiescent point, with no cross-worker barrier.
-  Tx.CodeOnly.store(Tx.Bumps.empty() && Tx.Swap.empty() &&
-                        Tx.P.Transformers.empty(),
-                    std::memory_order_release);
+  bool CodeOnly =
+      Tx.Bumps.empty() && Tx.Swap.empty() && Tx.P.Transformers.empty();
+  Tx.CodeOnly.store(CodeOnly, std::memory_order_release);
+
+  // Cross-check the analyzer's code-only prediction against the actual
+  // classification: a mispredicted barrier stall (or a patch the
+  // analyzer thought needed the barrier but committed rolling) is an
+  // analyzer soundness signal, reported as a finding rather than left
+  // as a surprise.
+  {
+    std::lock_guard<std::mutex> G(Tx.RecLock);
+    if (Tx.Rec.AnalysisRan && Tx.Rec.CodeOnlyPredicted != CodeOnly) {
+      analysis::Finding F;
+      F.Sev = analysis::Severity::Warning;
+      F.Code = "classification-mismatch";
+      F.Message = formatString(
+          "analyzer predicted a %s commit but staging classified the patch "
+          "as %s",
+          Tx.Rec.CodeOnlyPredicted ? "code-only (rolling)"
+                                   : "state-migrating (barrier)",
+          CodeOnly ? "code-only (rolling)" : "state-migrating (barrier)");
+      Tx.Rec.AnalysisFindings.push_back(std::move(F));
+      AnalysisFindingsTotal.fetch_add(1, std::memory_order_relaxed);
+      DSU_LOG_WARN("tx %llu (%s): analyzer classification mismatch "
+                   "(predicted %s, actual %s)",
+                   static_cast<unsigned long long>(Tx.id()), PatchId.c_str(),
+                   Tx.Rec.CodeOnlyPredicted ? "code-only" : "state-migrating",
+                   CodeOnly ? "code-only" : "state-migrating");
+    }
+  }
   Tx.ReadyAt = std::chrono::steady_clock::now();
 
   // Publish-then-check handshake with abortStagedTx (both sides

@@ -179,6 +179,36 @@ public:
     return RollingCommits.load(std::memory_order_relaxed);
   }
 
+  /// VTAL functions verified across all staged patches (the
+  /// dsu_verify_functions_total counter on /admin/metrics).
+  uint64_t verifyFunctionsTotal() const {
+    return VerifyFunctionsTotal.load(std::memory_order_relaxed);
+  }
+
+  /// Patch-analyzer findings recorded across all staged patches, every
+  /// severity (the dsu_analysis_findings_total counter).
+  uint64_t analysisFindingsTotal() const {
+    return AnalysisFindingsTotal.load(std::memory_order_relaxed);
+  }
+
+  /// Adds to the analyzer-findings counter (the staging worker reports
+  /// findings it produced before entering stageInto).
+  void countAnalysisFindings(uint64_t N) {
+    AnalysisFindingsTotal.fetch_add(N, std::memory_order_relaxed);
+  }
+
+  /// Whether error-severity analyzer findings refuse staging (default
+  /// on).  Off, the analyzer still runs and records findings but the
+  /// patch proceeds — the escape hatch for deliberately shipping a
+  /// statically-detectable bad patch to exercise the *dynamic* defenses
+  /// (canary gates, fault-injection drills).
+  void setAnalysisGate(bool Enabled) {
+    AnalysisGate.store(Enabled, std::memory_order_relaxed);
+  }
+  bool analysisGateEnabled() const {
+    return AnalysisGate.load(std::memory_order_relaxed);
+  }
+
   /// Detaches and epoch-retires every fully graced rolling-redirection
   /// chain, restoring the slots' single-load fast path.  Runs
   /// automatically at commit points; exposed for tests and teardown.
@@ -329,6 +359,9 @@ private:
   std::mutex CommitLock;
 
   std::atomic<uint64_t> RollingCommits{0};
+  std::atomic<uint64_t> VerifyFunctionsTotal{0};
+  std::atomic<uint64_t> AnalysisFindingsTotal{0};
+  std::atomic<bool> AnalysisGate{true};
   LatencyHistogram StageToCommit;
 
   /// Staging watchdog deadline (ms; 0 = off), applied to transactions at

@@ -2,6 +2,7 @@
 
 #include "flashed/App.h"
 
+#include "analysis/Finding.h"
 #include "epoch/Epoch.h"
 #include "flashed/Http.h"
 #include "net/ReactorPool.h"
@@ -451,6 +452,51 @@ void appendRecordJson(std::string &J, const UpdateRecord &R) {
     jsonEscapeTo(J, R.FailureReason);
     J += '"';
   }
+  // Analyzer verdict summary — flat fields only, so line-oriented
+  // clients (dsu-updatectl) can pick them up without a JSON parser.
+  // The full finding list is served by GET /admin/lint?id=<tx>.
+  if (R.AnalysisRan) {
+    size_t Errors = 0, Warnings = 0;
+    for (const analysis::Finding &F : R.AnalysisFindings) {
+      Errors += F.Sev == analysis::Severity::Error;
+      Warnings += F.Sev == analysis::Severity::Warning;
+    }
+    J += formatString(", \"analysis_errors\": %zu, "
+                      "\"analysis_warnings\": %zu, \"analysis_ms\": %.3f, "
+                      "\"code_only_predicted\": %s",
+                      Errors, Warnings, R.AnalysisMs,
+                      R.CodeOnlyPredicted ? "true" : "false");
+    if (!R.AnalysisFindings.empty()) {
+      J += ", \"analysis_codes\": \"";
+      bool FirstCode = true;
+      for (const analysis::Finding &F : R.AnalysisFindings) {
+        if (!FirstCode)
+          J += ' ';
+        FirstCode = false;
+        jsonEscapeTo(J, F.Code);
+      }
+      J += '"';
+    }
+  }
+  J += '}';
+}
+
+/// One finding as a JSON object (the GET /admin/lint element form).
+void appendFindingJson(std::string &J, const analysis::Finding &F) {
+  J += "{\"severity\": \"";
+  J += analysis::severityName(F.Sev);
+  J += "\", \"code\": \"";
+  jsonEscapeTo(J, F.Code);
+  J += "\", \"message\": \"";
+  jsonEscapeTo(J, F.Message);
+  J += '"';
+  if (!F.Fn.empty()) {
+    J += ", \"fn\": \"";
+    jsonEscapeTo(J, F.Fn);
+    J += '"';
+  }
+  if (F.HasPC)
+    J += formatString(", \"pc\": %u", F.PC);
   J += '}';
 }
 
@@ -597,12 +643,16 @@ void FlashedApp::handleAdmin(const RequestHead &Head, std::string_view Raw,
         "{\"updates_applied\": %u, \"queue_depth\": %zu, "
         "\"update_pending\": %s, \"pending_commit\": \"%s\", "
         "\"rolling_commits\": %llu, \"epoch_global\": %llu, "
-        "\"staging_backlog\": %zu, \"requests_handled\": %llu",
+        "\"staging_backlog\": %zu, \"requests_handled\": %llu, "
+        "\"verify_functions_total\": %llu, "
+        "\"analysis_findings_total\": %llu",
         RT.updatesApplied(), RT.queueDepth(),
         RT.updatePending() ? "true" : "false", PendingMode,
         static_cast<unsigned long long>(RT.rollingCommits()),
         static_cast<unsigned long long>(GlobalEpoch), Admin->backlog(),
-        static_cast<unsigned long long>(requestsHandled()));
+        static_cast<unsigned long long>(requestsHandled()),
+        static_cast<unsigned long long>(RT.verifyFunctionsTotal()),
+        static_cast<unsigned long long>(RT.analysisFindingsTotal()));
     if (Pool) {
       J += formatString(", \"workers\": %u, \"barrier_rounds\": %llu, "
                         "\"worker_state\": [",
@@ -853,6 +903,43 @@ void FlashedApp::handleAdmin(const RequestHead &Head, std::string_view Raw,
     return Respond(Code, J, Code == 503 ? "Retry-After: 0" : nullptr);
   }
 
+  if (Head.Method == "GET" && PathOnly == "/admin/lint") {
+    uint64_t Id = 0;
+    if (!parseUInt(queryParam(Target, "id"), Id))
+      return Respond(400, "{\"error\": \"missing or malformed ?id=<tx>\"}");
+    auto Render = [&](const UpdateRecord &R) {
+      std::string J = formatString("{\"tx\": %llu, \"patch\": \"",
+                                   static_cast<unsigned long long>(R.TxId));
+      jsonEscapeTo(J, R.PatchId);
+      J += "\", \"phase\": \"";
+      jsonEscapeTo(J, R.Phase);
+      J += formatString("\", \"analysis_ran\": %s, \"analysis_ms\": %.3f, "
+                        "\"code_only_predicted\": %s, \"findings\": [",
+                        R.AnalysisRan ? "true" : "false", R.AnalysisMs,
+                        R.CodeOnlyPredicted ? "true" : "false");
+      bool First = true;
+      for (const analysis::Finding &F : R.AnalysisFindings) {
+        if (!First)
+          J += ", ";
+        First = false;
+        appendFindingJson(J, F);
+      }
+      J += "]}";
+      Respond(200, J);
+    };
+    // A tx still staging lives in the pending list; finished ones (and
+    // analyzer refusals, which never stage) are in the terminal log.
+    for (const UpdateRecord &R : RT.pendingUpdates())
+      if (R.TxId == Id)
+        return Render(R);
+    for (const UpdateRecord &R : RT.updateLog())
+      if (R.TxId == Id)
+        return Render(R);
+    return Respond(404, formatString(
+                            "{\"error\": \"no update record for tx %llu\"}",
+                            static_cast<unsigned long long>(Id)));
+  }
+
   Respond(404, "{\"error\": \"unknown admin endpoint\"}");
 }
 
@@ -883,6 +970,18 @@ std::string FlashedApp::renderMetrics() const {
        "# TYPE dsu_rolling_commits_total counter\n";
   T += formatString("dsu_rolling_commits_total %llu\n",
                     static_cast<unsigned long long>(RT.rollingCommits()));
+  T += "# HELP dsu_verify_functions_total VTAL functions checked by the "
+       "load-time verifier.\n"
+       "# TYPE dsu_verify_functions_total counter\n";
+  T += formatString("dsu_verify_functions_total %llu\n",
+                    static_cast<unsigned long long>(
+                        RT.verifyFunctionsTotal()));
+  T += "# HELP dsu_analysis_findings_total Findings produced by the "
+       "whole-patch update-safety analyzer.\n"
+       "# TYPE dsu_analysis_findings_total counter\n";
+  T += formatString("dsu_analysis_findings_total %llu\n",
+                    static_cast<unsigned long long>(
+                        RT.analysisFindingsTotal()));
   T += "# HELP dsu_epoch_global The reclamation domain's global epoch.\n"
        "# TYPE dsu_epoch_global gauge\n";
   T += formatString("dsu_epoch_global %llu\n",

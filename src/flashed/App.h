@@ -89,6 +89,9 @@ public:
   ///   GET  /admin/rollouts       every rollout's state, verdict, gate
   ///                              reason and group counters (?id=N for
   ///                              one)
+  ///   GET  /admin/lint?id=N      the update-safety analyzer's full
+  ///                              finding list for one transaction
+  ///                              (severity, code, message, fn, pc)
   ///
   /// The admin surface is part of the control plane, not the updateable
   /// request pipeline: handleStatic*/the E2 baseline never see it.

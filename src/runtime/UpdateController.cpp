@@ -2,10 +2,12 @@
 
 #include "runtime/UpdateController.h"
 
+#include "analysis/PatchAnalyzer.h"
 #include "core/Runtime.h"
 #include "persist/Journal.h"
 #include "support/FaultInject.h"
 #include "support/Logging.h"
+#include "support/Timer.h"
 
 using namespace dsu;
 
@@ -151,6 +153,38 @@ void UpdateController::workerMain() {
         LoadErr = P.takeError();
       break;
     }
+    }
+
+    // Whole-patch static analysis, between manifest parse and everything
+    // else: the freshly loaded patch is checked against the live
+    // type/symbol state.  An error-severity finding refuses the update
+    // *here* — before the durable journal writes an Intent — so a patch
+    // the analyzer can prove bad never enters crash-recovery replay or
+    // the staging pipeline.  Warnings and infos are recorded on the
+    // transaction for `dsu-updatectl log` and GET /admin/lint.
+    if (!LoadErr && J.Kind == Job::Text) {
+      Timer AnalysisT;
+      analysis::AnalyzerEnv Env{RT.types(), RT.transformers(), RT.exports(),
+                                RT.updateables(), RT.state()};
+      analysis::AnalysisReport Report = analysis::analyzePatch(J.Tx->P, Env);
+      Report.AnalysisMs = AnalysisT.elapsedMs();
+      RT.countAnalysisFindings(Report.Findings.size());
+      {
+        std::lock_guard<std::mutex> G(J.Tx->RecLock);
+        J.Tx->Rec.AnalysisRan = true;
+        J.Tx->Rec.AnalysisMs = Report.AnalysisMs;
+        J.Tx->Rec.CodeOnlyPredicted = Report.CodeOnlyPredicted;
+        J.Tx->Rec.AnalysisFindings = Report.Findings;
+        J.Tx->Rec.PatchId = J.Tx->P.Id;
+      }
+      const analysis::Finding *First = Report.firstError();
+      if (First && RT.analysisGateEnabled())
+        LoadErr = Error::make(
+            ErrorCode::EC_Analysis,
+            "patch %s refused by the update-safety analyzer: [%s] %s "
+            "(%zu error finding(s) total)",
+            J.Tx->P.Id.c_str(), First->Code.c_str(), First->Message.c_str(),
+            Report.errorCount());
     }
 
     // Durable journal, phase one: for operator-submitted artifact text

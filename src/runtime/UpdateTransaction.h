@@ -22,6 +22,7 @@
 #ifndef DSU_RUNTIME_UPDATETRANSACTION_H
 #define DSU_RUNTIME_UPDATETRANSACTION_H
 
+#include "analysis/Finding.h"
 #include "patch/Patch.h"
 #include "state/Transform.h"
 
@@ -102,6 +103,19 @@ struct UpdateRecord {
   /// reached the whole fleet) or "rolled-back" (a gate tripped and the
   /// canary was reverted).  Empty for updates committed directly.
   std::string Rollout;
+
+  /// Whole-patch analyzer results.  AnalysisRan distinguishes "the
+  /// analyzer found nothing" from "this staging path never ran it"
+  /// (in-memory patches bypass the manifest-parse gate).  Error-severity
+  /// findings refuse staging before the journal Intent is written;
+  /// warnings and infos ride along here for `dsu-updatectl log` and
+  /// GET /admin/lint.
+  bool AnalysisRan = false;
+  std::vector<analysis::Finding> AnalysisFindings;
+  double AnalysisMs = 0;
+  /// The analyzer's code-only prediction (meaningful when AnalysisRan);
+  /// stageInto cross-checks it against the actual classification.
+  bool CodeOnlyPredicted = false;
 };
 
 /// One staged update in flight.  Created by Runtime::stage() (or the

@@ -38,6 +38,8 @@ const char *dsu::errorCodeName(ErrorCode EC) {
     return "timeout";
   case ErrorCode::EC_Corrupt:
     return "corrupt";
+  case ErrorCode::EC_Analysis:
+    return "analysis";
   }
   return "unknown";
 }

@@ -41,6 +41,7 @@ enum class ErrorCode {
   EC_Unsupported,    ///< feature intentionally not supported
   EC_Timeout,        ///< watchdog deadline exceeded (staged too long)
   EC_Corrupt,        ///< persisted data failed a checksum / framing check
+  EC_Analysis,       ///< patch analyzer found an error-severity defect
 };
 
 /// Returns a stable human-readable name for \p EC ("verify", "link", ...).

@@ -48,6 +48,12 @@ public:
 
 private:
   Error err(uint32_t PC, const char *Msg) {
+    // Naming the rejected instruction (mnemonic + operand) saves the
+    // patch author a round-trip through the disassembler.
+    if (PC < F.Code.size())
+      return Error::make(ErrorCode::EC_Verify, "%s:%s:pc%u: %s [%s]",
+                         M.Name.c_str(), F.Name.c_str(), PC, Msg,
+                         F.Code[PC].str().c_str());
     return Error::make(ErrorCode::EC_Verify, "%s:%s:pc%u: %s",
                        M.Name.c_str(), F.Name.c_str(), PC, Msg);
   }
@@ -58,9 +64,10 @@ private:
       return err(PC, "operand stack underflow");
     if (Stack.back() != Want)
       return Error::make(
-          ErrorCode::EC_Verify, "%s:%s:pc%u: expected %s on stack, found %s",
-          M.Name.c_str(), F.Name.c_str(), PC, valKindName(Want),
-          valKindName(Stack.back()));
+          ErrorCode::EC_Verify,
+          "%s:%s:pc%u: expected %s on stack, found %s [%s]", M.Name.c_str(),
+          F.Name.c_str(), PC, valKindName(Want), valKindName(Stack.back()),
+          PC < F.Code.size() ? F.Code[PC].str().c_str() : "?");
     Stack.pop_back();
     return Error::success();
   }
@@ -243,9 +250,9 @@ private:
       if (Stack.size() != 1 || Stack.back() != F.Sig.Result)
         return Error::make(ErrorCode::EC_Verify,
                            "%s:%s:pc%u: return requires exactly one %s on "
-                           "the stack",
+                           "the stack [%s]",
                            M.Name.c_str(), F.Name.c_str(), PC,
-                           valKindName(F.Sig.Result));
+                           valKindName(F.Sig.Result), I.str().c_str());
       return Error::success();
     }
 
@@ -257,9 +264,9 @@ private:
         Sig = &Imp->Sig;
       if (!Sig)
         return Error::make(ErrorCode::EC_Verify,
-                           "%s:%s:pc%u: call to unknown function '%s'",
+                           "%s:%s:pc%u: call to unknown function '%s' [%s]",
                            M.Name.c_str(), F.Name.c_str(), PC,
-                           I.StrOp.c_str());
+                           I.StrOp.c_str(), I.str().c_str());
       // Arguments were pushed left-to-right, so pop them right-to-left.
       for (size_t A = Sig->Params.size(); A-- > 0;)
         if (Error E = pop(Stack, PC, Sig->Params[A]))

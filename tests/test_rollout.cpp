@@ -243,6 +243,9 @@ TEST_F(RolloutPoolTest, Error500PatchAutoRollsBackUnderLoad) {
 /// A trapping patch's faults surface as zero values (404s), not 5xxs —
 /// only the trap gate catches it.
 TEST_F(RolloutPoolTest, TrapPatchTripsTheTrapGate) {
+  // The static analyzer refuses this patch outright (must-trap); this
+  // test exercises the *dynamic* trap gate, so stand the gate down.
+  RT.setAnalysisGate(false);
   startLoad(2 * kWorkers);
   WAIT_FOR(Ok.load() >= 50);
 
@@ -267,6 +270,9 @@ TEST_F(RolloutPoolTest, TrapPatchTripsTheTrapGate) {
 /// gate (fuel exhausted -> trap) or the stall gate (requests entered,
 /// none completed) catches it — but it must never promote.
 TEST_F(RolloutPoolTest, FuelBombIsCaughtByTrapOrStallGate) {
+  // Statically a fuel-exhaustion finding; stand the analyzer gate down
+  // so the dynamic trap/stall gates are what catches it.
+  RT.setAnalysisGate(false);
   startLoad(2 * kWorkers);
   WAIT_FOR(Ok.load() >= 50);
 

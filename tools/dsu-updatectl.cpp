@@ -10,7 +10,13 @@
 ///                                                idle update point
 ///   dsu-updatectl log      <port>                GET the update log (JSON:
 ///                                                phase, stage/commit timings,
-///                                                failure reasons)
+///                                                failure reasons); analyzed
+///                                                updates get an analyzer
+///                                                verdict summary on stderr
+///   dsu-updatectl lint     <port> <tx-id>        GET /admin/lint?id=N — the
+///                                                update-safety analyzer's
+///                                                full finding list for one
+///                                                transaction
 ///   dsu-updatectl status   <port> [--workers]    GET counters + queue depth;
 ///                                                --workers requires the
 ///                                                per-worker state array (a
@@ -78,6 +84,7 @@ int usage(const char *Argv0) {
       stderr,
       "usage: %s stage <port> <patch-file>\n"
       "       %s log <port>\n"
+      "       %s lint <port> <tx-id>\n"
       "       %s status <port> [--workers]\n"
       "       %s metrics <port>\n"
       "       %s history <port>\n"
@@ -88,7 +95,7 @@ int usage(const char *Argv0) {
       "           [--max-latency-delta-us F] [--min-samples N]\n"
       "           [--max-canary-traps N]\n"
       "common flags: --timeout-ms N\n",
-      Argv0, Argv0, Argv0, Argv0, Argv0, Argv0, Argv0, Argv0);
+      Argv0, Argv0, Argv0, Argv0, Argv0, Argv0, Argv0, Argv0, Argv0);
   return 2;
 }
 
@@ -238,8 +245,40 @@ int main(int argc, char **argv) {
                                   "application/x-dsu-patch"),
                   /*MidCommand=*/true);
   }
-  if (std::strcmp(Cmd, "log") == 0)
-    return finish(C.get("/admin/updates"), /*MidCommand=*/true);
+  if (std::strcmp(Cmd, "log") == 0) {
+    Expected<FetchResult> R = C.get("/admin/updates");
+    if (R && R->Status >= 200 && R->Status < 300) {
+      // Sum the analyzer's flat verdict fields across the whole log so
+      // one glance at stderr says whether any update carried findings.
+      uint64_t Errors = 0, Warnings = 0;
+      size_t Analyzed = 0;
+      const std::string &B = R->Body;
+      const char *EKey = "\"analysis_errors\": ";
+      const char *WKey = "\"analysis_warnings\": ";
+      for (size_t At = B.find(EKey); At != std::string::npos;
+           At = B.find(EKey, At + 1)) {
+        ++Analyzed;
+        Errors += std::strtoull(B.c_str() + At + std::strlen(EKey),
+                                nullptr, 10);
+      }
+      for (size_t At = B.find(WKey); At != std::string::npos;
+           At = B.find(WKey, At + 1))
+        Warnings += std::strtoull(B.c_str() + At + std::strlen(WKey),
+                                  nullptr, 10);
+      if (Analyzed)
+        std::fprintf(stderr,
+                     "analysis: %zu update(s) analyzed, %llu error / "
+                     "%llu warning finding(s)\n",
+                     Analyzed, static_cast<unsigned long long>(Errors),
+                     static_cast<unsigned long long>(Warnings));
+    }
+    return finish(std::move(R), /*MidCommand=*/true);
+  }
+  if (std::strcmp(Cmd, "lint") == 0) {
+    if (Args.empty())
+      return usage(argv[0]);
+    return finish(C.get("/admin/lint?id=" + Args[0]), /*MidCommand=*/true);
+  }
   if (std::strcmp(Cmd, "status") == 0) {
     bool WantWorkers = !Args.empty() && Args[0] == "--workers";
     Expected<FetchResult> R = C.get("/admin/status");
