@@ -14,9 +14,18 @@
 ///   ArithLoop       straight-line arithmetic (no calls; dispatch floor)
 ///   StringOps       handler-shaped string slicing and search
 ///
+/// The *Profiled rows rerun the call-heavy and dispatch-floor workloads
+/// with a trace::ModuleProfile attached — the flight recorder's
+/// hot-function profiler — so the per-call-boundary overhead is the
+/// delta against the matching base row.  The base rows themselves carry
+/// the compiled-in-but-unattached hook cost (one null check per call
+/// boundary), which a -DDSU_VTAL_PROFILER=OFF build removes; DESIGN.md
+/// §16 records both deltas.
+///
 //===----------------------------------------------------------------------===//
 
 #include "support/StringUtil.h"
+#include "trace/Profile.h"
 #include "vtal/Assembler.h"
 #include "vtal/Interp.h"
 #include "vtal/Verifier.h"
@@ -32,6 +41,19 @@ Module mustModule(const std::string &Src) {
   Module M = cantFail(assemble(Src), "bench module");
   cantFail(verifyModule(M), "bench module verify");
   return M;
+}
+
+/// Attaches a registry-backed profile to \p I covering \p M's functions.
+std::shared_ptr<trace::ModuleProfile> attachProfile(Interpreter &I,
+                                                    const Module &M) {
+  std::vector<std::string> Names;
+  for (const Function &F : M.Functions)
+    Names.push_back(F.Name);
+  std::shared_ptr<trace::ModuleProfile> P =
+      trace::ProfileRegistry::instance().create("bench", M.Name,
+                                                std::move(Names));
+  I.setProfile(P.get());
+  return P;
 }
 
 // Binary recursion: fib — the densest VTAL-to-VTAL call workload.
@@ -76,6 +98,27 @@ void BM_CallTree(benchmark::State &State) {
       static_cast<double>(Fuel), benchmark::Counter::kIsIterationInvariantRate);
 }
 BENCHMARK(BM_CallTree)->Arg(15)->Arg(20);
+
+// The same binary recursion with the hot-function profiler attached:
+// the worst case for the profiler, ~2 call boundaries per 10
+// instructions, each paying the relaxed-atomic bumps.
+void BM_CallTreeProfiled(benchmark::State &State) {
+  Module M = callTreeModule();
+  Interpreter I(M);
+  std::shared_ptr<trace::ModuleProfile> P = attachProfile(I, M);
+  std::vector<Value> Args{Value::makeInt(State.range(0))};
+  uint64_t Fuel = 0;
+  for (auto _ : State) {
+    Expected<Value> R = I.call("fib", Args);
+    if (!R)
+      State.SkipWithError(R.error().str().c_str());
+    benchmark::DoNotOptimize(R->asInt());
+    Fuel = I.lastFuelUsed();
+  }
+  State.counters["insts/s"] = benchmark::Counter(
+      static_cast<double>(Fuel), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_CallTreeProfiled)->Arg(15)->Arg(20);
 
 // A loop whose body calls through a chain of small functions, the shape
 // of handler code factored into helpers.
@@ -136,6 +179,24 @@ void BM_CallChain(benchmark::State &State) {
 }
 BENCHMARK(BM_CallChain)->Arg(1000);
 
+void BM_CallChainProfiled(benchmark::State &State) {
+  Module M = callChainModule(8);
+  Interpreter I(M);
+  std::shared_ptr<trace::ModuleProfile> P = attachProfile(I, M);
+  std::vector<Value> Args{Value::makeInt(State.range(0))};
+  uint64_t Fuel = 0;
+  for (auto _ : State) {
+    Expected<Value> R = I.call("drive", Args);
+    if (!R)
+      State.SkipWithError(R.error().str().c_str());
+    benchmark::DoNotOptimize(R->asInt());
+    Fuel = I.lastFuelUsed();
+  }
+  State.counters["insts/s"] = benchmark::Counter(
+      static_cast<double>(Fuel), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_CallChainProfiled)->Arg(1000);
+
 // Import dispatch: the handler-to-host boundary in a tight loop.
 void BM_HostCalls(benchmark::State &State) {
   Module M = mustModule(R"(
@@ -185,8 +246,8 @@ done:
 BENCHMARK(BM_HostCalls)->Arg(1000);
 
 // Straight-line arithmetic loop: the dispatch floor, no calls at all.
-void BM_ArithLoop(benchmark::State &State) {
-  Module M = mustModule(R"(
+Module arithModule() {
+  return mustModule(R"(
 module arith
 func sum (n: int) -> int {
   locals (acc: int, i: int)
@@ -215,6 +276,10 @@ done:
   ret
 }
 )");
+}
+
+void BM_ArithLoop(benchmark::State &State) {
+  Module M = arithModule();
   Interpreter I(M);
   std::vector<Value> Args{Value::makeInt(State.range(0))};
   uint64_t Fuel = 0;
@@ -229,6 +294,27 @@ done:
       static_cast<double>(Fuel), benchmark::Counter::kIsIterationInvariantRate);
 }
 BENCHMARK(BM_ArithLoop)->Arg(10000);
+
+// Dispatch floor with the profiler attached: one activation per 10k
+// instructions, so the hooks should be invisible here — this row pins
+// down that the per-instruction loop really is untouched.
+void BM_ArithLoopProfiled(benchmark::State &State) {
+  Module M = arithModule();
+  Interpreter I(M);
+  std::shared_ptr<trace::ModuleProfile> P = attachProfile(I, M);
+  std::vector<Value> Args{Value::makeInt(State.range(0))};
+  uint64_t Fuel = 0;
+  for (auto _ : State) {
+    Expected<Value> R = I.call("sum", Args);
+    if (!R)
+      State.SkipWithError(R.error().str().c_str());
+    benchmark::DoNotOptimize(R->asInt());
+    Fuel = I.lastFuelUsed();
+  }
+  State.counters["insts/s"] = benchmark::Counter(
+      static_cast<double>(Fuel), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_ArithLoopProfiled)->Arg(10000);
 
 // Handler-shaped string work: strip a query string per "request".
 void BM_StringOps(benchmark::State &State) {

@@ -8,6 +8,7 @@
 #include "support/Logging.h"
 #include "support/StringUtil.h"
 #include "support/Timer.h"
+#include "trace/Trace.h"
 #include "vtal/Verifier.h"
 
 #include <algorithm>
@@ -78,6 +79,10 @@ Runtime::makeTransaction(std::string PatchId) {
 
 void Runtime::finalize(UpdateTransaction &Tx, UpdatePhase Phase,
                        const Error *E) {
+  // Some callers (abort paths) reach here without a scope guard; tag
+  // the terminal marker and the journal-seal span with the tx id.
+  trace::ScopedUpdateId TraceId(Tx.id());
+  trace::Recorder::instance().instant("update", updatePhaseName(Phase));
   Tx.Phase.store(Phase, std::memory_order_release);
   UpdateRecord RecCopy;
   {
@@ -159,6 +164,10 @@ bool sameBumpSet(const std::vector<VersionBump> &A,
 } // namespace
 
 Error Runtime::stageInto(UpdateTransaction &Tx) {
+  // Every event below lands in this update's span tree; the pipeline
+  // span also covers the wait for the stage lock.
+  trace::ScopedUpdateId TraceId(Tx.id());
+  TRACE_SPAN("stage", "pipeline");
   // One stager at a time: preparation reads the registries the update
   // thread writes at commit, and patch type/transformer definitions must
   // land in submission order.  Commit never takes this lock, so staging
@@ -212,6 +221,7 @@ Error Runtime::stageInto(UpdateTransaction &Tx) {
   // native patches arrive as trusted-compiler output (the paper's TAL
   // verification corresponds to the VTAL path).
   {
+    TRACE_SPAN("stage", "verify");
     Timer T;
     if (P.VtalMod) {
       vtal::VerifyStats VS;
@@ -222,6 +232,7 @@ Error Runtime::stageInto(UpdateTransaction &Tx) {
       std::lock_guard<std::mutex> G(Tx.RecLock);
       Tx.Rec.InstructionsVerified = VS.InstructionsChecked;
     }
+    trace::notePhase(trace::Phase::Verify, T.elapsedNs() / 1000);
     std::lock_guard<std::mutex> G(Tx.RecLock);
     Tx.Rec.VerifyMs = T.elapsedMs();
   }
@@ -264,6 +275,7 @@ Error Runtime::stageInto(UpdateTransaction &Tx) {
   {
     Timer T;
     Expected<LinkPlan> PlanOrErr = TheLinker.prepare(std::move(P.Unit));
+    trace::notePhase(trace::Phase::LinkPrepare, T.elapsedNs() / 1000);
     {
       std::lock_guard<std::mutex> G(Tx.RecLock);
       Tx.Rec.PrepareMs = T.elapsedMs();
@@ -284,9 +296,11 @@ Error Runtime::stageInto(UpdateTransaction &Tx) {
   // generations commit will validate.  A missing or failing transformer
   // rejects the transaction now, with all state untouched.
   {
+    TRACE_SPAN("stage", "state.build");
     Timer T;
     Expected<StagedStateSwap> Swap =
         stageStateTransform(Types, State, Transformers, Tx.Bumps);
+    trace::notePhase(trace::Phase::StateBuild, T.elapsedNs() / 1000);
     {
       std::lock_guard<std::mutex> G(Tx.RecLock);
       Tx.Rec.BuildMs = T.elapsedMs();
@@ -440,6 +454,11 @@ Error Runtime::commitStagedTxLocked(
                        updatePhaseName(Expect));
 
   std::string PatchId = Tx.patchId();
+  trace::ScopedUpdateId TraceId(Tx.id());
+  trace::Span CommitSp("commit",
+                       CanaryMask != UINT64_MAX ? "canary"
+                       : Rolling                ? "rolling"
+                                                : "barrier");
   Timer CommitTimer;
   auto FailCommit = [&](Error E) {
     {
@@ -530,10 +549,16 @@ Error Runtime::commitStagedTxLocked(
     }
   }
   CommitGeneration.fetch_add(1, std::memory_order_release);
-  if (Rolling)
+  if (Rolling) {
     RollingCommits.fetch_add(1, std::memory_order_relaxed);
+    LastRollingCommitUs.store(trace::Recorder::instance().nowUs(),
+                              std::memory_order_release);
+    LastRollingTxId.store(Tx.id(), std::memory_order_release);
+  }
 
   double CommitMs = CommitTimer.elapsedMs(); // measurement ends here
+  trace::notePhase(trace::Phase::Commit,
+                   static_cast<uint64_t>(CommitMs * 1000.0));
   uint64_t StageToCommitUs = 0;
   if (Tx.ReadyAt.time_since_epoch().count() != 0) {
     StageToCommitUs = static_cast<uint64_t>(
@@ -541,6 +566,15 @@ Error Runtime::commitStagedTxLocked(
             std::chrono::steady_clock::now() - Tx.ReadyAt)
             .count());
     StageToCommit.note(StageToCommitUs);
+    trace::notePhase(trace::Phase::QueueWait, StageToCommitUs);
+    // The queue wait is a real interval whose endpoints live on two
+    // threads (staging finished -> this commit landed); record it as a
+    // complete span ending now so the tree shows where the time went.
+    trace::Recorder &R = trace::Recorder::instance();
+    uint64_t Now = R.nowUs();
+    R.complete("queue", "wait",
+               Now > StageToCommitUs ? Now - StageToCommitUs : 0,
+               StageToCommitUs);
   }
   UpdateRecord Done;
   {
@@ -663,6 +697,9 @@ Error Runtime::commitCanaryFront(const std::shared_ptr<UpdateTransaction> &Tx,
 void Runtime::annotateRollout(const std::shared_ptr<UpdateTransaction> &Tx,
                               const std::string &Verdict,
                               const std::string &Reason) {
+  // The rollout thread seals the verdict here; tag the journal-seal
+  // span (inside appendSeal) with the update id.
+  trace::ScopedUpdateId TraceId(Tx->id());
   {
     std::lock_guard<std::mutex> G(Tx->RecLock);
     Tx->Rec.Rollout = Verdict;

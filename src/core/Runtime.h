@@ -226,6 +226,28 @@ public:
     return StageToCommit;
   }
 
+  /// Id of the transaction at the queue front (0 when empty).  The
+  /// serving plane tags its barrier-park and adoption trace spans with
+  /// this, so per-worker pause evidence lands in the right update's
+  /// span tree.
+  uint64_t frontTxId() const {
+    std::shared_ptr<UpdateTransaction> F = Queue.front();
+    return F ? F->id() : 0;
+  }
+
+  /// Id of the most recent rolling-committed transaction (0 = none
+  /// yet).  Workers compare against it at their quiescent points to
+  /// emit one "adopted" trace event per worker per rolling update.
+  uint64_t lastRollingTxId() const {
+    return LastRollingTxId.load(std::memory_order_acquire);
+  }
+
+  /// Recorder timestamp (trace::Recorder::nowUs) of that commit, so an
+  /// adopting worker can report its own commit-to-adoption lag.
+  uint64_t lastRollingCommitUs() const {
+    return LastRollingCommitUs.load(std::memory_order_acquire);
+  }
+
   /// Reverts one updateable to its previous implementation (code-only;
   /// see UpdateableRegistry::rollback for the state caveat).  Refused
   /// with EC_Busy while updateable code is active on this thread, like
@@ -378,6 +400,10 @@ private:
   std::atomic<uint64_t> CommitGeneration{0};
 
   std::atomic<uint64_t> NextTxId{1};
+
+  /// See lastRollingTxId() / lastRollingCommitUs().
+  std::atomic<uint64_t> LastRollingTxId{0};
+  std::atomic<uint64_t> LastRollingCommitUs{0};
 
   /// The attached durable journal (nullptr = in-memory only).
   std::atomic<persist::UpdateJournal *> Journal{nullptr};

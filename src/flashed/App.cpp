@@ -9,6 +9,8 @@
 #include "persist/Journal.h"
 #include "runtime/UpdateController.h"
 #include "support/StringUtil.h"
+#include "trace/Profile.h"
+#include "trace/Trace.h"
 #include "types/TypeParser.h"
 
 #include <chrono>
@@ -940,6 +942,32 @@ void FlashedApp::handleAdmin(const RequestHead &Head, std::string_view Raw,
                             static_cast<unsigned long long>(Id)));
   }
 
+  if (Head.Method == "GET" && PathOnly == "/admin/trace") {
+    // ?export=chrome serves the whole recorder (optionally filtered by
+    // ?id=) as Chrome trace-event JSON — load it in Perfetto or
+    // chrome://tracing.  ?id=<tx> alone serves that update's span tree.
+    uint64_t Id = 0;
+    bool HasId = parseUInt(queryParam(Target, "id"), Id);
+    if (queryParam(Target, "export") == "chrome")
+      return Respond(200, trace::chromeTraceJson(HasId ? Id : 0));
+    if (!HasId)
+      return Respond(400, "{\"error\": \"missing or malformed ?id=<tx> "
+                          "(or ?export=chrome)\"}");
+    return Respond(200, trace::spanTreeJson(Id));
+  }
+
+  if (Head.Method == "GET" && PathOnly == "/admin/profile") {
+    // Hot-function ranking; ?k=<n> bounds the rows (default 20, 0 =
+    // all), ?reset=1 zeros the counters *after* rendering — the
+    // response is the closing report of the window it resets.
+    uint64_t K = 20;
+    parseUInt(queryParam(Target, "k"), K);
+    std::string J = trace::profileJson(static_cast<size_t>(K));
+    if (queryParam(Target, "reset") == "1")
+      trace::ProfileRegistry::instance().resetAll();
+    return Respond(200, J);
+  }
+
   Respond(404, "{\"error\": \"unknown admin endpoint\"}");
 }
 
@@ -952,6 +980,42 @@ void metricLine(std::string &T, const char *Name, unsigned Worker,
                 uint64_t Value) {
   T += formatString("%s{worker=\"%u\"} %llu\n", Name, Worker,
                     static_cast<unsigned long long>(Value));
+}
+
+/// Emits one histogram's `_bucket`/`_sum`/`_count` series.  \p Labels
+/// is empty or a ready-made label list *without* the `le` label (e.g.
+/// `worker="0"`).  The exposition invariant that the `+Inf` bucket
+/// equals `_count` holds by construction: both lines print the same
+/// cumulative sum of the bucket loads, rather than a separately
+/// maintained count that may have advanced between the two reads.
+void emitHistogram(std::string &T, const char *Name,
+                   const std::string &Labels,
+                   const std::atomic<uint64_t> *Buckets,
+                   const uint64_t *BoundsUs, size_t NumBuckets,
+                   uint64_t SumUs) {
+  uint64_t Cum = 0;
+  for (size_t B = 0; B != NumBuckets; ++B) {
+    Cum += Buckets[B].load(std::memory_order_relaxed);
+    std::string Le =
+        B + 1 == NumBuckets
+            ? std::string("+Inf")
+            : formatString("%llu",
+                           static_cast<unsigned long long>(BoundsUs[B]));
+    T += formatString("%s_bucket{%s%sle=\"%s\"} %llu\n", Name,
+                      Labels.c_str(), Labels.empty() ? "" : ",", Le.c_str(),
+                      static_cast<unsigned long long>(Cum));
+  }
+  if (Labels.empty()) {
+    T += formatString("%s_sum %llu\n", Name,
+                      static_cast<unsigned long long>(SumUs));
+    T += formatString("%s_count %llu\n", Name,
+                      static_cast<unsigned long long>(Cum));
+  } else {
+    T += formatString("%s_sum{%s} %llu\n", Name, Labels.c_str(),
+                      static_cast<unsigned long long>(SumUs));
+    T += formatString("%s_count{%s} %llu\n", Name, Labels.c_str(),
+                      static_cast<unsigned long long>(Cum));
+  }
 }
 
 } // namespace
@@ -992,25 +1056,41 @@ std::string FlashedApp::renderMetrics() const {
     T += "# HELP dsu_stage_to_commit_us Staging-complete to commit "
          "latency of dynamic updates, microseconds.\n"
          "# TYPE dsu_stage_to_commit_us histogram\n";
-    uint64_t Cum = 0;
-    for (size_t B = 0; B != LatencyHistogram::NumBuckets; ++B) {
-      Cum += H.Buckets[B].load(std::memory_order_relaxed);
-      if (B + 1 == LatencyHistogram::NumBuckets)
-        T += formatString("dsu_stage_to_commit_us_bucket{le=\"+Inf\"} "
-                          "%llu\n",
-                          static_cast<unsigned long long>(Cum));
-      else
-        T += formatString(
-            "dsu_stage_to_commit_us_bucket{le=\"%llu\"} %llu\n",
-            static_cast<unsigned long long>(LatencyHistogram::BucketUs[B]),
-            static_cast<unsigned long long>(Cum));
-    }
-    T += formatString("dsu_stage_to_commit_us_sum %llu\n",
-                      static_cast<unsigned long long>(
-                          H.TotalUs.load(std::memory_order_relaxed)));
-    T += formatString("dsu_stage_to_commit_us_count %llu\n",
-                      static_cast<unsigned long long>(
-                          H.Count.load(std::memory_order_relaxed)));
+    emitHistogram(T, "dsu_stage_to_commit_us", std::string(), H.Buckets,
+                  LatencyHistogram::BucketUs, LatencyHistogram::NumBuckets,
+                  H.TotalUs.load(std::memory_order_relaxed));
+  }
+  {
+    trace::ProfileRegistry::Totals P =
+        trace::ProfileRegistry::instance().totals();
+    T += "# HELP dsu_vtal_calls_total VTAL function activations "
+         "observed by the profiler.\n"
+         "# TYPE dsu_vtal_calls_total counter\n";
+    T += formatString("dsu_vtal_calls_total %llu\n",
+                      static_cast<unsigned long long>(P.Calls));
+    T += "# HELP dsu_vtal_fuel_total Fuel burned by VTAL code "
+         "(deterministic interpreter cost units).\n"
+         "# TYPE dsu_vtal_fuel_total counter\n";
+    T += formatString("dsu_vtal_fuel_total %llu\n",
+                      static_cast<unsigned long long>(P.Fuel));
+    T += "# HELP dsu_vtal_traps_total VTAL activations that trapped.\n"
+         "# TYPE dsu_vtal_traps_total counter\n";
+    T += formatString("dsu_vtal_traps_total %llu\n",
+                      static_cast<unsigned long long>(P.Traps));
+  }
+  T += "# HELP dsu_update_phase_us Update-pipeline phase latency, "
+       "microseconds, by phase.\n"
+       "# TYPE dsu_update_phase_us histogram\n";
+  for (unsigned P = 0;
+       P != static_cast<unsigned>(trace::Phase::NumPhases); ++P) {
+    const LatencyHistogram &H =
+        trace::phaseHistogram(static_cast<trace::Phase>(P));
+    emitHistogram(T, "dsu_update_phase_us",
+                  formatString("phase=\"%s\"",
+                               trace::phaseName(static_cast<trace::Phase>(P))),
+                  H.Buckets, LatencyHistogram::BucketUs,
+                  LatencyHistogram::NumBuckets,
+                  H.TotalUs.load(std::memory_order_relaxed));
   }
   if (!Pool)
     return T;
@@ -1060,30 +1140,22 @@ std::string FlashedApp::renderMetrics() const {
        "# TYPE dsu_update_pause_us histogram\n";
   for (unsigned I = 0; I != Pool->workers(); ++I) {
     const net::WorkerStats &S = Pool->workerStats(I);
-    uint64_t Cum = 0;
-    for (size_t B = 0; B != net::WorkerStats::NumPauseBuckets; ++B) {
-      Cum += S.PauseBuckets[B].load(std::memory_order_relaxed);
-      if (B + 1 == net::WorkerStats::NumPauseBuckets)
-        T += formatString(
-            "dsu_update_pause_us_bucket{worker=\"%u\",le=\"+Inf\"} "
-            "%llu\n",
-            I, static_cast<unsigned long long>(Cum));
-      else
-        T += formatString(
-            "dsu_update_pause_us_bucket{worker=\"%u\",le=\"%llu\"} "
-            "%llu\n",
-            I,
-            static_cast<unsigned long long>(
-                net::WorkerStats::PauseBucketUs[B]),
-            static_cast<unsigned long long>(Cum));
-    }
-    T += formatString("dsu_update_pause_us_sum{worker=\"%u\"} %llu\n", I,
-                      static_cast<unsigned long long>(S.PauseTotalUs.load(
-                          std::memory_order_relaxed)));
-    T += formatString("dsu_update_pause_us_count{worker=\"%u\"} %llu\n",
-                      I,
-                      static_cast<unsigned long long>(S.Pauses.load(
-                          std::memory_order_relaxed)));
+    emitHistogram(T, "dsu_update_pause_us",
+                  formatString("worker=\"%u\"", I), S.PauseBuckets,
+                  net::WorkerStats::PauseBucketUs,
+                  net::WorkerStats::NumPauseBuckets,
+                  S.PauseTotalUs.load(std::memory_order_relaxed));
+  }
+  T += "# HELP dsu_request_duration_us Request handler latency per "
+       "worker, microseconds.\n"
+       "# TYPE dsu_request_duration_us histogram\n";
+  for (unsigned I = 0; I != Pool->workers(); ++I) {
+    const net::WorkerStats &S = Pool->workerStats(I);
+    emitHistogram(T, "dsu_request_duration_us",
+                  formatString("worker=\"%u\"", I), S.ServeBuckets,
+                  net::WorkerStats::ServeBucketUs,
+                  net::WorkerStats::NumServeBuckets,
+                  S.ServeTotalUs.load(std::memory_order_relaxed));
   }
   return T;
 }

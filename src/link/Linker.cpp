@@ -3,6 +3,7 @@
 #include "link/Linker.h"
 
 #include "support/Logging.h"
+#include "trace/Trace.h"
 
 #include <algorithm>
 #include <set>
@@ -10,6 +11,7 @@
 using namespace dsu;
 
 Expected<LinkPlan> Linker::prepare(LinkUnit Unit) const {
+  trace::Span Sp("link", "prepare", Unit.Provides.size());
   LinkPlan Plan;
 
   // Every import must resolve, with an identical type, before we look at
@@ -83,6 +85,8 @@ Expected<LinkPlan> Linker::prepare(LinkUnit Unit) const {
 
 Error Linker::commit(LinkPlan Plan, bool Rolling, uint64_t CanaryMask,
                      std::vector<RollEntry *> *GatedOut) {
+  trace::Span Sp("link", Rolling ? "commit.rolling" : "commit.barrier",
+                 Plan.Unit.Provides.size());
   if (Rolling)
     return commitRolling(std::move(Plan), CanaryMask, GatedOut);
   // On a mid-way failure every slot swung so far — the replacements in

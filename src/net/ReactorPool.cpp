@@ -5,6 +5,7 @@
 #include "core/Runtime.h"
 #include "support/Logging.h"
 #include "support/WorkerId.h"
+#include "trace/Trace.h"
 
 #include <chrono>
 
@@ -235,6 +236,9 @@ void ReactorPool::workerMain(unsigned Idx) {
   // updates swing this worker's bindings without parking it.
   epoch::WorkerReg Epoch;
   EpochSlots[Idx]->store(Epoch.slot(), std::memory_order_release);
+  // Seed the adoption watermark so only rolling commits that land while
+  // this worker is serving produce adoption evidence.
+  uint64_t SeenRollingTx = TheRuntime ? TheRuntime->lastRollingTxId() : 0;
   Reactor &R = *Reactors[Idx];
   while (!R.drainComplete()) {
     setState(Idx, WorkerState::Serving);
@@ -249,6 +253,23 @@ void ReactorPool::workerMain(unsigned Idx) {
     // the last tick takes effect for this worker's next request here.
     Epoch.quiesce();
     maybeEnterBarrier(Idx);
+    // A rolling commit landed since this worker's last quiescent point:
+    // the worker serves the new bindings from here on.  One span per
+    // worker per rolling update, stretching from the commit instant to
+    // this adoption point — the per-worker rollout lag, made visible.
+    if (TheRuntime) {
+      uint64_t RollTx = TheRuntime->lastRollingTxId();
+      if (RollTx != SeenRollingTx) {
+        SeenRollingTx = RollTx;
+        trace::Recorder &Rec = trace::Recorder::instance();
+        uint64_t CommitUs = TheRuntime->lastRollingCommitUs();
+        uint64_t Now = Rec.nowUs();
+        uint64_t LagUs = Now > CommitUs ? Now - CommitUs : 0;
+        trace::ScopedUpdateId TraceId(RollTx);
+        Rec.complete("rolling", "adopt", CommitUs, LagUs, Idx);
+        trace::notePhase(trace::Phase::RollingAdopt, LagUs);
+      }
+    }
     // Idle-time hygiene: drain graced redirection chains even when no
     // further commit ever arrives (try-lock inside; never blocks).
     if (TheRuntime)
@@ -313,15 +334,26 @@ void ReactorPool::maybeEnterBarrier(unsigned Idx) {
       Armed = true;
       ArmedHint.store(true, std::memory_order_relaxed);
     }
+    {
+      // One arm event per barrier round, tagged with the update whose
+      // commit the round is for, from the worker that armed it.
+      trace::ScopedUpdateId TraceId(TheRuntime ? TheRuntime->frontTxId()
+                                               : 0);
+      trace::Recorder::instance().instant("barrier", "arm", Idx);
+    }
     wake(); // get workers out of epoll_wait and to their update points
   }
   park(Idx);
 }
 
 void ReactorPool::park(unsigned Idx) {
+  // Capture the update this park is for *before* blocking: by release
+  // time the committer has already popped it from the queue front.
+  uint64_t FrontTx = TheRuntime ? TheRuntime->frontTxId() : 0;
   std::unique_lock<std::mutex> L(BarrierMu);
   if (!Armed || Stopping)
     return;
+  uint64_t ParkStartUs = trace::Recorder::instance().nowUs();
   auto Start = std::chrono::steady_clock::now();
   uint64_t MyGen = Generation;
   ++ParkedCount;
@@ -344,7 +376,16 @@ void ReactorPool::park(unsigned Idx) {
     BarrierCV.wait(L);
   }
   setState(Idx, WorkerState::Serving);
-  Reactors[Idx]->mutableStats().notePause(elapsedUs(Start));
+  uint64_t PauseUs = elapsedUs(Start);
+  {
+    // One park span per worker per barrier round — the per-worker
+    // service pause this update cost, in the update's own span tree.
+    trace::ScopedUpdateId TraceId(FrontTx);
+    trace::Recorder::instance().complete("barrier", "park", ParkStartUs,
+                                         PauseUs, Idx);
+  }
+  trace::notePhase(trace::Phase::BarrierPark, PauseUs);
+  Reactors[Idx]->mutableStats().notePause(PauseUs);
 }
 
 void ReactorPool::commitRound() {

@@ -51,6 +51,17 @@ struct alignas(64) WorkerStats {
   std::atomic<uint64_t> PauseMaxUs{0};   ///< worst single park
   std::atomic<uint64_t> Commits{0};      ///< barriers this worker committed
 
+  /// Upper bounds (microseconds) of the request-latency histogram
+  /// (dsu_request_duration_us); the final bucket is +Inf.  Tighter at
+  /// the low end than the pause buckets: handler latencies cluster in
+  /// the tens of microseconds, parks in the hundreds.
+  static constexpr size_t NumServeBuckets = 8;
+  static constexpr uint64_t ServeBucketUs[NumServeBuckets] = {
+      10, 50, 100, 500, 1000, 10000, 100000, UINT64_MAX};
+
+  std::atomic<uint64_t> ServeBuckets[NumServeBuckets]{};
+  std::atomic<uint64_t> ServeMaxUs{0}; ///< worst single handler run
+
   void notePause(uint64_t Us) {
     for (size_t I = 0; I != NumPauseBuckets; ++I)
       if (Us <= PauseBucketUs[I]) {
@@ -73,6 +84,16 @@ struct alignas(64) WorkerStats {
   void noteServe(uint64_t Us, bool ServerError) {
     Serves.fetch_add(1, std::memory_order_relaxed);
     ServeTotalUs.fetch_add(Us, std::memory_order_relaxed);
+    for (size_t I = 0; I != NumServeBuckets; ++I)
+      if (Us <= ServeBucketUs[I]) {
+        ServeBuckets[I].fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+    uint64_t Prev = ServeMaxUs.load(std::memory_order_relaxed);
+    while (Us > Prev &&
+           !ServeMaxUs.compare_exchange_weak(Prev, Us,
+                                             std::memory_order_relaxed))
+      ;
     if (ServerError)
       Errors5xx.fetch_add(1, std::memory_order_relaxed);
   }

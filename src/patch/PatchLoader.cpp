@@ -8,6 +8,7 @@
 #include "support/Logging.h"
 #include "support/MemoryBuffer.h"
 #include "support/StringUtil.h"
+#include "trace/Profile.h"
 #include "types/TypeParser.h"
 #include "vtal/Assembler.h"
 #include "vtal/Bytecode.h"
@@ -73,6 +74,11 @@ struct VtalInstance {
   /// into the pool once loading completes.
   std::unique_ptr<vtal::Interpreter> Interp;
 
+  /// Hot-function profile for this module version, shared by every
+  /// pooled interpreter and registered with the global ProfileRegistry
+  /// (GET /admin/profile, dsu_vtal_*_total metrics).
+  std::shared_ptr<trace::ModuleProfile> Prof;
+
   std::mutex PoolMu;
   std::vector<std::unique_ptr<vtal::Interpreter>> Pool;
 
@@ -91,6 +97,7 @@ struct VtalInstance {
       // fresh instance.  The module already linked and type-checked at
       // load, so this is deterministic setup, not re-verification.
       I = std::make_unique<vtal::Interpreter>(Mod);
+      I->setProfile(Prof.get());
       for (const auto &[Name, Fn] : Imports)
         if (Error E = I->bindImport(Name, Fn))
           return std::move(E);
@@ -318,8 +325,19 @@ Expected<Patch> dsu::loadVtalPatch(TypeContext &Ctx, const SymbolTable &Syms,
         PatchTransformer{std::move(*Bump), std::move(Xf)});
   }
 
-  // Loading is done: retire the load-time interpreter into the call
-  // pool so the first invocation reuses it instead of linking anew.
+  // Loading is done: attach the hot-function profile (per module
+  // version — the registry keys rankings by patch id) and retire the
+  // load-time interpreter into the call pool so the first invocation
+  // reuses it instead of linking anew.
+  {
+    std::vector<std::string> FnNames;
+    FnNames.reserve(Inst->Mod.Functions.size());
+    for (const vtal::Function &Fn : Inst->Mod.Functions)
+      FnNames.push_back(Fn.Name);
+    Inst->Prof = trace::ProfileRegistry::instance().create(
+        P.Id, Inst->Mod.Name, std::move(FnNames));
+    Inst->Interp->setProfile(Inst->Prof.get());
+  }
   Inst->Pool.push_back(std::move(Inst->Interp));
 
   P.CodeBytes = ManifestText.size() + vtal::encodeModule(Inst->Mod).size();

@@ -6,6 +6,8 @@
 #include "support/Logging.h"
 #include "support/MemoryBuffer.h"
 #include "support/StringUtil.h"
+#include "support/Timer.h"
+#include "trace/Trace.h"
 
 #include <cerrno>
 #include <chrono>
@@ -466,6 +468,10 @@ BootInfo UpdateJournal::beginBoot(const std::string &PrevExit) {
 Expected<uint64_t> UpdateJournal::appendIntent(const std::string &PatchId,
                                                const std::string &ArtifactText,
                                                IntentOrigin Origin) {
+  // The span covers the artifact-store fsync plus the framed append +
+  // fdatasync — the durable-write cost on the staging path.
+  trace::Span Sp("journal", "intent", ArtifactText.size());
+  Timer T;
   std::string Hash = artifactHash(ArtifactText);
   std::lock_guard<std::mutex> G(Mu);
   if (Quarantined.count(Hash))
@@ -512,6 +518,7 @@ Expected<uint64_t> UpdateJournal::appendIntent(const std::string &PatchId,
   R.SizeBytes = ArtifactText.size();
   if (Error E = appendLocked(R))
     return E;
+  trace::notePhase(trace::Phase::JournalIntent, T.elapsedNs() / 1000);
   return R.Seq;
 }
 
@@ -519,6 +526,8 @@ Error UpdateJournal::appendSeal(uint64_t IntentSeq, SealOutcome Outcome,
                                 const std::string &CommitMode,
                                 const std::string &Reason,
                                 const std::string &Verdict) {
+  trace::Span Sp("journal", "seal", IntentSeq);
+  Timer T;
   std::lock_guard<std::mutex> G(Mu);
   if (!IntentIndex.count(IntentSeq))
     return Error::make(ErrorCode::EC_Invalid,
@@ -531,7 +540,10 @@ Error UpdateJournal::appendSeal(uint64_t IntentSeq, SealOutcome Outcome,
   R.CommitMode = CommitMode;
   R.Reason = Reason;
   R.Verdict = Verdict;
-  return appendLocked(R);
+  Error E = appendLocked(R);
+  if (!E)
+    trace::notePhase(trace::Phase::JournalSeal, T.elapsedNs() / 1000);
+  return E;
 }
 
 Error UpdateJournal::sealCleanShutdown() {

@@ -7,6 +7,7 @@
 #include "runtime/UpdateController.h"
 #include "support/Logging.h"
 #include "support/StringUtil.h"
+#include "trace/Trace.h"
 
 #include <algorithm>
 #include <chrono>
@@ -139,6 +140,9 @@ Error RolloutController::revertProvides(const std::vector<std::string> &Names) {
 
 void RolloutController::runOne(std::shared_ptr<UpdateTransaction> Tx,
                                RolloutOptions Opts, size_t RecIdx) {
+  // Every event the rollout thread records below lands in this
+  // update's span tree.
+  trace::ScopedUpdateId TraceId(Tx->id());
   auto Finish = [&] {
     Tx->HeldForRollout.store(false, std::memory_order_release);
     RT.setRolloutActive(false);
@@ -158,6 +162,7 @@ void RolloutController::runOne(std::shared_ptr<UpdateTransaction> Tx,
   };
 
   // --- Staged: wait for the staging pipeline, bounded. -------------------
+  trace::Span StageWaitSp("rollout", "stage.wait");
   auto StageStart = std::chrono::steady_clock::now();
   auto StageOverdue = [&] {
     return Opts.StageTimeoutMs != 0 &&
@@ -178,10 +183,12 @@ void RolloutController::runOne(std::shared_ptr<UpdateTransaction> Tx,
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
+  StageWaitSp.finish();
 
   // Wait until this transaction reaches the front of the FIFO queue:
   // updates ahead of it must commit first (in submission order), and
   // the rollout must not freeze the pipeline while they wait.
+  trace::Span QueueWaitSp("rollout", "queue.wait");
   while (RT.Queue.front().get() != Tx.get()) {
     if (StageOverdue()) {
       (void)RT.abortStagedTx(Tx);
@@ -190,6 +197,7 @@ void RolloutController::runOne(std::shared_ptr<UpdateTransaction> Tx,
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
+  QueueWaitSp.finish();
 
   // --- Canary: freeze the commit pipeline and commit gated. --------------
   // The latch keeps any later submission from committing during the
@@ -302,18 +310,28 @@ void RolloutController::runOne(std::shared_ptr<UpdateTransaction> Tx,
     return std::string();
   };
 
+  trace::Span ObserveSp("rollout", "observe");
+  uint64_t Polls = 0;
   uint64_t PollMs = std::max<uint64_t>(1, std::min<uint64_t>(
                                               Opts.WindowMs / 20, 20));
   while (elapsedMsSince(CommitAt) < static_cast<double>(Opts.WindowMs)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(PollMs));
+    // One short span per health-gate poll: the trace shows how often
+    // the gates looked and (via Arg) the canary serves seen so far.
+    trace::Span PollSp("rollout", "gate.poll");
+    ++Polls;
     Sample();
     TripReason = evalMonotone();
+    PollSp.setArg(DCan.Serves);
     if (!TripReason.empty())
       break;
   }
   if (TripReason.empty()) {
+    trace::Span PollSp("rollout", "gate.poll");
+    ++Polls;
     Sample();
     TripReason = evalMonotone();
+    PollSp.setArg(DCan.Serves);
   }
   if (TripReason.empty() && Opts.MaxLatencyDeltaUs >= 0 &&
       DCan.Serves >= Opts.MinSamples && DCtl.Serves >= Opts.MinSamples) {
@@ -335,8 +353,13 @@ void RolloutController::runOne(std::shared_ptr<UpdateTransaction> Tx,
                               static_cast<unsigned long long>(Opts.WindowMs));
 
   double DetectMs = elapsedMsSince(CommitAt);
+  ObserveSp.setArg(Polls);
+  ObserveSp.finish();
 
   // --- Verdict. ----------------------------------------------------------
+  trace::Recorder::instance().instant(
+      "rollout", TripReason.empty() ? "verdict.promoted" : "verdict.rolled_back",
+      static_cast<uint64_t>(DetectMs * 1000.0));
   if (TripReason.empty()) {
     if (!Gated.empty()) {
       // Promote: lower every gate inside one epoch advance — control
@@ -396,8 +419,10 @@ void RolloutController::runOne(std::shared_ptr<UpdateTransaction> Tx,
     }
     return E;
   };
+  trace::Span RevertSp("rollout", "revert", ReplacedNames.size());
   Error RevertErr =
       H.RunQuiescent ? H.RunQuiescent([&] { return DoRevert(); }) : DoRevert();
+  RevertSp.finish();
   double RevertMs = elapsedMsSince(TripAt);
 
   std::string Reason = TripReason;

@@ -8,6 +8,7 @@
 #include "support/FaultInject.h"
 #include "support/Logging.h"
 #include "support/Timer.h"
+#include "trace/Trace.h"
 
 using namespace dsu;
 
@@ -29,6 +30,9 @@ StagedUpdate UpdateController::submit(Job J) {
   // Queue position — and therefore commit order — is fixed here, at
   // submission, not when the worker gets around to staging.
   RT.Queue.enqueue(J.Tx);
+  // Cross-thread interval: opened on the submitter (often an admin
+  // serving thread), closed when the staging worker picks the job up.
+  trace::Recorder::instance().begin("ctl", "backlog", J.Tx->id());
   StagedUpdate Handle(&RT, J.Tx);
   {
     std::lock_guard<std::mutex> G(Lock);
@@ -95,6 +99,11 @@ void UpdateController::workerMain() {
       ++InFlight;
     }
 
+    // Close the submit->pickup interval and key every event the staging
+    // worker records below to this transaction.
+    trace::Recorder::instance().end("ctl", "backlog", J.Tx->id());
+    trace::ScopedUpdateId TraceId(J.Tx->id());
+
     // A job aborted while it sat in the backlog needs no staging work
     // at all: mark it and move on.
     if (J.Tx->AbortRequested.load(std::memory_order_seq_cst)) {
@@ -130,6 +139,7 @@ void UpdateController::workerMain() {
 
     // Resolve the artifact into a Patch (parse + assemble for text,
     // dlopen for native files) — all off the serving thread.
+    trace::Span LoadSp("stage", "artifact.load");
     Error LoadErr;
     switch (J.Kind) {
     case Job::InMemory:
@@ -154,6 +164,7 @@ void UpdateController::workerMain() {
       break;
     }
     }
+    LoadSp.finish();
 
     // Whole-patch static analysis, between manifest parse and everything
     // else: the freshly loaded patch is checked against the live
@@ -163,11 +174,15 @@ void UpdateController::workerMain() {
     // the staging pipeline.  Warnings and infos are recorded on the
     // transaction for `dsu-updatectl log` and GET /admin/lint.
     if (!LoadErr && J.Kind == Job::Text) {
+      trace::Span AnalysisSp("stage", "analyze");
       Timer AnalysisT;
       analysis::AnalyzerEnv Env{RT.types(), RT.transformers(), RT.exports(),
                                 RT.updateables(), RT.state()};
       analysis::AnalysisReport Report = analysis::analyzePatch(J.Tx->P, Env);
       Report.AnalysisMs = AnalysisT.elapsedMs();
+      trace::notePhase(trace::Phase::Analysis, AnalysisT.elapsedNs() / 1000);
+      AnalysisSp.setArg(Report.Findings.size());
+      AnalysisSp.finish();
       RT.countAnalysisFindings(Report.Findings.size());
       {
         std::lock_guard<std::mutex> G(J.Tx->RecLock);

@@ -3,6 +3,11 @@
 #include "vtal/Interp.h"
 
 #include "support/StringUtil.h"
+#ifndef DSU_VTAL_NO_PROFILER
+#include "trace/Profile.h"
+
+#include <chrono>
+#endif
 
 using namespace dsu;
 using namespace dsu::vtal;
@@ -74,9 +79,37 @@ Expected<Value> Interpreter::callIndex(uint32_t FnIndex,
   if (LinkErr)
     return LinkErr;
 
+#ifndef DSU_VTAL_NO_PROFILER
+  // Sampled activation wall time: every SampleEvery-th entry into a
+  // function through this public boundary is timed (nested CallFn
+  // activations are not — the fuel counters carry the self-cost split).
+  const bool Sampled =
+      Prof && (Prof->fn(FnIndex).Calls.load(std::memory_order_relaxed) %
+               trace::ModuleProfile::SampleEvery) == 0;
+  std::chrono::steady_clock::time_point SampleT0;
+  if (Sampled)
+    SampleT0 = std::chrono::steady_clock::now();
+#endif
+
   uint64_t Fuel = FuelLimit;
   Expected<Value> Result = run(FnIndex, Args, Fuel);
   LastFuelUsed = FuelLimit - Fuel;
+
+#ifndef DSU_VTAL_NO_PROFILER
+  if (Prof) {
+    trace::FnProfile &FP = Prof->fn(FnIndex);
+    if (!Result)
+      FP.Traps.fetch_add(1, std::memory_order_relaxed);
+    if (Sampled) {
+      uint64_t Us = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - SampleT0)
+              .count());
+      FP.SampledUs.fetch_add(Us, std::memory_order_relaxed);
+      FP.Samples.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+#endif
   return Result;
 }
 
@@ -143,6 +176,30 @@ Expected<Value> Interpreter::run(uint32_t FnIndex,
   for (const Value &A : Args)
     Arena.push_back(A);
   pushZeroLocals(*F, static_cast<uint32_t>(Args.size()));
+
+#ifndef DSU_VTAL_NO_PROFILER
+  // Self-fuel attribution: ProfMark - Fuel is what the *current*
+  // function burned since it last gained control; the delta is flushed
+  // to its counter at every control transfer (CallFn, Ret) and, via the
+  // guard, on every exit path including traps.  The per-instruction
+  // dispatch loop itself is untouched.
+  trace::ModuleProfile *const P = Prof;
+  uint32_t ProfFn = FnIndex;
+  uint64_t ProfMark = Fuel;
+  struct ProfFlushGuard {
+    trace::ModuleProfile *P;
+    uint32_t *Fn;
+    uint64_t *Mark;
+    uint64_t *Fuel;
+    ~ProfFlushGuard() {
+      if (P)
+        P->fn(*Fn).SelfFuel.fetch_add(*Mark - *Fuel,
+                                      std::memory_order_relaxed);
+    }
+  } ProfG{P, &ProfFn, &ProfMark, &Fuel};
+  if (P)
+    P->fn(FnIndex).Calls.fetch_add(1, std::memory_order_relaxed);
+#endif
 
   auto popV = [this]() {
     Value V = std::move(Arena.back());
@@ -358,6 +415,14 @@ Expected<Value> Interpreter::run(uint32_t FnIndex,
       Arena.resize(Base);
       Frames.pop_back();
       const Frame &Caller = Frames.back();
+#ifndef DSU_VTAL_NO_PROFILER
+      if (P) {
+        P->fn(ProfFn).SelfFuel.fetch_add(ProfMark - Fuel,
+                                         std::memory_order_relaxed);
+        ProfFn = Caller.FnIndex;
+        ProfMark = Fuel;
+      }
+#endif
       F = &Fns[Caller.FnIndex];
       Base = Caller.Base;
       PC = Caller.PC;
@@ -379,6 +444,15 @@ Expected<Value> Interpreter::run(uint32_t FnIndex,
       Frames.back().PC = PC;
       Frames.push_back(Frame{I.Index, 0, NewBase});
       pushZeroLocals(Callee, Callee.NumParams);
+#ifndef DSU_VTAL_NO_PROFILER
+      if (P) {
+        P->fn(ProfFn).SelfFuel.fetch_add(ProfMark - Fuel,
+                                         std::memory_order_relaxed);
+        ProfFn = I.Index;
+        ProfMark = Fuel;
+        P->fn(I.Index).Calls.fetch_add(1, std::memory_order_relaxed);
+      }
+#endif
       F = &Callee;
       Base = NewBase;
       PC = 0;

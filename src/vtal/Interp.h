@@ -29,6 +29,11 @@
 #include <vector>
 
 namespace dsu {
+
+namespace trace {
+class ModuleProfile;
+} // namespace trace
+
 namespace vtal {
 
 /// A host-provided implementation of a module import.
@@ -67,6 +72,15 @@ public:
   /// Instructions executed by the most recent call().
   uint64_t lastFuelUsed() const { return LastFuelUsed; }
 
+  /// Attaches the hot-function profiler (trace/Profile.h).  When set,
+  /// the dispatch loop attributes per-function call counts, self-fuel
+  /// and traps to \p P at call boundaries (function entry, CallFn, Ret)
+  /// — the per-instruction inner loop pays nothing beyond one pointer
+  /// test per boundary.  \p P must be indexed like this module's
+  /// function table and must outlive the interpreter.  No-op when the
+  /// profiler is compiled out (DSU_VTAL_NO_PROFILER).
+  void setProfile(trace::ModuleProfile *P) { Prof = P; }
+
 private:
   /// One activation record.  Locals live in the shared arena at
   /// [Base, Base + NumLocals); the frame's operand stack is the arena
@@ -104,6 +118,9 @@ private:
   /// it never moves a level that an active host call still references).
   std::deque<std::vector<Value>> HostArgsPool;
   unsigned HostDepth = 0;
+
+  /// Optional execution profile; null = unprofiled (the default).
+  trace::ModuleProfile *Prof = nullptr;
 };
 
 } // namespace vtal

@@ -3,6 +3,7 @@
 #include "vtal/Verifier.h"
 
 #include "support/StringUtil.h"
+#include "trace/Trace.h"
 
 #include <deque>
 #include <map>
@@ -313,8 +314,14 @@ Error dsu::vtal::verifyModule(const Module &M, VerifyStats *Stats) {
 
   for (const Function &F : M.Functions) {
     ++S.FunctionsChecked;
+    // One flight-recorder span per function, named after it: the
+    // per-update trace shows which function the verifier spent its
+    // time on (names are interned — they outlive the module).
+    trace::Span Sp("verify", trace::intern(M.Name + "." + F.Name));
+    size_t Before = S.InstructionsChecked;
     if (Error E = FunctionVerifier(M, F).run(S.InstructionsChecked))
       return E;
+    Sp.setArg(S.InstructionsChecked - Before);
   }
   return Error::success();
 }

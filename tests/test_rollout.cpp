@@ -18,6 +18,7 @@
 #include "flashed/DocStore.h"
 #include "flashed/Http.h"
 #include "net/ReactorPool.h"
+#include "persist/Journal.h"
 #include "runtime/RolloutController.h"
 #include "runtime/UpdateController.h"
 #include "support/FaultInject.h"
@@ -31,6 +32,7 @@
 #include <cstdlib>
 #include <string>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 using namespace dsu;
@@ -39,6 +41,15 @@ using namespace dsu::flashed;
 namespace {
 
 constexpr unsigned kWorkers = 4;
+
+size_t countOccurrencesOf(const std::string &Hay,
+                          const std::string &Needle) {
+  size_t Count = 0;
+  for (size_t Pos = Hay.find(Needle); Pos != std::string::npos;
+       Pos = Hay.find(Needle, Pos + Needle.size()))
+    ++Count;
+  return Count;
+}
 
 #define WAIT_FOR(Pred)                                                     \
   do {                                                                     \
@@ -448,6 +459,112 @@ TEST(StagingWatchdogTest, StalledStagingTimesOutAndUnblocksTheQueue) {
     if (R.Phase == "timed-out")
       ++TimedOut;
   EXPECT_EQ(TimedOut, 2u);
+}
+
+/// Tentpole acceptance: one live-pipeline patch yields a complete span
+/// tree from operator POST to sealed outcome — staging (artifact load,
+/// analysis, per-function verify, link prepare), the queue wait, the
+/// commit with per-worker adoption, the rollout observation and verdict,
+/// and the durable journal Intent/Seal appends — all stitched together
+/// by the update transaction id and served by GET /admin/trace?id=N.
+///
+/// When DSU_TRACE_EXPORT_PATH is set, the Chrome trace-event export of
+/// the same recording is written there (the CI lane validates and
+/// uploads it as a build artifact).
+TEST_F(RolloutPoolTest, TraceCoversTheWholeUpdateLifecycle) {
+  // Attach a journal so the Intent/Seal fsync spans join the tree.
+  persist::UpdateJournal::Options JO;
+  JO.Sync = false;
+  std::string Dir = ::testing::TempDir() + "dsu_trace_e2e_" +
+                    std::to_string(static_cast<unsigned>(::getpid()));
+  Expected<std::unique_ptr<persist::UpdateJournal>> J =
+      persist::UpdateJournal::open(Dir, JO);
+  ASSERT_TRUE(J) << J.takeError().str();
+  (*J)->beginBoot("");
+  RT.attachJournal(J->get());
+
+  startLoad(kWorkers);
+  WAIT_FOR(Ok.load() >= 50);
+
+  RolloutOptions O;
+  O.WindowMs = 150;
+  Expected<uint64_t> Id =
+      App.rollouts().startArtifactText(GoodMapUrlPatch, "trace-e2e", O);
+  ASSERT_TRUE(Id) << Id.takeError().str();
+  WAIT_FOR(terminal(*Id));
+  RolloutRecord Rec = record(*Id);
+  EXPECT_EQ(Rec.Verdict, "promoted");
+  ASSERT_NE(Rec.TxId, 0u);
+
+  // Every worker adopts the rolling commit at its own quiescent point;
+  // poll the span tree until the last adoption and the journal seal
+  // have landed.
+  std::string Tree;
+  for (int Spin = 0; Spin != 2000; ++Spin) {
+    Expected<FetchResult> T = httpGet(
+        Pool->port(), "/admin/trace?id=" + std::to_string(Rec.TxId));
+    ASSERT_TRUE(T) << T.takeError().str();
+    ASSERT_EQ(T->Status, 200);
+    Tree = T->Body;
+    if (countOccurrencesOf(Tree, "\"name\":\"adopt\"") >= kWorkers &&
+        Tree.find("\"name\":\"seal\"") != std::string::npos)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stopLoad();
+
+  EXPECT_NE(Tree.find("\"update\":" + std::to_string(Rec.TxId)),
+            std::string::npos);
+  // Controller pickup: the cross-thread backlog interval.
+  EXPECT_NE(Tree.find("\"name\":\"backlog\""), std::string::npos) << Tree;
+  // Staging: artifact load, whole-patch analysis, the staging pipeline
+  // with per-function verification and link preparation inside it.
+  EXPECT_NE(Tree.find("\"name\":\"artifact.load\""), std::string::npos);
+  EXPECT_NE(Tree.find("\"name\":\"analyze\""), std::string::npos);
+  EXPECT_NE(Tree.find("\"name\":\"pipeline\""), std::string::npos);
+  EXPECT_NE(Tree.find("\"category\":\"verify\",\"name\":\"rollout_good."
+                      "map_url\""),
+            std::string::npos)
+      << Tree;
+  EXPECT_NE(Tree.find("\"category\":\"link\",\"name\":\"prepare\""),
+            std::string::npos);
+  // Queue wait, then the canary-masked rolling commit.
+  EXPECT_NE(Tree.find("\"category\":\"queue\",\"name\":\"wait\""),
+            std::string::npos);
+  EXPECT_NE(Tree.find("\"category\":\"commit\",\"name\":\"canary\""),
+            std::string::npos)
+      << Tree;
+  // Per-worker adoption of the rolling commit (no barrier parks: a
+  // canary rollout must never arm the barrier).
+  EXPECT_GE(countOccurrencesOf(Tree, "\"name\":\"adopt\""), kWorkers)
+      << Tree;
+  EXPECT_EQ(Tree.find("\"name\":\"park\""), std::string::npos);
+  // Rollout observation and verdict.
+  EXPECT_NE(Tree.find("\"name\":\"observe\""), std::string::npos);
+  EXPECT_NE(Tree.find("\"name\":\"gate.poll\""), std::string::npos);
+  EXPECT_NE(Tree.find("\"name\":\"verdict.promoted\""), std::string::npos)
+      << Tree;
+  // Durable journal appends: the Intent during staging, the Seal after
+  // the verdict.
+  EXPECT_NE(Tree.find("\"category\":\"journal\",\"name\":\"intent\""),
+            std::string::npos)
+      << Tree;
+  EXPECT_NE(Tree.find("\"category\":\"journal\",\"name\":\"seal\""),
+            std::string::npos)
+      << Tree;
+
+  // The same recording, as Chrome trace-event JSON for Perfetto.
+  Expected<FetchResult> Chrome =
+      httpGet(Pool->port(), "/admin/trace?export=chrome");
+  ASSERT_TRUE(Chrome) << Chrome.takeError().str();
+  EXPECT_EQ(Chrome->Status, 200);
+  EXPECT_EQ(Chrome->Body.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(Chrome->Body.find("\"ph\":\"X\""), std::string::npos);
+  if (const char *Path = std::getenv("DSU_TRACE_EXPORT_PATH")) {
+    ASSERT_FALSE(writeFile(Path, Chrome->Body));
+  }
+
+  RT.attachJournal(nullptr);
 }
 
 /// Unit coverage for the client's Retry-After parser.

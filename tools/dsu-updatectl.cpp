@@ -47,6 +47,24 @@
 ///                                                --max-latency-delta-us F,
 ///                                                --min-samples N,
 ///                                                --max-canary-traps N
+///   dsu-updatectl trace    <port> <tx-id>        GET /admin/trace?id=N — the
+///                                                flight recorder's span tree
+///                                                for one update (staging,
+///                                                per-function verify, queue
+///                                                wait, commit parks/adoptions
+///                                                per worker, rollout gates,
+///                                                journal fsyncs);
+///                                                --chrome dumps the whole
+///                                                recorder as Chrome
+///                                                trace-event JSON instead
+///                                                (load in Perfetto)
+///   dsu-updatectl profile  <port>                GET /admin/profile — the
+///                                                VTAL hot-function ranking
+///                                                (calls, self-fuel, traps,
+///                                                sampled self-time); flags:
+///                                                --top N (0 = all),
+///                                                --reset (zero the window
+///                                                after reporting)
 ///
 /// Every command accepts --timeout-ms N (bounds each socket send/receive
 /// so a wedged server cannot hang the operator) and retries 503 "busy"
@@ -94,8 +112,11 @@ int usage(const char *Argv0) {
       "           [--window-ms N] [--max-error-delta F]\n"
       "           [--max-latency-delta-us F] [--min-samples N]\n"
       "           [--max-canary-traps N]\n"
+      "       %s trace <port> <tx-id> | trace <port> --chrome\n"
+      "       %s profile <port> [--top N] [--reset]\n"
       "common flags: --timeout-ms N\n",
-      Argv0, Argv0, Argv0, Argv0, Argv0, Argv0, Argv0, Argv0, Argv0);
+      Argv0, Argv0, Argv0, Argv0, Argv0, Argv0, Argv0, Argv0, Argv0, Argv0,
+      Argv0);
   return 2;
 }
 
@@ -298,6 +319,32 @@ int main(int argc, char **argv) {
   }
   if (std::strcmp(Cmd, "metrics") == 0)
     return finish(C.get("/admin/metrics"), /*MidCommand=*/true);
+  if (std::strcmp(Cmd, "trace") == 0) {
+    if (Args.empty())
+      return usage(argv[0]);
+    if (Args[0] == "--chrome")
+      return finish(C.get("/admin/trace?export=chrome"),
+                    /*MidCommand=*/true);
+    return finish(C.get("/admin/trace?id=" + Args[0]), /*MidCommand=*/true);
+  }
+  if (std::strcmp(Cmd, "profile") == 0) {
+    std::string Query;
+    bool Reset = false;
+    for (size_t I = 0; I < Args.size(); ++I) {
+      if (Args[I] == "--top" && I + 1 < Args.size())
+        Query = "?k=" + Args[++I];
+      else if (Args[I] == "--reset")
+        Reset = true;
+      else {
+        std::fprintf(stderr, "error: unknown profile flag '%s'\n",
+                     Args[I].c_str());
+        return usage(argv[0]);
+      }
+    }
+    if (Reset)
+      Query += Query.empty() ? "?reset=1" : "&reset=1";
+    return finish(C.get("/admin/profile" + Query), /*MidCommand=*/true);
+  }
   if (std::strcmp(Cmd, "history") == 0)
     return finish(C.get("/admin/journal"), /*MidCommand=*/true);
   if (std::strcmp(Cmd, "quarantine") == 0)
