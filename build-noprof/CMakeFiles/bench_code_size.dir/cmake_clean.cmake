@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_code_size.dir/bench/bench_code_size.cpp.o"
+  "CMakeFiles/bench_code_size.dir/bench/bench_code_size.cpp.o.d"
+  "bench/bench_code_size"
+  "bench/bench_code_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_code_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

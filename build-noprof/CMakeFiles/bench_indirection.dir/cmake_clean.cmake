@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_indirection.dir/bench/bench_indirection.cpp.o"
+  "CMakeFiles/bench_indirection.dir/bench/bench_indirection.cpp.o.d"
+  "bench/bench_indirection"
+  "bench/bench_indirection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_indirection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

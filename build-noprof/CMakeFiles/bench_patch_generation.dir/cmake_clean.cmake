@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_patch_generation.dir/bench/bench_patch_generation.cpp.o"
+  "CMakeFiles/bench_patch_generation.dir/bench/bench_patch_generation.cpp.o.d"
+  "bench/bench_patch_generation"
+  "bench/bench_patch_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_patch_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_patch_generation.
+# This may be replaced when dependencies are built.

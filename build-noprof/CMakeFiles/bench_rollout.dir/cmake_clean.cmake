@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rollout.dir/bench/bench_rollout.cpp.o"
+  "CMakeFiles/bench_rollout.dir/bench/bench_rollout.cpp.o.d"
+  "bench/bench_rollout"
+  "bench/bench_rollout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rollout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_state_transform.dir/bench/bench_state_transform.cpp.o"
+  "CMakeFiles/bench_state_transform.dir/bench/bench_state_transform.cpp.o.d"
+  "bench/bench_state_transform"
+  "bench/bench_state_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_state_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

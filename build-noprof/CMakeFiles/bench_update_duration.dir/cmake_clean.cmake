@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_update_duration.dir/bench/bench_update_duration.cpp.o"
+  "CMakeFiles/bench_update_duration.dir/bench/bench_update_duration.cpp.o.d"
+  "bench/bench_update_duration"
+  "bench/bench_update_duration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_update_duration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

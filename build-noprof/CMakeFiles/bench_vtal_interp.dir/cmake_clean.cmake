@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vtal_interp.dir/bench/bench_vtal_interp.cpp.o"
+  "CMakeFiles/bench_vtal_interp.dir/bench/bench_vtal_interp.cpp.o.d"
+  "bench/bench_vtal_interp"
+  "bench/bench_vtal_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vtal_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

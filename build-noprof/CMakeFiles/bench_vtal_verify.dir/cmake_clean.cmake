@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vtal_verify.dir/bench/bench_vtal_verify.cpp.o"
+  "CMakeFiles/bench_vtal_verify.dir/bench/bench_vtal_verify.cpp.o.d"
+  "bench/bench_vtal_verify"
+  "bench/bench_vtal_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vtal_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsu-flashed.dir/tools/dsu-flashed.cpp.o"
+  "CMakeFiles/dsu-flashed.dir/tools/dsu-flashed.cpp.o.d"
+  "tools/dsu-flashed"
+  "tools/dsu-flashed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsu-flashed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsu-patchgen.dir/tools/dsu-patchgen.cpp.o"
+  "CMakeFiles/dsu-patchgen.dir/tools/dsu-patchgen.cpp.o.d"
+  "tools/dsu-patchgen"
+  "tools/dsu-patchgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsu-patchgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

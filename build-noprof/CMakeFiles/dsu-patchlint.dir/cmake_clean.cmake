@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsu-patchlint.dir/tools/dsu-patchlint.cpp.o"
+  "CMakeFiles/dsu-patchlint.dir/tools/dsu-patchlint.cpp.o.d"
+  "tools/dsu-patchlint"
+  "tools/dsu-patchlint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsu-patchlint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsu-supervise.dir/tools/dsu-supervise.cpp.o"
+  "CMakeFiles/dsu-supervise.dir/tools/dsu-supervise.cpp.o.d"
+  "tools/dsu-supervise"
+  "tools/dsu-supervise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsu-supervise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

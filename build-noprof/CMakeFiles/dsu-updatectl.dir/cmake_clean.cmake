@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsu-updatectl.dir/tools/dsu-updatectl.cpp.o"
+  "CMakeFiles/dsu-updatectl.dir/tools/dsu-updatectl.cpp.o.d"
+  "tools/dsu-updatectl"
+  "tools/dsu-updatectl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsu-updatectl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

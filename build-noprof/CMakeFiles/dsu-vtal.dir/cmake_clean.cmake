@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsu-vtal.dir/tools/dsu-vtal.cpp.o"
+  "CMakeFiles/dsu-vtal.dir/tools/dsu-vtal.cpp.o.d"
+  "tools/dsu-vtal"
+  "tools/dsu-vtal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsu-vtal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

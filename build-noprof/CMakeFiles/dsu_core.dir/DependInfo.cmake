@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/PatchAnalyzer.cpp" "CMakeFiles/dsu_core.dir/src/analysis/PatchAnalyzer.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/analysis/PatchAnalyzer.cpp.o.d"
+  "/root/repo/src/core/Runtime.cpp" "CMakeFiles/dsu_core.dir/src/core/Runtime.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/core/Runtime.cpp.o.d"
+  "/root/repo/src/epoch/Epoch.cpp" "CMakeFiles/dsu_core.dir/src/epoch/Epoch.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/epoch/Epoch.cpp.o.d"
+  "/root/repo/src/flashed/App.cpp" "CMakeFiles/dsu_core.dir/src/flashed/App.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/flashed/App.cpp.o.d"
+  "/root/repo/src/flashed/Client.cpp" "CMakeFiles/dsu_core.dir/src/flashed/Client.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/flashed/Client.cpp.o.d"
+  "/root/repo/src/flashed/DocStore.cpp" "CMakeFiles/dsu_core.dir/src/flashed/DocStore.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/flashed/DocStore.cpp.o.d"
+  "/root/repo/src/flashed/Http.cpp" "CMakeFiles/dsu_core.dir/src/flashed/Http.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/flashed/Http.cpp.o.d"
+  "/root/repo/src/flashed/Patches.cpp" "CMakeFiles/dsu_core.dir/src/flashed/Patches.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/flashed/Patches.cpp.o.d"
+  "/root/repo/src/link/Linker.cpp" "CMakeFiles/dsu_core.dir/src/link/Linker.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/link/Linker.cpp.o.d"
+  "/root/repo/src/link/NativeLoader.cpp" "CMakeFiles/dsu_core.dir/src/link/NativeLoader.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/link/NativeLoader.cpp.o.d"
+  "/root/repo/src/link/SymbolTable.cpp" "CMakeFiles/dsu_core.dir/src/link/SymbolTable.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/link/SymbolTable.cpp.o.d"
+  "/root/repo/src/net/Reactor.cpp" "CMakeFiles/dsu_core.dir/src/net/Reactor.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/net/Reactor.cpp.o.d"
+  "/root/repo/src/net/ReactorPool.cpp" "CMakeFiles/dsu_core.dir/src/net/ReactorPool.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/net/ReactorPool.cpp.o.d"
+  "/root/repo/src/patch/AbiBridge.cpp" "CMakeFiles/dsu_core.dir/src/patch/AbiBridge.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/patch/AbiBridge.cpp.o.d"
+  "/root/repo/src/patch/Generator.cpp" "CMakeFiles/dsu_core.dir/src/patch/Generator.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/patch/Generator.cpp.o.d"
+  "/root/repo/src/patch/Manifest.cpp" "CMakeFiles/dsu_core.dir/src/patch/Manifest.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/patch/Manifest.cpp.o.d"
+  "/root/repo/src/patch/PatchBuilder.cpp" "CMakeFiles/dsu_core.dir/src/patch/PatchBuilder.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/patch/PatchBuilder.cpp.o.d"
+  "/root/repo/src/patch/PatchLoader.cpp" "CMakeFiles/dsu_core.dir/src/patch/PatchLoader.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/patch/PatchLoader.cpp.o.d"
+  "/root/repo/src/persist/Journal.cpp" "CMakeFiles/dsu_core.dir/src/persist/Journal.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/persist/Journal.cpp.o.d"
+  "/root/repo/src/persist/Replay.cpp" "CMakeFiles/dsu_core.dir/src/persist/Replay.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/persist/Replay.cpp.o.d"
+  "/root/repo/src/runtime/RolloutController.cpp" "CMakeFiles/dsu_core.dir/src/runtime/RolloutController.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/runtime/RolloutController.cpp.o.d"
+  "/root/repo/src/runtime/UpdateController.cpp" "CMakeFiles/dsu_core.dir/src/runtime/UpdateController.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/runtime/UpdateController.cpp.o.d"
+  "/root/repo/src/runtime/UpdateQueue.cpp" "CMakeFiles/dsu_core.dir/src/runtime/UpdateQueue.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/runtime/UpdateQueue.cpp.o.d"
+  "/root/repo/src/runtime/UpdateTransaction.cpp" "CMakeFiles/dsu_core.dir/src/runtime/UpdateTransaction.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/runtime/UpdateTransaction.cpp.o.d"
+  "/root/repo/src/runtime/UpdateableRegistry.cpp" "CMakeFiles/dsu_core.dir/src/runtime/UpdateableRegistry.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/runtime/UpdateableRegistry.cpp.o.d"
+  "/root/repo/src/state/StateCell.cpp" "CMakeFiles/dsu_core.dir/src/state/StateCell.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/state/StateCell.cpp.o.d"
+  "/root/repo/src/state/Transform.cpp" "CMakeFiles/dsu_core.dir/src/state/Transform.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/state/Transform.cpp.o.d"
+  "/root/repo/src/support/Error.cpp" "CMakeFiles/dsu_core.dir/src/support/Error.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/support/Error.cpp.o.d"
+  "/root/repo/src/support/FaultInject.cpp" "CMakeFiles/dsu_core.dir/src/support/FaultInject.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/support/FaultInject.cpp.o.d"
+  "/root/repo/src/support/Hashing.cpp" "CMakeFiles/dsu_core.dir/src/support/Hashing.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/support/Hashing.cpp.o.d"
+  "/root/repo/src/support/Logging.cpp" "CMakeFiles/dsu_core.dir/src/support/Logging.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/support/Logging.cpp.o.d"
+  "/root/repo/src/support/MemoryBuffer.cpp" "CMakeFiles/dsu_core.dir/src/support/MemoryBuffer.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/support/MemoryBuffer.cpp.o.d"
+  "/root/repo/src/support/SExpr.cpp" "CMakeFiles/dsu_core.dir/src/support/SExpr.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/support/SExpr.cpp.o.d"
+  "/root/repo/src/support/StringUtil.cpp" "CMakeFiles/dsu_core.dir/src/support/StringUtil.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/support/StringUtil.cpp.o.d"
+  "/root/repo/src/support/Timer.cpp" "CMakeFiles/dsu_core.dir/src/support/Timer.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/support/Timer.cpp.o.d"
+  "/root/repo/src/support/WorkerId.cpp" "CMakeFiles/dsu_core.dir/src/support/WorkerId.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/support/WorkerId.cpp.o.d"
+  "/root/repo/src/trace/Profile.cpp" "CMakeFiles/dsu_core.dir/src/trace/Profile.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/trace/Profile.cpp.o.d"
+  "/root/repo/src/trace/Trace.cpp" "CMakeFiles/dsu_core.dir/src/trace/Trace.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/trace/Trace.cpp.o.d"
+  "/root/repo/src/types/Compat.cpp" "CMakeFiles/dsu_core.dir/src/types/Compat.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/types/Compat.cpp.o.d"
+  "/root/repo/src/types/Substitute.cpp" "CMakeFiles/dsu_core.dir/src/types/Substitute.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/types/Substitute.cpp.o.d"
+  "/root/repo/src/types/Type.cpp" "CMakeFiles/dsu_core.dir/src/types/Type.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/types/Type.cpp.o.d"
+  "/root/repo/src/types/TypeParser.cpp" "CMakeFiles/dsu_core.dir/src/types/TypeParser.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/types/TypeParser.cpp.o.d"
+  "/root/repo/src/vtal/Assembler.cpp" "CMakeFiles/dsu_core.dir/src/vtal/Assembler.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/vtal/Assembler.cpp.o.d"
+  "/root/repo/src/vtal/Bytecode.cpp" "CMakeFiles/dsu_core.dir/src/vtal/Bytecode.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/vtal/Bytecode.cpp.o.d"
+  "/root/repo/src/vtal/Interp.cpp" "CMakeFiles/dsu_core.dir/src/vtal/Interp.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/vtal/Interp.cpp.o.d"
+  "/root/repo/src/vtal/Module.cpp" "CMakeFiles/dsu_core.dir/src/vtal/Module.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/vtal/Module.cpp.o.d"
+  "/root/repo/src/vtal/Opcode.cpp" "CMakeFiles/dsu_core.dir/src/vtal/Opcode.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/vtal/Opcode.cpp.o.d"
+  "/root/repo/src/vtal/Resolve.cpp" "CMakeFiles/dsu_core.dir/src/vtal/Resolve.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/vtal/Resolve.cpp.o.d"
+  "/root/repo/src/vtal/Value.cpp" "CMakeFiles/dsu_core.dir/src/vtal/Value.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/vtal/Value.cpp.o.d"
+  "/root/repo/src/vtal/Verifier.cpp" "CMakeFiles/dsu_core.dir/src/vtal/Verifier.cpp.o" "gcc" "CMakeFiles/dsu_core.dir/src/vtal/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

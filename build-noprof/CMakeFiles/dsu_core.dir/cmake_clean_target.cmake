@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdsu_core.a"
+)

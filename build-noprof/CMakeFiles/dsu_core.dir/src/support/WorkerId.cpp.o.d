@@ -1,0 +1,3 @@
+CMakeFiles/dsu_core.dir/src/support/WorkerId.cpp.o: \
+ /root/repo/src/support/WorkerId.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/support/WorkerId.h

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsu_epoch_tests.dir/tests/test_epoch.cpp.o"
+  "CMakeFiles/dsu_epoch_tests.dir/tests/test_epoch.cpp.o.d"
+  "CMakeFiles/dsu_epoch_tests.dir/tests/test_rolling_update.cpp.o"
+  "CMakeFiles/dsu_epoch_tests.dir/tests/test_rolling_update.cpp.o.d"
+  "dsu_epoch_tests"
+  "dsu_epoch_tests.pdb"
+  "dsu_epoch_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsu_epoch_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

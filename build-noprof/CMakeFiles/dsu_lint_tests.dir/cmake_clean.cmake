@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsu_lint_tests.dir/tests/lint/test_lint.cpp.o"
+  "CMakeFiles/dsu_lint_tests.dir/tests/lint/test_lint.cpp.o.d"
+  "dsu_lint_tests"
+  "dsu_lint_tests.pdb"
+  "dsu_lint_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsu_lint_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsu_persist_tests.dir/tests/test_persist.cpp.o"
+  "CMakeFiles/dsu_persist_tests.dir/tests/test_persist.cpp.o.d"
+  "dsu_persist_tests"
+  "dsu_persist_tests.pdb"
+  "dsu_persist_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsu_persist_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsu_rollout_tests.dir/tests/test_rollout.cpp.o"
+  "CMakeFiles/dsu_rollout_tests.dir/tests/test_rollout.cpp.o.d"
+  "dsu_rollout_tests"
+  "dsu_rollout_tests.pdb"
+  "dsu_rollout_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsu_rollout_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

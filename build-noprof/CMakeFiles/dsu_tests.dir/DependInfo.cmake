@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_abi_bridge.cpp" "CMakeFiles/dsu_tests.dir/tests/test_abi_bridge.cpp.o" "gcc" "CMakeFiles/dsu_tests.dir/tests/test_abi_bridge.cpp.o.d"
+  "/root/repo/tests/test_compat.cpp" "CMakeFiles/dsu_tests.dir/tests/test_compat.cpp.o" "gcc" "CMakeFiles/dsu_tests.dir/tests/test_compat.cpp.o.d"
+  "/root/repo/tests/test_flashed_app.cpp" "CMakeFiles/dsu_tests.dir/tests/test_flashed_app.cpp.o" "gcc" "CMakeFiles/dsu_tests.dir/tests/test_flashed_app.cpp.o.d"
+  "/root/repo/tests/test_flashed_http.cpp" "CMakeFiles/dsu_tests.dir/tests/test_flashed_http.cpp.o" "gcc" "CMakeFiles/dsu_tests.dir/tests/test_flashed_http.cpp.o.d"
+  "/root/repo/tests/test_flashed_server.cpp" "CMakeFiles/dsu_tests.dir/tests/test_flashed_server.cpp.o" "gcc" "CMakeFiles/dsu_tests.dir/tests/test_flashed_server.cpp.o.d"
+  "/root/repo/tests/test_flashed_vtal_patch.cpp" "CMakeFiles/dsu_tests.dir/tests/test_flashed_vtal_patch.cpp.o" "gcc" "CMakeFiles/dsu_tests.dir/tests/test_flashed_vtal_patch.cpp.o.d"
+  "/root/repo/tests/test_generator.cpp" "CMakeFiles/dsu_tests.dir/tests/test_generator.cpp.o" "gcc" "CMakeFiles/dsu_tests.dir/tests/test_generator.cpp.o.d"
+  "/root/repo/tests/test_linker.cpp" "CMakeFiles/dsu_tests.dir/tests/test_linker.cpp.o" "gcc" "CMakeFiles/dsu_tests.dir/tests/test_linker.cpp.o.d"
+  "/root/repo/tests/test_manifest.cpp" "CMakeFiles/dsu_tests.dir/tests/test_manifest.cpp.o" "gcc" "CMakeFiles/dsu_tests.dir/tests/test_manifest.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "CMakeFiles/dsu_tests.dir/tests/test_metrics.cpp.o" "gcc" "CMakeFiles/dsu_tests.dir/tests/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_patchloader_native.cpp" "CMakeFiles/dsu_tests.dir/tests/test_patchloader_native.cpp.o" "gcc" "CMakeFiles/dsu_tests.dir/tests/test_patchloader_native.cpp.o.d"
+  "/root/repo/tests/test_patchloader_vtal.cpp" "CMakeFiles/dsu_tests.dir/tests/test_patchloader_vtal.cpp.o" "gcc" "CMakeFiles/dsu_tests.dir/tests/test_patchloader_vtal.cpp.o.d"
+  "/root/repo/tests/test_reactor_pool.cpp" "CMakeFiles/dsu_tests.dir/tests/test_reactor_pool.cpp.o" "gcc" "CMakeFiles/dsu_tests.dir/tests/test_reactor_pool.cpp.o.d"
+  "/root/repo/tests/test_rollback.cpp" "CMakeFiles/dsu_tests.dir/tests/test_rollback.cpp.o" "gcc" "CMakeFiles/dsu_tests.dir/tests/test_rollback.cpp.o.d"
+  "/root/repo/tests/test_runtime.cpp" "CMakeFiles/dsu_tests.dir/tests/test_runtime.cpp.o" "gcc" "CMakeFiles/dsu_tests.dir/tests/test_runtime.cpp.o.d"
+  "/root/repo/tests/test_state.cpp" "CMakeFiles/dsu_tests.dir/tests/test_state.cpp.o" "gcc" "CMakeFiles/dsu_tests.dir/tests/test_state.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "CMakeFiles/dsu_tests.dir/tests/test_support.cpp.o" "gcc" "CMakeFiles/dsu_tests.dir/tests/test_support.cpp.o.d"
+  "/root/repo/tests/test_tools.cpp" "CMakeFiles/dsu_tests.dir/tests/test_tools.cpp.o" "gcc" "CMakeFiles/dsu_tests.dir/tests/test_tools.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "CMakeFiles/dsu_tests.dir/tests/test_trace.cpp.o" "gcc" "CMakeFiles/dsu_tests.dir/tests/test_trace.cpp.o.d"
+  "/root/repo/tests/test_types.cpp" "CMakeFiles/dsu_tests.dir/tests/test_types.cpp.o" "gcc" "CMakeFiles/dsu_tests.dir/tests/test_types.cpp.o.d"
+  "/root/repo/tests/test_update_controller.cpp" "CMakeFiles/dsu_tests.dir/tests/test_update_controller.cpp.o" "gcc" "CMakeFiles/dsu_tests.dir/tests/test_update_controller.cpp.o.d"
+  "/root/repo/tests/test_update_pipeline.cpp" "CMakeFiles/dsu_tests.dir/tests/test_update_pipeline.cpp.o" "gcc" "CMakeFiles/dsu_tests.dir/tests/test_update_pipeline.cpp.o.d"
+  "/root/repo/tests/test_vtal_asm.cpp" "CMakeFiles/dsu_tests.dir/tests/test_vtal_asm.cpp.o" "gcc" "CMakeFiles/dsu_tests.dir/tests/test_vtal_asm.cpp.o.d"
+  "/root/repo/tests/test_vtal_bytecode.cpp" "CMakeFiles/dsu_tests.dir/tests/test_vtal_bytecode.cpp.o" "gcc" "CMakeFiles/dsu_tests.dir/tests/test_vtal_bytecode.cpp.o.d"
+  "/root/repo/tests/test_vtal_interp.cpp" "CMakeFiles/dsu_tests.dir/tests/test_vtal_interp.cpp.o" "gcc" "CMakeFiles/dsu_tests.dir/tests/test_vtal_interp.cpp.o.d"
+  "/root/repo/tests/test_vtal_resolve.cpp" "CMakeFiles/dsu_tests.dir/tests/test_vtal_resolve.cpp.o" "gcc" "CMakeFiles/dsu_tests.dir/tests/test_vtal_resolve.cpp.o.d"
+  "/root/repo/tests/test_vtal_verifier.cpp" "CMakeFiles/dsu_tests.dir/tests/test_vtal_verifier.cpp.o" "gcc" "CMakeFiles/dsu_tests.dir/tests/test_vtal_verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-noprof/CMakeFiles/dsu_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_flashed_live_update.dir/examples/flashed_live_update.cpp.o"
+  "CMakeFiles/example_flashed_live_update.dir/examples/flashed_live_update.cpp.o.d"
+  "examples/example_flashed_live_update"
+  "examples/example_flashed_live_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_flashed_live_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

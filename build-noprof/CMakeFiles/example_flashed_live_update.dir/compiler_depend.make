@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_flashed_live_update.
+# This may be replaced when dependencies are built.

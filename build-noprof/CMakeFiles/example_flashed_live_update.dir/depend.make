@@ -1,0 +1,2 @@
+# Empty dependencies file for example_flashed_live_update.
+# This may be replaced when dependencies are built.

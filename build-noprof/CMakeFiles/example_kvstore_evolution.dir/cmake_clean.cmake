@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_kvstore_evolution.dir/examples/kvstore_evolution.cpp.o"
+  "CMakeFiles/example_kvstore_evolution.dir/examples/kvstore_evolution.cpp.o.d"
+  "examples/example_kvstore_evolution"
+  "examples/example_kvstore_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_kvstore_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_patchgen_demo.dir/examples/patchgen_demo.cpp.o"
+  "CMakeFiles/example_patchgen_demo.dir/examples/patchgen_demo.cpp.o.d"
+  "examples/example_patchgen_demo"
+  "examples/example_patchgen_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_patchgen_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

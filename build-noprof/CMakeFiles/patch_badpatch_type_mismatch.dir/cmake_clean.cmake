@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patch_badpatch_type_mismatch.dir/patches/badpatch_type_mismatch.cpp.o"
+  "CMakeFiles/patch_badpatch_type_mismatch.dir/patches/badpatch_type_mismatch.cpp.o.d"
+  "patches/badpatch_type_mismatch.pdb"
+  "patches/badpatch_type_mismatch.so"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patch_badpatch_type_mismatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for patch_badpatch_type_mismatch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patch_mathlib_v2.dir/patches/mathlib_v2.cpp.o"
+  "CMakeFiles/patch_mathlib_v2.dir/patches/mathlib_v2.cpp.o.d"
+  "patches/mathlib_v2.pdb"
+  "patches/mathlib_v2.so"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patch_mathlib_v2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for patch_mathlib_v2.
+# This may be replaced when dependencies are built.

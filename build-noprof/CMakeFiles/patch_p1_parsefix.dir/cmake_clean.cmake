@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patch_p1_parsefix.dir/patches/p1_parsefix.cpp.o"
+  "CMakeFiles/patch_p1_parsefix.dir/patches/p1_parsefix.cpp.o.d"
+  "patches/p1_parsefix.pdb"
+  "patches/p1_parsefix.so"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patch_p1_parsefix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

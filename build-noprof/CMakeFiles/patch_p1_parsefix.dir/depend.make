@@ -1,0 +1,2 @@
+# Empty dependencies file for patch_p1_parsefix.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-noprof
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-noprof/dsu_tests[1]_include.cmake")
+include("/root/repo/build-noprof/dsu_epoch_tests[1]_include.cmake")
+include("/root/repo/build-noprof/dsu_rollout_tests[1]_include.cmake")
+include("/root/repo/build-noprof/dsu_persist_tests[1]_include.cmake")
+include("/root/repo/build-noprof/dsu_lint_tests[1]_include.cmake")
+add_test(bench_code_size_smoke "/root/repo/build-noprof/bench/bench_code_size")
+set_tests_properties(bench_code_size_smoke PROPERTIES  LABELS "bench" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;181;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(bench_patch_generation_smoke "/root/repo/build-noprof/bench/bench_patch_generation" "256" "2")
+set_tests_properties(bench_patch_generation_smoke PROPERTIES  LABELS "bench" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;182;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(bench_state_transform_smoke "/root/repo/build-noprof/bench/bench_state_transform" "2")
+set_tests_properties(bench_state_transform_smoke PROPERTIES  LABELS "bench" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;184;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(bench_update_duration_smoke "/root/repo/build-noprof/bench/bench_update_duration" "2" "8")
+set_tests_properties(bench_update_duration_smoke PROPERTIES  LABELS "bench" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;185;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(bench_rollout_smoke "/root/repo/build-noprof/bench/bench_rollout" "1")
+set_tests_properties(bench_rollout_smoke PROPERTIES  LABELS "bench" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;187;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(bench_journal_smoke "/root/repo/build-noprof/bench/bench_journal" "--appends" "64" "--chains" "4")
+set_tests_properties(bench_journal_smoke PROPERTIES  LABELS "bench" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;188;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(bench_flashed_throughput_full "/root/repo/build-noprof/bench/bench_flashed_throughput" "200")
+set_tests_properties(bench_flashed_throughput_full PROPERTIES  DISABLED "TRUE" LABELS "bench;slow" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;192;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(bench_update_duration_full "/root/repo/build-noprof/bench/bench_update_duration" "30" "64")
+set_tests_properties(bench_update_duration_full PROPERTIES  DISABLED "TRUE" LABELS "bench;slow" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;194;add_test;/root/repo/CMakeLists.txt;0;")
