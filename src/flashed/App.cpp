@@ -12,6 +12,7 @@
 #include "trace/Profile.h"
 #include "trace/Trace.h"
 #include "types/TypeParser.h"
+#include "vtal/native/NativeImage.h"
 
 #include <chrono>
 #include <cstdlib>
@@ -1077,6 +1078,44 @@ std::string FlashedApp::renderMetrics() const {
          "# TYPE dsu_vtal_traps_total counter\n";
     T += formatString("dsu_vtal_traps_total %llu\n",
                       static_cast<unsigned long long>(P.Traps));
+  }
+  {
+    // Native-tier counters.  The stats singleton is compiled in even
+    // when the tier itself is not (DSU_VTAL_NATIVE=OFF), so dashboards
+    // see stable zero-valued series instead of absent ones.
+    vtal::native::NativeStats &N = vtal::native::NativeStats::instance();
+    T += "# HELP dsu_vtal_native_functions_total VTAL functions compiled "
+         "to native code (cumulative across images).\n"
+         "# TYPE dsu_vtal_native_functions_total counter\n";
+    T += formatString(
+        "dsu_vtal_native_functions_total %llu\n",
+        static_cast<unsigned long long>(
+            N.FunctionsCompiled.load(std::memory_order_relaxed)));
+    T += "# HELP dsu_vtal_deopts_total Native-tier deoptimizations into "
+         "the interpreter, by reason.\n"
+         "# TYPE dsu_vtal_deopts_total counter\n";
+    static const char *const Reasons[] = {"fuel", "div_trap", "depth",
+                                          "unsupported"};
+    for (unsigned R = 0;
+         R != static_cast<unsigned>(vtal::native::DeoptReason::NumReasons);
+         ++R)
+      T += formatString(
+          "dsu_vtal_deopts_total{reason=\"%s\"} %llu\n", Reasons[R],
+          static_cast<unsigned long long>(
+              N.DeoptsByReason[R].load(std::memory_order_relaxed)));
+    T += "# HELP dsu_vtal_native_code_bytes Live executable code bytes "
+         "in native-tier arenas.\n"
+         "# TYPE dsu_vtal_native_code_bytes gauge\n";
+    T += formatString("dsu_vtal_native_code_bytes %llu\n",
+                      static_cast<unsigned long long>(
+                          N.CodeBytesLive.load(std::memory_order_relaxed)));
+    T += "# HELP dsu_vtal_native_arenas_retired_total Superseded code "
+         "arenas handed to the epoch domain for reclamation.\n"
+         "# TYPE dsu_vtal_native_arenas_retired_total counter\n";
+    T += formatString(
+        "dsu_vtal_native_arenas_retired_total %llu\n",
+        static_cast<unsigned long long>(
+            N.ArenasRetired.load(std::memory_order_relaxed)));
   }
   T += "# HELP dsu_update_phase_us Update-pipeline phase latency, "
        "microseconds, by phase.\n"

@@ -55,6 +55,7 @@ std::vector<HotFn> ProfileRegistry::ranking(size_t K) const {
         R.Traps = F.Traps.load(std::memory_order_relaxed);
         R.SampledUs = F.SampledUs.load(std::memory_order_relaxed);
         R.Samples = F.Samples.load(std::memory_order_relaxed);
+        R.Tier = F.Tier.load(std::memory_order_relaxed);
         Rows.push_back(std::move(R));
       }
   }
@@ -120,9 +121,10 @@ std::string dsu::trace::profileJson(size_t K) {
     uint64_t AvgFuel = R.Calls ? R.SelfFuel / R.Calls : 0;
     uint64_t AvgSampleUs = R.Samples ? R.SampledUs / R.Samples : 0;
     Out += formatString(
-        "\",\"calls\":%llu,\"self_fuel\":%llu,\"avg_fuel\":%llu,"
-        "\"traps\":%llu,\"sampled_us\":%llu,\"samples\":%llu,"
-        "\"avg_sample_us\":%llu}",
+        "\",\"tier\":\"%s\",\"calls\":%llu,\"self_fuel\":%llu,"
+        "\"avg_fuel\":%llu,\"traps\":%llu,\"sampled_us\":%llu,"
+        "\"samples\":%llu,\"avg_sample_us\":%llu}",
+        R.Tier ? "native" : "interp",
         static_cast<unsigned long long>(R.Calls),
         static_cast<unsigned long long>(R.SelfFuel),
         static_cast<unsigned long long>(AvgFuel),

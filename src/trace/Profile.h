@@ -40,6 +40,11 @@ struct FnProfile {
   std::atomic<uint64_t> SampledUs{0}; ///< wall time of sampled activations
   std::atomic<uint64_t> Samples{0};   ///< how many activations were timed
 
+  /// Execution tier: 0 = interpreted, 1 = native (vtal/native/).  Set by
+  /// the patch loader when a compiled image covering this function is
+  /// published; describes current state, so reset() leaves it alone.
+  std::atomic<uint8_t> Tier{0};
+
   void reset() {
     Calls.store(0, std::memory_order_relaxed);
     SelfFuel.store(0, std::memory_order_relaxed);
@@ -95,6 +100,7 @@ struct HotFn {
   uint64_t Traps = 0;
   uint64_t SampledUs = 0;
   uint64_t Samples = 0;
+  uint8_t Tier = 0; ///< 0 = interpreted, 1 = native
 };
 
 /// Process-wide registry of live module profiles.  Profiles are kept

@@ -3,6 +3,10 @@
 #include "vtal/Interp.h"
 
 #include "support/StringUtil.h"
+#include "vtal/native/RawValue.h"
+#ifndef DSU_VTAL_NO_NATIVE
+#include "vtal/native/NativeImage.h"
+#endif
 #ifndef DSU_VTAL_NO_PROFILER
 #include "trace/Profile.h"
 
@@ -92,7 +96,17 @@ Expected<Value> Interpreter::callIndex(uint32_t FnIndex,
 #endif
 
   uint64_t Fuel = FuelLimit;
+#ifndef DSU_VTAL_NO_NATIVE
+  // Tier dispatch: a function compiled into the attached image starts in
+  // native code; everything else (and everything, when no image is
+  // attached) starts in the interpreter.  Both paths share the fuel
+  // counter, the trap vocabulary, and this boundary's profiling.
+  Expected<Value> Result = (Img && Img->compiled(FnIndex))
+                               ? runNative(FnIndex, Args, Fuel)
+                               : run(FnIndex, Args, Fuel);
+#else
   Expected<Value> Result = run(FnIndex, Args, Fuel);
+#endif
   LastFuelUsed = FuelLimit - Fuel;
 
 #ifndef DSU_VTAL_NO_PROFILER
@@ -113,6 +127,120 @@ Expected<Value> Interpreter::callIndex(uint32_t FnIndex,
   return Result;
 }
 
+void Interpreter::pushZeroLocals(const ResolvedFunction &RF, uint32_t From) {
+  for (uint32_t L = From; L != RF.NumLocals; ++L) {
+    switch (RF.LocalKinds[L]) {
+    case ValKind::VK_Int:
+      Arena.push_back(Value::makeInt(0));
+      break;
+    case ValKind::VK_Float:
+      Arena.push_back(Value::makeFloat(0.0));
+      break;
+    case ValKind::VK_Bool:
+      Arena.push_back(Value::makeBool(false));
+      break;
+    case ValKind::VK_Str:
+      Arena.push_back(Value::emptyStr());
+      break;
+    case ValKind::VK_Unit:
+      Arena.push_back(Value());
+      break;
+    }
+  }
+}
+
+Expected<Value> Interpreter::run(uint32_t FnIndex,
+                                 const std::vector<Value> &Args,
+                                 uint64_t &Fuel) {
+  // Entry frame: arguments become locals [0, N); the remaining locals are
+  // zero-initialized at their declared kind.
+  const ResolvedFunction &RF = RM.Functions[FnIndex];
+  uint32_t Base = static_cast<uint32_t>(Arena.size());
+  Frames.push_back(Frame{FnIndex, 0, Base});
+  for (const Value &A : Args)
+    Arena.push_back(A);
+  pushZeroLocals(RF, static_cast<uint32_t>(Args.size()));
+  return exec(Fuel, /*DepthBias=*/0, /*CountEntry=*/true);
+}
+
+Expected<Value> Interpreter::resumeAt(uint32_t FnIndex, uint32_t PC,
+                                      const uint64_t *FrameSlots,
+                                      const ValKind *StackKinds,
+                                      uint32_t StackDepth, uint64_t &Fuel,
+                                      uint32_t DepthBias) {
+  if (LinkErr)
+    return LinkErr;
+  if (FnIndex >= RM.Functions.size())
+    return Error::make(ErrorCode::EC_Invalid,
+                       "resume: function index %u out of range in '%s'",
+                       FnIndex, M.Name.c_str());
+  const ResolvedFunction &RF = RM.Functions[FnIndex];
+  if (PC >= RF.Code.size())
+    return Error::make(ErrorCode::EC_Invalid,
+                       "resume: pc %u out of range in '%s'", PC,
+                       RF.Src->Name.c_str());
+  // Materialize the native frame on the arena: locals first, then the
+  // operand stack, exactly the layout a same-depth interpreted frame
+  // would have.  The dispatch loop takes over at PC with the same fuel —
+  // re-execution from here is indistinguishable from never having run
+  // natively at all (DESIGN.md §17's parity argument).
+  uint32_t Base = static_cast<uint32_t>(Arena.size());
+  Frames.push_back(Frame{FnIndex, PC, Base});
+  for (uint32_t L = 0; L != RF.NumLocals; ++L)
+    Arena.push_back(native::rawToValue(RF.LocalKinds[L], FrameSlots[L]));
+  for (uint32_t S = 0; S != StackDepth; ++S)
+    Arena.push_back(
+        native::rawToValue(StackKinds[S], FrameSlots[RF.NumLocals + S]));
+  return exec(Fuel, DepthBias, /*CountEntry=*/false);
+}
+
+Expected<Value> Interpreter::callRaw(uint32_t FnIndex,
+                                     const uint64_t *RawArgs, uint64_t &Fuel,
+                                     uint32_t DepthBias) {
+  if (LinkErr)
+    return LinkErr;
+  if (FnIndex >= RM.Functions.size())
+    return Error::make(ErrorCode::EC_Invalid,
+                       "bridge call: function index %u out of range in '%s'",
+                       FnIndex, M.Name.c_str());
+  const ResolvedFunction &RF = RM.Functions[FnIndex];
+  uint32_t Base = static_cast<uint32_t>(Arena.size());
+  Frames.push_back(Frame{FnIndex, 0, Base});
+  for (uint32_t A = 0; A != RF.NumParams; ++A)
+    Arena.push_back(native::rawToValue(RF.LocalKinds[A], RawArgs[A]));
+  pushZeroLocals(RF, RF.NumParams);
+  return exec(Fuel, DepthBias, /*CountEntry=*/true);
+}
+
+Error Interpreter::callHostRaw(uint32_t Ordinal, const uint64_t *RawArgs,
+                               uint64_t &RawResult) {
+  const Import &Imp = M.Imports[Ordinal];
+  const HostFn &Host = Imports[Ordinal];
+  if (!Host)
+    return Error::make(ErrorCode::EC_Link, "import '%s' was never bound",
+                       Imp.Name.c_str());
+  size_t NumArgs = Imp.Sig.Params.size();
+  if (HostDepth == HostArgsPool.size())
+    HostArgsPool.emplace_back();
+  std::vector<Value> &CallArgs = HostArgsPool[HostDepth];
+  ++HostDepth;
+  CallArgs.resize(NumArgs);
+  for (size_t A = 0; A != NumArgs; ++A)
+    CallArgs[A] = native::rawToValue(Imp.Sig.Params[A], RawArgs[A]);
+  Expected<Value> Result = Host(CallArgs);
+  CallArgs.clear();
+  --HostDepth;
+  if (Result && Result->kind() != Imp.Sig.Result)
+    return Error::make(ErrorCode::EC_Link,
+                       "host import '%s' returned %s, expected %s",
+                       Imp.Name.c_str(), valKindName(Result->kind()),
+                       valKindName(Imp.Sig.Result));
+  if (!Result)
+    return Result.takeError();
+  RawResult = native::valueToRaw(*Result);
+  return Error::success();
+}
+
 namespace {
 
 /// Restores the shared execution state on every exit path, so errors and
@@ -130,11 +258,12 @@ private:
 
 } // namespace
 
-Expected<Value> Interpreter::run(uint32_t FnIndex,
-                                 const std::vector<Value> &Args,
-                                 uint64_t &Fuel) {
-  const size_t FrameBase = Frames.size();
-  const size_t ArenaBase = Arena.size();
+Expected<Value> Interpreter::exec(uint64_t &Fuel, uint32_t DepthBias,
+                                  bool CountEntry) {
+  // The caller pushed exactly one frame (plus its locals and any resumed
+  // operand stack); this activation owns everything above it.
+  const size_t FrameBase = Frames.size() - 1;
+  const size_t ArenaBase = Frames.back().Base;
   ActivationGuard ArenaG(Arena, ArenaBase);
 
   struct FramesGuard {
@@ -145,37 +274,10 @@ Expected<Value> Interpreter::run(uint32_t FnIndex,
 
   const ResolvedFunction *const Fns = RM.Functions.data();
 
-  // Entry frame: arguments become locals [0, N); the remaining locals are
-  // zero-initialized at their declared kind.
-  auto pushZeroLocals = [this](const ResolvedFunction &RF, uint32_t From) {
-    for (uint32_t L = From; L != RF.NumLocals; ++L) {
-      switch (RF.LocalKinds[L]) {
-      case ValKind::VK_Int:
-        Arena.push_back(Value::makeInt(0));
-        break;
-      case ValKind::VK_Float:
-        Arena.push_back(Value::makeFloat(0.0));
-        break;
-      case ValKind::VK_Bool:
-        Arena.push_back(Value::makeBool(false));
-        break;
-      case ValKind::VK_Str:
-        Arena.push_back(Value::emptyStr());
-        break;
-      case ValKind::VK_Unit:
-        Arena.push_back(Value());
-        break;
-      }
-    }
-  };
-
+  uint32_t FnIndex = Frames.back().FnIndex;
   const ResolvedFunction *F = &Fns[FnIndex];
-  uint32_t Base = static_cast<uint32_t>(ArenaBase);
-  uint32_t PC = 0;
-  Frames.push_back(Frame{FnIndex, 0, Base});
-  for (const Value &A : Args)
-    Arena.push_back(A);
-  pushZeroLocals(*F, static_cast<uint32_t>(Args.size()));
+  uint32_t Base = Frames.back().Base;
+  uint32_t PC = Frames.back().PC;
 
 #ifndef DSU_VTAL_NO_PROFILER
   // Self-fuel attribution: ProfMark - Fuel is what the *current*
@@ -197,8 +299,10 @@ Expected<Value> Interpreter::run(uint32_t FnIndex,
                                       std::memory_order_relaxed);
     }
   } ProfG{P, &ProfFn, &ProfMark, &Fuel};
-  if (P)
+  if (P && CountEntry)
     P->fn(FnIndex).Calls.fetch_add(1, std::memory_order_relaxed);
+#else
+  (void)CountEntry;
 #endif
 
   auto popV = [this]() {
@@ -432,7 +536,7 @@ Expected<Value> Interpreter::run(uint32_t FnIndex,
     }
 
     case Opcode::CallFn: {
-      if (Frames.size() - FrameBase > MaxCallDepth)
+      if (Frames.size() - FrameBase + DepthBias > MaxCallDepth)
         return Error::make(ErrorCode::EC_Invalid,
                            "call depth limit exceeded in '%s'",
                            Fns[I.Index].Src->Name.c_str());

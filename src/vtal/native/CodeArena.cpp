@@ -1,0 +1,54 @@
+//===- vtal/native/CodeArena.cpp - W^X executable code pages --------------===//
+
+#include "vtal/native/CodeArena.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+namespace dsu {
+namespace vtal {
+namespace native {
+
+CodeArena::~CodeArena() {
+  if (Base)
+    ::munmap(Base, Size);
+}
+
+Error CodeArena::map(size_t Bytes) {
+  if (Base)
+    return Error::make(ErrorCode::EC_Invalid, "code arena mapped twice");
+  long Page = ::sysconf(_SC_PAGESIZE);
+  if (Page <= 0)
+    Page = 4096;
+  Size = (Bytes + static_cast<size_t>(Page) - 1) &
+         ~(static_cast<size_t>(Page) - 1);
+  if (Size == 0)
+    Size = static_cast<size_t>(Page);
+  void *P = ::mmap(nullptr, Size, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (P == MAP_FAILED) {
+    Size = 0;
+    return Error::make(ErrorCode::EC_IO, "mmap of %zu code bytes failed: %s", Bytes,
+                       std::strerror(errno));
+  }
+  Base = static_cast<uint8_t *>(P);
+  return Error::success();
+}
+
+void CodeArena::write(size_t At, const void *Code, size_t Bytes) {
+  std::memcpy(Base + At, Code, Bytes);
+}
+
+Error CodeArena::seal() {
+  if (::mprotect(Base, Size, PROT_READ | PROT_EXEC) != 0)
+    return Error::make(ErrorCode::EC_IO, "mprotect RX failed: %s",
+                       std::strerror(errno));
+  return Error::success();
+}
+
+} // namespace native
+} // namespace vtal
+} // namespace dsu

@@ -1,0 +1,66 @@
+//===- vtal/native/CodeArena.h - W^X executable code pages ------*- C++ -*-===//
+///
+/// \file
+/// One mmap'd region per compiled NativeImage.  The arena is mapped RW,
+/// filled by the code generator, then flipped to RX with mprotect before
+/// any entry pointer escapes — the pages are never writable and executable
+/// at the same time (W^X).  Superseded arenas are not freed directly:
+/// NativeImage hands them to the epoch domain, which unmaps them only after
+/// every thread that could be executing the old code has quiesced.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_VTAL_NATIVE_CODEARENA_H
+#define DSU_VTAL_NATIVE_CODEARENA_H
+
+#include "support/Error.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace dsu {
+namespace vtal {
+namespace native {
+
+class CodeArena {
+public:
+  CodeArena() = default;
+  ~CodeArena();
+  CodeArena(const CodeArena &) = delete;
+  CodeArena &operator=(const CodeArena &) = delete;
+
+  /// Maps a fresh RW region of at least \p Bytes (rounded up to whole
+  /// pages).  Must be called exactly once, before write().
+  Error map(size_t Bytes);
+
+  /// Copies \p Code into the region at offset \p At (region must still be
+  /// writable).
+  void write(size_t At, const void *Code, size_t Bytes);
+
+  /// Flips the region RW -> RX.  After sealing the arena is executable and
+  /// no further writes are possible.
+  Error seal();
+
+  const uint8_t *base() const { return Base; }
+  size_t size() const { return Size; }
+
+  /// Transfers ownership of the mapping out of the arena (for epoch
+  /// retirement); the arena forgets it and its destructor becomes a no-op.
+  std::pair<uint8_t *, size_t> release() {
+    std::pair<uint8_t *, size_t> R{Base, Size};
+    Base = nullptr;
+    Size = 0;
+    return R;
+  }
+
+private:
+  uint8_t *Base = nullptr;
+  size_t Size = 0; ///< mapped size, page-rounded
+};
+
+} // namespace native
+} // namespace vtal
+} // namespace dsu
+
+#endif // DSU_VTAL_NATIVE_CODEARENA_H

@@ -1,0 +1,23 @@
+//===- vtal/native/NativeStats.cpp - native tier counters -----------------===//
+///
+/// Compiled unconditionally (even with -DDSU_VTAL_NATIVE=OFF) so the
+/// `dsu_vtal_native_*` metric names stay present — and zero — when the
+/// tier is absent, keeping dashboards and alert rules stable across
+/// build configurations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "vtal/native/NativeImage.h"
+
+namespace dsu {
+namespace vtal {
+namespace native {
+
+NativeStats &NativeStats::instance() {
+  static NativeStats S;
+  return S;
+}
+
+} // namespace native
+} // namespace vtal
+} // namespace dsu

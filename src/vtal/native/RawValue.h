@@ -1,0 +1,69 @@
+//===- vtal/native/RawValue.h - raw 8-byte slot <-> Value -------*- C++ -*-===//
+///
+/// \file
+/// The native tier's frame slots are raw 8-byte machine words: int64
+/// bits, IEEE-754 double bits, bool 0/1, unit 0.  These helpers convert
+/// between that encoding and the interpreter's tagged Value at the tier
+/// boundary (entry arguments, deopt materialization, bridge calls).
+/// Strings have no raw encoding — string-typed frames are never compiled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_VTAL_NATIVE_RAWVALUE_H
+#define DSU_VTAL_NATIVE_RAWVALUE_H
+
+#include "vtal/Value.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace dsu {
+namespace vtal {
+namespace native {
+
+inline uint64_t valueToRaw(const Value &V) {
+  switch (V.kind()) {
+  case ValKind::VK_Int:
+    return static_cast<uint64_t>(V.asInt());
+  case ValKind::VK_Float: {
+    uint64_t Bits;
+    double D = V.asFloat();
+    std::memcpy(&Bits, &D, sizeof(Bits));
+    return Bits;
+  }
+  case ValKind::VK_Bool:
+    return V.asBool() ? 1 : 0;
+  case ValKind::VK_Unit:
+    return 0;
+  case ValKind::VK_Str:
+    break;
+  }
+  assert(false && "string value has no raw slot encoding");
+  return 0;
+}
+
+inline Value rawToValue(ValKind K, uint64_t Raw) {
+  switch (K) {
+  case ValKind::VK_Int:
+    return Value::makeInt(static_cast<int64_t>(Raw));
+  case ValKind::VK_Float: {
+    double D;
+    std::memcpy(&D, &Raw, sizeof(D));
+    return Value::makeFloat(D);
+  }
+  case ValKind::VK_Bool:
+    return Value::makeBool(Raw != 0);
+  case ValKind::VK_Unit:
+    return Value();
+  case ValKind::VK_Str:
+    break;
+  }
+  assert(false && "string slot cannot be materialized from raw bits");
+  return Value();
+}
+
+} // namespace native
+} // namespace vtal
+} // namespace dsu
+
+#endif // DSU_VTAL_NATIVE_RAWVALUE_H

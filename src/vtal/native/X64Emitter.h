@@ -1,0 +1,356 @@
+//===- vtal/native/X64Emitter.h - x86-64 instruction encoder ----*- C++ -*-===//
+///
+/// \file
+/// A compact single-pass x86-64 instruction encoder for the VTAL native
+/// tier, in the spirit of neatcc's gen.c: one small class appending raw
+/// bytes to a growable buffer, with rel32 branch/call fixups patched after
+/// layout.  Only the encodings the baseline compiler actually emits are
+/// provided — 64-bit integer ALU over RAX/RCX/RDX with [reg+disp] memory
+/// operands, SETcc materialization, CQO/IDIV, scalar SSE2 for floats, and
+/// rel32 control flow.  All registers are the low eight (no REX.B/REX.X),
+/// which keeps REX handling to a single W bit.
+///
+/// The encoder knows nothing about VTAL; NativeGen.cpp drives it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DSU_VTAL_NATIVE_X64EMITTER_H
+#define DSU_VTAL_NATIVE_X64EMITTER_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dsu {
+namespace vtal {
+namespace native {
+
+/// Register numbers (ModRM encodings).  The baseline compiler only uses
+/// the low eight, so no REX.B is ever required.
+enum Reg : uint8_t {
+  RAX = 0,
+  RCX = 1,
+  RDX = 2,
+  RBX = 3,
+  RSP = 4,
+  RBP = 5,
+  RSI = 6,
+  RDI = 7,
+};
+
+/// Condition codes: the low nibble of the 0F 9x / 0F 8x opcodes.
+enum Cond : uint8_t {
+  CC_B = 0x2,  ///< unsigned <   (CF)
+  CC_AE = 0x3, ///< unsigned >=
+  CC_E = 0x4,  ///< ==
+  CC_NE = 0x5, ///< !=
+  CC_BE = 0x6, ///< unsigned <=
+  CC_A = 0x7,  ///< unsigned >
+  CC_P = 0xA,  ///< parity (unordered after UCOMISD)
+  CC_NP = 0xB, ///< no parity (ordered)
+  CC_L = 0xC,  ///< signed <
+  CC_GE = 0xD, ///< signed >=
+  CC_LE = 0xE, ///< signed <=
+  CC_G = 0xF,  ///< signed >
+};
+
+class X64Emitter {
+public:
+  const std::vector<uint8_t> &code() const { return Buf; }
+  size_t pos() const { return Buf.size(); }
+
+  // --- raw byte plumbing --------------------------------------------------
+  void byte(uint8_t B) { Buf.push_back(B); }
+  void u32(uint32_t V) {
+    for (int I = 0; I != 4; ++I)
+      Buf.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      Buf.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  /// Patches a previously emitted 32-bit field in place.
+  void patch32(size_t At, uint32_t V) {
+    assert(At + 4 <= Buf.size() && "patch out of range");
+    for (int I = 0; I != 4; ++I)
+      Buf[At + I] = static_cast<uint8_t>(V >> (8 * I));
+  }
+
+  // --- moves --------------------------------------------------------------
+  /// mov r64, imm — picks the shortest of mov r32,imm32 / mov r64,simm32 /
+  /// movabs r64,imm64.
+  void movRI(Reg R, uint64_t Imm) {
+    if (Imm <= UINT32_MAX) {
+      byte(0xB8 + R); // mov r32, imm32 (zero-extends)
+      u32(static_cast<uint32_t>(Imm));
+    } else if (static_cast<int64_t>(Imm) == static_cast<int32_t>(Imm)) {
+      byte(0x48);
+      byte(0xC7); // mov r64, simm32
+      modrm(3, 0, R);
+      u32(static_cast<uint32_t>(Imm));
+    } else {
+      byte(0x48);
+      byte(0xB8 + R); // movabs r64, imm64
+      u64(Imm);
+    }
+  }
+  /// mov r64, r64
+  void movRR(Reg Dst, Reg Src) {
+    byte(0x48);
+    byte(0x8B);
+    modrm(3, Dst, Src);
+  }
+  /// mov r64, [base+disp]
+  void movRM(Reg R, Reg Base, int32_t Disp) {
+    byte(0x48);
+    byte(0x8B);
+    mem(R, Base, Disp);
+  }
+  /// mov [base+disp], r64
+  void movMR(Reg Base, int32_t Disp, Reg R) {
+    byte(0x48);
+    byte(0x89);
+    mem(R, Base, Disp);
+  }
+  /// lea r64, [base+disp]
+  void leaRM(Reg R, Reg Base, int32_t Disp) {
+    byte(0x48);
+    byte(0x8D);
+    mem(R, Base, Disp);
+  }
+
+  // --- 64-bit integer ALU -------------------------------------------------
+  /// op r64, [base+disp] where Opc is the reg<-rm form: 0x03 add, 0x0B or,
+  /// 0x23 and, 0x2B sub, 0x33 xor, 0x3B cmp.
+  void aluRM(uint8_t Opc, Reg R, Reg Base, int32_t Disp) {
+    byte(0x48);
+    byte(Opc);
+    mem(R, Base, Disp);
+  }
+  /// op r64, r64 (same reg<-rm opcodes as aluRM)
+  void aluRR(uint8_t Opc, Reg Dst, Reg Src) {
+    byte(0x48);
+    byte(Opc);
+    modrm(3, Dst, Src);
+  }
+  /// op r32, r32 — 32-bit form, used for flag materialization where the
+  /// operands are known 0/1.
+  void aluRR32(uint8_t Opc, Reg Dst, Reg Src) {
+    byte(Opc);
+    modrm(3, Dst, Src);
+  }
+  /// Group-1 immediate ALU on r64: 81 /Ext simm32 (Ext: 0 add, 1 or,
+  /// 4 and, 5 sub, 6 xor, 7 cmp).
+  void aluRI(uint8_t Ext, Reg R, int32_t Imm) {
+    byte(0x48);
+    byte(0x81);
+    modrm(3, Ext, R);
+    u32(static_cast<uint32_t>(Imm));
+  }
+  /// imul r64, [base+disp]
+  void imulRM(Reg R, Reg Base, int32_t Disp) {
+    byte(0x48);
+    byte(0x0F);
+    byte(0xAF);
+    mem(R, Base, Disp);
+  }
+  /// neg r64
+  void negR(Reg R) {
+    byte(0x48);
+    byte(0xF7);
+    modrm(3, 3, R);
+  }
+  /// test r64, r64
+  void testRR(Reg A, Reg B) {
+    byte(0x48);
+    byte(0x85);
+    modrm(3, B, A);
+  }
+  /// cmp qword [base+disp], simm32
+  void cmpMI(Reg Base, int32_t Disp, int32_t Imm) {
+    byte(0x48);
+    byte(0x81);
+    mem(7, Base, Disp);
+    u32(static_cast<uint32_t>(Imm));
+  }
+  /// sub qword [base+disp], simm32
+  void subMI(Reg Base, int32_t Disp, int32_t Imm) {
+    byte(0x48);
+    byte(0x81);
+    mem(5, Base, Disp);
+    u32(static_cast<uint32_t>(Imm));
+  }
+  /// cmp dword [base+disp], simm32 (no REX.W — 32-bit fields like Depth)
+  void cmpMI32(Reg Base, int32_t Disp, int32_t Imm) {
+    byte(0x81);
+    mem(7, Base, Disp);
+    u32(static_cast<uint32_t>(Imm));
+  }
+  /// inc dword [base+disp]
+  void incM32(Reg Base, int32_t Disp) {
+    byte(0xFF);
+    mem(0, Base, Disp);
+  }
+  /// dec dword [base+disp]
+  void decM32(Reg Base, int32_t Disp) {
+    byte(0xFF);
+    mem(1, Base, Disp);
+  }
+  /// btc r64, imm8 — flip one bit (FNeg flips bit 63).
+  void btcRI(Reg R, uint8_t Bit) {
+    byte(0x48);
+    byte(0x0F);
+    byte(0xBA);
+    modrm(3, 7, R);
+    byte(Bit);
+  }
+  /// cqo — sign-extend RAX into RDX:RAX before idiv.
+  void cqo() {
+    byte(0x48);
+    byte(0x99);
+  }
+  /// idiv qword [base+disp]
+  void idivM(Reg Base, int32_t Disp) {
+    byte(0x48);
+    byte(0xF7);
+    mem(7, Base, Disp);
+  }
+  /// setcc r8 (low byte of a low-eight register; no REX needed for
+  /// AL/CL/DL/BL, which are the only ones the compiler uses)
+  void setcc(Cond C, Reg R8) {
+    assert(R8 <= RBX && "setcc without REX only reaches AL..BL");
+    byte(0x0F);
+    byte(0x90 + C);
+    modrm(3, 0, R8);
+  }
+
+  // --- SSE2 scalar double -------------------------------------------------
+  /// movsd xmmN, [base+disp]
+  void movsdXM(uint8_t X, Reg Base, int32_t Disp) {
+    byte(0xF2);
+    byte(0x0F);
+    byte(0x10);
+    mem(X, Base, Disp);
+  }
+  /// movsd [base+disp], xmmN
+  void movsdMX(Reg Base, int32_t Disp, uint8_t X) {
+    byte(0xF2);
+    byte(0x0F);
+    byte(0x11);
+    mem(X, Base, Disp);
+  }
+  /// F2 0F Opc: 0x58 addsd, 0x5C subsd, 0x59 mulsd, 0x5E divsd — all in
+  /// the xmm <- [base+disp] direction.
+  void sseArithXM(uint8_t Opc, uint8_t X, Reg Base, int32_t Disp) {
+    byte(0xF2);
+    byte(0x0F);
+    byte(Opc);
+    mem(X, Base, Disp);
+  }
+  /// ucomisd xmmN, [base+disp]
+  void ucomisdXM(uint8_t X, Reg Base, int32_t Disp) {
+    byte(0x66);
+    byte(0x0F);
+    byte(0x2E);
+    mem(X, Base, Disp);
+  }
+  /// cvtsi2sd xmmN, qword [base+disp]
+  void cvtsi2sdXM(uint8_t X, Reg Base, int32_t Disp) {
+    byte(0xF2);
+    byte(0x48);
+    byte(0x0F);
+    byte(0x2A);
+    mem(X, Base, Disp);
+  }
+  /// cvttsd2si r64, qword [base+disp]
+  void cvttsd2siRM(Reg R, Reg Base, int32_t Disp) {
+    byte(0xF2);
+    byte(0x48);
+    byte(0x0F);
+    byte(0x2C);
+    mem(R, Base, Disp);
+  }
+
+  // --- control flow -------------------------------------------------------
+  /// jcc rel32 — returns the buffer offset of the rel32 field for fixup.
+  size_t jcc(Cond C) {
+    byte(0x0F);
+    byte(0x80 + C);
+    size_t At = pos();
+    u32(0);
+    return At;
+  }
+  /// jmp rel32 — returns the rel32 fixup offset.
+  size_t jmp() {
+    byte(0xE9);
+    size_t At = pos();
+    u32(0);
+    return At;
+  }
+  /// call rel32 — returns the rel32 fixup offset.
+  size_t call() {
+    byte(0xE8);
+    size_t At = pos();
+    u32(0);
+    return At;
+  }
+  /// call r64
+  void callR(Reg R) {
+    byte(0xFF);
+    modrm(3, 2, R);
+  }
+  /// Resolves a rel32 fixup (from jcc/jmp/call) to a buffer position.
+  void fix(size_t At, size_t Target) {
+    patch32(At, static_cast<uint32_t>(static_cast<int64_t>(Target) -
+                                      static_cast<int64_t>(At + 4)));
+  }
+  void pushR(Reg R) { byte(0x50 + R); }
+  void popR(Reg R) { byte(0x58 + R); }
+  /// sub rsp, imm32
+  void subRspI(int32_t Imm) { aluRI(5, RSP, Imm); }
+  /// add rsp, imm32
+  void addRspI(int32_t Imm) { aluRI(0, RSP, Imm); }
+  void ret() { byte(0xC3); }
+  /// ud2 — placed at statically native-unreachable pcs.
+  void ud2() {
+    byte(0x0F);
+    byte(0x0B);
+  }
+  /// xor eax, eax (clears RAX; note: clobbers flags)
+  void zeroRax() {
+    byte(0x31);
+    byte(0xC0);
+  }
+
+private:
+  void modrm(uint8_t Mod, uint8_t R, uint8_t Rm) {
+    byte(static_cast<uint8_t>((Mod << 6) | ((R & 7) << 3) | (Rm & 7)));
+  }
+  /// [base+disp] memory operand with reg/ext field \p R.  Handles the
+  /// RSP-needs-SIB and RBP-needs-disp ModRM irregularities.
+  void mem(uint8_t R, Reg Base, int32_t Disp) {
+    uint8_t Mod;
+    if (Disp == 0 && Base != RBP)
+      Mod = 0;
+    else if (Disp >= -128 && Disp <= 127)
+      Mod = 1;
+    else
+      Mod = 2;
+    modrm(Mod, R, Base);
+    if (Base == RSP)
+      byte(0x24); // SIB: scale=0, index=none, base=rsp
+    if (Mod == 1)
+      byte(static_cast<uint8_t>(Disp));
+    else if (Mod == 2)
+      u32(static_cast<uint32_t>(Disp));
+  }
+
+  std::vector<uint8_t> Buf;
+};
+
+} // namespace native
+} // namespace vtal
+} // namespace dsu
+
+#endif // DSU_VTAL_NATIVE_X64EMITTER_H

@@ -1,0 +1,612 @@
+//===- tests/test_vtal_native_diff.cpp - Tier differential corpus -*- C++ -*-===//
+///
+/// \file
+/// The differential harness the native tier's acceptance rests on: a
+/// corpus of modules — synthetic torture cases plus the VTAL embedded in
+/// every patch artifact the repo actually ships — executed through the
+/// interpreter and through the baseline compiler, asserting identical
+/// results, identical trap messages, and bit-for-bit identical fuel
+/// consumption for every function, every generated argument tuple, and a
+/// ladder of fuel limits that forces deoptimization at many different
+/// segment boundaries.
+///
+//===----------------------------------------------------------------------===//
+
+#include "patch/Manifest.h"
+#include "vtal/Assembler.h"
+#include "vtal/Interp.h"
+#include "vtal/Verifier.h"
+#ifndef DSU_VTAL_NO_NATIVE
+#include "vtal/native/NativeImage.h"
+#endif
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace dsu;
+using namespace dsu::vtal;
+
+#ifdef DSU_VTAL_NO_NATIVE
+
+TEST(VtalNativeDiffTest, CompiledOut) {
+  GTEST_SKIP() << "native tier compiled out (DSU_VTAL_NATIVE=OFF)";
+}
+
+#else // DSU_VTAL_NO_NATIVE
+
+using native::NativeImage;
+
+namespace {
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In.good()) << "cannot open " << Path;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+/// Deterministic per-kind argument menus.  Chosen to reach the edge
+/// cases the encoder must get right: sign handling, INT64 extremes,
+/// signed zero, NaN (comparison polarity), subnormals.
+const int64_t IntMenu[] = {0, 1, -1, 2, 7, -13, 100, 4096, INT64_MAX,
+                           INT64_MIN, INT64_MIN + 1};
+const double FloatMenu[] = {0.0,  -0.0, 1.0,  -2.5, 3.1415926,
+                            1e300, -1e-300, 1.0 / 0.0, -1.0 / 0.0,
+                            0.0 / 0.0};
+const bool BoolMenu[] = {false, true};
+const char *StrMenu[] = {"", "a", "hello world", "/index.svg"};
+
+/// The \p N-th argument tuple for a parameter-kind list, walking each
+/// parameter's menu at a different stride so tuples decorrelate.
+std::vector<Value> argTuple(const std::vector<ValKind> &Kinds, size_t N) {
+  std::vector<Value> Args;
+  Args.reserve(Kinds.size());
+  for (size_t P = 0; P != Kinds.size(); ++P) {
+    size_t Pick = N * (P + 1) + P;
+    switch (Kinds[P]) {
+    case ValKind::VK_Int:
+      Args.push_back(Value::makeInt(
+          IntMenu[Pick % (sizeof(IntMenu) / sizeof(IntMenu[0]))]));
+      break;
+    case ValKind::VK_Float:
+      Args.push_back(Value::makeFloat(
+          FloatMenu[Pick % (sizeof(FloatMenu) / sizeof(FloatMenu[0]))]));
+      break;
+    case ValKind::VK_Bool:
+      Args.push_back(Value::makeBool(BoolMenu[Pick % 2]));
+      break;
+    case ValKind::VK_Str:
+      Args.push_back(Value::makeStr(
+          StrMenu[Pick % (sizeof(StrMenu) / sizeof(StrMenu[0]))]));
+      break;
+    default:
+      Args.push_back(Value::makeUnit());
+      break;
+    }
+  }
+  return Args;
+}
+
+bool sameValue(const Value &A, const Value &B) {
+  if (A.kind() != B.kind())
+    return false;
+  switch (A.kind()) {
+  case ValKind::VK_Int:
+    return A.asInt() == B.asInt();
+  case ValKind::VK_Float: {
+    uint64_t BA, BB;
+    double DA = A.asFloat(), DB = B.asFloat();
+    std::memcpy(&BA, &DA, 8);
+    std::memcpy(&BB, &DB, 8);
+    return BA == BB; // bit compare: NaN == NaN, +0 != -0
+  }
+  case ValKind::VK_Bool:
+    return A.asBool() == B.asBool();
+  case ValKind::VK_Str:
+    return A.asStr() == B.asStr();
+  default:
+    return true;
+  }
+}
+
+std::string describe(const Expected<Value> &R) {
+  if (!R)
+    return "error: " + R.error().str();
+  std::ostringstream SS;
+  switch (R->kind()) {
+  case ValKind::VK_Int:
+    SS << "int " << R->asInt();
+    break;
+  case ValKind::VK_Float:
+    SS << "float " << R->asFloat();
+    break;
+  case ValKind::VK_Bool:
+    SS << "bool " << R->asBool();
+    break;
+  case ValKind::VK_Str:
+    SS << "str \"" << R->asStr() << '"';
+    break;
+  default:
+    SS << "unit";
+    break;
+  }
+  return SS.str();
+}
+
+/// Runs every function of \p Src against both tiers.  Per function:
+/// NumTuples generated argument tuples at the default fuel budget, then
+/// the same first tuple at each limit in a fuel ladder (forcing deopt at
+/// different points).  Returns how many functions the image compiled, so
+/// callers can assert the run exercised native code at all.
+size_t diffModule(const std::string &Label, const std::string &Src,
+                  size_t NumTuples = 8) {
+  Expected<Module> M = assemble(Src);
+  EXPECT_TRUE(M) << Label << ": " << M.error().str();
+  if (!M)
+    return 0;
+  Error VE = verifyModule(*M);
+  EXPECT_FALSE(VE) << Label << ": " << VE.str();
+  if (VE)
+    return 0;
+
+  // Two independent interpreters per (function, tuple, limit) would be
+  // wasteful; per module is enough because call() resets per-call state.
+  auto Bind = [](Interpreter &I) {
+    // The shipped artifacts import host functions; bind deterministic
+    // implementations so both tiers see the same world.  Unknown imports
+    // stay unbound — the unbound-import error path is part of parity.
+    (void)I.bindImport("flashed.now_ms",
+                       [](const std::vector<Value> &) -> Expected<Value> {
+                         return Value::makeInt(1234567);
+                       });
+    (void)I.bindImport("flashed.log",
+                       [](const std::vector<Value> &) -> Expected<Value> {
+                         return Value::makeUnit();
+                       });
+  };
+
+  Interpreter Probe(*M);
+  const ResolvedModule &RM = Probe.resolved();
+
+  size_t Compiled = 0;
+  const uint64_t FuelLadder[] = {1, 2, 3, 5, 9, 17, 40, 100, 1000};
+  for (uint32_t FnIdx = 0; FnIdx != RM.Functions.size(); ++FnIdx) {
+    const ResolvedFunction &RF = RM.Functions[FnIdx];
+    if (!RF.Src || RF.Code.empty())
+      continue; // import
+    std::vector<ValKind> ParamKinds(RF.LocalKinds.begin(),
+                                    RF.LocalKinds.begin() + RF.NumParams);
+    std::string Name = RF.Src->Name;
+
+    for (size_t T = 0; T != NumTuples; ++T) {
+      std::vector<Value> Args = argTuple(ParamKinds, T);
+      for (uint64_t Limit : FuelLadder) {
+        Interpreter Ref(*M, Limit);
+        Interpreter Nat(*M, Limit);
+        Bind(Ref);
+        Bind(Nat);
+        Expected<std::shared_ptr<const NativeImage>> Img =
+            NativeImage::compile(Nat.resolved());
+        EXPECT_TRUE(Img) << Label << ": " << Img.error().str();
+        if (!Img)
+          return Compiled;
+        Nat.setNativeImage(*Img);
+        if (T == 0 && Limit == FuelLadder[0])
+          Compiled = (*Img)->compiledCount();
+
+        Expected<Value> A = Ref.call(Name, Args);
+        uint64_t FuelA = Ref.lastFuelUsed();
+        Expected<Value> B = Nat.call(Name, Args);
+        uint64_t FuelB = Nat.lastFuelUsed();
+
+        std::ostringstream Where;
+        Where << Label << "::" << Name << " tuple " << T << " fuel limit "
+              << Limit;
+        EXPECT_EQ(static_cast<bool>(A), static_cast<bool>(B))
+            << Where.str() << ": " << describe(A) << " vs " << describe(B);
+        if (static_cast<bool>(A) != static_cast<bool>(B))
+          continue;
+        if (A)
+          EXPECT_TRUE(sameValue(*A, *B))
+              << Where.str() << ": " << describe(A) << " vs " << describe(B);
+        else
+          EXPECT_EQ(A.error().str(), B.error().str()) << Where.str();
+        EXPECT_EQ(FuelA, FuelB) << Where.str() << ": fuel diverged ("
+                                << describe(A) << ")";
+      }
+      // And once at the default (64M) budget, where nothing deopts on
+      // fuel and the whole function runs native.
+      Interpreter Ref(*M);
+      Interpreter Nat(*M);
+      Bind(Ref);
+      Bind(Nat);
+      Expected<std::shared_ptr<const NativeImage>> Img =
+          NativeImage::compile(Nat.resolved());
+      EXPECT_TRUE(Img) << Label << ": " << Img.error().str();
+      if (!Img)
+        return Compiled;
+      Nat.setNativeImage(*Img);
+      Expected<Value> A = Ref.call(Name, Args);
+      uint64_t FuelA = Ref.lastFuelUsed();
+      Expected<Value> B = Nat.call(Name, Args);
+      uint64_t FuelB = Nat.lastFuelUsed();
+      EXPECT_EQ(static_cast<bool>(A), static_cast<bool>(B))
+          << Label << "::" << Name << " tuple " << T << ": " << describe(A)
+          << " vs " << describe(B);
+      if (static_cast<bool>(A) != static_cast<bool>(B))
+        continue;
+      if (A)
+        EXPECT_TRUE(sameValue(*A, *B)) << Label << "::" << Name << " tuple "
+                                       << T << ": " << describe(A) << " vs "
+                                       << describe(B);
+      else
+        EXPECT_EQ(A.error().str(), B.error().str())
+            << Label << "::" << Name << " tuple " << T;
+      EXPECT_EQ(FuelA, FuelB)
+          << Label << "::" << Name << " tuple " << T << ": fuel diverged";
+    }
+  }
+  return Compiled;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Synthetic torture corpus
+//===----------------------------------------------------------------------===//
+
+TEST(VtalNativeDiffTest, IntArithmeticTorture) {
+  size_t N = diffModule("int_arith", R"(
+module int_arith
+func mix (a: int, b: int) -> int {
+  load a
+  load b
+  add
+  load a
+  load b
+  sub
+  mul
+  load a
+  neg
+  add
+  ret
+}
+func divrem (a: int, b: int) -> int {
+  load a
+  load b
+  div
+  load a
+  load b
+  rem
+  add
+  ret
+}
+func cmp_chain (a: int, b: int) -> bool {
+  load a
+  load b
+  lt
+  load a
+  load b
+  ge
+  or
+  load a
+  load b
+  eq
+  load a
+  load b
+  ne
+  and
+  not
+  and
+  ret
+}
+func logic (p: bool, q: bool) -> bool {
+  load p
+  load q
+  and
+  load p
+  load q
+  or
+  not
+  or
+  ret
+}
+)");
+  EXPECT_GE(N, 4u) << "torture module should compile fully";
+}
+
+TEST(VtalNativeDiffTest, FloatTorture) {
+  size_t N = diffModule("float_arith", R"(
+module float_arith
+func fmix (x: float, y: float) -> float {
+  load x
+  load y
+  fadd
+  load x
+  load y
+  fsub
+  fmul
+  load x
+  fneg
+  fadd
+  load x
+  load y
+  fdiv
+  fadd
+  ret
+}
+func fcmps (x: float, y: float) -> bool {
+  load x
+  load y
+  flt
+  load x
+  load y
+  fge
+  or
+  load x
+  load y
+  feq
+  load x
+  load y
+  fne
+  or
+  and
+  ret
+}
+func convert (n: int, x: float) -> float {
+  load n
+  i2f
+  load x
+  fadd
+  ret
+}
+func roundtrip (x: float) -> int {
+  load x
+  f2i
+  ret
+}
+)");
+  EXPECT_GE(N, 4u);
+}
+
+TEST(VtalNativeDiffTest, BranchAndLoopTorture) {
+  size_t N = diffModule("branches", R"(
+module branches
+func collatz_steps (n: int) -> int {
+  locals (steps: int, v: int)
+  load n
+  store v
+  push.i 0
+  store steps
+loop:
+  load v
+  push.i 2
+  lt
+  brif done
+  load steps
+  push.i 200
+  gt
+  brif done
+  load v
+  push.i 2
+  rem
+  push.i 0
+  eq
+  brif even
+  load v
+  push.i 3
+  mul
+  push.i 1
+  add
+  store v
+  br next
+even:
+  load v
+  push.i 2
+  div
+  store v
+next:
+  load steps
+  push.i 1
+  add
+  store steps
+  br loop
+done:
+  load steps
+  ret
+}
+func gauss (n: int) -> int {
+  locals (acc: int, i: int)
+  push.i 0
+  store acc
+  push.i 0
+  store i
+loop:
+  load i
+  load n
+  gt
+  brif done
+  load acc
+  load i
+  add
+  store acc
+  load i
+  push.i 1
+  add
+  store i
+  br loop
+done:
+  load acc
+  ret
+}
+)", /*NumTuples=*/6);
+  EXPECT_GE(N, 2u);
+}
+
+TEST(VtalNativeDiffTest, CallGraphTorture) {
+  size_t N = diffModule("calls", R"(
+module calls
+func ack_like (m: int, n: int) -> int {
+  load m
+  push.i 0
+  le
+  brif base
+  load n
+  push.i 0
+  le
+  brif zero
+  load m
+  push.i 1
+  sub
+  load m
+  load n
+  push.i 1
+  sub
+  call ack_like
+  call ack_like
+  ret
+zero:
+  load m
+  push.i 1
+  sub
+  push.i 1
+  call ack_like
+  ret
+base:
+  load n
+  push.i 1
+  add
+  ret
+}
+func even (n: int) -> bool {
+  load n
+  push.i 0
+  le
+  brif yes
+  load n
+  push.i 1
+  sub
+  call odd
+  ret
+yes:
+  push.b true
+  ret
+}
+func odd (n: int) -> bool {
+  load n
+  push.i 0
+  le
+  brif no
+  load n
+  push.i 1
+  sub
+  call even
+  ret
+no:
+  push.b false
+  ret
+}
+)", /*NumTuples=*/5);
+  EXPECT_GE(N, 3u);
+}
+
+TEST(VtalNativeDiffTest, StringDeoptTorture) {
+  // String-typed functions stay interpreted; string-free functions with
+  // string *operations* compile and deopt at the PushS site.  Both call
+  // directions cross the tier boundary.
+  diffModule("strings", R"(
+module strings
+func classify (n: int) -> string {
+  load n
+  push.i 0
+  lt
+  brif neg
+  push.s "non-negative"
+  ret
+neg:
+  push.s "negative"
+  ret
+}
+func tagged_len (n: int) -> int {
+  push.s "prefix-"
+  push.s "suffix"
+  scat
+  slen
+  load n
+  add
+  ret
+}
+func find_in (hay: string, n: int) -> int {
+  load hay
+  push.s "e"
+  sfind
+  load n
+  add
+  ret
+}
+func mixed (n: int) -> int {
+  load n
+  call tagged_len
+  push.i 2
+  mul
+  ret
+}
+)", /*NumTuples=*/6);
+}
+
+TEST(VtalNativeDiffTest, DupPopStackShuffles) {
+  size_t N = diffModule("stack_ops", R"(
+module stack_ops
+func shuffle (a: int, b: int) -> int {
+  load a
+  dup
+  mul
+  load b
+  dup
+  mul
+  add
+  load a
+  pop
+  ret
+}
+func discard (x: float, n: int) -> int {
+  load x
+  pop
+  load n
+  dup
+  add
+  ret
+}
+)");
+  EXPECT_GE(N, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Shipped artifacts: every .dsup the repo carries goes through both tiers
+//===----------------------------------------------------------------------===//
+
+TEST(VtalNativeDiffTest, ShippedParseFixPatch) {
+  std::string Text =
+      readFile(std::string(DSU_SOURCE_DIR) + "/patches/p1_parsefix.dsup");
+  Expected<PatchManifest> Man = PatchManifest::parse(Text);
+  ASSERT_TRUE(Man) << Man.error().str();
+  ASSERT_FALSE(Man->VtalText.empty());
+  diffModule("p1_parsefix", Man->VtalText, /*NumTuples=*/6);
+}
+
+TEST(VtalNativeDiffTest, ShippedMimeSvgPatch) {
+  std::string Text =
+      readFile(std::string(DSU_SOURCE_DIR) + "/examples/mime_svg.dsup");
+  Expected<PatchManifest> Man = PatchManifest::parse(Text);
+  ASSERT_TRUE(Man) << Man.error().str();
+  ASSERT_FALSE(Man->VtalText.empty());
+  diffModule("mime_svg", Man->VtalText, /*NumTuples=*/6);
+}
+
+#endif // DSU_VTAL_NO_NATIVE

@@ -18,6 +18,9 @@
 #include "vtal/Bytecode.h"
 #include "vtal/Interp.h"
 #include "vtal/Verifier.h"
+#ifndef DSU_VTAL_NO_NATIVE
+#include "vtal/native/NativeImage.h"
+#endif
 
 #include <cstdio>
 #include <cstdlib>
@@ -115,6 +118,27 @@ int main(int argc, char **argv) {
       return 1;
     }
     Interpreter I(M);
+#ifndef DSU_VTAL_NO_NATIVE
+    // Same tier policy as the runtime's patch loader: DSU_VTAL_NATIVE
+    // gates the native tier, so CLI runs report the fuel/trap behaviour
+    // an updated process would see under the same environment.
+    {
+      using vtal::native::NativeImage;
+      using vtal::native::TierPolicy;
+      TierPolicy Policy = TierPolicy::fromEnv();
+      if (Policy.ModeV != TierPolicy::Mode::Off) {
+        const vtal::ResolvedModule &RM = I.resolved();
+        std::vector<bool> Mask(RM.Functions.size(), false);
+        for (size_t F = 0; F != RM.Functions.size(); ++F)
+          Mask[F] = Policy.ModeV == TierPolicy::Mode::All ||
+                    RM.Functions[F].Code.size() <= Policy.SmallFnInsts;
+        Expected<std::shared_ptr<const NativeImage>> Img =
+            NativeImage::compile(RM, &Mask);
+        if (Img && (*Img)->compiledCount() != 0)
+          I.setNativeImage(*Img);
+      }
+    }
+#endif
     std::vector<Value> Args;
     for (int A = 4; A < argc; ++A)
       Args.push_back(Value::makeInt(std::atoll(argv[A])));
